@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures and result recording.
+
+Every benchmark writes its paper-style table into ``benchmarks/out/`` so
+EXPERIMENTS.md can cite concrete transcripts, and prints it so the
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` run keeps
+a full record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def record(out_dir):
+    """record(name, text): persist and echo one benchmark transcript."""
+
+    def _record(name: str, text: str) -> None:
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record

@@ -1,0 +1,79 @@
+"""Ablation A2 — serializer choice (cloudpickle vs pickle vs source).
+
+Quantifies the trade-off behind the paper's §3.4.2 decision: stdlib
+pickle is fastest but cannot serialize interactively defined PE classes
+at all; source text is compact but loses object state; cloudpickle
+(the paper's choice) handles every case at moderate cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.serialization.codec import deserialize_object, serialize_with
+from repro.workflows.isprime import build_isprime_graph
+from tests.helpers import build_pipeline_graph
+
+
+@pytest.mark.parametrize("codec", ["cloudpickle", "pickle"])
+def test_graph_serialize_speed(benchmark, codec):
+    benchmark.group = "serializer-encode"
+    graph = build_isprime_graph()
+    payload = benchmark(lambda: serialize_with(graph, codec))
+    assert isinstance(payload, str)
+
+
+@pytest.mark.parametrize("codec", ["cloudpickle", "pickle"])
+def test_graph_round_trip_speed(benchmark, codec):
+    benchmark.group = "serializer-roundtrip"
+    graph = build_pipeline_graph()
+
+    def round_trip():
+        return deserialize_object(serialize_with(graph, codec))
+
+    restored = benchmark(round_trip)
+    assert len(restored) == len(graph)
+
+
+def test_source_codec_speed(benchmark):
+    benchmark.group = "serializer-encode"
+    from repro.workflows.isprime import NumberProducer
+
+    text = benchmark(lambda: serialize_with(NumberProducer, "source"))
+    assert "class NumberProducer" in text
+
+
+def test_capability_matrix_report(benchmark, record):
+    """The qualitative half of the ablation: what each codec CAN ship."""
+
+    def probe():
+        namespace = {}
+        exec(
+            "from repro.dataflow.core import IterativePE\n"
+            "class InteractivePE(IterativePE):\n"
+            "    def _process(self, x):\n"
+            "        return x\n",
+            namespace,
+        )
+        interactive = namespace["InteractivePE"]
+        rows = []
+        for codec in ("cloudpickle", "pickle", "source"):
+            try:
+                serialize_with(interactive, codec)
+                outcome = "ok"
+            except SerializationError:
+                outcome = "FAILS"
+            rows.append((codec, outcome))
+        return rows
+
+    rows = benchmark.pedantic(probe, rounds=1, iterations=1)
+    outcomes = dict(rows)
+    record(
+        "ablation_serializers",
+        "Shipping an interactively defined PE class:\n"
+        + "\n".join(f"  {codec:12s} {result}" for codec, result in rows),
+    )
+    # the paper's finding: only cloudpickle handles the serverless case
+    assert outcomes["cloudpickle"] == "ok"
+    assert outcomes["pickle"] == "FAILS"

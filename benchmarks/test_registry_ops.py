@@ -1,0 +1,84 @@
+"""Registry/server operation throughput (framework overhead breakdown).
+
+Measures the building blocks whose sum explains Table 5's Laminar
+overhead: PE registration (serialize + summarize + embed + store),
+workflow retrieval, search round trips, and the serverless run path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import LaminarClient, local_stack
+from repro.ml.bundle import ModelBundle
+from repro.workflows.library import ALL_LIBRARY_PES
+from tests.helpers import AddTen, build_pipeline_graph
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return ModelBundle.default(fit=True)
+
+
+@pytest.fixture()
+def client(bundle):
+    c = LaminarClient(local_stack(models=bundle), models=bundle, echo=False)
+    c.register("bench", "pw")
+    c.login("bench", "pw")
+    return c
+
+
+def test_pe_registration_throughput(benchmark, client):
+    benchmark.group = "registry-ops"
+    counter = iter(range(10_000))
+
+    def register_one():
+        # distinct descriptions keep dedup from short-circuiting the path
+        return client.register_PE(AddTen, f"adds ten variant {next(counter)}")
+
+    body = benchmark(register_one)
+    assert body["peName"] == "AddTen"
+
+
+def test_workflow_registration(benchmark, client):
+    benchmark.group = "registry-ops"
+    body = benchmark(
+        lambda: client.register_Workflow(build_pipeline_graph(), "pipeline")
+    )
+    assert body["entryPoint"] == "pipeline"
+
+
+def test_workflow_retrieval(benchmark, client):
+    benchmark.group = "registry-ops"
+    client.register_Workflow(build_pipeline_graph(), "pipeline")
+    graph = benchmark(lambda: client.get_Workflow("pipeline"))
+    assert len(graph) == 3
+
+
+def test_semantic_search_round_trip(benchmark, client):
+    benchmark.group = "registry-search"
+    for cls in ALL_LIBRARY_PES:
+        client.register_PE(cls)
+    hits = benchmark(
+        lambda: client.search_Registry(
+            "count how often each word occurs", "pe", "text", k=5
+        )
+    )
+    assert hits
+
+
+def test_code_search_round_trip(benchmark, client):
+    benchmark.group = "registry-search"
+    for cls in ALL_LIBRARY_PES:
+        client.register_PE(cls)
+    hits = benchmark(
+        lambda: client.search_Registry("random.randint(1, 1000)", "pe", "code", k=5)
+    )
+    assert hits
+
+
+def test_serverless_run_path(benchmark, client):
+    benchmark.group = "registry-ops"
+    client.register_Workflow(build_pipeline_graph(), "pipeline")
+    outcome = benchmark(lambda: client.run("pipeline", input=3))
+    assert outcome.status == "ok"

@@ -1,0 +1,68 @@
+"""Table 5 — Internal Extinction execution times.
+
+Reproduces the paper's latency study: {original dispel4py, Laminar with
+a local Execution Engine, Laminar with a remote (WAN-shaped) Execution
+Engine} x {Simple, Multi(5 processes)}.  Absolute seconds differ from
+the paper (their workload downloaded ~1050 real VOTables; ours uses the
+synthetic VO service at reduced catalog scale), but the orderings —
+original < local < remote, Multi << Simple — are asserted.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.evalharness.experiments import (
+    Table5Config,
+    _run_laminar,
+    _run_original,
+    run_table5,
+)
+from repro.evalharness.reporting import check, environment_header
+
+CONFIG = Table5Config(
+    n_galaxies=40,
+    votable_latency_s=0.01,
+    nprocs=5,
+    fetch_hint=3,
+    # high enough that Laminar's structural overhead (auto-install,
+    # registry hops) dominates scheduler noise on small machines
+    install_scale=0.005,
+)
+
+
+def _bench(benchmark, fn, mapping):
+    def run():
+        with tempfile.TemporaryDirectory(prefix="t5-bench-") as tmp:
+            return fn(mapping, Path(tmp))
+
+    return benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("mapping", ["simple", "multi"])
+class TestRows:
+    def test_original_dispel4py(self, benchmark, mapping):
+        benchmark.group = f"table5-{mapping}"
+        _bench(benchmark, lambda m, d: _run_original(CONFIG, m, d), mapping)
+
+    def test_laminar_local(self, benchmark, mapping):
+        benchmark.group = f"table5-{mapping}"
+        _bench(benchmark, lambda m, d: _run_laminar(CONFIG, m, d, False), mapping)
+
+    def test_laminar_remote(self, benchmark, mapping):
+        benchmark.group = f"table5-{mapping}"
+        _bench(benchmark, lambda m, d: _run_laminar(CONFIG, m, d, True), mapping)
+
+
+def test_table5_report(benchmark, record):
+    """One full sweep; asserts the paper's shape and records the table."""
+    result = benchmark.pedantic(
+        lambda: run_table5(CONFIG), rounds=1, iterations=1
+    )
+    lines = [environment_header(), "", result["table"], ""]
+    lines += [check(label, ok) for label, ok in result["checks"].items()]
+    record("table5", "\n".join(lines))
+    assert all(result["checks"].values()), result["checks"]

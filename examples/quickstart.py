@@ -1,0 +1,81 @@
+"""Quickstart: a complete Laminar session in one process.
+
+Covers the §3.4.1 client workflow end to end: register/login, register a
+PE and a workflow, inspect the registry, and execute the workflow
+serverlessly with the Simple mapping.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LaminarClient, local_stack
+from repro.dataflow import ConsumerPE, IterativePE, ProducerPE, WorkflowGraph
+
+
+class NumberProducer(ProducerPE):
+    """Stream random integers between 1 and 1000 (paper Listing 1)."""
+
+    def __init__(self):
+        ProducerPE.__init__(self)
+
+    def _process(self):
+        import random
+
+        # Generate a random number
+        return random.randint(1, 1000)
+
+
+class IsPrime(IterativePE):
+    """Forward only prime numbers."""
+
+    def __init__(self):
+        IterativePE.__init__(self)
+
+    def _process(self, num):
+        if num >= 2 and all(num % i != 0 for i in range(2, int(num**0.5) + 1)):
+            return num
+
+
+class PrintPrime(ConsumerPE):
+    """Print every prime that arrives."""
+
+    def __init__(self):
+        ConsumerPE.__init__(self)
+
+    def _process(self, num):
+        print("the num %s is prime" % num)
+
+
+def main() -> None:
+    # one-process deployment: server + engine + in-memory registry
+    client = LaminarClient(local_stack())
+
+    # (1)+(2): account + session
+    client.register("zz46", "password")
+    client.login("zz46", "password")
+
+    # (3): register a PE with an explicit description...
+    client.register_PE(NumberProducer, "Random numbers producer")
+    # ...and one without: Laminar auto-summarizes it (§3.1.1)
+    body = client.register_PE(IsPrime)
+    print(f"auto-generated description for IsPrime: {body['description']!r}")
+
+    # (4): build and register the workflow (Listing 3)
+    graph = WorkflowGraph("isPrime")
+    pe1, pe2, pe3 = NumberProducer(), IsPrime(), PrintPrime()
+    graph.connect(pe1, "output", pe2, "input")
+    graph.connect(pe2, "output", pe3, "input")
+    client.register_Workflow(
+        graph, "isPrime", "Workflow that prints random prime numbers"
+    )
+
+    # (12): list everything we own
+    client.get_Registry()
+
+    # (13): run it for 10 iterations on the serverless engine
+    outcome = client.run("isPrime", input=10)
+    print(f"\nengine timings: {outcome.timings}")
+    print(f"root PE detected automatically: {outcome.root_pes}")
+
+
+if __name__ == "__main__":
+    main()

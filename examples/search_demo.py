@@ -1,0 +1,95 @@
+"""Registry search and exploration (paper §4, Figures 6-8).
+
+Populates the registry like the paper's Figure 7 scenario — 22 PEs and
+five workflows — then runs all three search mechanisms:
+
+* text-based search for 'prime' over workflows        (Figure 6)
+* semantic search for a natural-language PE query     (Figure 7)
+* code-completion search for a code fragment          (Figure 8)
+
+Run:  python examples/search_demo.py
+"""
+
+from repro import LaminarClient, local_stack
+from repro.dataflow import WorkflowGraph
+from repro.workflows.astrophysics import build_internal_extinction_graph
+from repro.workflows.isprime import build_isprime_graph
+from repro.workflows.library import (
+    ALL_LIBRARY_PES,
+    CollectList,
+    CountWords,
+    CounterProducer,
+    GaussianProducer,
+    IsEven,
+    SentenceProducer,
+    SquareNumber,
+    StreamStatistics,
+    Tokenizer,
+)
+
+
+def build_five_workflows() -> list[tuple[WorkflowGraph, str, str]]:
+    """The five registered workflows of the Figure 7 scenario."""
+    wordcount = WorkflowGraph("wordCount")
+    sentences, tokens, counts = SentenceProducer(), Tokenizer(), CountWords()
+    wordcount.connect(sentences, "output", tokens, "input")
+    wordcount.connect(tokens, "output", counts, "input")
+
+    squares = WorkflowGraph("evenSquares")
+    counter, even, square, collect = (
+        CounterProducer(), IsEven(), SquareNumber(), CollectList(),
+    )
+    squares.connect(counter, "output", even, "input")
+    squares.connect(even, "output", square, "input")
+    squares.connect(square, "output", collect, "input")
+
+    stats = WorkflowGraph("streamStats")
+    gauss, tracker = GaussianProducer(), StreamStatistics()
+    stats.connect(gauss, "output", tracker, "input")
+
+    return [
+        (build_isprime_graph(), "isPrime",
+         "Workflow that prints random prime numbers"),
+        (build_internal_extinction_graph(), "Astrophysics",
+         "A workflow to compute the internal extinction of galaxies"),
+        (wordcount, "wordCount", "Counts word frequencies in sentences"),
+        (squares, "evenSquares", "Squares of the even integers"),
+        (stats, "streamStats", "Summary statistics of a numeric stream"),
+    ]
+
+
+def main() -> None:
+    client = LaminarClient(local_stack())
+    client.register("zz46", "password")
+    client.login("zz46", "password")
+
+    # populate: 22 library PEs + 5 workflows (whose PEs dedup into them)
+    for cls in ALL_LIBRARY_PES:
+        client.register_PE(cls)
+    for graph, name, description in build_five_workflows():
+        client.register_Workflow(graph, name, description)
+
+    registry = client.get_Registry()
+    print(f"\nregistry holds {len(registry['pes'])} PEs and "
+          f"{len(registry['workflows'])} workflows\n")
+
+    print("--- Figure 6: text-based search ---------------------------")
+    print('client.search_Registry("prime", "workflow")')
+    client.search_Registry("prime", "workflow")
+
+    print("\n--- Figure 7: semantic code search ------------------------")
+    print('client.search_Registry("A PE that checks if a number is prime", "pe", "text")')
+    client.search_Registry(
+        "A PE that checks if a number is prime", "pe", "text", k=6
+    )
+
+    print("\n--- Figure 8: code completion -----------------------------")
+    print('client.search_Registry("random.randint(1, 1000)", "pe", "code")')
+    hits = client.search_Registry("random.randint(1, 1000)", "pe", "code", k=5)
+    best = hits[0]
+    print(f"\nbest completion source: {best['peName']}; suggested continuation:")
+    print("    " + "\n    ".join(best["continuation"].splitlines()[:4]))
+
+
+if __name__ == "__main__":
+    main()

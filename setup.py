@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has setuptools but no ``wheel`` package, so the
+PEP 660 editable-install path (which builds an editable wheel) fails
+offline.  This shim enables the legacy ``pip install -e . --no-use-pep517``
+path; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""Reproduction of *Laminar: A New Serverless Stream-based Framework with
+Semantic Code Search and Code Completion* (WORKS/SC 2023).
+
+Public API overview
+-------------------
+
+Workflow authoring (the dispel4py substrate)::
+
+    from repro import ProducerPE, IterativePE, ConsumerPE, GenericPE, WorkflowGraph
+
+Serverless framework (the paper's contribution)::
+
+    from repro import LaminarClient, LaminarServer, ExecutionEngine
+
+A typical session (paper §3.4.1)::
+
+    from repro import LaminarClient, local_stack
+
+    client = LaminarClient(local_stack())
+    client.register("zz46", "password")
+    client.login("zz46", "password")
+    client.register_PE(NumberProducer, "Random numbers producer")
+    client.run("IsPrime", input=5, process="MULTI", args={"num": 5})
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+reproduced tables and figures.
+"""
+
+from repro.dataflow import (
+    ConsumerPE,
+    GenericPE,
+    IterativePE,
+    ProducerPE,
+    WorkflowGraph,
+    run_workflow,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GenericPE",
+    "ProducerPE",
+    "IterativePE",
+    "ConsumerPE",
+    "WorkflowGraph",
+    "run_workflow",
+    "ReproError",
+    "LaminarClient",
+    "LaminarServer",
+    "ExecutionEngine",
+    "local_stack",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    """Lazily import the heavier framework layers.
+
+    Keeps ``import repro`` cheap for pure-dataflow users while still
+    exposing the serverless stack at the top level.
+    """
+    if name == "LaminarClient":
+        from repro.client import LaminarClient
+
+        return LaminarClient
+    if name == "LaminarServer":
+        from repro.server import LaminarServer
+
+        return LaminarServer
+    if name == "ExecutionEngine":
+        from repro.engine import ExecutionEngine
+
+        return ExecutionEngine
+    if name == "local_stack":
+        from repro.client import local_stack
+
+        return local_stack
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

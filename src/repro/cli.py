@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``serve``   — start a Laminar server over real HTTP (optionally SQLite
+  backed), the deployment entry point.
+* ``demo``    — run the IsPrime showcase end to end in one process.
+* ``eval``    — regenerate a paper table (5, 6 or 7) on the terminal.
+* ``endpoints`` — print the server's API table (paper Table 3 + extensions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Laminar reproduction — serverless stream framework "
+        "with semantic code search (WORKS/SC 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="serve Laminar over HTTP")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8075)
+    serve.add_argument(
+        "--db", default=None, help="SQLite registry path (default: in-memory)"
+    )
+    serve.add_argument(
+        "--no-fit", action="store_true",
+        help="skip model IDF fitting (faster startup, weaker search)",
+    )
+
+    demo = sub.add_parser("demo", help="run the IsPrime showcase")
+    demo.add_argument("--input", type=int, default=10, help="iterations")
+    demo.add_argument(
+        "--mapping", default="MULTI",
+        choices=["SIMPLE", "MULTI", "MPI", "REDIS"],
+    )
+    demo.add_argument("--num", type=int, default=5, help="process count")
+
+    evaluate = sub.add_parser("eval", help="regenerate a paper table")
+    evaluate.add_argument("table", type=int, choices=[5, 6, 7])
+
+    sub.add_parser("endpoints", help="print the API endpoint table")
+    return parser
+
+
+def _build_server(db: str | None, fit: bool):
+    from repro.ml.bundle import ModelBundle
+    from repro.registry.dao import SqliteDAO
+    from repro.server import LaminarServer
+
+    dao = SqliteDAO(db) if db else None
+    return LaminarServer(dao=dao, models=ModelBundle.default(fit=fit))
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.http import serve_http
+
+    server = _build_server(args.db, fit=not args.no_fit)
+    handle = serve_http(server, host=args.host, port=args.port)
+    print(f"Laminar serving on {handle.url}  (registry: "
+          f"{args.db or 'in-memory'}; Ctrl-C to stop)")
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        handle.shutdown()
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.client import LaminarClient, local_stack
+    from repro.workflows.isprime import build_isprime_graph
+
+    client = LaminarClient(local_stack())
+    client.register("demo", "demo")
+    client.login("demo", "demo")
+    client.register_Workflow(
+        build_isprime_graph(), "isPrime",
+        "Workflow that prints random prime numbers",
+    )
+    print(f"running isPrime: input={args.input} mapping={args.mapping} "
+          f"num={args.num}\n")
+    outcome = client.run(
+        "isPrime", input=args.input, process=args.mapping,
+        args={"num": args.num},
+    )
+    print("\n" + outcome.summary())
+    return 0 if outcome.status == "ok" else 1
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    if args.table == 5:
+        from repro.evalharness.experiments import run_table5
+
+        result = run_table5()
+    elif args.table == 6:
+        from repro.evalharness.experiments import run_table6
+
+        result = run_table6()
+    else:
+        from repro.evalharness.experiments import run_table7
+
+        result = run_table7()
+    print(result["table"])
+    print()
+    ok = True
+    for label, passed in result["checks"].items():
+        print(f"  [{'OK' if passed else 'MISS'}] {label}")
+        ok = ok and passed
+    return 0 if ok else 1
+
+
+def cmd_endpoints(args: argparse.Namespace) -> int:
+    server = _build_server(None, fit=False)
+    for method, pattern in server.endpoints():
+        print(f"{method:7s} {pattern}")
+    return 0
+
+
+_COMMANDS = {
+    "serve": cmd_serve,
+    "demo": cmd_demo,
+    "eval": cmd_eval,
+    "endpoints": cmd_endpoints,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

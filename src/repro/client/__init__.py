@@ -1,0 +1,22 @@
+"""The Laminar Client (paper §3.4).
+
+A user-friendly Python application with a dual-layer structure:
+
+* the **client layer** (:class:`LaminarClient`) — the thirteen user
+  functions of §3.4.1 (``register``, ``login``, ``register_PE``,
+  ``register_Workflow``, ``remove_PE``, ``remove_Workflow``, ``get_PE``,
+  ``get_Workflow``, ``get_PEs_By_Workflow``, ``search_Registry``,
+  ``describe``, ``get_Registry``, ``run``);
+* the **web_client layer** (:class:`~repro.client.web_client.WebClient`)
+  — serialization (cloudpickle+base64), automatic import detection,
+  client-side summarization and embedding generation, and request
+  marshalling.
+
+:func:`local_stack` builds an all-in-one-process deployment (server +
+engine + in-memory registry) for quickstarts and tests.
+"""
+
+from repro.client.client import LaminarClient, local_stack
+from repro.client.web_client import WebClient
+
+__all__ = ["LaminarClient", "WebClient", "local_stack"]

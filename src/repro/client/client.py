@@ -1,0 +1,386 @@
+"""The client layer — the thirteen user functions of paper §3.4.1.
+
+Function names, signatures and behaviours follow the paper's user manual
+listing, including the flexible ``Union[str, int, WorkflowGraph]``
+workflow argument of ``run`` and the automatic registration that ``run``
+performs when handed a raw graph.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Union
+
+from repro.dataflow.core import ProcessingElement
+from repro.dataflow.graph import WorkflowGraph
+from repro.engine.results import ExecutionOutcome
+from repro.errors import ValidationError
+from repro.client.display import render_registry, render_search_hits
+from repro.client.web_client import WebClient
+from repro.ml.bundle import ModelBundle
+from repro.net.latency import LatencyModel
+from repro.net.transport import InProcessTransport, Transport
+from repro.serialization import deserialize_object, pack_resources
+from repro.server.api import quote_segment
+
+#: accepted mapping names for the ``process`` argument of ``run``
+_MAPPING_TYPES = ("SIMPLE", "MULTI", "MPI", "REDIS")
+
+PE_TYPES = Union[type, ProcessingElement]
+
+
+def local_stack(
+    *,
+    dao: Any = None,
+    latency: LatencyModel | None = None,
+    engine: Any = None,
+    models: ModelBundle | None = None,
+) -> Transport:
+    """Build a complete single-process deployment and return its transport.
+
+    The returned transport fronts a fresh :class:`LaminarServer` with an
+    in-memory registry and a local Execution Engine — the quickest way to
+    a working Laminar (used by the quickstart example and the tests).
+    """
+    from repro.server import LaminarServer
+
+    server = LaminarServer(dao=dao, engine=engine, models=models)
+    return InProcessTransport(server, latency=latency)
+
+
+class LaminarClient:
+    """User-facing Laminar client (paper §3.4.1).
+
+    Parameters
+    ----------
+    transport:
+        A :class:`~repro.net.transport.Transport` (e.g. from
+        :func:`local_stack`) or a server object, which is wrapped in an
+        in-process transport automatically.
+    models:
+        Optional model bundle override (shared with the web_client layer).
+    echo:
+        When True, search/describe results are printed as ASCII tables
+        like the paper's figures.
+    """
+
+    def __init__(
+        self,
+        transport: Transport | Any,
+        *,
+        models: ModelBundle | None = None,
+        echo: bool = True,
+    ) -> None:
+        if not isinstance(transport, Transport):
+            transport = InProcessTransport(transport)
+        self.web = WebClient(transport, models=models)
+        self.echo = echo
+
+    # -- (1) register ---------------------------------------------------
+    def register(self, user_name: str, user_password: str) -> dict[str, Any]:
+        """Create a user account."""
+        return self.web.call(
+            "POST",
+            "/auth/register",
+            {"userName": user_name, "password": user_password},
+        )
+
+    # -- (2) login -------------------------------------------------------
+    def login(self, user_name: str, user_password: str) -> dict[str, Any]:
+        """Authenticate and store the session token."""
+        body = self.web.call(
+            "POST",
+            "/auth/login",
+            {"userName": user_name, "password": user_password},
+        )
+        self.web.token = body["token"]
+        self.web.user_name = body["userName"]
+        return body
+
+    # -- (3) register_PE ---------------------------------------------------
+    def register_PE(
+        self, pe: PE_TYPES, description: str | None = None
+    ) -> dict[str, Any]:
+        """Register a PE; description auto-summarized when omitted."""
+        user = self.web.require_login()
+        payload = self.web.serialize_pe(pe, description)
+        return self.web.call(
+            "POST", self.web.registry_path(user, "pe", "add"), payload
+        )
+
+    # -- (4) register_Workflow ---------------------------------------------
+    def register_Workflow(
+        self,
+        workflow: WorkflowGraph,
+        workflow_name: str,
+        description: str | None = None,
+    ) -> dict[str, Any]:
+        """Register a workflow; its PEs are registered (deduped) too."""
+        user = self.web.require_login()
+        pe_ids: list[int] = []
+        seen: set[str] = set()
+        for pe in workflow.get_pes():
+            cls = type(pe)
+            if cls.__name__ in seen:
+                continue
+            seen.add(cls.__name__)
+            stored = self.register_PE(cls)
+            pe_ids.append(int(stored["peId"]))
+        payload = self.web.serialize_workflow(
+            workflow, workflow_name, description, pe_ids
+        )
+        return self.web.call(
+            "POST", self.web.registry_path(user, "workflow", "add"), payload
+        )
+
+    # -- (5) remove_PE ---------------------------------------------------
+    def remove_PE(self, pe: Union[str, int]) -> bool:
+        user = self.web.require_login()
+        kind = "id" if isinstance(pe, int) else "name"
+        body = self.web.call(
+            "DELETE", self.web.registry_path(user, "pe", "remove", kind, pe)
+        )
+        return bool(body.get("removed"))
+
+    # -- (6) remove_Workflow ---------------------------------------------
+    def remove_Workflow(self, workflow: Union[str, int]) -> bool:
+        user = self.web.require_login()
+        kind = "id" if isinstance(workflow, int) else "name"
+        body = self.web.call(
+            "DELETE",
+            self.web.registry_path(user, "workflow", "remove", kind, workflow),
+        )
+        return bool(body.get("removed"))
+
+    # -- (7) get_PE ---------------------------------------------------------
+    def get_PE(self, pe: Union[str, int], describe: bool = False) -> type:
+        """Retrieve a registered PE *class* for reuse in new workflows."""
+        user = self.web.require_login()
+        kind = "id" if isinstance(pe, int) else "name"
+        body = self.web.call(
+            "GET", self.web.registry_path(user, "pe", kind, pe)
+        )
+        if describe and self.echo:
+            print(f"PE {body['peName']} (id {body['peId']}): {body['description']}")
+        cls = deserialize_object(body["peCode"])
+        if isinstance(cls, type):
+            setattr(cls, "__source__", body.get("peSource", ""))
+        return cls
+
+    # -- (8) get_Workflow ------------------------------------------------
+    def get_Workflow(
+        self, workflow: Union[str, int], describe: bool = False
+    ) -> WorkflowGraph:
+        """Retrieve a registered workflow graph, ready for execution."""
+        user = self.web.require_login()
+        kind = "id" if isinstance(workflow, int) else "name"
+        body = self.web.call(
+            "GET", self.web.registry_path(user, "workflow", kind, workflow)
+        )
+        if describe and self.echo:
+            print(
+                f"Workflow {body['entryPoint']} (id {body['workflowId']}): "
+                f"{body['description']}"
+            )
+        graph = deserialize_object(body["workflowCode"])
+        if not isinstance(graph, WorkflowGraph):
+            raise ValidationError(
+                "registry returned a non-workflow payload",
+                params={"workflow": workflow},
+            )
+        return graph
+
+    # -- (9) get_PEs_By_Workflow ---------------------------------------------
+    def get_PEs_By_Workflow(self, workflow: Union[str, int]) -> list[dict[str, Any]]:
+        """List the PE records belonging to a workflow."""
+        user = self.web.require_login()
+        kind = "id" if isinstance(workflow, int) else "name"
+        body = self.web.call(
+            "GET", self.web.registry_path(user, "workflow", "pes", kind, workflow)
+        )
+        return list(body.get("pes", []))
+
+    # -- (10) search_Registry ------------------------------------------------
+    def search_Registry(
+        self,
+        search: str,
+        search_type: str = "both",
+        query_type: str = "text",
+        k: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """Search the registry (paper §4).
+
+        * ``query_type='text'`` with ``search_type='workflow'`` or
+          ``'both'`` — text-based partial matching (Figure 6);
+        * ``query_type='text'`` with ``search_type='pe'`` — semantic
+          description search (Figure 7);
+        * ``query_type='code'`` — code-completion search (Figure 8).
+        """
+        user = self.web.require_login()
+        body = self.web.search_body(search, search_type, query_type, k)
+        response = self.web.call(
+            "GET",
+            self.web.registry_path(user, "search", search, "type", search_type),
+            body,
+        )
+        hits = list(response.get("hits", []))
+        if self.echo:
+            print(render_search_hits(response.get("searchKind", "text"), hits))
+        return hits
+
+    # -- (11) describe ---------------------------------------------------
+    def describe(self, obj: Any) -> str:
+        """Print name/description info for a PE or workflow reference."""
+        user = self.web.require_login()
+        name = obj if isinstance(obj, str) else getattr(obj, "__name__", str(obj))
+        lines: list[str] = []
+        for kind, path in (
+            ("PE", self.web.registry_path(user, "pe", "name", name)),
+            ("Workflow", self.web.registry_path(user, "workflow", "name", name)),
+        ):
+            try:
+                body = self.web.call("GET", path)
+            except Exception:
+                continue
+            ident = body.get("peId", body.get("workflowId"))
+            label = body.get("peName", body.get("entryPoint"))
+            lines.append(f"{kind} {label} (id {ident}): {body['description']}")
+        text = "\n".join(lines) if lines else f"nothing registered under {name!r}"
+        if self.echo:
+            print(text)
+        return text
+
+    # -- (12) get_Registry ------------------------------------------------
+    def get_Registry(self) -> dict[str, Any]:
+        """Retrieve every item the user has stored in the Registry."""
+        user = self.web.require_login()
+        body = self.web.call("GET", self.web.registry_path(user, "all"))
+        if self.echo:
+            print(render_registry(body.get("pes", []), body.get("workflows", [])))
+        return body
+
+    # -- (13) run -------------------------------------------------------------
+    def run(
+        self,
+        workflow: Union[str, int, WorkflowGraph],
+        input: Any = None,
+        process: str = "SIMPLE",
+        args: dict[str, Any] | None = None,
+        resources: bool | str = False,
+        *,
+        register: bool = True,
+        engine: str | None = None,
+    ) -> ExecutionOutcome:
+        """Execute a workflow at the (serverless) Execution Engine.
+
+        ``process`` selects the dispel4py mapping (SIMPLE/MULTI/MPI/REDIS);
+        ``args={'num': N}`` sets the process count; ``input`` is an
+        iteration count or a list of ``{port: value}`` items; ``resources``
+        ships the local ``resources/`` directory (or the given path) to
+        the engine.
+
+        When handed a raw graph, ``run`` normally streamlines registration
+        of the workflow and its PEs first; ``register=False`` ships the
+        serialized graph directly instead ("direct execution without
+        workflow registration", the mode the paper's §6.1 latency tests
+        used).
+        """
+        user = self.web.require_login()
+        process_name = str(process).upper()
+        if process_name not in _MAPPING_TYPES:
+            raise ValidationError(
+                f"unknown mapping {process!r}",
+                params={"process": process},
+                details=f"expected one of {_MAPPING_TYPES}",
+            )
+        args = dict(args or {})
+        nprocs = args.get("num")
+
+        body: dict[str, Any] = {
+            "input": input,
+            "mapping": process_name.lower(),
+            "nprocs": nprocs,
+            "captureStdout": True,
+        }
+        if engine is not None:
+            body["engine"] = engine
+        if isinstance(workflow, WorkflowGraph):
+            if register:
+                # run() streamlines registration of the workflow + PEs
+                registered = self.register_Workflow(
+                    workflow, workflow.name, description=None
+                )
+                body["workflowRef"] = {"id": registered["workflowId"]}
+            else:
+                from repro.serialization import serialize_object
+
+                body["workflowCode"] = serialize_object(workflow)
+                body["workflowName"] = workflow.name
+                body["imports"] = self.web.imports_of_graph(workflow)
+        elif isinstance(workflow, int):
+            body["workflowRef"] = {"id": workflow}
+        elif isinstance(workflow, str):
+            body["workflowRef"] = {"name": workflow}
+        else:
+            raise ValidationError(
+                f"workflow must be a name, id or WorkflowGraph, got "
+                f"{type(workflow).__name__}",
+                params={"workflow": workflow},
+            )
+
+        if resources:
+            directory = "resources" if resources is True else str(resources)
+            if not Path(directory).is_dir():
+                raise ValidationError(
+                    f"resources directory {directory!r} not found",
+                    params={"resources": directory},
+                )
+            body["resources"] = pack_resources(directory)
+
+        response = self.web.call("POST", f"/execution/{user}/run", body)
+        outcome = ExecutionOutcome.from_json(response)
+        if self.echo and outcome.stdout:
+            print(outcome.stdout, end="")
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Extension: multiple Execution Engines (§3.3/§8 future work)
+    # ------------------------------------------------------------------
+    def register_Engine(
+        self,
+        engine_name: str,
+        *,
+        install_scale: float = 0.0,
+        latency: str | None = None,
+        description: str = "",
+    ) -> dict[str, Any]:
+        """Register an additional Execution Engine at the server.
+
+        ``latency`` names a transport preset modelling where the engine
+        runs: ``"lan"`` or ``"azure-wan"`` (``None`` = in-process).
+        """
+        user = self.web.require_login()
+        return self.web.call(
+            "POST",
+            f"/engines/{user}/register",
+            {
+                "engineName": engine_name,
+                "installScale": install_scale,
+                "latencyPreset": latency,
+                "description": description,
+            },
+        )
+
+    def get_Engines(self) -> list[dict[str, Any]]:
+        """List the registered Execution Engines with their stats."""
+        user = self.web.require_login()
+        body = self.web.call("GET", f"/engines/{user}/all")
+        return list(body.get("engines", []))
+
+    def remove_Engine(self, engine_name: str) -> bool:
+        """Deregister an Execution Engine (the default cannot be removed)."""
+        user = self.web.require_login()
+        body = self.web.call(
+            "DELETE", f"/engines/{user}/remove/{quote_segment(engine_name)}"
+        )
+        return bool(body.get("removed"))

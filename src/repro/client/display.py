@@ -1,0 +1,122 @@
+"""Terminal rendering of registry/search results (Figures 6, 7 and 8).
+
+Plain ASCII tables; the client prints these when functions are called
+with ``describe=True`` or after a search, mirroring the screenshots in
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width ASCII table."""
+    columns = [str(h) for h in headers]
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = [sep]
+    out.append(
+        "|" + "|".join(f" {columns[i]:<{widths[i]}} " for i in range(len(columns))) + "|"
+    )
+    out.append(sep)
+    for row in str_rows:
+        out.append(
+            "|" + "|".join(f" {row[i]:<{widths[i]}} " for i in range(len(row))) + "|"
+        )
+    out.append(sep)
+    return "\n".join(out)
+
+
+def _clip(text: str, width: int = 60) -> str:
+    flat = " ".join(str(text).split())
+    return flat if len(flat) <= width else flat[: width - 3] + "..."
+
+
+def render_search_hits(kind: str, hits: Sequence[dict[str, Any]]) -> str:
+    """Render the hit list of one search — layout depends on the kind.
+
+    * ``text`` — Figure 6-style: kind/id/name/description/matched-on
+    * ``semantic`` — Figure 7-style: peId/peName/description/score
+    * ``code`` — Figure 8-style: peId/peName/score/description
+    """
+    if not hits:
+        return "(no results)"
+    if kind == "semantic":
+        # hits may mix PEs and workflows (the §8 workflow-search extension)
+        return render_table(
+            ["kind", "id", "name", "description", "similarity"],
+            [
+                [
+                    "workflow" if "workflowId" in h else "pe",
+                    h.get("peId", h.get("workflowId")),
+                    h.get("peName", h.get("entryPoint")),
+                    _clip(h["description"]),
+                    f"{h['score']:.4f}",
+                ]
+                for h in hits
+            ],
+        )
+    if kind == "code":
+        return render_table(
+            ["peId", "peName", "similarity", "description"],
+            [
+                [h["peId"], h["peName"], f"{h['score']:.4f}", _clip(h["description"])]
+                for h in hits
+            ],
+        )
+    return render_table(
+        ["kind", "id", "name", "description", "matched on"],
+        [
+            [
+                h.get("kind", "?"),
+                h.get("id"),
+                h.get("name"),
+                _clip(h.get("description", "")),
+                h.get("matchedOn", ""),
+            ]
+            for h in hits
+        ],
+    )
+
+
+def render_registry(pes: Sequence[dict], workflows: Sequence[dict]) -> str:
+    """Render the full registry listing (get_Registry output)."""
+    parts = []
+    if pes:
+        parts.append("Processing Elements:")
+        parts.append(
+            render_table(
+                ["peId", "peName", "description", "imports"],
+                [
+                    [
+                        p["peId"],
+                        p["peName"],
+                        _clip(p.get("description", "")),
+                        ",".join(p.get("peImports", [])) or "-",
+                    ]
+                    for p in pes
+                ],
+            )
+        )
+    if workflows:
+        parts.append("Workflows:")
+        parts.append(
+            render_table(
+                ["workflowId", "entryPoint", "description", "peIds"],
+                [
+                    [
+                        w["workflowId"],
+                        w["entryPoint"],
+                        _clip(w.get("description", "")),
+                        ",".join(str(i) for i in w.get("peIds", [])) or "-",
+                    ]
+                    for w in workflows
+                ],
+            )
+        )
+    return "\n".join(parts) if parts else "(registry is empty)"

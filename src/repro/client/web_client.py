@@ -1,0 +1,172 @@
+"""The web_client layer (paper §3.4.2).
+
+The conduit between user-facing client functions and the server:
+
+* code serialization via cloudpickle + base64 (the codec the paper chose
+  after evaluating pickle and dill);
+* automatic import detection (findimports substitute) so the Execution
+  Engine can auto-install requirements;
+* client-side description summarization and embedding generation at
+  registration time (§3.1.1: embeddings are computed once, by the
+  Client, and stored in the Registry);
+* request construction and error rehydration.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dataflow.core import ProcessingElement
+from repro.dataflow.graph import WorkflowGraph
+from repro.errors import ReproError, TransportError, ValidationError, error_from_json
+from repro.ml.bundle import ModelBundle
+from repro.net.transport import Request, Response, Transport
+from repro.serialization import (
+    analyze_imports,
+    extract_source,
+    serialize_object,
+)
+from repro.serialization.codec import source_or_empty
+from repro.serialization.imports import external_requirements, merge_requirements
+from repro.server.api import quote_segment
+
+
+class WebClient:
+    """Marshalling layer shared by all client functions."""
+
+    def __init__(self, transport: Transport, models: ModelBundle | None = None) -> None:
+        self.transport = transport
+        self.models = models or ModelBundle.default()
+        self.token: str | None = None
+        self.user_name: str | None = None
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    def call(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Issue one request; raise the rehydrated error on failure."""
+        response: Response = self.transport.request(
+            Request(method, path, body or {}, token=self.token)
+        )
+        if not response.ok:
+            if "error" in response.body:
+                raise error_from_json(response.body)
+            raise TransportError(
+                f"request failed with status {response.status}",
+                params={"path": path},
+            )
+        return response.body
+
+    def require_login(self) -> str:
+        if self.token is None or self.user_name is None:
+            raise ReproError(
+                "not logged in; call client.login(name, password) first"
+            )
+        return self.user_name
+
+    # ------------------------------------------------------------------
+    # Serialization of PEs and workflows
+    # ------------------------------------------------------------------
+    @staticmethod
+    def pe_class_of(pe: type | ProcessingElement) -> type:
+        if isinstance(pe, ProcessingElement):
+            return type(pe)
+        if isinstance(pe, type) and issubclass(pe, ProcessingElement):
+            return pe
+        raise ValidationError(
+            f"expected a PE class or instance, got {type(pe).__name__}",
+            params={"pe": pe},
+        )
+
+    def serialize_pe(
+        self, pe: type | ProcessingElement, description: str | None
+    ) -> dict[str, Any]:
+        """Build the /pe/add payload: code, source, imports, description,
+        embeddings — everything §3.1.1 stores in the Registry."""
+        cls = self.pe_class_of(pe)
+        source = source_or_empty(cls)
+        code = serialize_object(cls)
+        imports = external_requirements(source) if source else []
+        origin = "user"
+        if not description:
+            description = self.models.summarizer.summarize(
+                source or cls.__name__, name=cls.__name__
+            )
+            origin = "auto"
+        desc_embedding = self.models.code_search.embed_one(description, kind="text")
+        code_embedding = (
+            self.models.completion.embed_one(source, kind="code") if source else None
+        )
+        return {
+            "peName": cls.__name__,
+            "description": description,
+            "descriptionOrigin": origin,
+            "peCode": code,
+            "peSource": source,
+            "peImports": imports,
+            "descEmbedding": [float(x) for x in desc_embedding],
+            "codeEmbedding": (
+                [float(x) for x in code_embedding]
+                if code_embedding is not None
+                else None
+            ),
+        }
+
+    def serialize_workflow(
+        self,
+        graph: WorkflowGraph,
+        entry_point: str,
+        description: str | None,
+        pe_ids: list[int],
+    ) -> dict[str, Any]:
+        if not isinstance(graph, WorkflowGraph):
+            raise ValidationError(
+                f"expected a WorkflowGraph, got {type(graph).__name__}",
+                params={"workflow": graph},
+            )
+        sources = [source_or_empty(type(pe)) for pe in graph.get_pes()]
+        desc_embedding = self.models.code_search.embed_one(
+            description or entry_point, kind="text"
+        )
+        return {
+            "workflowName": graph.name,
+            "entryPoint": entry_point,
+            "description": description or "",
+            "workflowCode": serialize_object(graph),
+            "workflowSource": "\n\n".join(s for s in sources if s),
+            "peIds": pe_ids,
+            "descEmbedding": [float(x) for x in desc_embedding],
+        }
+
+    # ------------------------------------------------------------------
+    # Search payloads (client-side query embeddings, §4.2/§4.3)
+    # ------------------------------------------------------------------
+    def search_body(
+        self, search: str, search_type: str, query_type: str, k: int | None
+    ) -> dict[str, Any]:
+        body: dict[str, Any] = {"queryType": query_type}
+        if k is not None:
+            body["k"] = k
+        if query_type == "code":
+            vec = self.models.completion.embed_one(search, kind="code")
+            body["queryEmbedding"] = [float(x) for x in vec]
+        elif query_type == "semantic" or (
+            query_type == "text" and search_type == "pe"
+        ):
+            vec = self.models.code_search.embed_one(search, kind="text")
+            body["queryEmbedding"] = [float(x) for x in vec]
+        return body
+
+    # ------------------------------------------------------------------
+    # Paths (URL-encoding path segments)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def registry_path(user: str, *segments: Any) -> str:
+        encoded = "/".join(quote_segment(s) for s in segments)
+        return f"/registry/{quote_segment(user)}/{encoded}"
+
+    def imports_of_graph(self, graph: WorkflowGraph) -> list[str]:
+        sources = [source_or_empty(type(pe)) for pe in graph.get_pes()]
+        return merge_requirements(sources)

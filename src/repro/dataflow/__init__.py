@@ -1,0 +1,66 @@
+"""Stream-based dataflow substrate (dispel4py reproduction).
+
+This subpackage reimplements, from scratch, the parts of the dispel4py
+library that Laminar builds on (paper §2.1):
+
+* Processing Elements (:class:`GenericPE`, :class:`ProducerPE`,
+  :class:`IterativePE`, :class:`ConsumerPE`) connected through named input
+  and output ports.
+* :class:`WorkflowGraph` — the *abstract* workflow the user describes.
+* Groupings controlling how data is routed between PE instances
+  (shuffle/round-robin, group-by, all-to-one, one-to-all).
+* Partitioning of the abstract workflow into a *concrete* workflow of PE
+  instances distributed over processes.
+* Enactment mappings: ``simple`` (sequential), ``multi``
+  (multiprocessing), ``mpi`` (simulated MPI communicator) and ``redis``
+  (simulated broker), mirroring dispel4py's mapping set.
+"""
+
+from repro.dataflow.core import (
+    ConsumerPE,
+    GenericPE,
+    IterativePE,
+    PEOutput,
+    ProducerPE,
+    ProcessingElement,
+)
+from repro.dataflow.graph import WorkflowGraph
+from repro.dataflow.grouping import (
+    AllToOneGrouping,
+    GroupByGrouping,
+    Grouping,
+    OneToAllGrouping,
+    ShuffleGrouping,
+    make_grouping,
+)
+from repro.dataflow.partition import ConcreteWorkflow, build_concrete_workflow
+from repro.dataflow.mappings import (
+    MAPPINGS,
+    Mapping,
+    MappingResult,
+    get_mapping,
+    run_workflow,
+)
+
+__all__ = [
+    "ProcessingElement",
+    "GenericPE",
+    "ProducerPE",
+    "IterativePE",
+    "ConsumerPE",
+    "PEOutput",
+    "WorkflowGraph",
+    "Grouping",
+    "ShuffleGrouping",
+    "GroupByGrouping",
+    "AllToOneGrouping",
+    "OneToAllGrouping",
+    "make_grouping",
+    "ConcreteWorkflow",
+    "build_concrete_workflow",
+    "Mapping",
+    "MappingResult",
+    "MAPPINGS",
+    "get_mapping",
+    "run_workflow",
+]

@@ -1,0 +1,166 @@
+"""Groupings — how data is routed between PE instances (paper §2.1).
+
+When a destination PE has several parallel instances, the grouping on its
+input port decides which instance(s) receive each data unit:
+
+* **shuffle** (default): round-robin across instances, balancing load.
+* **group-by** (a list of tuple indices): data units with the same value in
+  the specified element(s) always go to the same instance — the
+  'MapReduce'-style routing used by the CountWords PE of Listing 2.
+* **global** (all-to-one): every data unit goes to instance 0.
+* **all** (one-to-all): every data unit is broadcast to all instances.
+
+Routing functions are pure and deterministic so that every sender process
+makes identical decisions without coordination — the property the parallel
+mappings (multi/MPI/redis) rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from typing import Any, Sequence
+
+from repro.errors import GraphError
+
+
+def _stable_hash(value: Any) -> int:
+    """Deterministic cross-process hash of an arbitrary picklable value.
+
+    Python's builtin ``hash`` is randomized per process for str/bytes
+    (PYTHONHASHSEED), which would break group-by consistency across worker
+    processes; we hash the pickle of the value with blake2b instead.
+    """
+    try:
+        payload = pickle.dumps(value, protocol=4)
+    except Exception:
+        payload = repr(value).encode("utf-8", "replace")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class Grouping:
+    """Base class: maps a data unit to destination instance indices."""
+
+    #: short name used in visualisations
+    label = "grouping"
+
+    def route(self, value: Any, n_instances: int) -> list[int]:
+        """Return the destination instance indices for ``value``.
+
+        ``n_instances`` is the number of parallel instances of the
+        destination PE; indices are local (0-based) within that PE.
+        """
+        raise NotImplementedError
+
+    def new_state(self) -> "Grouping":
+        """Return a per-sender copy (stateful groupings keep counters)."""
+        return self
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class ShuffleGrouping(Grouping):
+    """Round-robin distribution; each *sender* keeps its own counter."""
+
+    label = "shuffle"
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+
+    def route(self, value: Any, n_instances: int) -> list[int]:
+        if n_instances <= 0:
+            raise GraphError("cannot route to zero instances")
+        idx = self._next % n_instances
+        self._next += 1
+        return [idx]
+
+    def new_state(self) -> "ShuffleGrouping":
+        return ShuffleGrouping()
+
+
+class GroupByGrouping(Grouping):
+    """Hash-partition on selected tuple elements (MapReduce-style).
+
+    ``indices`` selects which elements of the data unit form the key, e.g.
+    ``[0]`` for the word in ``(word, count)`` tuples.  Non-indexable data
+    units are keyed on the whole value.
+    """
+
+    label = "group-by"
+
+    def __init__(self, indices: Sequence[int]) -> None:
+        if not indices:
+            raise GraphError("group-by requires at least one key index")
+        self.indices = tuple(int(i) for i in indices)
+
+    def key_of(self, value: Any) -> Any:
+        try:
+            return tuple(value[i] for i in self.indices)
+        except (TypeError, IndexError, KeyError):
+            return (value,)
+
+    def route(self, value: Any, n_instances: int) -> list[int]:
+        if n_instances <= 0:
+            raise GraphError("cannot route to zero instances")
+        return [_stable_hash(self.key_of(value)) % n_instances]
+
+    def __repr__(self) -> str:
+        return f"<GroupByGrouping indices={list(self.indices)}>"
+
+
+class AllToOneGrouping(Grouping):
+    """'global' grouping: every data unit goes to instance 0."""
+
+    label = "global"
+
+    def route(self, value: Any, n_instances: int) -> list[int]:
+        if n_instances <= 0:
+            raise GraphError("cannot route to zero instances")
+        return [0]
+
+
+class OneToAllGrouping(Grouping):
+    """'all' grouping: broadcast every data unit to all instances."""
+
+    label = "all"
+
+    def route(self, value: Any, n_instances: int) -> list[int]:
+        if n_instances <= 0:
+            raise GraphError("cannot route to zero instances")
+        return list(range(n_instances))
+
+
+def make_grouping(declaration: Any) -> Grouping:
+    """Resolve a user port-level grouping declaration into a Grouping.
+
+    Accepted declarations (matching dispel4py's syntax):
+
+    * ``None`` -> shuffle (round-robin)
+    * list/tuple of ints -> group-by on those tuple indices
+    * ``"global"`` -> all-to-one
+    * ``"all"`` -> one-to-all broadcast
+    * an existing :class:`Grouping` instance -> used as-is
+    """
+    if declaration is None:
+        return ShuffleGrouping()
+    if isinstance(declaration, Grouping):
+        return declaration
+    if isinstance(declaration, str):
+        name = declaration.lower()
+        if name == "global":
+            return AllToOneGrouping()
+        if name == "all":
+            return OneToAllGrouping()
+        raise GraphError(
+            f"unknown grouping declaration {declaration!r}",
+            params={"grouping": declaration},
+            details="expected None, a list of indices, 'global' or 'all'",
+        )
+    if isinstance(declaration, (list, tuple)):
+        return GroupByGrouping(declaration)
+    raise GraphError(
+        f"unsupported grouping declaration {declaration!r}",
+        params={"grouping": declaration},
+    )

@@ -1,0 +1,82 @@
+"""Enactment mappings (paper §2.1 "Mappings").
+
+dispel4py maps workflows onto execution systems: a Simple mapping for
+sequential runs and parallel options (MPI, Redis, Multiprocessing) that
+need no manual workflow modification.  :func:`run_workflow` is the single
+entry point used by the Execution Engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dataflow.graph import WorkflowGraph
+from repro.dataflow.mappings.base import (
+    InstanceRunner,
+    InstanceTransport,
+    Mapping,
+    MappingResult,
+)
+from repro.dataflow.mappings.mpi import MPIMapping
+from repro.dataflow.mappings.multi import MultiMapping
+from repro.dataflow.mappings.redisq import RedisMapping
+from repro.dataflow.mappings.simple import SimpleMapping
+from repro.errors import ValidationError
+
+#: canonical mapping names (the client accepts these, upper or lower case)
+MAPPINGS: dict[str, type[Mapping]] = {
+    "simple": SimpleMapping,
+    "multi": MultiMapping,
+    "mpi": MPIMapping,
+    "redis": RedisMapping,
+}
+
+
+def get_mapping(name: str) -> Mapping:
+    """Resolve a mapping by name (``SIMPLE``/``MULTI``/``MPI``/``REDIS``)."""
+    key = str(name).lower()
+    if key not in MAPPINGS:
+        raise ValidationError(
+            f"unknown mapping {name!r}",
+            params={"mapping": name},
+            details=f"available: {sorted(MAPPINGS)}",
+        )
+    return MAPPINGS[key]()
+
+
+def run_workflow(
+    graph: WorkflowGraph,
+    input: Any = None,
+    mapping: str = "simple",
+    nprocs: int | None = None,
+    *,
+    capture_stdout: bool = True,
+    timeout: float = 300.0,
+) -> MappingResult:
+    """Enact ``graph`` with the named mapping.
+
+    This is the function the serverless Execution Engine ultimately calls
+    (the ``run()`` client function of §3.4.1 funnels here).
+    """
+    return get_mapping(mapping).execute(
+        graph,
+        input=input,
+        nprocs=nprocs,
+        capture_stdout=capture_stdout,
+        timeout=timeout,
+    )
+
+
+__all__ = [
+    "Mapping",
+    "MappingResult",
+    "InstanceRunner",
+    "InstanceTransport",
+    "SimpleMapping",
+    "MultiMapping",
+    "MPIMapping",
+    "RedisMapping",
+    "MAPPINGS",
+    "get_mapping",
+    "run_workflow",
+]

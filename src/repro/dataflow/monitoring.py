@@ -1,0 +1,62 @@
+"""Lightweight per-instance monitoring counters.
+
+The HPC guides' first rule is "no optimization without measuring": every
+enactment records how many data units each instance consumed/produced and
+how long it spent inside user ``_process`` code, so benchmark results can
+be attributed to workload rather than framework overhead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class InstanceCounters:
+    """Counters for a single PE instance."""
+
+    pe_name: str = ""
+    instance: int = 0
+    consumed: int = 0
+    produced: int = 0
+    process_seconds: float = 0.0
+
+    def merge_key(self) -> str:
+        return self.pe_name
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "consumed": self.consumed,
+            "produced": self.produced,
+            "process_seconds": self.process_seconds,
+        }
+
+
+@dataclass
+class Stopwatch:
+    """Context-manager accumulating elapsed wall time into a counter."""
+
+    counters: InstanceCounters
+
+    def __enter__(self) -> "Stopwatch":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.counters.process_seconds += time.perf_counter() - self._t0
+
+
+def merge_counters(items: list[InstanceCounters]) -> dict[str, dict[str, float]]:
+    """Aggregate per-instance counters by PE name."""
+    merged: dict[str, dict[str, float]] = {}
+    for item in items:
+        slot = merged.setdefault(
+            item.merge_key(),
+            {"consumed": 0, "produced": 0, "process_seconds": 0.0, "instances": 0},
+        )
+        slot["consumed"] += item.consumed
+        slot["produced"] += item.produced
+        slot["process_seconds"] += item.process_seconds
+        slot["instances"] += 1
+    return merged

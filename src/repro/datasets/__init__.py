@@ -1,0 +1,45 @@
+"""Synthetic evaluation datasets (substitutes for CoSQA/CSN/CodeNet/AdvTest).
+
+The paper evaluates its models on public corpora that cannot be
+downloaded offline.  This subpackage generates deterministic synthetic
+corpora with the same *structure*:
+
+* :mod:`repro.datasets.codebank` — a bank of coding problems, each with
+  natural-language query phrasings, a canonical docstring and several
+  genuinely different reference implementations.
+* :mod:`repro.datasets.mutate` — semantics-preserving code mutations
+  (consistent identifier renaming in several styles, docstring/comment
+  stripping) used to fabricate clones and corpus diversity.
+* :mod:`repro.datasets.cosqa` — CoSQA-like labeled (web query, code)
+  retrieval pairs with query noise.
+* :mod:`repro.datasets.csn` — CodeSearchNet-like (docstring, code) pairs
+  with clean queries.
+* :mod:`repro.datasets.codenet` — CodeNet-like clone clusters (many
+  solutions per problem) with partial-code queries for the zero-shot
+  clone-detection evaluation (Table 7).
+* :mod:`repro.datasets.advtest` — AdvTest-like (documentation, function)
+  pairs with normalized identifiers, used to "fine-tune" (fit) models.
+* :mod:`repro.datasets.votable` / :mod:`repro.datasets.galaxies` — the
+  synthetic Virtual Observatory service and galaxy catalog behind the
+  Internal Extinction workflow (§5.2, Table 5).
+
+All generators take an explicit seed and are fully deterministic.
+"""
+
+from repro.datasets.codebank import CodeProblem, PROBLEMS, all_canonical_sources
+from repro.datasets.cosqa import build_cosqa
+from repro.datasets.csn import build_csn
+from repro.datasets.codenet import build_codenet
+from repro.datasets.advtest import build_advtest
+from repro.datasets.retrieval import RetrievalDataset
+
+__all__ = [
+    "CodeProblem",
+    "PROBLEMS",
+    "all_canonical_sources",
+    "RetrievalDataset",
+    "build_cosqa",
+    "build_csn",
+    "build_codenet",
+    "build_advtest",
+]

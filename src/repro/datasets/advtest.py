@@ -1,0 +1,59 @@
+"""AdvTest-like fine-tuning corpus (paper §2.x / §4.2).
+
+AdvTest pairs documentation with functions whose identifiers have been
+*normalized* — the adversarial twist that forces models to learn more
+than name matching.  The synthetic equivalent: (docstring, function)
+pairs from the code bank with all identifiers renamed to the generic
+``var0``/``var1`` style.
+
+This corpus is what the "fine-tuned" models of Tables 6 and 7 are fitted
+on in this reproduction (IDF estimation standing in for contrastive
+fine-tuning; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.codebank import PROBLEMS
+from repro.datasets.mutate import rename_identifiers, strip_docstrings
+
+
+@dataclass
+class AdvTestPair:
+    """One (documentation, normalized function) fine-tuning pair."""
+
+    doc: str
+    code: str
+    problem_key: str
+
+
+def build_advtest(seed: int = 19) -> list[AdvTestPair]:
+    """All (doc, normalized-code) pairs across the bank's variants."""
+    rng = random.Random(seed)
+    pairs: list[AdvTestPair] = []
+    for problem in PROBLEMS:
+        for variant in problem.variants:
+            normalized = rename_identifiers(
+                strip_docstrings(variant), rng, "generic"
+            )
+            pairs.append(
+                AdvTestPair(
+                    doc=problem.docstring,
+                    code=normalized,
+                    problem_key=problem.key,
+                )
+            )
+    return pairs
+
+
+def fitting_corpus(seed: int = 19) -> list[str]:
+    """Code-side corpus used to fit the fine-tuned models' IDF weights.
+
+    Includes both the normalized and the original variants so frequency
+    estimates cover both naming regimes.
+    """
+    pairs = build_advtest(seed)
+    originals = [variant for problem in PROBLEMS for variant in problem.variants]
+    return [pair.code for pair in pairs] + originals

@@ -1,0 +1,87 @@
+"""CodeNet-like clone clusters for zero-shot clone detection (Table 7).
+
+CodeNet collects many independent submissions per programming problem.
+The synthetic equivalent builds, per code-bank problem, a cluster of
+solutions: every algorithmic variant appears under several naming styles
+with documentation stripped.  Queries are *partial* solutions (the
+leading ~half of a randomly chosen cluster member, as in ReACC's
+evaluation); the member itself is masked from the ranking and the
+remaining cluster members are the relevant set.
+
+Cluster structure deliberately mixes two clone species:
+
+* **near clones** — same algorithm, different identifiers (sequence
+  models excel at retrieving these at rank 1);
+* **semantic clones** — different algorithm, same problem (structural
+  models are needed to retrieve these, which drives MAP@100).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.codebank import PROBLEMS
+from repro.datasets.mutate import make_clone, truncate_code
+from repro.datasets.retrieval import RetrievalDataset
+
+_STYLES = ("snake", "camel", "abbrev", "generic")
+
+
+def build_codenet(
+    seed: int = 17,
+    *,
+    clones_per_variant: int = 2,
+    queries_per_problem: int = 2,
+    query_fraction: float = 0.55,
+) -> RetrievalDataset:
+    """Build the CodeNet-like clone-detection dataset.
+
+    With the default 42-problem bank and 2-3 variants per problem this
+    yields a corpus of ~170 solutions in ~42 clusters and ~84 partial-code
+    queries.  ``clones_per_variant=2`` keeps the relevance sets dominated
+    by *cross-variant* (semantic) clones, the regime where structural and
+    sequence models genuinely differ.
+    """
+    rng = random.Random(seed)
+    corpus: list[str] = []
+    corpus_keys: list[str] = []
+    cluster_of: dict[str, list[int]] = {}
+
+    for problem in PROBLEMS:
+        members: list[int] = []
+        for vi, variant in enumerate(problem.variants):
+            for c in range(clones_per_variant):
+                style = _STYLES[(vi + c) % len(_STYLES)]
+                clone = make_clone(
+                    variant,
+                    rng,
+                    style=style,
+                    strip_doc=True,
+                    strip_com=True,
+                )
+                members.append(len(corpus))
+                corpus.append(clone)
+                corpus_keys.append(problem.key)
+        cluster_of[problem.key] = members
+
+    queries: list[str] = []
+    relevant: list[set[int]] = []
+    exclude: list[int | None] = []
+    for problem in PROBLEMS:
+        members = cluster_of[problem.key]
+        chosen = rng.sample(members, min(queries_per_problem, len(members)))
+        for source_index in chosen:
+            queries.append(
+                truncate_code(corpus[source_index], fraction=query_fraction)
+            )
+            relevant.append(set(members) - {source_index})
+            exclude.append(source_index)
+
+    return RetrievalDataset(
+        name="codenet-like",
+        queries=queries,
+        corpus=corpus,
+        relevant=relevant,
+        corpus_keys=corpus_keys,
+        exclude=exclude,
+    )

@@ -1,0 +1,100 @@
+"""CoSQA-like dataset: noisy web queries against mixed-quality code.
+
+CoSQA (paper §6.2.1) pairs real web search queries with code; queries
+are short, under-specified and lexically distant from the code.  The
+synthetic equivalent: the code bank's query phrasings degraded by word
+dropout, paraphrase substitution and boilerplate suffixes, retrieved
+against a corpus of fully renamed implementations where half the
+docstrings are stripped.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.codebank import PROBLEMS
+from repro.datasets.mutate import rename_identifiers, strip_docstrings
+from repro.datasets.retrieval import RetrievalDataset
+
+#: web-query paraphrases: substitutions that *deviate* from code
+#: vocabulary (the reverse of the synonym bridge fine-tuned models learn)
+_PARAPHRASES: dict[str, list[str]] = {
+    "check": ["determine", "verify", "see"],
+    "compute": ["work out", "calculate", "get"],
+    "list": ["array", "collection"],
+    "number": ["value", "figure"],
+    "string": ["text", "word"],
+    "count": ["tally", "how many"],
+    "find": ["locate", "look up"],
+    "remove": ["drop", "eliminate"],
+    "convert": ["turn", "change"],
+    "reverse": ["flip", "invert"],
+    "sort": ["order", "arrange"],
+    "generate": ["make", "produce"],
+    "extract": ["pull", "grab"],
+}
+
+_SUFFIXES = ["", "", "", " in python", " python example", " code snippet"]
+
+
+def _noisy_query(query: str, rng: random.Random) -> str:
+    words = query.split()
+    out: list[str] = []
+    dropped = 0
+    for word in words:
+        lower = word.lower()
+        if lower in _PARAPHRASES and rng.random() < 0.45:
+            out.append(rng.choice(_PARAPHRASES[lower]))
+        elif dropped < 2 and len(words) > 4 and rng.random() < 0.12:
+            dropped += 1
+            continue
+        else:
+            out.append(word)
+    return " ".join(out) + rng.choice(_SUFFIXES)
+
+
+def build_cosqa(
+    seed: int = 11,
+    *,
+    queries_per_problem: int = 3,
+    corpus_variants: int = 2,
+) -> RetrievalDataset:
+    """Build the CoSQA-like retrieval dataset.
+
+    Corpus: ``corpus_variants`` fully renamed variants per problem, with
+    ~half the docstrings stripped (web code is inconsistently documented).
+    Queries: noisy phrasings; every corpus item of the same problem is
+    relevant.
+    """
+    rng = random.Random(seed)
+    corpus: list[str] = []
+    corpus_keys: list[str] = []
+    relevant_of: dict[str, set[int]] = {}
+    for problem in PROBLEMS:
+        indices: set[int] = set()
+        for v in range(corpus_variants):
+            variant = problem.variants[v % len(problem.variants)]
+            code = variant
+            if rng.random() < 0.5:
+                code = strip_docstrings(code)
+            style = rng.choice(("snake", "camel", "abbrev"))
+            code = rename_identifiers(code, rng, style)
+            indices.add(len(corpus))
+            corpus.append(code)
+            corpus_keys.append(problem.key)
+        relevant_of[problem.key] = indices
+
+    queries: list[str] = []
+    relevant: list[set[int]] = []
+    for problem in PROBLEMS:
+        for q in range(min(queries_per_problem, len(problem.queries))):
+            queries.append(_noisy_query(problem.queries[q], rng))
+            relevant.append(set(relevant_of[problem.key]))
+
+    return RetrievalDataset(
+        name="cosqa-like",
+        queries=queries,
+        corpus=corpus,
+        relevant=relevant,
+        corpus_keys=corpus_keys,
+    )

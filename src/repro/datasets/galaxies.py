@@ -1,0 +1,57 @@
+"""Synthetic galaxy coordinate catalogs (the ``coordinates.txt`` input).
+
+The Internal Extinction workflow reads right-ascension/declination pairs
+from a resources file (Listing 7: ``resources/coordinates.txt``).  These
+generators produce deterministic catalogs of the same shape as the AMIGA
+CIG sample the paper's workflow processes (~1050 isolated galaxies).
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+
+def generate_coordinates(n: int, seed: int = 23) -> list[tuple[float, float]]:
+    """``n`` (ra, dec) pairs: ra in [0, 360), dec in (-90, 90)."""
+    rng = random.Random(seed)
+    coords = []
+    for _ in range(n):
+        ra = round(rng.uniform(0.0, 360.0), 6)
+        # uniform on the sphere: dec = asin(u), u in [-1, 1]
+        import math
+
+        dec = round(math.degrees(math.asin(rng.uniform(-1.0, 1.0))), 6)
+        coords.append((ra, dec))
+    return coords
+
+
+def render_coordinates(coords: list[tuple[float, float]]) -> str:
+    """The coordinates.txt format: one ``ra<TAB>dec`` pair per line."""
+    return "\n".join(f"{ra}\t{dec}" for ra, dec in coords) + "\n"
+
+
+def parse_coordinates(text: str) -> list[tuple[float, float]]:
+    """Parse the coordinates.txt format back into (ra, dec) pairs."""
+    coords = []
+    for line_no, line in enumerate(text.splitlines(), 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.replace(",", " ").split()
+        if len(parts) < 2:
+            raise ValueError(
+                f"line {line_no}: expected 'ra dec', got {stripped!r}"
+            )
+        coords.append((float(parts[0]), float(parts[1])))
+    return coords
+
+
+def write_coordinates_file(
+    path: str | Path, n: int, seed: int = 23
+) -> Path:
+    """Write a synthetic catalog to ``path``; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_coordinates(generate_coordinates(n, seed)))
+    return target

@@ -1,0 +1,30 @@
+"""The serverless Execution Engine (paper §3.3).
+
+The engine is the serverless core of Laminar: it receives execution
+requests through a single endpoint (``/execution/{user}/run``),
+deserializes the shipped workflow, auto-installs the declared import
+requirements inside its (simulated) conda environment, stages any
+resources, autonomously detects the workflow's root PE, and enacts the
+workflow with the requested dispel4py mapping.
+
+Substitution note (DESIGN.md): real package installation and the Azure
+container runtime are replaced by :class:`SimulatedCondaEnvironment` — a
+package catalog with per-package install latencies — so the engine's
+control flow (and its contribution to Table 5's overhead) is preserved
+without network access.
+"""
+
+from repro.engine.environment import InstallReport, SimulatedCondaEnvironment
+from repro.engine.engine import ExecutionEngine, ExecutionRequest
+from repro.engine.pool import EngineEntry, EnginePool
+from repro.engine.results import ExecutionOutcome
+
+__all__ = [
+    "ExecutionEngine",
+    "ExecutionRequest",
+    "ExecutionOutcome",
+    "SimulatedCondaEnvironment",
+    "InstallReport",
+    "EnginePool",
+    "EngineEntry",
+]

@@ -1,0 +1,79 @@
+"""Execution outcomes returned from the engine to the client (Figure 9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExecutionOutcome:
+    """Everything the Execution Engine sends back after an enactment.
+
+    ``timings`` breaks the engine-side work into the stages the paper
+    blames for Laminar's overhead (§6.1): deserialization, dependency
+    installation, resource staging, and the enactment itself.
+    """
+
+    status: str  # "ok" | "error"
+    workflow_name: str = ""
+    mapping: str = "simple"
+    nprocs: int = 1
+    root_pes: list[str] = field(default_factory=list)
+    results: dict[str, list[Any]] = field(default_factory=dict)
+    stdout: str = ""
+    counters: dict[str, dict[str, float]] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+    installed_packages: list[str] = field(default_factory=list)
+    engine_name: str = "local"
+    error: str | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "status": self.status,
+            "workflowName": self.workflow_name,
+            "mapping": self.mapping,
+            "nprocs": self.nprocs,
+            "rootPes": list(self.root_pes),
+            "results": self.results,
+            "stdout": self.stdout,
+            "counters": self.counters,
+            "timings": {k: round(v, 6) for k, v in self.timings.items()},
+            "installedPackages": list(self.installed_packages),
+            "engineName": self.engine_name,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_json(cls, body: dict[str, Any]) -> "ExecutionOutcome":
+        return cls(
+            status=str(body.get("status", "error")),
+            workflow_name=str(body.get("workflowName", "")),
+            mapping=str(body.get("mapping", "simple")),
+            nprocs=int(body.get("nprocs", 1)),
+            root_pes=list(body.get("rootPes", [])),
+            results=dict(body.get("results", {})),
+            stdout=str(body.get("stdout", "")),
+            counters=dict(body.get("counters", {})),
+            timings=dict(body.get("timings", {})),
+            installed_packages=list(body.get("installedPackages", [])),
+            engine_name=str(body.get("engineName", "local")),
+            error=body.get("error"),
+        )
+
+    def summary(self) -> str:
+        """Human-readable digest like the Figure 9 client printout."""
+        lines = [
+            f"[{self.engine_name}] workflow {self.workflow_name!r} "
+            f"({self.mapping} mapping, {self.nprocs} process(es)): {self.status}"
+        ]
+        if self.installed_packages:
+            lines.append(f"  auto-installed: {', '.join(self.installed_packages)}")
+        for key, values in sorted(self.results.items()):
+            lines.append(f"  {key}: {len(values)} value(s)")
+        if self.stdout:
+            lines.append("  --- output ---")
+            lines.extend("  " + line for line in self.stdout.rstrip().splitlines())
+        if self.error:
+            lines.append(f"  error: {self.error}")
+        return "\n".join(lines)

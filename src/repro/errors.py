@@ -1,0 +1,172 @@
+"""Shared exception hierarchy for the Laminar reproduction.
+
+The paper (Section 3.2.5) describes tailored server-side error handling:
+exceptions carry a type identifier, an error code, the failed parameters and
+supplementary details, and are rendered to a standardized JSON envelope for
+the client.  Every error raised anywhere in this package derives from
+:class:`ReproError` so the server layer can translate uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the failure.
+    params:
+        The offending parameters (name -> value), included in the JSON
+        envelope so clients can see which input failed.
+    details:
+        Optional free-form supplementary details.
+    """
+
+    #: Machine-readable error code; subclasses override.
+    code: int = 500
+    #: Short type identifier used in the JSON envelope.
+    kind: str = "InternalError"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        params: Mapping[str, Any] | None = None,
+        details: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.params = dict(params or {})
+        self.details = details
+
+    def to_json(self) -> dict[str, Any]:
+        """Render the standardized JSON error envelope (paper §3.2.5)."""
+        body: dict[str, Any] = {
+            "error": self.kind,
+            "code": self.code,
+            "message": self.message,
+        }
+        if self.params:
+            body["params"] = {k: repr(v) for k, v in self.params.items()}
+        if self.details:
+            body["details"] = self.details
+        return body
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(code={self.code}, message={self.message!r})"
+
+
+class ValidationError(ReproError):
+    """A request or workflow definition failed validation."""
+
+    code = 400
+    kind = "ValidationError"
+
+
+class GraphError(ValidationError):
+    """A workflow graph is malformed (bad ports, cycles, disconnections)."""
+
+    kind = "GraphError"
+
+
+class MappingError(ReproError):
+    """An enactment mapping failed or was misconfigured."""
+
+    code = 500
+    kind = "MappingError"
+
+
+class SerializationError(ReproError):
+    """Code or data could not be (de)serialized for transport."""
+
+    code = 422
+    kind = "SerializationError"
+
+
+class RegistryError(ReproError):
+    """Generic registry-layer failure."""
+
+    code = 500
+    kind = "RegistryError"
+
+
+class NotFoundError(RegistryError):
+    """The requested entity does not exist in the registry."""
+
+    code = 404
+    kind = "NotFoundError"
+
+
+class DuplicateError(RegistryError):
+    """An entity with the same identity already exists."""
+
+    code = 409
+    kind = "DuplicateError"
+
+
+class AuthenticationError(ReproError):
+    """Login failed or the caller is not authorized."""
+
+    code = 401
+    kind = "AuthenticationError"
+
+
+class ExecutionError(ReproError):
+    """The execution engine failed while running a workflow."""
+
+    code = 500
+    kind = "ExecutionError"
+
+
+class TransportError(ReproError):
+    """The client/server transport failed."""
+
+    code = 502
+    kind = "TransportError"
+
+
+class EnvironmentError_(ReproError):
+    """The simulated execution environment could not satisfy a dependency."""
+
+    code = 500
+    kind = "EnvironmentError"
+
+
+#: Map from ``kind`` string back to exception class, used when the client
+#: rehydrates a JSON error envelope received from the server.
+_KIND_TO_CLASS: dict[str, type[ReproError]] = {
+    cls.kind: cls
+    for cls in (
+        ReproError,
+        ValidationError,
+        GraphError,
+        MappingError,
+        SerializationError,
+        RegistryError,
+        NotFoundError,
+        DuplicateError,
+        AuthenticationError,
+        ExecutionError,
+        TransportError,
+        EnvironmentError_,
+    )
+}
+
+
+def error_from_json(body: Mapping[str, Any]) -> ReproError:
+    """Rebuild an exception from a JSON error envelope.
+
+    Unknown kinds degrade gracefully to :class:`ReproError`.
+    """
+    kind = str(body.get("error", "InternalError"))
+    cls = _KIND_TO_CLASS.get(kind, ReproError)
+    err = cls(
+        str(body.get("message", "unknown error")),
+        details=body.get("details"),
+    )
+    err.params = dict(body.get("params", {}))
+    return err

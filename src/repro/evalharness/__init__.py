@@ -1,0 +1,41 @@
+"""Evaluation harness: metrics, experiment drivers and paper-style reports.
+
+One driver per paper table:
+
+* :func:`~repro.evalharness.experiments.run_table5` — Internal Extinction
+  latency study (original dispel4py vs Laminar local vs Laminar remote).
+* :func:`~repro.evalharness.experiments.run_table6` — zero-shot
+  text-to-code search MRR (CoSQA-like / CSN-like).
+* :func:`~repro.evalharness.experiments.run_table7` — zero-shot clone
+  detection MAP@100 / Precision@1 across the model zoo.
+"""
+
+from repro.evalharness.metrics import (
+    average_precision_at_k,
+    evaluate_retrieval,
+    mean_average_precision_at_k,
+    mean_reciprocal_rank,
+    precision_at_1,
+    rank_corpus,
+)
+from repro.evalharness.experiments import (
+    Table5Config,
+    run_table5,
+    run_table6,
+    run_table7,
+)
+from repro.evalharness.reporting import format_table
+
+__all__ = [
+    "rank_corpus",
+    "mean_reciprocal_rank",
+    "average_precision_at_k",
+    "mean_average_precision_at_k",
+    "precision_at_1",
+    "evaluate_retrieval",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "Table5Config",
+    "format_table",
+]

@@ -1,0 +1,315 @@
+"""Experiment drivers — one per paper table (see DESIGN.md index).
+
+These functions are shared by the pytest benchmarks and the examples;
+each returns structured rows plus the paper-shape checks that
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.datasets.advtest import fitting_corpus
+from repro.datasets.codebank import all_canonical_sources
+from repro.datasets.codenet import build_codenet
+from repro.datasets.cosqa import build_cosqa
+from repro.datasets.csn import build_csn
+from repro.evalharness.metrics import RetrievalScores, evaluate_retrieval
+from repro.evalharness.reporting import format_table
+from repro.ml.models import get_model
+
+# ----------------------------------------------------------------------
+# Table 6 — zero-shot text-to-code search (MRR on CoSQA-like / CSN-like)
+# ----------------------------------------------------------------------
+
+def run_table6(seed: int = 11) -> dict[str, Any]:
+    """Reproduce Table 6: unixcoder-base vs unixcoder-code-search MRR."""
+    cosqa = build_cosqa(seed=seed)
+    csn = build_csn(seed=seed + 2)
+    advtest = fitting_corpus()
+
+    base = get_model("unixcoder-base")
+    tuned = get_model("unixcoder-code-search").fit(advtest, kind="code")
+
+    rows = []
+    scores: dict[str, dict[str, float]] = {}
+    for label, model in (("unixcoder-base", base), ("unixcoder-code-search", tuned)):
+        cosqa_score = evaluate_retrieval(model, cosqa)
+        csn_score = evaluate_retrieval(model, csn)
+        scores[label] = {
+            "cosqa_mrr": cosqa_score.mrr,
+            "csn_mrr": csn_score.mrr,
+        }
+        rows.append(
+            [label, f"{cosqa_score.mrr * 100:.1f}", f"{csn_score.mrr * 100:.1f}"]
+        )
+
+    base_s, tuned_s = scores["unixcoder-base"], scores["unixcoder-code-search"]
+    checks = {
+        "fine-tuned beats base on CosQA-like": tuned_s["cosqa_mrr"]
+        > base_s["cosqa_mrr"],
+        "fine-tuned beats base on CSN-like": tuned_s["csn_mrr"] > base_s["csn_mrr"],
+        "fine-tuned stronger on CSN-like than CosQA-like": tuned_s["csn_mrr"]
+        > tuned_s["cosqa_mrr"],
+    }
+    table = format_table(
+        "Table 6 — zero-shot text-to-code search (MRR x100)",
+        ["Model", "CosQA-like", "CSN-like"],
+        rows,
+    )
+    return {"rows": rows, "scores": scores, "checks": checks, "table": table}
+
+
+# ----------------------------------------------------------------------
+# Table 7 — zero-shot clone detection (MAP@100 / Precision@1)
+# ----------------------------------------------------------------------
+
+#: the seven models of Table 7, in the paper's row order, with each
+#: model's fit ("pretraining/fine-tuning") corpus policy
+TABLE7_MODELS: list[tuple[str, str, str | None]] = [
+    # (paper label, zoo name, fit corpus: None | "advtest" | "code" | "text")
+    ("CodeBERT", "codebert", None),
+    ("GraphCodeBERT", "graphcodebert", None),
+    ("ReACC-retriever-py", "reacc-py-retriever", "code"),
+    ("thenlper/gte-large", "gte-large", None),
+    ("BAAI/bge-large-en", "bge-large-en", "text"),
+    ("unixcoder-clone-detection", "unixcoder-clone-detection", "clones"),
+    ("unixcoder-code-search", "unixcoder-code-search", "advtest+code"),
+]
+
+
+def _fit_for_policy(model, policy: str | None, codenet) -> None:
+    if policy is None:
+        return
+    if policy == "advtest":
+        model.fit(fitting_corpus(), kind="code")
+    elif policy == "advtest+code":
+        # fine-tuned on AdvTest, but pretraining frequency priors cover
+        # the broad code distribution (incl. clone-style renamings)
+        model.fit(fitting_corpus(), kind="code")
+        model.fit(build_codenet(seed=101).corpus, kind="code")
+    elif policy == "code":
+        model.fit(all_canonical_sources(), kind="code")
+    elif policy == "clones":
+        # clone-detection fine-tuning: frequency statistics over a clone
+        # corpus of the same *distribution* (a differently seeded build)
+        train = build_codenet(seed=101)
+        model.fit(train.corpus, kind="code")
+    elif policy == "text":
+        # BGE-style massive-corpus pretraining covers prose *and* code
+        from repro.datasets.codebank import PROBLEMS
+
+        docs = [p.docstring for p in PROBLEMS] + [
+            q for p in PROBLEMS for q in p.queries
+        ]
+        model.fit(docs, kind="text")
+        model.fit(all_canonical_sources(), kind="code")
+    else:  # pragma: no cover - config error
+        raise ValueError(f"unknown fit policy {policy!r}")
+
+
+def run_table7(seed: int = 17) -> dict[str, Any]:
+    """Reproduce Table 7: clone detection across the model zoo."""
+    codenet = build_codenet(seed=seed)
+    rows = []
+    scores: dict[str, RetrievalScores] = {}
+    for label, zoo_name, policy in TABLE7_MODELS:
+        model = get_model(zoo_name)
+        _fit_for_policy(model, policy, codenet)
+        result = evaluate_retrieval(
+            model, codenet, query_kind="code", corpus_kind="code"
+        )
+        scores[label] = result
+        rows.append(
+            [
+                label,
+                f"{result.map_at_100 * 100:.2f}",
+                f"{result.p_at_1 * 100:.2f}",
+            ]
+        )
+
+    p1 = {label: s.p_at_1 for label, s in scores.items()}
+    ap = {label: s.map_at_100 for label, s in scores.items()}
+    best_p1 = max(p1, key=p1.get)
+    best_map = max(ap, key=ap.get)
+    checks = {
+        "ReACC wins Precision@1": best_p1 == "ReACC-retriever-py",
+        "clone-detection model wins MAP@100": best_map
+        == "unixcoder-clone-detection",
+        "CodeBERT is weakest on MAP@100": min(ap, key=ap.get) == "CodeBERT",
+        "generic text embedders trail code models on P@1": p1["thenlper/gte-large"]
+        < p1["ReACC-retriever-py"]
+        and p1["CodeBERT"] < p1["ReACC-retriever-py"],
+        "GraphCodeBERT beats CodeBERT (dataflow helps)": ap["GraphCodeBERT"]
+        > ap["CodeBERT"]
+        and p1["GraphCodeBERT"] > p1["CodeBERT"],
+    }
+    table = format_table(
+        "Table 7 — zero-shot clone detection",
+        ["Model", "MAP@100", "Precision at 1"],
+        rows,
+    )
+    return {"rows": rows, "scores": scores, "checks": checks, "table": table}
+
+
+# ----------------------------------------------------------------------
+# Table 5 — Internal Extinction execution times
+# ----------------------------------------------------------------------
+
+@dataclass
+class Table5Config:
+    """Workload and deployment knobs for the latency study.
+
+    Defaults are scaled down from the paper's ~1050-galaxy catalog so the
+    benchmark completes in seconds; the *shape* (ordering and rough
+    ratios) is invariant to the scale, which EXPERIMENTS.md demonstrates.
+    """
+
+    n_galaxies: int = 40
+    votable_latency_s: float = 0.01
+    nprocs: int = 5
+    #: parallel-instance hint for the download stage (the bottleneck)
+    fetch_hint: int = 3
+    #: engine package-install latency scale (1.0 = realistic seconds)
+    install_scale: float = 0.002
+    seed: int = 42
+    mappings: tuple[str, ...] = ("simple", "multi")
+    timeout: float = 600.0
+
+
+def _write_catalog(config: Table5Config, directory: Path) -> Path:
+    from repro.datasets.galaxies import write_coordinates_file
+
+    return write_coordinates_file(
+        directory / "coordinates.txt", config.n_galaxies, seed=config.seed
+    )
+
+
+def _make_graph(config: Table5Config):
+    from repro.workflows.astrophysics import build_internal_extinction_graph
+
+    graph = build_internal_extinction_graph(
+        latency_s=config.votable_latency_s, seed=config.seed
+    )
+    for pe in graph.get_pes():
+        if type(pe).__name__ == "GetVOTable":
+            pe.numprocesses = config.fetch_hint
+    return graph
+
+
+def _run_original(config: Table5Config, mapping: str, workdir: Path) -> float:
+    """Plain dispel4py enactment: no registry, no server, no engine."""
+    from repro.dataflow.mappings import run_workflow
+
+    catalog = _write_catalog(config, workdir / "resources")
+    graph = _make_graph(config)
+    t0 = time.perf_counter()
+    result = run_workflow(
+        graph,
+        input=[{"input": str(catalog)}],
+        mapping=mapping,
+        nprocs=config.nprocs,
+        timeout=config.timeout,
+    )
+    elapsed = time.perf_counter() - t0
+    produced = sum(len(v) for v in result.results.values())
+    assert produced == config.n_galaxies, (
+        f"expected {config.n_galaxies} extinction values, got {produced}"
+    )
+    return elapsed
+
+
+def _run_laminar(
+    config: Table5Config, mapping: str, workdir: Path, remote: bool
+) -> float:
+    """Full Laminar stack: client -> (latency) -> server -> engine."""
+    import contextlib
+
+    from repro.client import LaminarClient, local_stack
+    from repro.engine import ExecutionEngine, SimulatedCondaEnvironment
+    from repro.net.latency import make_latency
+
+    environment = SimulatedCondaEnvironment(
+        install_latency_scale=config.install_scale
+    )
+    engine = ExecutionEngine(
+        environment, name="remote" if remote else "local"
+    )
+    latency = make_latency("azure-wan" if remote else "lan")
+    client = LaminarClient(
+        local_stack(latency=latency, engine=engine), echo=False
+    )
+    client.register("bench", "bench")
+    client.login("bench", "bench")
+
+    _write_catalog(config, workdir / "resources")
+    graph = _make_graph(config)
+    # fresh (ephemeral) environment per execution: dependencies reinstall
+    environment.reset()
+    t0 = time.perf_counter()
+    with contextlib.chdir(workdir):
+        outcome = client.run(
+            graph,
+            input=[{"input": "resources/coordinates.txt"}],
+            process=mapping.upper(),
+            args={"num": config.nprocs},
+            resources=True,
+            register=False,
+        )
+    elapsed = time.perf_counter() - t0
+    produced = sum(len(v) for v in outcome.results.values())
+    assert outcome.status == "ok" and produced == config.n_galaxies
+    return elapsed
+
+
+def run_table5(config: Table5Config | None = None) -> dict[str, Any]:
+    """Reproduce Table 5: execution times of the Internal Extinction
+    workflow for {original dispel4py, Laminar local, Laminar remote} x
+    {Simple, Multi}."""
+    config = config or Table5Config()
+    methods: list[tuple[str, Callable[[str, Path], float]]] = [
+        ("original dispel4py", lambda m, d: _run_original(config, m, d)),
+        ("Local Execution (with Laminar)", lambda m, d: _run_laminar(config, m, d, False)),
+        ("Remote Execution (with Laminar)", lambda m, d: _run_laminar(config, m, d, True)),
+    ]
+    times: dict[str, dict[str, float]] = {}
+    for method_name, runner in methods:
+        times[method_name] = {}
+        for mapping in config.mappings:
+            with tempfile.TemporaryDirectory(prefix="table5-") as tmp:
+                times[method_name][mapping] = runner(mapping, Path(tmp))
+
+    rows = [
+        [name, *(f"{times[name][m]:.3f} s" for m in config.mappings)]
+        for name, _ in methods
+    ]
+    original = times["original dispel4py"]
+    local = times["Local Execution (with Laminar)"]
+    remote = times["Remote Execution (with Laminar)"]
+    checks = {
+        "Laminar local slower than original (framework overhead)": all(
+            local[m] > original[m] for m in config.mappings
+        ),
+        "Laminar remote slower than local (transport)": all(
+            remote[m] >= local[m] * 0.95 for m in config.mappings
+        ),
+        "Multi much faster than Simple": all(
+            t["multi"] < t["simple"] for t in times.values()
+        )
+        if "multi" in config.mappings and "simple" in config.mappings
+        else True,
+        "local-to-remote gap modest vs framework overhead": all(
+            (remote[m] - local[m]) < max(local[m], 1e-9) for m in config.mappings
+        ),
+    }
+    table = format_table(
+        "Table 5 — Internal Extinction execution times",
+        ["Execution Method", *[m.capitalize() for m in config.mappings]],
+        rows,
+    )
+    return {"times": times, "rows": rows, "checks": checks, "table": table,
+            "config": config}

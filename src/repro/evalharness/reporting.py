@@ -1,0 +1,44 @@
+"""Paper-style table rendering for benchmark output."""
+
+from __future__ import annotations
+
+import platform
+from typing import Any, Sequence
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """Render a titled ASCII table matching the paper's layout."""
+    columns = [str(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(f"{columns[i]:<{widths[i]}}" for i in range(len(columns))))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(f"{row[i]:<{widths[i]}}" for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def environment_header() -> str:
+    """Table 4-style environment description for benchmark transcripts."""
+    import multiprocessing
+
+    return "\n".join(
+        [
+            "Execution environment (cf. paper Table 4):",
+            f"  OS:       {platform.system()} {platform.release()}",
+            f"  Python:   {platform.python_version()}",
+            f"  Machine:  {platform.machine()}",
+            f"  CPUs:     {multiprocessing.cpu_count()}",
+        ]
+    )
+
+
+def check(label: str, condition: bool) -> str:
+    """One shape-check line for EXPERIMENTS.md transcripts."""
+    return f"  [{'OK' if condition else 'MISS'}] {label}"

@@ -1,0 +1,50 @@
+"""The model bundle Laminar ships with (paper §4).
+
+Groups the three models the framework integrates — the fine-tuned
+code-search embedder (semantic search, §4.2), the ReACC-style retriever
+(code completion, §4.3) and the CodeT5-style summarizer (§3.1.1) — and
+fits the embedders' IDF weights on the built-in code corpus, standing in
+for the fine-tuning the paper performed on AdvTest (§2.x, 6 hours on an
+NVIDIA A40; here: a frequency pass over the synthetic corpus).
+
+Both the Client and the Server hold a bundle: the Client embeds at
+registration/query time, the Server can re-embed as a fallback when a
+request omits embeddings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ml.models import ReACCRetriever, UnixCoderCodeSearch
+from repro.ml.summarize import CodeT5Summarizer
+
+
+@dataclass
+class ModelBundle:
+    """The trio of models wired into the Laminar stack."""
+
+    code_search: UnixCoderCodeSearch = field(default_factory=UnixCoderCodeSearch)
+    completion: ReACCRetriever = field(default_factory=ReACCRetriever)
+    summarizer: CodeT5Summarizer = field(default_factory=CodeT5Summarizer)
+
+    @classmethod
+    def default(cls, fit: bool = True) -> "ModelBundle":
+        """Construct the standard bundle, optionally IDF-fitted.
+
+        Fitting uses the built-in synthetic code bank (the AdvTest-like
+        corpus of this reproduction); when the datasets package is not
+        importable the bundle degrades gracefully to unfitted models.
+        """
+        bundle = cls()
+        if fit:
+            try:
+                from repro.datasets.codebank import all_canonical_sources
+
+                corpus = all_canonical_sources()
+            except Exception:
+                corpus = []
+            if corpus:
+                bundle.code_search.fit(corpus, kind="code")
+                bundle.completion.fit(corpus, kind="code")
+        return bundle

@@ -1,0 +1,130 @@
+"""Retrieval-based code completion — the ReACC substitute (§2.5, §4.3).
+
+Given a partial (or complete) code snippet, retrieve the most similar
+registered PE codes by cosine similarity of ReACC-style embeddings, and
+additionally align the query against the best match to extract the
+*continuation* — the suffix of the retrieved code after the region that
+matches the query.  This mirrors ReACC's retrieve-then-reuse design: the
+retriever finds lexically/semantically similar code, and the reused
+fragment completes the user's input.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.embedding import EmbeddingModel
+from repro.ml.models import ReACCRetriever
+from repro.ml.similarity import cosine_topk
+
+_TOKEN_SPANS = re.compile(
+    r"'[^'\n]*'|\"[^\"\n]*\"|\d+(?:\.\d+)?|[A-Za-z_][A-Za-z0-9_]*"
+    r"|==|!=|<=|>=|->|\*\*|//|[-+*/%<>=!&|^~@.,:;()\[\]{}]"
+)
+
+
+def _token_spans(source: str) -> list[tuple[str, int, int]]:
+    return [
+        (match.group(), match.start(), match.end())
+        for match in _TOKEN_SPANS.finditer(source)
+    ]
+
+
+@dataclass
+class CompletionMatch:
+    """One retrieved candidate for a completion query."""
+
+    name: str
+    code: str
+    score: float
+    #: suggested continuation: candidate code following the aligned region
+    continuation: str
+
+    def __repr__(self) -> str:
+        return f"<CompletionMatch {self.name} score={self.score:.3f}>"
+
+
+def align_continuation(query: str, candidate: str, window: int = 8) -> str:
+    """Suffix of ``candidate`` after its best alignment with ``query``.
+
+    Slides the query's trailing ``window`` tokens over the candidate's
+    token stream and picks the position with maximal token agreement; the
+    continuation starts after the aligned region.  Falls back to the
+    whole candidate when nothing aligns (the query may be functionality
+    description-ish rather than a literal prefix).
+    """
+    query_tokens = [t for t, _s, _e in _token_spans(query)][-window:]
+    if not query_tokens:
+        return candidate
+    cand_spans = _token_spans(candidate)
+    if not cand_spans:
+        return candidate
+    cand_tokens = [t for t, _s, _e in cand_spans]
+    best_score = 0
+    best_end = 0  # character offset into candidate
+    w = len(query_tokens)
+    for start in range(len(cand_tokens)):
+        stop = min(start + w, len(cand_tokens))
+        agree = sum(
+            1
+            for i, token in enumerate(cand_tokens[start:stop])
+            if token == query_tokens[i]
+        )
+        if agree > best_score:
+            best_score = agree
+            best_end = cand_spans[stop - 1][2]
+    if best_score == 0:
+        return candidate
+    return candidate[best_end:].lstrip("\n")
+
+
+class CodeCompleter:
+    """Bi-encoder index over registered PE codes for completion queries."""
+
+    def __init__(self, model: EmbeddingModel | None = None) -> None:
+        self.model = model or ReACCRetriever()
+        self._names: list[str] = []
+        self._codes: list[str] = []
+        self._matrix: np.ndarray | None = None
+
+    def index(
+        self, names: Sequence[str], codes: Sequence[str]
+    ) -> "CodeCompleter":
+        """(Re)build the index; embeddings computed once, stored densely."""
+        if len(names) != len(codes):
+            raise ValueError("names and codes must align")
+        self._names = list(names)
+        self._codes = list(codes)
+        self._matrix = self.model.embed(self._codes, kind="code")
+        return self
+
+    @property
+    def size(self) -> int:
+        return len(self._names)
+
+    def complete(self, partial_code: str, k: int = 5) -> list[CompletionMatch]:
+        """Rank registered codes against ``partial_code``.
+
+        Returns up to ``k`` matches, best first, each with its aligned
+        continuation.
+        """
+        if self._matrix is None or not self._names:
+            return []
+        qvec = self.model.embed_one(partial_code, kind="code")
+        indices, scores = cosine_topk(qvec, self._matrix, k)
+        matches = []
+        for index, score in zip(indices.tolist(), scores.tolist()):
+            code = self._codes[index]
+            matches.append(
+                CompletionMatch(
+                    name=self._names[index],
+                    code=code,
+                    score=float(score),
+                    continuation=align_continuation(partial_code, code),
+                )
+            )
+        return matches

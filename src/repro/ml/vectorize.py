@@ -1,0 +1,132 @@
+"""Hashed feature vectorization (vectorized NumPy throughout).
+
+Feature lists become dense float32 vectors via the hashing trick: each
+feature string hashes (blake2b, salted by the model name so different
+models occupy independent spaces) to an index and a sign.  An optional
+:class:`IdfWeighter` supplies inverse-document-frequency weights — the
+"fitting" step that stands in for fine-tuning in this reproduction.
+
+Following the HPC guides, similarity math downstream is pure matrix
+algebra on contiguous float32 arrays; this module is the only place that
+loops over Python strings, and feature hashing is cached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from functools import lru_cache
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@lru_cache(maxsize=1_000_000)
+def _hash_feature(feature: str, salt: str) -> tuple[int, float]:
+    digest = hashlib.blake2b(
+        feature.encode("utf-8", "replace"),
+        digest_size=8,
+        person=salt.encode("utf-8")[:16],
+    ).digest()
+    value = int.from_bytes(digest, "big")
+    return value >> 1, 1.0 if value & 1 else -1.0
+
+
+class HashingVectorizer:
+    """Map feature-string lists to dense hashed count vectors."""
+
+    def __init__(self, dim: int = 2048, salt: str = "default") -> None:
+        if dim <= 0:
+            raise ValidationError(f"dim must be positive, got {dim}")
+        self.dim = dim
+        self.salt = salt
+
+    def transform_one(
+        self,
+        features: Sequence[str],
+        weights: Mapping[str, float] | None = None,
+        feature_weight: float = 1.0,
+    ) -> np.ndarray:
+        """Vector for one document; optionally IDF- and family-weighted."""
+        vec = np.zeros(self.dim, dtype=np.float32)
+        for feature in features:
+            index, sign = _hash_feature(feature, self.salt)
+            weight = feature_weight
+            if weights is not None:
+                weight *= weights.get(feature, 1.0)
+            vec[index % self.dim] += sign * weight
+        return vec
+
+    def transform(
+        self,
+        documents: Sequence[Sequence[str]],
+        weights: Mapping[str, float] | None = None,
+    ) -> np.ndarray:
+        out = np.zeros((len(documents), self.dim), dtype=np.float32)
+        for i, features in enumerate(documents):
+            out[i] = self.transform_one(features, weights)
+        return out
+
+
+class IdfWeighter:
+    """Inverse document frequency weighting, fitted on a corpus.
+
+    ``fit`` counts document frequencies; ``weight(feature)`` returns
+    ``log(1 + N / (1 + df))``.  Unseen features get the maximum weight
+    (they are maximally discriminative).
+    """
+
+    def __init__(self) -> None:
+        self._df: dict[str, int] = {}
+        self._n_docs = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._n_docs > 0
+
+    def fit(self, documents: Iterable[Sequence[str]]) -> "IdfWeighter":
+        for features in documents:
+            self._n_docs += 1
+            for feature in set(features):
+                self._df[feature] = self._df.get(feature, 0) + 1
+        return self
+
+    def weight(self, feature: str) -> float:
+        if not self.is_fitted:
+            return 1.0
+        df = self._df.get(feature, 0)
+        return math.log(1.0 + self._n_docs / (1.0 + df))
+
+    def as_mapping(self) -> "_IdfMapping":
+        return _IdfMapping(self)
+
+
+class _IdfMapping(Mapping[str, float]):
+    """Lazy mapping view so vectorizers can treat IDF like a dict."""
+
+    def __init__(self, weighter: IdfWeighter) -> None:
+        self._weighter = weighter
+
+    def __getitem__(self, feature: str) -> float:
+        return self._weighter.weight(feature)
+
+    def get(self, feature: str, default: float = 1.0) -> float:  # type: ignore[override]
+        return self._weighter.weight(feature)
+
+    def __iter__(self):
+        return iter(self._weighter._df)
+
+    def __len__(self) -> int:
+        return len(self._weighter._df)
+
+
+def l2_normalize(matrix: np.ndarray) -> np.ndarray:
+    """Row-wise L2 normalization; zero rows stay zero (never NaN)."""
+    if matrix.ndim == 1:
+        norm = float(np.linalg.norm(matrix))
+        return matrix / norm if norm > 0 else matrix
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return matrix / norms

@@ -1,0 +1,230 @@
+"""An mpi4py-like communicator over multiprocessing queues.
+
+Implements the "communication of generic Python objects" API of mpi4py
+(all-lowercase method names, objects pickled under the hood): ``send``,
+``recv``, ``isend``/``irecv``, and the collectives ``bcast``, ``scatter``,
+``gather``, ``allgather``, ``reduce``, ``allreduce``, ``barrier``.
+
+Message matching follows MPI semantics: ``recv`` can select by source
+rank and tag, with :data:`ANY_SOURCE`/:data:`ANY_TAG` wildcards; messages
+that arrive while waiting for a specific match are buffered and delivered
+to later receives (non-overtaking per (source, tag) channel, because the
+underlying queues are FIFO).
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import time
+from typing import Any, Callable
+
+from repro.errors import MappingError
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: tag space reserved for collective operations (user tags must be >= 0)
+_COLLECTIVE_TAG_BASE = -1000
+
+
+class Request:
+    """Handle for a non-blocking operation (mpi4py ``Request`` analogue)."""
+
+    def __init__(self, fetch: Callable[[], Any]) -> None:
+        self._fetch = fetch
+        self._done = False
+        self._value: Any = None
+
+    def test(self) -> tuple[bool, Any]:
+        if not self._done:
+            try:
+                self._value = self._fetch()
+                self._done = True
+            except queue_mod.Empty:
+                return False, None
+        return True, self._value
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._value = self._fetch()
+            self._done = True
+        return self._value
+
+
+class Communicator:
+    """A COMM_WORLD-like communicator for one rank.
+
+    Parameters
+    ----------
+    rank, size:
+        This process's rank and the world size.
+    inboxes:
+        rank -> multiprocessing queue; every rank can put into every inbox
+        but only ever gets from its own.
+    """
+
+    def __init__(self, rank: int, size: int, inboxes: dict[int, Any]) -> None:
+        if not 0 <= rank < size:
+            raise MappingError(f"rank {rank} out of range for size {size}")
+        self._rank = rank
+        self._size = size
+        self._inboxes = inboxes
+        self._buffer: list[tuple[int, int, Any]] = []
+        #: per-collective sequence number; all ranks execute collectives in
+        #: the same program order, so these tags agree across the world.
+        self._collective_seq = 0
+
+    # -- mpi4py-style accessors ----------------------------------------
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._size
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    # -- point to point --------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking-buffered send (returns once the message is enqueued)."""
+        if not 0 <= dest < self._size:
+            raise MappingError(f"send to invalid rank {dest}")
+        if tag < 0 and tag > _COLLECTIVE_TAG_BASE:
+            raise MappingError(f"negative tags are reserved, got {tag}")
+        self._inboxes[dest].put((self._rank, tag, obj))
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        self.send(obj, dest, tag)
+        return Request(lambda: None)
+
+    def _match(self, source: int, tag: int) -> Any | None:
+        for i, (src, t, obj) in enumerate(self._buffer):
+            if source in (ANY_SOURCE, src) and tag in (ANY_TAG, t):
+                del self._buffer[i]
+                return (src, t, obj)
+        return None
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ) -> Any:
+        """Blocking receive; returns the received object."""
+        _src, _tag, obj = self._recv_full(source, tag, timeout)
+        return obj
+
+    def _recv_full(
+        self, source: int, tag: int, timeout: float | None
+    ) -> tuple[int, int, Any]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            hit = self._match(source, tag)
+            if hit is not None:
+                return hit
+            remaining: float | None = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise MappingError(
+                        f"recv(source={source}, tag={tag}) timed out on "
+                        f"rank {self._rank}",
+                        params={"timeout": timeout},
+                    )
+            try:
+                self._buffer.append(
+                    self._inboxes[self._rank].get(timeout=remaining)
+                )
+            except queue_mod.Empty:
+                continue
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        return Request(lambda: self.recv(source, tag))
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-blocking: is a matching message already available?"""
+        while True:
+            try:
+                self._buffer.append(self._inboxes[self._rank].get_nowait())
+            except queue_mod.Empty:
+                break
+        hit = self._match(source, tag)
+        if hit is None:
+            return False
+        self._buffer.insert(0, hit)
+        return True
+
+    # -- collectives -----------------------------------------------------
+    def _next_collective_tag(self) -> int:
+        self._collective_seq += 1
+        return _COLLECTIVE_TAG_BASE - self._collective_seq
+
+    def _csend(self, obj: Any, dest: int, ctag: int) -> None:
+        self._inboxes[dest].put((self._rank, ctag, obj))
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        ctag = self._next_collective_tag()
+        if self._rank == root:
+            for dest in range(self._size):
+                if dest != root:
+                    self._csend(obj, dest, ctag)
+            return obj
+        return self.recv(source=root, tag=ctag)
+
+    def scatter(self, seq: Any, root: int = 0) -> Any:
+        ctag = self._next_collective_tag()
+        if self._rank == root:
+            if seq is None or len(seq) != self._size:
+                raise MappingError(
+                    "scatter expects a sequence of comm.size elements at root",
+                    params={"size": self._size},
+                )
+            for dest in range(self._size):
+                if dest != root:
+                    self._csend(seq[dest], dest, ctag)
+            return seq[root]
+        return self.recv(source=root, tag=ctag)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        ctag = self._next_collective_tag()
+        if self._rank == root:
+            out: list[Any] = [None] * self._size
+            out[root] = obj
+            for src in range(self._size):
+                if src != root:
+                    out[src] = self.recv(source=src, tag=ctag)
+            return out
+        self._csend(obj, root, ctag)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(
+        self, obj: Any, op: Callable[[Any, Any], Any], root: int = 0
+    ) -> Any | None:
+        gathered = self.gather(obj, root=root)
+        if gathered is None:
+            return None
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = op(acc, item)
+        return acc
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+        reduced = self.reduce(obj, op, root=0)
+        return self.bcast(reduced, root=0)
+
+    def barrier(self) -> None:
+        """All ranks block until every rank has arrived."""
+        self.gather(None, root=0)
+        self.bcast(None, root=0)
+
+    def __repr__(self) -> str:
+        return f"<Communicator rank={self._rank}/{self._size}>"

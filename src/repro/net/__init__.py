@@ -1,0 +1,31 @@
+"""Client/server transport substrate.
+
+The paper deploys the Server and Execution Engine either locally or
+remotely (Dockerized on Azure App Services, §6.1).  Offline we model the
+transport explicitly:
+
+* :class:`~repro.net.transport.InProcessTransport` — direct dispatch to
+  a server object, optionally shaped by a latency model.
+* :class:`~repro.net.latency.LatencyModel` — RTT + bandwidth + jitter
+  cost applied per request/response, with presets for the paper's three
+  deployment scenarios (in-process "local engine", LAN, and the Azure-
+  like WAN remote engine).
+
+Every request/response body is round-tripped through JSON, so the wire
+format is enforced even in-process — a body that would not survive real
+HTTP fails here too.
+"""
+
+from repro.net.latency import AZURE_WAN, LAN, LOCAL, LatencyModel
+from repro.net.transport import InProcessTransport, Request, Response, Transport
+
+__all__ = [
+    "Request",
+    "Response",
+    "Transport",
+    "InProcessTransport",
+    "LatencyModel",
+    "LOCAL",
+    "LAN",
+    "AZURE_WAN",
+]

@@ -1,0 +1,105 @@
+"""Request/response transport between Client and Server.
+
+:class:`Request`/:class:`Response` mirror a minimal HTTP exchange (method,
+path, JSON body, bearer token).  :class:`InProcessTransport` dispatches
+directly into a server object while still enforcing the JSON wire format
+and charging a latency model per direction — the mechanism behind the
+local-vs-remote comparison of Table 5.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import TransportError
+from repro.net.latency import LatencyModel
+
+
+@dataclass
+class Request:
+    """One client request."""
+
+    method: str
+    path: str
+    body: dict[str, Any] = field(default_factory=dict)
+    token: str | None = None
+
+    def wire_size(self) -> int:
+        """Bytes this request would occupy as JSON on the wire."""
+        try:
+            payload = json.dumps(
+                {"method": self.method, "path": self.path, "body": self.body}
+            )
+        except (TypeError, ValueError) as exc:
+            raise TransportError(
+                "request body is not JSON-serializable",
+                params={"path": self.path},
+                details=str(exc),
+            ) from exc
+        return len(payload.encode("utf-8"))
+
+
+@dataclass
+class Response:
+    """One server response."""
+
+    status: int
+    body: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def wire_size(self) -> int:
+        try:
+            payload = json.dumps({"status": self.status, "body": self.body})
+        except (TypeError, ValueError) as exc:
+            raise TransportError(
+                "response body is not JSON-serializable",
+                details=str(exc),
+            ) from exc
+        return len(payload.encode("utf-8"))
+
+
+class Transport(ABC):
+    """How a client reaches a server."""
+
+    @abstractmethod
+    def request(self, request: Request) -> Response:
+        """Send one request and return the response."""
+
+
+class InProcessTransport(Transport):
+    """Direct dispatch to a server object with wire-format enforcement.
+
+    The body is round-tripped through ``json.dumps``/``loads`` in both
+    directions, so objects that would not survive real HTTP (NumPy
+    arrays, sets, custom classes) are rejected here too.  A
+    :class:`LatencyModel` charges each direction, letting one process
+    emulate the paper's local and Azure-remote deployments.
+    """
+
+    def __init__(self, server: Any, latency: LatencyModel | None = None) -> None:
+        if not hasattr(server, "dispatch"):
+            raise TransportError(
+                f"server object {type(server).__name__} has no dispatch()"
+            )
+        self.server = server
+        self.latency = latency
+
+    def request(self, request: Request) -> Response:
+        request_bytes = request.wire_size()
+        if self.latency is not None:
+            self.latency.apply(request_bytes)
+        # enforce the JSON wire format on the request body
+        wire_body = json.loads(json.dumps(request.body))
+        response = self.server.dispatch(
+            Request(request.method, request.path, wire_body, request.token)
+        )
+        response_wire = Response(response.status, json.loads(json.dumps(response.body)))
+        if self.latency is not None:
+            self.latency.apply(response_wire.wire_size())
+        return response_wire

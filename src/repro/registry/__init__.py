@@ -1,0 +1,35 @@
+"""The Laminar Registry (paper §3.1).
+
+A central repository housing users, Processing Elements and workflows,
+with the schema of Figure 4 / Table 2:
+
+* ``User`` — userId, userName, password
+* ``PE`` — peId, peName, description, peCode, peImports, codeEmbedding,
+  descEmbedding
+* ``Workflow`` — workflowId, workflowName, entryPoint, description,
+  workflowCode
+
+plus the relationships: user<->PE and user<->workflow are one-way
+many-to-many ("owners"); PE<->workflow is two-way many-to-many.
+
+The paper hosts the registry on a remote MySQL web service; offline we
+provide two DAO backends with identical behaviour — in-memory (tests,
+local stacks) and SQLite (durable) — behind the same service layer that
+implements the paper's ownership/dedup rules (§3.1: re-registering an
+existing PE adds the user as an additional owner instead of duplicating
+the entry).
+"""
+
+from repro.registry.entities import PERecord, UserRecord, WorkflowRecord
+from repro.registry.dao import InMemoryDAO, RegistryDAO, SqliteDAO
+from repro.registry.service import RegistryService
+
+__all__ = [
+    "UserRecord",
+    "PERecord",
+    "WorkflowRecord",
+    "RegistryDAO",
+    "InMemoryDAO",
+    "SqliteDAO",
+    "RegistryService",
+]

@@ -1,0 +1,467 @@
+"""Data Access Object layer (paper §3.2.3).
+
+CRUD against the data store.  Two interchangeable backends:
+
+* :class:`InMemoryDAO` — dict-based, used by tests and ephemeral stacks.
+* :class:`SqliteDAO` — durable storage standing in for the paper's
+  remote MySQL web service; embeddings stored as float32 BLOBs.
+
+The DAO layer knows nothing about ownership/dedup rules — that is the
+service layer's job — it only persists and retrieves records.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import NotFoundError
+from repro.registry.entities import PERecord, UserRecord, WorkflowRecord
+
+
+class RegistryDAO(ABC):
+    """Abstract CRUD interface over users, PEs and workflows."""
+
+    # -- users ------------------------------------------------------------
+    @abstractmethod
+    def insert_user(self, name: str, password_hash: str) -> UserRecord: ...
+
+    @abstractmethod
+    def get_user_by_name(self, name: str) -> UserRecord | None: ...
+
+    @abstractmethod
+    def all_users(self) -> list[UserRecord]: ...
+
+    # -- PEs ---------------------------------------------------------------
+    @abstractmethod
+    def insert_pe(self, record: PERecord) -> PERecord: ...
+
+    @abstractmethod
+    def update_pe(self, record: PERecord) -> None: ...
+
+    @abstractmethod
+    def get_pe(self, pe_id: int) -> PERecord | None: ...
+
+    @abstractmethod
+    def find_pe_by_name(self, name: str) -> list[PERecord]: ...
+
+    @abstractmethod
+    def all_pes(self) -> list[PERecord]: ...
+
+    @abstractmethod
+    def delete_pe(self, pe_id: int) -> None: ...
+
+    # -- workflows -----------------------------------------------------------
+    @abstractmethod
+    def insert_workflow(self, record: WorkflowRecord) -> WorkflowRecord: ...
+
+    @abstractmethod
+    def update_workflow(self, record: WorkflowRecord) -> None: ...
+
+    @abstractmethod
+    def get_workflow(self, workflow_id: int) -> WorkflowRecord | None: ...
+
+    @abstractmethod
+    def find_workflow_by_entry_point(
+        self, entry_point: str
+    ) -> list[WorkflowRecord]: ...
+
+    @abstractmethod
+    def all_workflows(self) -> list[WorkflowRecord]: ...
+
+    @abstractmethod
+    def delete_workflow(self, workflow_id: int) -> None: ...
+
+
+class InMemoryDAO(RegistryDAO):
+    """Dict-backed DAO; thread-safe for the in-process server."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._users: dict[int, UserRecord] = {}
+        self._pes: dict[int, PERecord] = {}
+        self._workflows: dict[int, WorkflowRecord] = {}
+        self._next_user = 1
+        self._next_pe = 1
+        self._next_workflow = 1
+
+    # -- users ------------------------------------------------------------
+    def insert_user(self, name: str, password_hash: str) -> UserRecord:
+        with self._lock:
+            record = UserRecord(self._next_user, name, password_hash)
+            self._users[record.user_id] = record
+            self._next_user += 1
+            return record
+
+    def get_user_by_name(self, name: str) -> UserRecord | None:
+        with self._lock:
+            for user in self._users.values():
+                if user.user_name == name:
+                    return user
+            return None
+
+    def all_users(self) -> list[UserRecord]:
+        with self._lock:
+            return sorted(self._users.values(), key=lambda u: u.user_id)
+
+    # -- PEs ---------------------------------------------------------------
+    def insert_pe(self, record: PERecord) -> PERecord:
+        with self._lock:
+            record.pe_id = self._next_pe
+            self._next_pe += 1
+            self._pes[record.pe_id] = record
+            return record
+
+    def update_pe(self, record: PERecord) -> None:
+        with self._lock:
+            if record.pe_id not in self._pes:
+                raise NotFoundError(
+                    f"PE id {record.pe_id} not found", params={"peId": record.pe_id}
+                )
+            self._pes[record.pe_id] = record
+
+    def get_pe(self, pe_id: int) -> PERecord | None:
+        with self._lock:
+            return self._pes.get(pe_id)
+
+    def find_pe_by_name(self, name: str) -> list[PERecord]:
+        with self._lock:
+            return [pe for pe in self._pes.values() if pe.pe_name == name]
+
+    def all_pes(self) -> list[PERecord]:
+        with self._lock:
+            return sorted(self._pes.values(), key=lambda p: p.pe_id)
+
+    def delete_pe(self, pe_id: int) -> None:
+        with self._lock:
+            if pe_id not in self._pes:
+                raise NotFoundError(f"PE id {pe_id} not found", params={"peId": pe_id})
+            del self._pes[pe_id]
+            for workflow in self._workflows.values():
+                if pe_id in workflow.pe_ids:
+                    workflow.pe_ids.remove(pe_id)
+
+    # -- workflows -----------------------------------------------------------
+    def insert_workflow(self, record: WorkflowRecord) -> WorkflowRecord:
+        with self._lock:
+            record.workflow_id = self._next_workflow
+            self._next_workflow += 1
+            self._workflows[record.workflow_id] = record
+            return record
+
+    def update_workflow(self, record: WorkflowRecord) -> None:
+        with self._lock:
+            if record.workflow_id not in self._workflows:
+                raise NotFoundError(
+                    f"workflow id {record.workflow_id} not found",
+                    params={"workflowId": record.workflow_id},
+                )
+            self._workflows[record.workflow_id] = record
+
+    def get_workflow(self, workflow_id: int) -> WorkflowRecord | None:
+        with self._lock:
+            return self._workflows.get(workflow_id)
+
+    def find_workflow_by_entry_point(self, entry_point: str) -> list[WorkflowRecord]:
+        with self._lock:
+            return [
+                wf
+                for wf in self._workflows.values()
+                if wf.entry_point == entry_point
+            ]
+
+    def all_workflows(self) -> list[WorkflowRecord]:
+        with self._lock:
+            return sorted(self._workflows.values(), key=lambda w: w.workflow_id)
+
+    def delete_workflow(self, workflow_id: int) -> None:
+        with self._lock:
+            if workflow_id not in self._workflows:
+                raise NotFoundError(
+                    f"workflow id {workflow_id} not found",
+                    params={"workflowId": workflow_id},
+                )
+            del self._workflows[workflow_id]
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS users (
+    user_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    user_name TEXT UNIQUE NOT NULL,
+    password_hash TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS pes (
+    pe_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    pe_name TEXT NOT NULL,
+    description TEXT NOT NULL DEFAULT '',
+    description_origin TEXT NOT NULL DEFAULT 'user',
+    pe_code TEXT NOT NULL,
+    pe_source TEXT NOT NULL DEFAULT '',
+    pe_imports TEXT NOT NULL DEFAULT '[]',
+    code_embedding BLOB,
+    desc_embedding BLOB,
+    owners TEXT NOT NULL DEFAULT '[]'
+);
+CREATE TABLE IF NOT EXISTS workflows (
+    workflow_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    workflow_name TEXT NOT NULL,
+    entry_point TEXT NOT NULL,
+    description TEXT NOT NULL DEFAULT '',
+    workflow_code TEXT NOT NULL,
+    workflow_source TEXT NOT NULL DEFAULT '',
+    pe_ids TEXT NOT NULL DEFAULT '[]',
+    desc_embedding BLOB,
+    owners TEXT NOT NULL DEFAULT '[]'
+);
+CREATE INDEX IF NOT EXISTS idx_pes_name ON pes(pe_name);
+CREATE INDEX IF NOT EXISTS idx_wf_entry ON workflows(entry_point);
+"""
+
+
+def _blob(vec: np.ndarray | None) -> bytes | None:
+    if vec is None:
+        return None
+    return np.asarray(vec, dtype=np.float32).tobytes()
+
+
+def _unblob(raw: bytes | None) -> np.ndarray | None:
+    if raw is None:
+        return None
+    return np.frombuffer(raw, dtype=np.float32).copy()
+
+
+class SqliteDAO(RegistryDAO):
+    """SQLite-backed DAO (the durable stand-in for the web MySQL service)."""
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self._conn = sqlite3.connect(str(path), check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        self._lock = threading.RLock()
+        with self._lock, self._conn:
+            self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # -- users ------------------------------------------------------------
+    def insert_user(self, name: str, password_hash: str) -> UserRecord:
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO users (user_name, password_hash) VALUES (?, ?)",
+                (name, password_hash),
+            )
+            return UserRecord(int(cursor.lastrowid), name, password_hash)
+
+    def get_user_by_name(self, name: str) -> UserRecord | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM users WHERE user_name = ?", (name,)
+            ).fetchone()
+        if row is None:
+            return None
+        return UserRecord(row["user_id"], row["user_name"], row["password_hash"])
+
+    def all_users(self) -> list[UserRecord]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM users ORDER BY user_id"
+            ).fetchall()
+        return [
+            UserRecord(r["user_id"], r["user_name"], r["password_hash"])
+            for r in rows
+        ]
+
+    # -- PEs ---------------------------------------------------------------
+    @staticmethod
+    def _pe_from_row(row: sqlite3.Row) -> PERecord:
+        return PERecord(
+            pe_id=row["pe_id"],
+            pe_name=row["pe_name"],
+            description=row["description"],
+            description_origin=row["description_origin"],
+            pe_code=row["pe_code"],
+            pe_source=row["pe_source"],
+            pe_imports=json.loads(row["pe_imports"]),
+            code_embedding=_unblob(row["code_embedding"]),
+            desc_embedding=_unblob(row["desc_embedding"]),
+            owners=set(json.loads(row["owners"])),
+        )
+
+    def insert_pe(self, record: PERecord) -> PERecord:
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                """INSERT INTO pes (pe_name, description, description_origin,
+                   pe_code, pe_source, pe_imports, code_embedding,
+                   desc_embedding, owners)
+                   VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)""",
+                (
+                    record.pe_name,
+                    record.description,
+                    record.description_origin,
+                    record.pe_code,
+                    record.pe_source,
+                    json.dumps(record.pe_imports),
+                    _blob(record.code_embedding),
+                    _blob(record.desc_embedding),
+                    json.dumps(sorted(record.owners)),
+                ),
+            )
+            record.pe_id = int(cursor.lastrowid)
+            return record
+
+    def update_pe(self, record: PERecord) -> None:
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                """UPDATE pes SET pe_name=?, description=?,
+                   description_origin=?, pe_code=?, pe_source=?,
+                   pe_imports=?, code_embedding=?, desc_embedding=?, owners=?
+                   WHERE pe_id=?""",
+                (
+                    record.pe_name,
+                    record.description,
+                    record.description_origin,
+                    record.pe_code,
+                    record.pe_source,
+                    json.dumps(record.pe_imports),
+                    _blob(record.code_embedding),
+                    _blob(record.desc_embedding),
+                    json.dumps(sorted(record.owners)),
+                    record.pe_id,
+                ),
+            )
+            if cursor.rowcount == 0:
+                raise NotFoundError(
+                    f"PE id {record.pe_id} not found", params={"peId": record.pe_id}
+                )
+
+    def get_pe(self, pe_id: int) -> PERecord | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM pes WHERE pe_id = ?", (pe_id,)
+            ).fetchone()
+        return None if row is None else self._pe_from_row(row)
+
+    def find_pe_by_name(self, name: str) -> list[PERecord]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM pes WHERE pe_name = ? ORDER BY pe_id", (name,)
+            ).fetchall()
+        return [self._pe_from_row(r) for r in rows]
+
+    def all_pes(self) -> list[PERecord]:
+        with self._lock:
+            rows = self._conn.execute("SELECT * FROM pes ORDER BY pe_id").fetchall()
+        return [self._pe_from_row(r) for r in rows]
+
+    def delete_pe(self, pe_id: int) -> None:
+        with self._lock, self._conn:
+            cursor = self._conn.execute("DELETE FROM pes WHERE pe_id=?", (pe_id,))
+            if cursor.rowcount == 0:
+                raise NotFoundError(f"PE id {pe_id} not found", params={"peId": pe_id})
+            rows = self._conn.execute("SELECT * FROM workflows").fetchall()
+            for row in rows:
+                pe_ids = json.loads(row["pe_ids"])
+                if pe_id in pe_ids:
+                    pe_ids.remove(pe_id)
+                    self._conn.execute(
+                        "UPDATE workflows SET pe_ids=? WHERE workflow_id=?",
+                        (json.dumps(pe_ids), row["workflow_id"]),
+                    )
+
+    # -- workflows -----------------------------------------------------------
+    @staticmethod
+    def _wf_from_row(row: sqlite3.Row) -> WorkflowRecord:
+        return WorkflowRecord(
+            workflow_id=row["workflow_id"],
+            workflow_name=row["workflow_name"],
+            entry_point=row["entry_point"],
+            description=row["description"],
+            workflow_code=row["workflow_code"],
+            workflow_source=row["workflow_source"],
+            pe_ids=json.loads(row["pe_ids"]),
+            desc_embedding=_unblob(row["desc_embedding"]),
+            owners=set(json.loads(row["owners"])),
+        )
+
+    def insert_workflow(self, record: WorkflowRecord) -> WorkflowRecord:
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                """INSERT INTO workflows (workflow_name, entry_point,
+                   description, workflow_code, workflow_source, pe_ids,
+                   desc_embedding, owners)
+                   VALUES (?, ?, ?, ?, ?, ?, ?, ?)""",
+                (
+                    record.workflow_name,
+                    record.entry_point,
+                    record.description,
+                    record.workflow_code,
+                    record.workflow_source,
+                    json.dumps(record.pe_ids),
+                    _blob(record.desc_embedding),
+                    json.dumps(sorted(record.owners)),
+                ),
+            )
+            record.workflow_id = int(cursor.lastrowid)
+            return record
+
+    def update_workflow(self, record: WorkflowRecord) -> None:
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                """UPDATE workflows SET workflow_name=?, entry_point=?,
+                   description=?, workflow_code=?, workflow_source=?,
+                   pe_ids=?, desc_embedding=?, owners=? WHERE workflow_id=?""",
+                (
+                    record.workflow_name,
+                    record.entry_point,
+                    record.description,
+                    record.workflow_code,
+                    record.workflow_source,
+                    json.dumps(record.pe_ids),
+                    _blob(record.desc_embedding),
+                    json.dumps(sorted(record.owners)),
+                    record.workflow_id,
+                ),
+            )
+            if cursor.rowcount == 0:
+                raise NotFoundError(
+                    f"workflow id {record.workflow_id} not found",
+                    params={"workflowId": record.workflow_id},
+                )
+
+    def get_workflow(self, workflow_id: int) -> WorkflowRecord | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM workflows WHERE workflow_id = ?", (workflow_id,)
+            ).fetchone()
+        return None if row is None else self._wf_from_row(row)
+
+    def find_workflow_by_entry_point(self, entry_point: str) -> list[WorkflowRecord]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM workflows WHERE entry_point = ? ORDER BY workflow_id",
+                (entry_point,),
+            ).fetchall()
+        return [self._wf_from_row(r) for r in rows]
+
+    def all_workflows(self) -> list[WorkflowRecord]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM workflows ORDER BY workflow_id"
+            ).fetchall()
+        return [self._wf_from_row(r) for r in rows]
+
+    def delete_workflow(self, workflow_id: int) -> None:
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM workflows WHERE workflow_id=?", (workflow_id,)
+            )
+            if cursor.rowcount == 0:
+                raise NotFoundError(
+                    f"workflow id {workflow_id} not found",
+                    params={"workflowId": workflow_id},
+                )

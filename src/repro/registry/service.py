@@ -1,0 +1,208 @@
+"""Registry service layer — business rules over the DAO (paper §3.1).
+
+Implements the ownership semantics the paper describes:
+
+* registering a PE/workflow that already exists (same identity) adds the
+  caller as an additional *owner* rather than duplicating the entry;
+* users only see and manage entities they own (privacy rule);
+* removing dissociates the caller; the entity itself is deleted once no
+  owners remain;
+* the PE<->workflow association is two-way many-to-many, so "all PEs of a
+  workflow" is a single lookup (the querying benefit called out in §3.1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    AuthenticationError,
+    DuplicateError,
+    NotFoundError,
+    ValidationError,
+)
+from repro.registry.dao import RegistryDAO
+from repro.registry.entities import (
+    PERecord,
+    UserRecord,
+    WorkflowRecord,
+    hash_password,
+)
+
+
+class RegistryService:
+    """All registry business logic, backend-agnostic."""
+
+    def __init__(self, dao: RegistryDAO) -> None:
+        self.dao = dao
+
+    # ------------------------------------------------------------------
+    # Users / auth
+    # ------------------------------------------------------------------
+    def register_user(self, name: str, password: str) -> UserRecord:
+        if not name or not name.strip():
+            raise ValidationError("user name must be non-empty", params={"user": name})
+        if not password:
+            raise ValidationError("password must be non-empty")
+        if self.dao.get_user_by_name(name) is not None:
+            raise DuplicateError(
+                f"user {name!r} already exists", params={"user": name}
+            )
+        return self.dao.insert_user(name, hash_password(password))
+
+    def authenticate(self, name: str, password: str) -> UserRecord:
+        user = self.dao.get_user_by_name(name)
+        if user is None or user.password_hash != hash_password(password):
+            raise AuthenticationError(
+                "invalid login credentials", params={"user": name}
+            )
+        return user
+
+    def get_user(self, name: str) -> UserRecord:
+        user = self.dao.get_user_by_name(name)
+        if user is None:
+            raise NotFoundError(f"unknown user {name!r}", params={"user": name})
+        return user
+
+    def all_users(self) -> list[UserRecord]:
+        return self.dao.all_users()
+
+    # ------------------------------------------------------------------
+    # PEs
+    # ------------------------------------------------------------------
+    def add_pe(self, user: UserRecord, record: PERecord) -> PERecord:
+        """Register a PE, applying the §3.1 dedup-by-identity rule."""
+        for existing in self.dao.find_pe_by_name(record.pe_name):
+            if existing.identity_key() == record.identity_key():
+                if user.user_id not in existing.owners:
+                    existing.owners.add(user.user_id)
+                    self.dao.update_pe(existing)
+                return existing
+        record.owners = {user.user_id}
+        return self.dao.insert_pe(record)
+
+    def _owned_pe(self, user: UserRecord, pe_id: int) -> PERecord:
+        record = self.dao.get_pe(pe_id)
+        if record is None or user.user_id not in record.owners:
+            raise NotFoundError(
+                f"PE id {pe_id} not found for user {user.user_name!r}",
+                params={"peId": pe_id, "user": user.user_name},
+            )
+        return record
+
+    def get_pe_by_id(self, user: UserRecord, pe_id: int) -> PERecord:
+        return self._owned_pe(user, pe_id)
+
+    def get_pe_by_name(self, user: UserRecord, name: str) -> PERecord:
+        for record in self.dao.find_pe_by_name(name):
+            if user.user_id in record.owners:
+                return record
+        raise NotFoundError(
+            f"PE {name!r} not found for user {user.user_name!r}",
+            params={"peName": name, "user": user.user_name},
+        )
+
+    def user_pes(self, user: UserRecord) -> list[PERecord]:
+        return [
+            record
+            for record in self.dao.all_pes()
+            if user.user_id in record.owners
+        ]
+
+    def remove_pe(self, user: UserRecord, pe_id: int) -> None:
+        """Dissociate the user; delete the PE once ownerless."""
+        record = self._owned_pe(user, pe_id)
+        record.owners.discard(user.user_id)
+        if record.owners:
+            self.dao.update_pe(record)
+        else:
+            self.dao.delete_pe(pe_id)
+
+    def remove_pe_by_name(self, user: UserRecord, name: str) -> None:
+        record = self.get_pe_by_name(user, name)
+        self.remove_pe(user, record.pe_id)
+
+    # ------------------------------------------------------------------
+    # Workflows
+    # ------------------------------------------------------------------
+    def add_workflow(
+        self, user: UserRecord, record: WorkflowRecord
+    ) -> WorkflowRecord:
+        for existing in self.dao.find_workflow_by_entry_point(record.entry_point):
+            if existing.identity_key() == record.identity_key():
+                if user.user_id not in existing.owners:
+                    existing.owners.add(user.user_id)
+                    self.dao.update_workflow(existing)
+                return existing
+        record.owners = {user.user_id}
+        return self.dao.insert_workflow(record)
+
+    def _owned_workflow(self, user: UserRecord, workflow_id: int) -> WorkflowRecord:
+        record = self.dao.get_workflow(workflow_id)
+        if record is None or user.user_id not in record.owners:
+            raise NotFoundError(
+                f"workflow id {workflow_id} not found for user "
+                f"{user.user_name!r}",
+                params={"workflowId": workflow_id, "user": user.user_name},
+            )
+        return record
+
+    def get_workflow_by_id(
+        self, user: UserRecord, workflow_id: int
+    ) -> WorkflowRecord:
+        return self._owned_workflow(user, workflow_id)
+
+    def get_workflow_by_name(self, user: UserRecord, name: str) -> WorkflowRecord:
+        for record in self.dao.find_workflow_by_entry_point(name):
+            if user.user_id in record.owners:
+                return record
+        raise NotFoundError(
+            f"workflow {name!r} not found for user {user.user_name!r}",
+            params={"entryPoint": name, "user": user.user_name},
+        )
+
+    def user_workflows(self, user: UserRecord) -> list[WorkflowRecord]:
+        return [
+            record
+            for record in self.dao.all_workflows()
+            if user.user_id in record.owners
+        ]
+
+    def remove_workflow(self, user: UserRecord, workflow_id: int) -> None:
+        record = self._owned_workflow(user, workflow_id)
+        record.owners.discard(user.user_id)
+        if record.owners:
+            self.dao.update_workflow(record)
+        else:
+            self.dao.delete_workflow(workflow_id)
+
+    def remove_workflow_by_name(self, user: UserRecord, name: str) -> None:
+        record = self.get_workflow_by_name(user, name)
+        self.remove_workflow(user, record.workflow_id)
+
+    # ------------------------------------------------------------------
+    # Associations
+    # ------------------------------------------------------------------
+    def link_pe_to_workflow(
+        self, user: UserRecord, workflow_id: int, pe_id: int
+    ) -> WorkflowRecord:
+        """PUT /registry/{user}/workflow/{workflowId}/pe/{peId}."""
+        workflow = self._owned_workflow(user, workflow_id)
+        self._owned_pe(user, pe_id)
+        if pe_id not in workflow.pe_ids:
+            workflow.pe_ids.append(pe_id)
+            self.dao.update_workflow(workflow)
+        return workflow
+
+    def workflow_pes(
+        self, user: UserRecord, workflow_id: int
+    ) -> list[PERecord]:
+        workflow = self._owned_workflow(user, workflow_id)
+        records = []
+        for pe_id in workflow.pe_ids:
+            record = self.dao.get_pe(pe_id)
+            if record is not None:
+                records.append(record)
+        return records
+
+    def workflow_pes_by_name(self, user: UserRecord, name: str) -> list[PERecord]:
+        workflow = self.get_workflow_by_name(user, name)
+        return self.workflow_pes(user, workflow.workflow_id)

@@ -1,0 +1,29 @@
+"""Registry search and exploration (paper §4).
+
+Three search mechanisms over registered PEs and workflows:
+
+* :mod:`repro.search.text_search` — normalized partial matching on names
+  and descriptions (§4.1, Figure 6).
+* :mod:`repro.search.semantic` — bi-encoder semantic search of PE
+  descriptions with the (fine-tuned) code-search model (§4.2, Figure 7).
+* :mod:`repro.search.code_search` — code-completion retrieval over PE
+  code embeddings with the ReACC-style model (§4.3, Figure 8).
+
+All searches exploit embeddings stored in the Registry at registration
+time (§3.1.1) — nothing is re-embedded on the corpus side at query time.
+"""
+
+from repro.search.text_search import TextMatch, text_search_pes, text_search_workflows
+from repro.search.semantic import SemanticHit, SemanticSearcher, WorkflowSemanticHit
+from repro.search.code_search import CodeHit, CodeSearcher
+
+__all__ = [
+    "TextMatch",
+    "text_search_pes",
+    "text_search_workflows",
+    "SemanticHit",
+    "WorkflowSemanticHit",
+    "SemanticSearcher",
+    "CodeHit",
+    "CodeSearcher",
+]

@@ -1,0 +1,99 @@
+"""Code-completion search over PE code embeddings (paper §4.3, Figure 8).
+
+A partial (or complete) code query is embedded with the ReACC-style
+retriever and compared against all stored ``codeEmbedding`` vectors.
+Each hit also carries a suggested *continuation* extracted by aligning
+the query against the retrieved code (the "completion" of ReACC's
+retrieve-then-reuse loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.completion import align_continuation
+from repro.ml.embedding import EmbeddingModel
+from repro.ml.models import ReACCRetriever
+from repro.ml.similarity import cosine_similarity_matrix
+from repro.registry.entities import PERecord
+
+
+@dataclass
+class CodeHit:
+    """One code-search result row (Figure 8)."""
+
+    pe_id: int
+    pe_name: str
+    description: str
+    score: float
+    continuation: str
+
+    def to_json(self) -> dict:
+        return {
+            "peId": self.pe_id,
+            "peName": self.pe_name,
+            "description": self.description,
+            "score": round(float(self.score), 4),
+            "continuation": self.continuation,
+        }
+
+
+class CodeSearcher:
+    """Bi-encoder code search against stored code embeddings."""
+
+    def __init__(self, model: EmbeddingModel | None = None) -> None:
+        self.model = model or ReACCRetriever()
+
+    def embed_query(self, code: str) -> np.ndarray:
+        return self.model.embed_one(code, kind="code")
+
+    def embed_code(self, code: str) -> np.ndarray:
+        """The embedding computed at registration time (§3.1.1)."""
+        return self.model.embed_one(code, kind="code")
+
+    def search(
+        self,
+        code_query: str,
+        pes: Sequence[PERecord],
+        k: int | None = None,
+        query_embedding: np.ndarray | None = None,
+    ) -> list[CodeHit]:
+        """Rank ``pes`` by code similarity to ``code_query``."""
+        if not pes:
+            return []
+        qvec = (
+            np.asarray(query_embedding, dtype=np.float32)
+            if query_embedding is not None
+            else self.embed_query(code_query)
+        )
+        matrix = np.zeros((len(pes), qvec.shape[0]), dtype=np.float32)
+        for i, record in enumerate(pes):
+            vec = record.code_embedding
+            if vec is None:
+                vec = self.embed_code(record.pe_source or record.pe_name)
+            matrix[i] = vec
+        sims = cosine_similarity_matrix(qvec, matrix)[0]
+        order = np.argsort(-sims)
+        if k is not None:
+            order = order[:k]
+        hits = []
+        for i in order:
+            record = pes[i]
+            continuation = (
+                align_continuation(code_query, record.pe_source)
+                if record.pe_source
+                else ""
+            )
+            hits.append(
+                CodeHit(
+                    pe_id=record.pe_id,
+                    pe_name=record.pe_name,
+                    description=record.description,
+                    score=float(sims[i]),
+                    continuation=continuation,
+                )
+            )
+        return hits

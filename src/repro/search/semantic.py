@@ -1,0 +1,156 @@
+"""Semantic code search over PE descriptions (paper §4.2, Figure 7).
+
+The query is embedded with the fine-tuned code-search model and compared
+(cosine) against all stored ``descEmbedding`` vectors — embeddings that
+were computed once at registration (§3.1.1), never re-computed at query
+time.  Results are the ranked PEs with their similarity scores, exactly
+the Figure 7 table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.embedding import EmbeddingModel
+from repro.ml.models import UnixCoderCodeSearch
+from repro.ml.similarity import cosine_similarity_matrix
+from repro.registry.entities import PERecord, WorkflowRecord
+
+
+@dataclass
+class SemanticHit:
+    """One semantic-search result row (Figure 7)."""
+
+    pe_id: int
+    pe_name: str
+    description: str
+    description_origin: str
+    score: float
+
+    def to_json(self) -> dict:
+        return {
+            "peId": self.pe_id,
+            "peName": self.pe_name,
+            "description": self.description,
+            "descriptionOrigin": self.description_origin,
+            "score": round(float(self.score), 4),
+        }
+
+
+class SemanticSearcher:
+    """Bi-encoder semantic search against stored description embeddings."""
+
+    def __init__(self, model: EmbeddingModel | None = None) -> None:
+        self.model = model or UnixCoderCodeSearch()
+
+    def embed_query(self, query: str) -> np.ndarray:
+        return self.model.embed_one(query, kind="text")
+
+    def embed_description(self, description: str) -> np.ndarray:
+        """The embedding computed at registration time (§3.1.1)."""
+        return self.model.embed_one(description, kind="text")
+
+    def search(
+        self,
+        query: str,
+        pes: Sequence[PERecord],
+        k: int | None = None,
+        query_embedding: np.ndarray | None = None,
+    ) -> list[SemanticHit]:
+        """Rank ``pes`` by description similarity to ``query``.
+
+        ``query_embedding`` may be supplied by the caller (the Client
+        computes it in the paper's architecture); PEs lacking a stored
+        embedding are embedded on the fly as a fallback.
+        """
+        if not pes:
+            return []
+        qvec = (
+            np.asarray(query_embedding, dtype=np.float32)
+            if query_embedding is not None
+            else self.embed_query(query)
+        )
+        matrix = np.zeros((len(pes), qvec.shape[0]), dtype=np.float32)
+        for i, record in enumerate(pes):
+            vec = record.desc_embedding
+            if vec is None:
+                vec = self.embed_description(record.description or record.pe_name)
+            matrix[i] = vec
+        sims = cosine_similarity_matrix(qvec, matrix)[0]
+        order = np.argsort(-sims)
+        if k is not None:
+            order = order[:k]
+        return [
+            SemanticHit(
+                pe_id=pes[i].pe_id,
+                pe_name=pes[i].pe_name,
+                description=pes[i].description,
+                description_origin=pes[i].description_origin,
+                score=float(sims[i]),
+            )
+            for i in order
+        ]
+
+    def search_workflows(
+        self,
+        query: str,
+        workflows: Sequence[WorkflowRecord],
+        k: int | None = None,
+        query_embedding: np.ndarray | None = None,
+    ) -> list["WorkflowSemanticHit"]:
+        """Semantic search over *workflow* descriptions.
+
+        Implements the paper's §8 future-work item ("enhance deep
+        learning search for workflows") with the identical bi-encoder
+        machinery: workflow descriptions are embedded at registration
+        and ranked by cosine similarity at query time.
+        """
+        if not workflows:
+            return []
+        qvec = (
+            np.asarray(query_embedding, dtype=np.float32)
+            if query_embedding is not None
+            else self.embed_query(query)
+        )
+        matrix = np.zeros((len(workflows), qvec.shape[0]), dtype=np.float32)
+        for i, record in enumerate(workflows):
+            vec = record.desc_embedding
+            if vec is None:
+                vec = self.embed_description(
+                    record.description or record.entry_point
+                )
+            matrix[i] = vec
+        sims = cosine_similarity_matrix(qvec, matrix)[0]
+        order = np.argsort(-sims)
+        if k is not None:
+            order = order[:k]
+        return [
+            WorkflowSemanticHit(
+                workflow_id=workflows[i].workflow_id,
+                entry_point=workflows[i].entry_point,
+                description=workflows[i].description,
+                score=float(sims[i]),
+            )
+            for i in order
+        ]
+
+
+@dataclass
+class WorkflowSemanticHit:
+    """One workflow-level semantic search result (the §8 extension)."""
+
+    workflow_id: int
+    entry_point: str
+    description: str
+    score: float
+
+    def to_json(self) -> dict:
+        return {
+            "workflowId": self.workflow_id,
+            "entryPoint": self.entry_point,
+            "description": self.description,
+            "score": round(float(self.score), 4),
+        }

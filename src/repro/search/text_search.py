@@ -1,0 +1,127 @@
+"""Text-based registry search (paper §4.1).
+
+Matches user text queries against workflow/PE names and descriptions
+with support for partial matching: querying ``prime`` finds the
+registered ``isPrime`` workflow (Figure 6).  Query and stored text are
+normalized in a preprocessing step (lowercasing, splitting identifiers)
+exactly as footnote 14 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.ml.tokenize import split_subtokens, tokenize_text
+from repro.registry.entities import PERecord, WorkflowRecord
+
+
+@dataclass
+class TextMatch:
+    """One text-search hit."""
+
+    kind: str  # "pe" | "workflow"
+    entity_id: int
+    name: str
+    description: str
+    matched_on: str  # "name" | "description" | "name+description"
+    score: float
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "id": self.entity_id,
+            "name": self.name,
+            "description": self.description,
+            "matchedOn": self.matched_on,
+            "score": round(self.score, 4),
+        }
+
+
+def normalize(text: str) -> str:
+    """Lowercased, subtoken-expanded view used for matching.
+
+    ``isPrime`` -> ``isprime is prime`` so both the raw name and its word
+    parts are searchable.
+    """
+    raw = text.lower()
+    words = []
+    for token in text.replace("-", " ").replace(".", " ").split():
+        words.extend(split_subtokens(token))
+    return " ".join([raw, *words])
+
+
+def _match_score(query: str, name: str, description: str) -> tuple[float, str]:
+    """Score a (name, description) pair against the normalized query.
+
+    Name substring hits dominate; description hits contribute per-word.
+    Returns (score, matched_on); score 0 means no match.
+    """
+    query_norm = normalize(query)
+    query_words = [
+        w for w in tokenize_text(query, synonyms=False, stemming=False) if w
+    ]
+    name_norm = normalize(name)
+    desc_norm = normalize(description or "")
+
+    score = 0.0
+    matched = []
+    if query.lower().strip() and query.lower().strip() in name_norm:
+        score += 2.0
+        matched.append("name")
+    name_hits = sum(1 for w in query_words if w in name_norm.split())
+    if name_hits and "name" not in matched:
+        score += 1.0 + 0.25 * name_hits
+        matched.append("name")
+    desc_hits = sum(1 for w in query_words if w in desc_norm.split())
+    if desc_hits:
+        score += 0.5 * desc_hits
+        matched.append("description")
+    return score, "+".join(matched) if matched else ""
+
+
+def text_search_workflows(
+    query: str, workflows: Sequence[WorkflowRecord]
+) -> list[TextMatch]:
+    """Rank workflows by partial text match on names/descriptions."""
+    hits: list[TextMatch] = []
+    for record in workflows:
+        best = 0.0
+        matched_on = ""
+        for name in (record.entry_point, record.workflow_name):
+            score, matched = _match_score(query, name, record.description)
+            if score > best:
+                best, matched_on = score, matched
+        if best > 0:
+            hits.append(
+                TextMatch(
+                    kind="workflow",
+                    entity_id=record.workflow_id,
+                    name=record.entry_point,
+                    description=record.description,
+                    matched_on=matched_on,
+                    score=best,
+                )
+            )
+    hits.sort(key=lambda h: (-h.score, h.entity_id))
+    return hits
+
+
+def text_search_pes(query: str, pes: Sequence[PERecord]) -> list[TextMatch]:
+    """Rank PEs by partial text match on names/descriptions."""
+    hits: list[TextMatch] = []
+    for record in pes:
+        score, matched_on = _match_score(query, record.pe_name, record.description)
+        if score > 0:
+            hits.append(
+                TextMatch(
+                    kind="pe",
+                    entity_id=record.pe_id,
+                    name=record.pe_name,
+                    description=record.description,
+                    matched_on=matched_on,
+                    score=score,
+                )
+            )
+    hits.sort(key=lambda h: (-h.score, h.entity_id))
+    return hits

@@ -1,0 +1,37 @@
+"""Code/data serialization substrate (paper §3.4.2).
+
+The web_client layer must package Workflows and PEs "in a format
+comprehensible to the execution engine".  The paper evaluated ``pickle``,
+``dill`` and ``cloudpickle`` and chose cloudpickle for its ability to
+serialize complex Python objects (classes, recursive structures) and to
+transmit code over networks; serialized byte strings are base64-encoded
+for portable storage in the Registry.
+
+This subpackage reproduces that stack:
+
+* :mod:`repro.serialization.codec` — the cloudpickle+base64 codec, plus a
+  source-text codec used for registry display/search and as the corpus
+  for embeddings.
+* :mod:`repro.serialization.imports` — an AST-based import analyzer (the
+  ``findimports`` substitute) powering the auto-import mechanism of §3.3.
+* :mod:`repro.serialization.resources` — packing/unpacking of the
+  ``resources/`` directory shipped with executions (§3.3, Listing 7).
+"""
+
+from repro.serialization.codec import (
+    deserialize_object,
+    extract_source,
+    serialize_object,
+)
+from repro.serialization.imports import ImportInfo, analyze_imports
+from repro.serialization.resources import pack_resources, unpack_resources
+
+__all__ = [
+    "serialize_object",
+    "deserialize_object",
+    "extract_source",
+    "ImportInfo",
+    "analyze_imports",
+    "pack_resources",
+    "unpack_resources",
+]

@@ -1,0 +1,116 @@
+"""The cloudpickle + base64 codec (paper §3.4.2).
+
+``serialize_object``/``deserialize_object`` are the exact transport format
+of the paper: cloudpickle bytes, base64-encoded into an ASCII string so
+the Registry can store code as text and the JSON wire format stays
+printable.
+
+``extract_source`` recovers the source text of a PE class or workflow
+builder — the Registry stores it alongside the pickle because the search
+stack (summarization, code embeddings, completion) operates on *source*,
+not on pickles.
+"""
+
+from __future__ import annotations
+
+import base64
+import inspect
+import pickle
+import textwrap
+from typing import Any
+
+import cloudpickle
+
+from repro.errors import SerializationError
+
+
+def serialize_object(obj: Any) -> str:
+    """Serialize ``obj`` to a base64 string via cloudpickle.
+
+    cloudpickle (rather than stdlib pickle) is required because PE classes
+    are typically defined in ``__main__`` or notebooks — environments whose
+    classes plain pickle serializes by reference only.
+    """
+    try:
+        payload = cloudpickle.dumps(obj)
+    except Exception as exc:
+        raise SerializationError(
+            f"cannot cloudpickle object of type {type(obj).__name__}",
+            params={"type": type(obj).__name__},
+            details=str(exc),
+        ) from exc
+    return base64.b64encode(payload).decode("ascii")
+
+
+def deserialize_object(data: str) -> Any:
+    """Inverse of :func:`serialize_object`."""
+    try:
+        payload = base64.b64decode(data.encode("ascii"), validate=True)
+    except Exception as exc:
+        raise SerializationError(
+            "payload is not valid base64",
+            details=str(exc),
+        ) from exc
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise SerializationError(
+            "payload is not a valid pickle",
+            details=str(exc),
+        ) from exc
+
+
+def serialize_with(obj: Any, codec: str) -> str:
+    """Serialize with a named codec — used by the serializer ablation.
+
+    ``cloudpickle`` (the paper's choice), ``pickle`` (stdlib; fails on
+    interactively defined classes) or ``source`` (source text only; cheap
+    but loses object state).
+    """
+    if codec == "cloudpickle":
+        return serialize_object(obj)
+    if codec == "pickle":
+        try:
+            return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+        except Exception as exc:
+            raise SerializationError(
+                f"stdlib pickle failed for {type(obj).__name__}",
+                details=str(exc),
+            ) from exc
+    if codec == "source":
+        return extract_source(obj)
+    raise SerializationError(
+        f"unknown codec {codec!r}",
+        params={"codec": codec},
+        details="expected 'cloudpickle', 'pickle' or 'source'",
+    )
+
+
+def extract_source(obj: Any) -> str:
+    """Best-effort source text of a class, function or instance.
+
+    Falls back through: the object itself -> its class -> a stored
+    ``__source__`` attribute (set when code was reconstructed from the
+    registry) -> error.
+    """
+    for candidate in (obj, type(obj)):
+        stored = getattr(candidate, "__source__", None)
+        if isinstance(stored, str) and stored.strip():
+            return textwrap.dedent(stored)
+        try:
+            return textwrap.dedent(inspect.getsource(candidate))
+        except (TypeError, OSError):
+            continue
+    raise SerializationError(
+        f"cannot locate source for object of type {type(obj).__name__}",
+        params={"type": type(obj).__name__},
+        details="define the PE in a file, or attach a __source__ attribute",
+    )
+
+
+def source_or_empty(obj: Any) -> str:
+    """Like :func:`extract_source` but returns '' instead of raising."""
+    try:
+        return extract_source(obj)
+    except SerializationError:
+        return ""

@@ -1,0 +1,91 @@
+"""Resource-directory packing (paper §3.3, Listing 7).
+
+Workflows may need auxiliary files (e.g. ``resources/coordinates.txt``
+for the Internal Extinction workflow).  Users compile them in a
+``resources`` directory; the client packs it, the payload travels with
+the execution request, and the Execution Engine unpacks it into its own
+working directory before enactment — "a sequence of copying,
+serialization, and deserialization steps".
+
+The pack format is an in-memory tar archive, base64-encoded like every
+other binary payload in the system.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import tarfile
+from pathlib import Path
+
+from repro.errors import SerializationError
+
+#: safety cap on a single packed resource payload (64 MiB decoded)
+_MAX_PACKED_BYTES = 64 * 1024 * 1024
+
+
+def pack_resources(directory: str | Path) -> str:
+    """Pack ``directory`` into a base64 tar payload.
+
+    File contents and relative paths are preserved; symlinks and anything
+    pointing outside the directory are rejected (the engine must never
+    unpack attacker-controlled paths).
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        raise SerializationError(
+            f"resources directory {str(root)!r} does not exist",
+            params={"directory": str(root)},
+        )
+    buffer = io.BytesIO()
+    with tarfile.open(fileobj=buffer, mode="w:gz") as archive:
+        for path in sorted(root.rglob("*")):
+            if path.is_symlink():
+                raise SerializationError(
+                    f"refusing to pack symlink {str(path)!r}",
+                    params={"path": str(path)},
+                )
+            if path.is_file():
+                archive.add(path, arcname=str(path.relative_to(root)))
+    payload = buffer.getvalue()
+    if len(payload) > _MAX_PACKED_BYTES:
+        raise SerializationError(
+            f"packed resources exceed {_MAX_PACKED_BYTES} bytes",
+            params={"size": len(payload)},
+        )
+    return base64.b64encode(payload).decode("ascii")
+
+
+def unpack_resources(payload: str, target: str | Path) -> list[str]:
+    """Unpack a payload produced by :func:`pack_resources` into ``target``.
+
+    Returns the list of relative paths written.  Member paths are
+    validated to stay inside ``target``.
+    """
+    root = Path(target)
+    root.mkdir(parents=True, exist_ok=True)
+    try:
+        raw = base64.b64decode(payload.encode("ascii"), validate=True)
+    except Exception as exc:
+        raise SerializationError(
+            "resource payload is not valid base64", details=str(exc)
+        ) from exc
+    written: list[str] = []
+    try:
+        with tarfile.open(fileobj=io.BytesIO(raw), mode="r:gz") as archive:
+            for member in archive.getmembers():
+                if not member.isfile():
+                    continue
+                member_path = (root / member.name).resolve()
+                if not str(member_path).startswith(str(root.resolve())):
+                    raise SerializationError(
+                        f"archive member escapes target: {member.name!r}",
+                        params={"member": member.name},
+                    )
+                archive.extract(member, root)
+                written.append(member.name)
+    except tarfile.TarError as exc:
+        raise SerializationError(
+            "resource payload is not a valid tar archive", details=str(exc)
+        ) from exc
+    return sorted(written)

@@ -1,0 +1,18 @@
+"""The Laminar Server (paper §3.2).
+
+Layered design: Controller (request handling + the Laminar API of
+Table 3), Service (business logic), Model (entities), DAO (storage).
+Data exchange is JSON; error handling renders every
+:class:`~repro.errors.ReproError` into the standardized envelope of
+§3.2.5.
+
+:class:`LaminarServer` assembles the layers.  It is transport-agnostic:
+dispatch a :class:`~repro.net.transport.Request` directly (in-process,
+possibly latency-shaped), or mount it behind the stdlib HTTP adapter in
+:mod:`repro.server.http` for a real socket deployment.
+"""
+
+from repro.server.api import Router
+from repro.server.app import LaminarServer
+
+__all__ = ["LaminarServer", "Router"]

@@ -1,0 +1,67 @@
+"""API routing — the Laminar API endpoint table (paper Table 3).
+
+A tiny path router: patterns are ``/``-separated with ``{param}``
+placeholders; path segments are URL-decoded before matching so search
+strings containing spaces or slashes survive the round trip.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import NotFoundError
+from repro.net.transport import Request, Response
+
+Handler = Callable[[Request, dict[str, str]], Response]
+
+
+@dataclass(frozen=True)
+class Route:
+    method: str
+    pattern: str
+    segments: tuple[str, ...]
+    handler: Handler
+
+    def match(self, method: str, parts: tuple[str, ...]) -> dict[str, str] | None:
+        if method != self.method or len(parts) != len(self.segments):
+            return None
+        params: dict[str, str] = {}
+        for expected, actual in zip(self.segments, parts):
+            if expected.startswith("{") and expected.endswith("}"):
+                params[expected[1:-1]] = urllib.parse.unquote(actual)
+            elif expected != actual:
+                return None
+        return params
+
+
+class Router:
+    """Method+path pattern matching for the controller layer."""
+
+    def __init__(self) -> None:
+        self._routes: list[Route] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        segments = tuple(s for s in pattern.strip("/").split("/") if s)
+        self._routes.append(Route(method.upper(), pattern, segments, handler))
+
+    def resolve(self, method: str, path: str) -> tuple[Handler, dict[str, str]]:
+        parts = tuple(s for s in path.strip("/").split("/") if s)
+        for route in self._routes:
+            params = route.match(method.upper(), parts)
+            if params is not None:
+                return route.handler, params
+        raise NotFoundError(
+            f"no route for {method.upper()} {path}",
+            params={"method": method, "path": path},
+        )
+
+    def endpoints(self) -> list[tuple[str, str]]:
+        """(method, pattern) pairs — used to assert Table 3 coverage."""
+        return [(route.method, route.pattern) for route in self._routes]
+
+
+def quote_segment(value: str) -> str:
+    """URL-encode a value destined for one path segment."""
+    return urllib.parse.quote(str(value), safe="")

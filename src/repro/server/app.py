@@ -1,0 +1,161 @@
+"""LaminarServer — assembling the layered architecture (paper §3.2).
+
+The server wires Controller -> Service -> DAO together, owns the token
+store, and converts every :class:`~repro.errors.ReproError` raised
+anywhere below into the standardized JSON error envelope of §3.2.5.
+"""
+
+from __future__ import annotations
+
+import secrets
+import traceback
+
+from repro.engine import ExecutionEngine
+from repro.errors import ReproError
+from repro.ml.bundle import ModelBundle
+from repro.net.transport import Request, Response
+from repro.registry import InMemoryDAO, RegistryDAO, RegistryService
+from repro.search import CodeSearcher, SemanticSearcher
+from repro.server.api import Router
+from repro.server.controllers import (
+    EngineController,
+    ExecutionController,
+    PEController,
+    RegistryController,
+    UserController,
+    WorkflowController,
+)
+
+
+class LaminarServer:
+    """The coordinating element of the framework.
+
+    Parameters
+    ----------
+    dao:
+        Registry storage backend (defaults to in-memory).
+    engine:
+        The Execution Engine serving ``/execution/{user}/run``.
+    models:
+        The model bundle used for server-side summarization/embedding
+        fallbacks and search.
+    """
+
+    def __init__(
+        self,
+        dao: RegistryDAO | None = None,
+        engine: ExecutionEngine | None = None,
+        models: ModelBundle | None = None,
+    ) -> None:
+        from repro.engine import EnginePool
+
+        self.registry = RegistryService(dao or InMemoryDAO())
+        #: named Execution Engines (§3.3/§8 future work: multiple engines
+        #: registered at one server); ``engine`` becomes the default
+        self.engines = EnginePool(engine)
+        self.models = models or ModelBundle.default()
+        self.semantic = SemanticSearcher(self.models.code_search)
+        self.code_search = CodeSearcher(self.models.completion)
+        self._tokens: dict[str, str] = {}
+        self.router = Router()
+        self._install_routes()
+
+    # ------------------------------------------------------------------
+    # Auth token management
+    # ------------------------------------------------------------------
+    def issue_token(self, user_name: str) -> str:
+        token = secrets.token_hex(16)
+        self._tokens[token] = user_name
+        return token
+
+    def token_user(self, token: str | None) -> str | None:
+        if token is None:
+            return None
+        return self._tokens.get(token)
+
+    def revoke_token(self, token: str) -> None:
+        self._tokens.pop(token, None)
+
+    # ------------------------------------------------------------------
+    # Routing — the endpoint table of paper Table 3, verbatim
+    # ------------------------------------------------------------------
+    def _install_routes(self) -> None:
+        users = UserController(self)
+        pes = PEController(self)
+        workflows = WorkflowController(self)
+        execution = ExecutionController(self)
+        registry = RegistryController(self)
+        add = self.router.add
+
+        # PE controller
+        add("POST", "/registry/{user}/pe/add", pes.add)
+        add("GET", "/registry/{user}/pe/all", pes.all_pes)
+        add("GET", "/registry/{user}/pe/id/{id}", pes.by_id)
+        add("GET", "/registry/{user}/pe/name/{name}", pes.by_name)
+        add("DELETE", "/registry/{user}/pe/remove/id/{id}", pes.remove_by_id)
+        add("DELETE", "/registry/{user}/pe/remove/name/{name}", pes.remove_by_name)
+
+        # Workflow controller
+        add("POST", "/registry/{user}/workflow/add", workflows.add)
+        add("GET", "/registry/{user}/workflow/all", workflows.all_workflows)
+        add("GET", "/registry/{user}/workflow/id/{id}", workflows.by_id)
+        add("GET", "/registry/{user}/workflow/name/{name}", workflows.by_name)
+        add("GET", "/registry/{user}/workflow/pes/id/{id}", workflows.pes_by_id)
+        add("GET", "/registry/{user}/workflow/pes/name/{name}", workflows.pes_by_name)
+        add(
+            "DELETE",
+            "/registry/{user}/workflow/remove/id/{id}",
+            workflows.remove_by_id,
+        )
+        add(
+            "DELETE",
+            "/registry/{user}/workflow/remove/name/{name}",
+            workflows.remove_by_name,
+        )
+        add(
+            "PUT",
+            "/registry/{user}/workflow/{workflowId}/pe/{peId}",
+            workflows.link_pe,
+        )
+
+        # Execution controller
+        add("POST", "/execution/{user}/run", execution.run)
+
+        # Registry controller
+        add("GET", "/registry/{user}/all", registry.all_items)
+        add("GET", "/registry/{user}/search/{search}/type/{type}", registry.search)
+
+        # User controller
+        add("GET", "/auth/all", users.all_users)
+        add("POST", "/auth/login", users.login)
+        add("POST", "/auth/register", users.register)
+
+        # Engine controller (extension: §3.3/§8 multiple Execution Engines)
+        engines = EngineController(self)
+        add("GET", "/engines/{user}/all", engines.all_engines)
+        add("POST", "/engines/{user}/register", engines.register)
+        add("DELETE", "/engines/{user}/remove/{name}", engines.remove)
+
+    # ------------------------------------------------------------------
+    # Dispatch with standardized error handling (paper §3.2.5)
+    # ------------------------------------------------------------------
+    def dispatch(self, request: Request) -> Response:
+        try:
+            handler, params = self.router.resolve(request.method, request.path)
+            return handler(request, params)
+        except ReproError as exc:
+            return Response(exc.code, exc.to_json())
+        except Exception as exc:  # unforeseen behaviour -> 500 envelope
+            return Response(
+                500,
+                {
+                    "error": "InternalError",
+                    "code": 500,
+                    "message": f"{type(exc).__name__}: {exc}",
+                    "details": traceback.format_exc(limit=5),
+                },
+            )
+
+    def endpoints(self) -> list[tuple[str, str]]:
+        """The (method, pattern) table — mirrors paper Table 3."""
+        return self.router.endpoints()

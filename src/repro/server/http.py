@@ -1,0 +1,153 @@
+"""Real HTTP deployment adapter (stdlib-only).
+
+The in-process transport is the default (and the only option exercised
+by the offline benchmarks), but Laminar's architecture is a genuine
+server-client split; this module lets a :class:`LaminarServer` listen on
+a real socket and a client connect to it over HTTP:
+
+* :func:`serve_http` — mount a server on a ``ThreadingHTTPServer``.
+* :class:`HttpTransport` — a :class:`~repro.net.transport.Transport`
+  speaking the same JSON protocol over ``urllib``.
+
+Wire protocol: request bodies are JSON (also for GET/DELETE, matching
+the in-process transport); the auth token travels as a Bearer header;
+responses are JSON with the dispatch status code.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.errors import TransportError
+from repro.net.transport import Request, Response, Transport
+
+
+class _LaminarHTTPHandler(BaseHTTPRequestHandler):
+    """Translates HTTP requests into server.dispatch calls."""
+
+    server_version = "LaminarRepro/1.0"
+    #: injected by serve_http
+    laminar = None
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return {}
+        return body if isinstance(body, dict) else {}
+
+    def _token(self) -> str | None:
+        header = self.headers.get("Authorization", "")
+        if header.startswith("Bearer "):
+            return header[len("Bearer "):].strip()
+        return None
+
+    def _handle(self, method: str) -> None:
+        request = Request(method, self.path, self._read_body(), self._token())
+        response = self.laminar.dispatch(request)
+        payload = json.dumps(response.body).encode("utf-8")
+        self.send_response(response.status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._handle("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._handle("DELETE")
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request logging (tests run many requests)."""
+
+
+class HttpServerHandle:
+    """A running HTTP deployment; use as a context manager."""
+
+    def __init__(self, httpd: ThreadingHTTPServer, thread: threading.Thread) -> None:
+        self._httpd = httpd
+        self._thread = thread
+        self.host, self.port = httpd.server_address[0], httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "HttpServerHandle":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+
+def serve_http(
+    laminar_server: Any, host: str = "127.0.0.1", port: int = 0
+) -> HttpServerHandle:
+    """Serve ``laminar_server`` over HTTP on a background thread.
+
+    ``port=0`` picks a free port; the handle exposes the bound URL.
+    """
+    handler = type(
+        "_BoundHandler", (_LaminarHTTPHandler,), {"laminar": laminar_server}
+    )
+    httpd = ThreadingHTTPServer((host, port), handler)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    return HttpServerHandle(httpd, thread)
+
+
+class HttpTransport(Transport):
+    """Client-side transport speaking the Laminar JSON protocol over HTTP."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def request(self, request: Request) -> Response:
+        payload = json.dumps(request.body).encode("utf-8")
+        http_request = urllib.request.Request(
+            self.base_url + request.path,
+            data=payload,
+            method=request.method,
+            headers={"Content-Type": "application/json"},
+        )
+        if request.token:
+            http_request.add_header("Authorization", f"Bearer {request.token}")
+        try:
+            with urllib.request.urlopen(
+                http_request, timeout=self.timeout
+            ) as reply:
+                return Response(reply.status, json.loads(reply.read().decode()))
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode())
+            except Exception:
+                body = {"error": "InternalError", "message": str(exc)}
+            return Response(exc.code, body)
+        except urllib.error.URLError as exc:
+            raise TransportError(
+                f"cannot reach Laminar server at {self.base_url}",
+                params={"url": self.base_url},
+                details=str(exc),
+            ) from exc

@@ -1,0 +1,34 @@
+"""The paper's computational showcases (§5).
+
+* :mod:`repro.workflows.isprime` — the IsPrime workflow of Listing 3 /
+  Figure 1 (NumberProducer -> IsPrime -> PrintPrime).
+* :mod:`repro.workflows.astrophysics` — the Internal Extinction workflow
+  of Figure 10 (readRaDec -> getVoTable -> filterColumns -> internalExt),
+  built on the synthetic Virtual Observatory substrate.
+"""
+
+from repro.workflows.isprime import (
+    IsPrime,
+    NumberProducer,
+    PrintPrime,
+    build_isprime_graph,
+)
+from repro.workflows.astrophysics import (
+    FilterColumns,
+    GetVOTable,
+    InternalExtinction,
+    ReadRaDec,
+    build_internal_extinction_graph,
+)
+
+__all__ = [
+    "NumberProducer",
+    "IsPrime",
+    "PrintPrime",
+    "build_isprime_graph",
+    "ReadRaDec",
+    "GetVOTable",
+    "FilterColumns",
+    "InternalExtinction",
+    "build_internal_extinction_graph",
+]

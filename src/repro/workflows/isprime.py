@@ -1,0 +1,62 @@
+"""The IsPrime workflow — Listing 3 / Figures 1 and 9 of the paper.
+
+NumberProducer streams random numbers, IsPrime filters primes through,
+PrintPrime prints them.  PE code follows the paper's listings (with the
+classic Listing 3 edge cases fixed: 0/1 are not prime, 2 is).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dataflow.core import ConsumerPE, IterativePE, ProducerPE
+from repro.dataflow.graph import WorkflowGraph
+
+
+class NumberProducer(ProducerPE):
+    """Stateless PE streaming random integers (Listing 1 / PE1)."""
+
+    def __init__(self) -> None:
+        ProducerPE.__init__(self)
+
+    def _process(self):
+        # Generate a random number
+        result = random.randint(1, 1000)
+        # Return the number as the output
+        return result
+
+
+class IsPrime(IterativePE):
+    """Checks primality and forwards only primes (Listing 3 / PE2)."""
+
+    def __init__(self) -> None:
+        IterativePE.__init__(self)
+
+    def _process(self, num):
+        print("before checking data - %s - is prime or not" % num)
+        # Check if the given input (num) is prime
+        if num >= 2 and all(num % i != 0 for i in range(2, int(num**0.5) + 1)):
+            # Only if the input is prime, the value is returned
+            return num
+
+
+class PrintPrime(ConsumerPE):
+    """Prints the primes that reach it (Listing 3 / PE3)."""
+
+    def __init__(self) -> None:
+        ConsumerPE.__init__(self)
+
+    def _process(self, num):
+        # Print the input (num)
+        print("the num %s is prime" % num)
+
+
+def build_isprime_graph(name: str = "isPrime") -> WorkflowGraph:
+    """Assemble the three-PE graph of Listing 3."""
+    pe1 = NumberProducer()
+    pe2 = IsPrime()
+    pe3 = PrintPrime()
+    graph = WorkflowGraph(name)
+    graph.connect(pe1, "output", pe2, "input")
+    graph.connect(pe2, "output", pe3, "input")
+    return graph

@@ -1,0 +1,385 @@
+"""A library of reusable Processing Elements.
+
+The paper's Figure 7 scenario shows a registry holding 22 PEs and five
+workflows.  This module provides that population: a realistic spread of
+producers, transformers, aggregators and sinks across the text, numeric
+and streaming-statistics domains, each with a docstring (so automatic
+summarization and semantic search have real material to work with).
+
+Every PE is self-contained: imports needed by ``_process`` happen inside
+methods (the dispel4py idiom of Listing 2), so the auto-import analyzer
+detects them.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.core import ConsumerPE, GenericPE, IterativePE, ProducerPE
+
+
+# ----------------------------------------------------------------------
+# Producers
+# ----------------------------------------------------------------------
+
+class RandomIntegerProducer(ProducerPE):
+    """Produce random integers between 1 and 1000."""
+
+    def __init__(self) -> None:
+        ProducerPE.__init__(self)
+
+    def _process(self):
+        import random
+
+        return random.randint(1, 1000)
+
+
+class RandomFloatProducer(ProducerPE):
+    """Produce random floating point numbers in [0, 1)."""
+
+    def __init__(self) -> None:
+        ProducerPE.__init__(self)
+
+    def _process(self):
+        import random
+
+        return random.random()
+
+
+class CounterProducer(ProducerPE):
+    """Produce an increasing sequence of integers starting from zero."""
+
+    def __init__(self) -> None:
+        ProducerPE.__init__(self)
+        self.next_value = 0
+
+    def _process(self):
+        value = self.next_value
+        self.next_value += 1
+        return value
+
+
+class SentenceProducer(ProducerPE):
+    """Produce short example sentences for text processing pipelines."""
+
+    SENTENCES = (
+        "the quick brown fox jumps over the lazy dog",
+        "a journey of a thousand miles begins with a single step",
+        "to be or not to be that is the question",
+        "all that glitters is not gold",
+    )
+
+    def __init__(self) -> None:
+        ProducerPE.__init__(self)
+        self.cursor = 0
+
+    def _process(self):
+        sentence = self.SENTENCES[self.cursor % len(self.SENTENCES)]
+        self.cursor += 1
+        return sentence
+
+
+class GaussianProducer(ProducerPE):
+    """Produce normally distributed samples with mean 0 and sigma 1."""
+
+    def __init__(self) -> None:
+        ProducerPE.__init__(self)
+
+    def _process(self):
+        import random
+
+        return random.gauss(0.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# Numeric transformers
+# ----------------------------------------------------------------------
+
+class SquareNumber(IterativePE):
+    """Square each incoming number."""
+
+    def __init__(self) -> None:
+        IterativePE.__init__(self)
+
+    def _process(self, num):
+        return num * num
+
+class DoubleNumber(IterativePE):
+    """Double each incoming number."""
+
+    def __init__(self) -> None:
+        IterativePE.__init__(self)
+
+    def _process(self, num):
+        return num * 2
+
+
+class IsEven(IterativePE):
+    """Forward only even numbers."""
+
+    def __init__(self) -> None:
+        IterativePE.__init__(self)
+
+    def _process(self, num):
+        if num % 2 == 0:
+            return num
+
+
+class AbsoluteValue(IterativePE):
+    """Replace each number with its absolute value."""
+
+    def __init__(self) -> None:
+        IterativePE.__init__(self)
+
+    def _process(self, num):
+        return abs(num)
+
+
+class ClampValue(IterativePE):
+    """Clamp each incoming number into the range [0, 100]."""
+
+    def __init__(self) -> None:
+        IterativePE.__init__(self)
+
+    def _process(self, num):
+        return max(0, min(100, num))
+
+
+class SquareRoot(IterativePE):
+    """Compute the square root of each non-negative input."""
+
+    def __init__(self) -> None:
+        IterativePE.__init__(self)
+
+    def _process(self, num):
+        import math
+
+        if num >= 0:
+            return math.sqrt(num)
+
+
+# ----------------------------------------------------------------------
+# Text transformers
+# ----------------------------------------------------------------------
+
+class Tokenizer(IterativePE):
+    """Split each sentence into (word, 1) pairs for counting."""
+
+    def __init__(self) -> None:
+        IterativePE.__init__(self)
+
+    def _process(self, sentence):
+        for word in sentence.lower().split():
+            self.write("output", (word, 1))
+
+
+class UppercaseText(IterativePE):
+    """Convert each text item to upper case."""
+
+    def __init__(self) -> None:
+        IterativePE.__init__(self)
+
+    def _process(self, text):
+        return text.upper()
+
+
+class StripPunctuation(IterativePE):
+    """Remove punctuation characters from each text item."""
+
+    def __init__(self) -> None:
+        IterativePE.__init__(self)
+
+    def _process(self, text):
+        import string
+
+        return text.translate(str.maketrans("", "", string.punctuation))
+
+
+class WordLengths(IterativePE):
+    """Map each sentence to the list of its word lengths."""
+
+    def __init__(self) -> None:
+        IterativePE.__init__(self)
+
+    def _process(self, sentence):
+        return [len(word) for word in sentence.split()]
+
+
+class FindNumbers(IterativePE):
+    """Extract all integer substrings from each text item."""
+
+    def __init__(self) -> None:
+        IterativePE.__init__(self)
+
+    def _process(self, text):
+        import re
+
+        found = re.findall(r"\d+", text)
+        if found:
+            return [int(x) for x in found]
+
+
+# ----------------------------------------------------------------------
+# Stateful aggregators
+# ----------------------------------------------------------------------
+
+class CountWords(GenericPE):
+    """Count word frequencies with a group-by on the word (Listing 2)."""
+
+    def __init__(self) -> None:
+        from collections import defaultdict
+
+        GenericPE.__init__(self)
+        self._add_input("input", grouping=[0])
+        self._add_output("output")
+        self.count = defaultdict(int)
+
+    def _process(self, inputs):
+        word, count = inputs["input"]
+        self.count[word] += count
+
+    def _postprocess(self):
+        for word, count in sorted(self.count.items()):
+            self.write("output", (word, count))
+
+
+class RunningSum(GenericPE):
+    """Accumulate the sum of all inputs, emitting the total at the end."""
+
+    def __init__(self) -> None:
+        GenericPE.__init__(self)
+        self._add_input("input", grouping="global")
+        self._add_output("output")
+        self.total = 0
+
+    def _process(self, inputs):
+        self.total += inputs["input"]
+
+    def _postprocess(self):
+        self.write("output", self.total)
+
+
+class StreamStatistics(GenericPE):
+    """Track count, mean, minimum and maximum of a numeric stream."""
+
+    def __init__(self) -> None:
+        GenericPE.__init__(self)
+        self._add_input("input", grouping="global")
+        self._add_output("output")
+        self.count = 0
+        self.total = 0.0
+        self.minimum = None
+        self.maximum = None
+
+    def _process(self, inputs):
+        value = inputs["input"]
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def _postprocess(self):
+        if self.count:
+            self.write(
+                "output",
+                {
+                    "count": self.count,
+                    "mean": self.total / self.count,
+                    "min": self.minimum,
+                    "max": self.maximum,
+                },
+            )
+
+
+class TopK(GenericPE):
+    """Keep the k largest values seen on the stream (k=5 by default)."""
+
+    def __init__(self, k: int = 5) -> None:
+        GenericPE.__init__(self)
+        self._add_input("input", grouping="global")
+        self._add_output("output")
+        self.k = k
+        self.heap = []
+
+    def _process(self, inputs):
+        import heapq
+
+        heapq.heappush(self.heap, inputs["input"])
+        if len(self.heap) > self.k:
+            heapq.heappop(self.heap)
+
+    def _postprocess(self):
+        self.write("output", sorted(self.heap, reverse=True))
+
+
+class DeduplicateStream(GenericPE):
+    """Forward each distinct value only once."""
+
+    def __init__(self) -> None:
+        GenericPE.__init__(self)
+        self._add_input("input", grouping="global")
+        self._add_output("output")
+        self.seen = set()
+
+    def _process(self, inputs):
+        value = inputs["input"]
+        if value not in self.seen:
+            self.seen.add(value)
+            self.write("output", value)
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+
+class PrintSink(ConsumerPE):
+    """Print every incoming data unit."""
+
+    def __init__(self) -> None:
+        ConsumerPE.__init__(self)
+
+    def _process(self, data):
+        print(data)
+
+
+class CollectList(GenericPE):
+    """Collect every input into a list emitted when the stream ends."""
+
+    def __init__(self) -> None:
+        GenericPE.__init__(self)
+        self._add_input("input", grouping="global")
+        self._add_output("output")
+        self.items = []
+
+    def _process(self, inputs):
+        self.items.append(inputs["input"])
+
+    def _postprocess(self):
+        self.write("output", list(self.items))
+
+
+#: the full library — 22 PEs, matching the paper's Figure 7 registry size
+ALL_LIBRARY_PES: tuple[type, ...] = (
+    RandomIntegerProducer,
+    RandomFloatProducer,
+    CounterProducer,
+    SentenceProducer,
+    GaussianProducer,
+    SquareNumber,
+    DoubleNumber,
+    IsEven,
+    AbsoluteValue,
+    ClampValue,
+    SquareRoot,
+    Tokenizer,
+    UppercaseText,
+    StripPunctuation,
+    WordLengths,
+    FindNumbers,
+    CountWords,
+    RunningSum,
+    StreamStatistics,
+    TopK,
+    DeduplicateStream,
+    PrintSink,
+)

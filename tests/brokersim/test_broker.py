@@ -1,0 +1,150 @@
+"""Tests for the simulated Redis broker."""
+
+import multiprocessing as mp
+import time
+
+import pytest
+
+from repro.brokersim import BrokerServer
+from repro.errors import MappingError
+
+
+@pytest.fixture()
+def broker():
+    server = BrokerServer(n_clients=4)
+    server.start()
+    yield server
+    server.shutdown()
+
+
+class TestLists:
+    def test_rpush_blpop_fifo(self, broker):
+        client = broker.client(0)
+        client.rpush("queue", "a")
+        client.rpush("queue", "b", "c")
+        assert client.blpop("queue", timeout=1.0) == ("queue", "a")
+        assert client.blpop("queue", timeout=1.0) == ("queue", "b")
+        assert client.blpop("queue", timeout=1.0) == ("queue", "c")
+
+    def test_lpush_prepends(self, broker):
+        client = broker.client(0)
+        client.rpush("queue", "middle")
+        client.lpush("queue", "front")
+        assert client.lpop("queue") == "front"
+
+    def test_llen_and_lrange(self, broker):
+        client = broker.client(0)
+        client.rpush("queue", 1, 2, 3)
+        assert client.llen("queue") == 3
+        assert client.lrange("queue", 0, -1) == [1, 2, 3]
+        assert client.lrange("queue", 1, 1) == [2]
+
+    def test_lpop_empty_returns_none(self, broker):
+        assert broker.client(0).lpop("missing") is None
+
+    def test_blpop_timeout_returns_none(self, broker):
+        client = broker.client(0)
+        t0 = time.monotonic()
+        assert client.blpop("empty", timeout=0.2) is None
+        assert time.monotonic() - t0 >= 0.15
+
+    def test_blpop_woken_by_push_from_other_client(self, broker):
+        waiter, pusher = broker.client(0), broker.client(1)
+
+        def push_later():
+            time.sleep(0.1)
+            pusher.rpush("channel", "payload")
+
+        import threading
+
+        thread = threading.Thread(target=push_later)
+        thread.start()
+        result = waiter.blpop("channel", timeout=5.0)
+        thread.join()
+        assert result == ("channel", "payload")
+
+    def test_pickled_values_round_trip(self, broker):
+        client = broker.client(0)
+        payload = {"nested": [1, (2, 3)], "name": "x"}
+        client.rpush("objects", payload)
+        assert client.blpop("objects", timeout=1.0)[1] == payload
+
+
+class TestStringsAndHashes:
+    def test_set_get(self, broker):
+        client = broker.client(0)
+        client.set("key", 42)
+        assert client.get("key") == 42
+        assert client.get("missing") is None
+
+    def test_incr(self, broker):
+        client = broker.client(0)
+        assert client.incr("counter") == 1
+        assert client.incr("counter") == 2
+
+    def test_hset_hget_hgetall(self, broker):
+        client = broker.client(0)
+        client.hset("hash", "a", 1)
+        client.hset("hash", "b", 2)
+        assert client.hget("hash", "a") == 1
+        assert client.hget("hash", "missing") is None
+        assert client.hgetall("hash") == {"a": 1, "b": 2}
+
+    def test_delete_and_keys(self, broker):
+        client = broker.client(0)
+        client.set("s", 1)
+        client.rpush("l", 1)
+        client.hset("h", "f", 1)
+        assert sorted(client.keys()) == ["h", "l", "s"]
+        assert client.delete("s") == 1
+        assert client.delete("s") == 0
+        assert client.get("s") is None
+
+
+class TestProtocol:
+    def test_ping(self, broker):
+        assert broker.client(0).ping() == "PONG"
+
+    def test_unknown_command_raises(self, broker):
+        client = broker.client(0)
+        with pytest.raises(MappingError, match="unknown command"):
+            client._call("FLUSHALL")
+
+    def test_client_id_out_of_range(self, broker):
+        with pytest.raises(MappingError, match="out of range"):
+            broker.client(99)
+
+    def test_context_manager_shutdown(self):
+        with BrokerServer(n_clients=1) as server:
+            assert server.client(0).ping() == "PONG"
+        # after exit the broker process is gone
+        assert not server._process.is_alive()
+
+    def test_shutdown_idempotent(self, broker):
+        broker.shutdown()
+        broker.shutdown()
+
+
+def _worker_pushes(client, n):
+    for i in range(n):
+        client.rpush("shared", i)
+
+
+class TestMultiProcess:
+    def test_concurrent_pushers_from_processes(self, broker):
+        n_each = 25
+        procs = [
+            mp.Process(target=_worker_pushes, args=(broker.client(i + 1), n_each))
+            for i in range(3)
+        ]
+        for proc in procs:
+            proc.start()
+        collected = []
+        client = broker.client(0)
+        for _ in range(3 * n_each):
+            popped = client.blpop("shared", timeout=10.0)
+            assert popped is not None
+            collected.append(popped[1])
+        for proc in procs:
+            proc.join(timeout=5.0)
+        assert sorted(collected) == sorted(list(range(n_each)) * 3)

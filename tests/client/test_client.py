@@ -1,0 +1,219 @@
+"""End-to-end tests of the thirteen client functions (§3.4.1)."""
+
+import pytest
+
+from repro.dataflow.graph import WorkflowGraph
+from repro.errors import (
+    AuthenticationError,
+    DuplicateError,
+    NotFoundError,
+    ReproError,
+    ValidationError,
+)
+from tests.helpers import (
+    AddTen,
+    Collector,
+    EvenFilter,
+    OneToTenProducer,
+    build_pipeline_graph,
+)
+
+
+class TestAuth:
+    def test_register_and_login(self, stack_client):
+        # fixture already registered+logged in; register another user
+        body = stack_client.register("other", "pw")
+        assert body["userName"] == "other"
+
+    def test_duplicate_register_raises_client_side(self, stack_client):
+        with pytest.raises(DuplicateError):
+            stack_client.register("tester", "again")
+
+    def test_login_failure_raises(self, stack_client):
+        with pytest.raises(AuthenticationError):
+            stack_client.login("tester", "wrong-password")
+
+    def test_functions_require_login(self, fast_bundle):
+        from repro.client import LaminarClient, local_stack
+
+        client = LaminarClient(local_stack(models=fast_bundle), models=fast_bundle, echo=False)
+        with pytest.raises(ReproError, match="not logged in"):
+            client.get_Registry()
+
+
+class TestPERegistration:
+    def test_register_pe_with_description(self, stack_client):
+        body = stack_client.register_PE(AddTen, "Adds ten to each number")
+        assert body["peName"] == "AddTen"
+        assert body["description"] == "Adds ten to each number"
+        assert body["descriptionOrigin"] == "user"
+        assert body["peId"] >= 1
+
+    def test_register_pe_auto_summarized(self, stack_client):
+        body = stack_client.register_PE(EvenFilter)
+        assert body["descriptionOrigin"] == "auto"
+        assert len(body["description"]) > 5
+
+    def test_register_pe_instance_uses_class(self, stack_client):
+        body = stack_client.register_PE(OneToTenProducer())
+        assert body["peName"] == "OneToTenProducer"
+
+    def test_register_non_pe_rejected(self, stack_client):
+        with pytest.raises(ValidationError, match="PE class or instance"):
+            stack_client.register_PE(42)
+
+    def test_get_pe_returns_usable_class(self, stack_client):
+        stack_client.register_PE(AddTen)
+        cls = stack_client.get_PE("AddTen")
+        assert cls().process({"input": 1})[0].value == 11
+
+    def test_get_pe_by_id(self, stack_client):
+        pe_id = stack_client.register_PE(AddTen)["peId"]
+        cls = stack_client.get_PE(pe_id)
+        assert cls.__name__ == "AddTen"
+
+    def test_remove_pe_by_name_and_id(self, stack_client):
+        stack_client.register_PE(AddTen)
+        assert stack_client.remove_PE("AddTen") is True
+        pe_id = stack_client.register_PE(EvenFilter)["peId"]
+        assert stack_client.remove_PE(pe_id) is True
+        with pytest.raises(NotFoundError):
+            stack_client.get_PE("AddTen")
+
+
+class TestWorkflowRegistration:
+    def test_register_workflow_registers_pes(self, stack_client):
+        body = stack_client.register_Workflow(
+            build_pipeline_graph(), "pipeline", "adds ten and collects"
+        )
+        assert body["entryPoint"] == "pipeline"
+        assert len(body["peIds"]) == 3
+        pes = stack_client.get_PEs_By_Workflow("pipeline")
+        assert {p["peName"] for p in pes} == {
+            "OneToTenProducer", "AddTen", "Collector",
+        }
+
+    def test_get_workflow_round_trip(self, stack_client):
+        stack_client.register_Workflow(build_pipeline_graph(), "pipeline")
+        graph = stack_client.get_Workflow("pipeline")
+        assert isinstance(graph, WorkflowGraph)
+        assert len(graph) == 3
+
+    def test_remove_workflow(self, stack_client):
+        stack_client.register_Workflow(build_pipeline_graph(), "pipeline")
+        assert stack_client.remove_Workflow("pipeline") is True
+        with pytest.raises(NotFoundError):
+            stack_client.get_Workflow("pipeline")
+
+    def test_get_registry_lists_everything(self, stack_client):
+        stack_client.register_PE(AddTen)
+        stack_client.register_Workflow(build_pipeline_graph(), "pipeline")
+        registry = stack_client.get_Registry()
+        names = {p["peName"] for p in registry["pes"]}
+        assert "AddTen" in names
+        assert [w["entryPoint"] for w in registry["workflows"]] == ["pipeline"]
+
+    def test_describe_prints_info(self, stack_client, capsys):
+        stack_client.echo = True
+        stack_client.register_PE(AddTen, "adds ten")
+        stack_client.describe("AddTen")
+        assert "adds ten" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_registered_workflow_by_name(self, stack_client):
+        stack_client.register_Workflow(build_pipeline_graph(), "pipeline")
+        outcome = stack_client.run("pipeline", input=3)
+        assert outcome.status == "ok"
+        assert outcome.results["Collector.output"] == [[11, 12, 13]]
+
+    def test_run_by_id(self, stack_client):
+        body = stack_client.register_Workflow(build_pipeline_graph(), "pipeline")
+        outcome = stack_client.run(body["workflowId"], input=2)
+        assert outcome.results["Collector.output"] == [[11, 12]]
+
+    def test_run_graph_auto_registers(self, stack_client):
+        outcome = stack_client.run(build_pipeline_graph(), input=2)
+        assert outcome.status == "ok"
+        # the workflow and its PEs are now registered (run() streamlines it)
+        registry = stack_client.get_Registry()
+        assert [w["entryPoint"] for w in registry["workflows"]] == ["pipeline"]
+
+    def test_run_graph_without_registration(self, stack_client):
+        outcome = stack_client.run(build_pipeline_graph(), input=2, register=False)
+        assert outcome.status == "ok"
+        assert stack_client.get_Registry()["workflows"] == []
+
+    def test_run_with_multi_mapping(self, stack_client):
+        outcome = stack_client.run(
+            build_pipeline_graph(), input=4, process="MULTI", args={"num": 4},
+            register=False,
+        )
+        assert outcome.mapping == "multi"
+        assert outcome.nprocs == 4
+
+    def test_unknown_mapping_rejected(self, stack_client):
+        with pytest.raises(ValidationError, match="unknown mapping"):
+            stack_client.run(build_pipeline_graph(), input=1, process="SPARK")
+
+    def test_unknown_workflow_type_rejected(self, stack_client):
+        with pytest.raises(ValidationError, match="name, id or WorkflowGraph"):
+            stack_client.run(3.14)
+
+    def test_missing_resources_dir_rejected(self, stack_client):
+        with pytest.raises(ValidationError, match="not found"):
+            stack_client.run(
+                build_pipeline_graph(), input=1, resources="no-such-dir"
+            )
+
+    def test_run_with_resources(self, stack_client, tmp_path, monkeypatch):
+        from tests.helpers import FileLineReader
+
+        resources = tmp_path / "resources"
+        resources.mkdir()
+        (resources / "lines.txt").write_text("a\nb\n")
+        monkeypatch.chdir(tmp_path)
+
+        graph = WorkflowGraph("reader")
+        graph.connect(FileLineReader(), "output", Collector(), "input")
+        outcome = stack_client.run(
+            graph,
+            input=[{"input": "resources/lines.txt"}],
+            resources=True,
+            register=False,
+        )
+        assert outcome.results["Collector.output"] == [["a", "b"]]
+
+    def test_stdout_forwarded_to_client(self, stack_client, capsys):
+        from tests.helpers import Printer
+
+        stack_client.echo = True
+        graph = WorkflowGraph("printer")
+        graph.connect(OneToTenProducer(), "output", Printer(), "input")
+        stack_client.run(graph, input=2, register=False)
+        out = capsys.readouterr().out
+        assert "value: 1" in out and "value: 2" in out
+
+
+class TestSearchFunctions:
+    def test_text_search_workflow(self, stack_client):
+        stack_client.register_Workflow(
+            build_pipeline_graph(), "pipeline", "adds ten to numbers"
+        )
+        hits = stack_client.search_Registry("pipe", "workflow")
+        assert hits and hits[0]["name"] == "pipeline"
+
+    def test_semantic_search_pe(self, stack_client):
+        stack_client.register_PE(AddTen, "Adds ten to each incoming number")
+        stack_client.register_PE(EvenFilter, "Forwards only the even numbers")
+        hits = stack_client.search_Registry(
+            "a PE that adds ten to a number", "pe", "text"
+        )
+        assert hits[0]["peName"] == "AddTen"
+
+    def test_code_search_pe(self, stack_client):
+        stack_client.register_PE(AddTen)
+        stack_client.register_PE(EvenFilter)
+        hits = stack_client.search_Registry("num + 10", "pe", "code")
+        assert hits[0]["peName"] == "AddTen"
+        assert "continuation" in hits[0]

@@ -1,0 +1,74 @@
+"""Tests for terminal rendering of search/registry results."""
+
+from repro.client.display import render_registry, render_search_hits, render_table
+
+
+class TestRenderTable:
+    def test_column_alignment(self):
+        text = render_table(["id", "name"], [[1, "alpha"], [22, "b"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+        assert "alpha" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderHits:
+    def test_semantic_layout(self):
+        hits = [
+            {"peId": 2, "peName": "IsPrime", "description": "checks primes",
+             "score": 0.91},
+        ]
+        text = render_search_hits("semantic", hits)
+        assert "IsPrime" in text and "0.9100" in text
+
+    def test_semantic_layout_with_workflow_hits(self):
+        hits = [
+            {"workflowId": 3, "entryPoint": "isPrime",
+             "description": "prints primes", "score": 0.8},
+        ]
+        text = render_search_hits("semantic", hits)
+        assert "workflow" in text and "isPrime" in text
+
+    def test_code_layout(self):
+        hits = [
+            {"peId": 1, "peName": "NumberProducer", "description": "rng",
+             "score": 0.36, "continuation": "return x"},
+        ]
+        text = render_search_hits("code", hits)
+        assert "NumberProducer" in text
+
+    def test_text_layout(self):
+        hits = [
+            {"kind": "workflow", "id": 2, "name": "isPrime",
+             "description": "prints primes", "matchedOn": "name"},
+        ]
+        text = render_search_hits("text", hits)
+        assert "isPrime" in text and "name" in text
+
+    def test_no_results(self):
+        assert render_search_hits("text", []) == "(no results)"
+
+    def test_long_descriptions_clipped(self):
+        hits = [
+            {"peId": 1, "peName": "X", "description": "word " * 50,
+             "score": 0.5},
+        ]
+        text = render_search_hits("semantic", hits)
+        assert "..." in text
+
+
+class TestRenderRegistry:
+    def test_lists_both_sections(self):
+        text = render_registry(
+            [{"peId": 1, "peName": "A", "description": "d", "peImports": ["numpy"]}],
+            [{"workflowId": 1, "entryPoint": "w", "description": "", "peIds": [1]}],
+        )
+        assert "Processing Elements:" in text
+        assert "Workflows:" in text
+        assert "numpy" in text
+
+    def test_empty_registry(self):
+        assert render_registry([], []) == "(registry is empty)"

@@ -1,0 +1,25 @@
+"""Shared fixtures: an unfitted (fast) model bundle and a local stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import LaminarClient, local_stack
+from repro.ml.bundle import ModelBundle
+
+
+@pytest.fixture(scope="session")
+def fast_bundle() -> ModelBundle:
+    """An unfitted model bundle — cheap to build, shared by the session."""
+    return ModelBundle.default(fit=False)
+
+
+@pytest.fixture()
+def stack_client(fast_bundle) -> LaminarClient:
+    """A logged-in client on a fresh single-process Laminar deployment."""
+    client = LaminarClient(
+        local_stack(models=fast_bundle), models=fast_bundle, echo=False
+    )
+    client.register("tester", "secret")
+    client.login("tester", "secret")
+    return client

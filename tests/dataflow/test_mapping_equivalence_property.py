@@ -1,0 +1,174 @@
+"""Property-based cross-mapping equivalence on generated pipelines.
+
+The central dataflow guarantee (paper §2.1: mappings require no manual
+workflow modification) stated as a property: for ANY randomly composed
+deterministic pipeline, every mapping must produce the same multiset of
+results as the sequential reference.
+
+Pipelines are built from a small algebra of deterministic stages
+(affine transforms, filters, fan-out duplicators, stateful reducers) so
+hypothesis explores graph shapes rather than PE internals.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.core import GenericPE, IterativePE, ProducerPE
+from repro.dataflow.graph import WorkflowGraph
+from repro.dataflow.mappings import run_workflow
+
+
+class SeqProducer(ProducerPE):
+    """Deterministic producer: 1, 2, 3, ..."""
+
+    def __init__(self):
+        ProducerPE.__init__(self)
+        self.i = 0
+
+    def _process(self):
+        self.i += 1
+        return self.i
+
+
+class Affine(IterativePE):
+    """x -> a*x + b."""
+
+    def __init__(self, a, b):
+        IterativePE.__init__(self)
+        self.a, self.b = a, b
+
+    def _process(self, x):
+        return self.a * x + self.b
+
+
+class ModFilter(IterativePE):
+    """Forward x only when x % m == r."""
+
+    def __init__(self, m, r):
+        IterativePE.__init__(self)
+        self.m, self.r = m, r
+
+    def _process(self, x):
+        if x % self.m == self.r:
+            return x
+
+
+class Duplicate(IterativePE):
+    """Emit every input twice."""
+
+    def __init__(self):
+        IterativePE.__init__(self)
+
+    def _process(self, x):
+        self.write("output", x)
+        self.write("output", x)
+
+
+class SumReducer(GenericPE):
+    """Stateful global reducer: emits (count, sum) at end of stream."""
+
+    def __init__(self):
+        GenericPE.__init__(self)
+        self._add_input("input", grouping="global")
+        self._add_output("output")
+        self.count = 0
+        self.total = 0
+
+    def _process(self, inputs):
+        self.count += 1
+        self.total += inputs["input"]
+
+    def _postprocess(self):
+        # only instances that saw data report — parallel mappings spawn
+        # idle sibling instances that must stay silent for equivalence
+        if self.count:
+            self.write("output", (self.count, self.total))
+
+
+@st.composite
+def pipelines(draw):
+    """A random linear pipeline with an optional reducer tail."""
+    stages = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        kind = draw(st.sampled_from(["affine", "filter", "dup"]))
+        if kind == "affine":
+            stages.append(
+                Affine(draw(st.integers(1, 5)), draw(st.integers(-3, 3)))
+            )
+        elif kind == "filter":
+            m = draw(st.integers(2, 4))
+            stages.append(ModFilter(m, draw(st.integers(0, m - 1))))
+        else:
+            stages.append(Duplicate())
+    use_reducer = draw(st.booleans())
+    n_items = draw(st.integers(min_value=0, max_value=12))
+    return stages, use_reducer, n_items
+
+
+def build(stages, use_reducer):
+    graph = WorkflowGraph("property-pipeline")
+    prev = SeqProducer()
+    graph.add(prev)
+    for stage in stages:
+        graph.connect(prev, "output", stage, "input")
+        prev = stage
+    if use_reducer:
+        graph.connect(prev, "output", SumReducer(), "input")
+    return graph
+
+
+def collect(result):
+    return sorted(
+        (key, tuple(v) if isinstance(v, list) else v)
+        for key, values in result.results.items()
+        for v in values
+    )
+
+
+class TestMappingEquivalence:
+    @given(pipelines())
+    @settings(max_examples=12, deadline=None)
+    def test_multi_matches_simple(self, case):
+        stages, use_reducer, n_items = case
+        reference = collect(
+            run_workflow(build(stages, use_reducer), input=n_items, mapping="simple")
+        )
+        parallel = collect(
+            run_workflow(
+                build(stages, use_reducer), input=n_items, mapping="multi",
+                nprocs=4, timeout=90,
+            )
+        )
+        assert parallel == reference
+
+    @given(pipelines())
+    @settings(max_examples=4, deadline=None)
+    def test_redis_matches_simple(self, case):
+        stages, use_reducer, n_items = case
+        reference = collect(
+            run_workflow(build(stages, use_reducer), input=n_items, mapping="simple")
+        )
+        parallel = collect(
+            run_workflow(
+                build(stages, use_reducer), input=n_items, mapping="redis",
+                nprocs=4, timeout=90,
+            )
+        )
+        assert parallel == reference
+
+    @given(pipelines())
+    @settings(max_examples=4, deadline=None)
+    def test_mpi_matches_simple(self, case):
+        stages, use_reducer, n_items = case
+        reference = collect(
+            run_workflow(build(stages, use_reducer), input=n_items, mapping="simple")
+        )
+        parallel = collect(
+            run_workflow(
+                build(stages, use_reducer), input=n_items, mapping="mpi",
+                nprocs=4, timeout=90,
+            )
+        )
+        assert parallel == reference

@@ -1,0 +1,138 @@
+"""Tests of the sequential (simple) mapping — the reference semantics."""
+
+import pytest
+
+from repro.dataflow.mappings import get_mapping, run_workflow
+from repro.errors import ValidationError
+from tests.helpers import (
+    FileLineReader,
+    build_diamond_graph,
+    build_pipeline_graph,
+    build_wordcount_graph,
+    Collector,
+    Printer,
+    OneToTenProducer,
+)
+from repro.dataflow.graph import WorkflowGraph
+
+
+class TestBasicEnactment:
+    def test_pipeline_results(self):
+        result = run_workflow(build_pipeline_graph(), input=4, mapping="simple")
+        assert result.results == {"Collector.output": [[11, 12, 13, 14]]}
+
+    def test_input_none_runs_one_iteration(self):
+        result = run_workflow(build_pipeline_graph(), input=None, mapping="simple")
+        assert result.results["Collector.output"] == [[11]]
+
+    def test_input_zero_runs_nothing(self):
+        result = run_workflow(build_pipeline_graph(), input=0, mapping="simple")
+        assert result.results["Collector.output"] == [[]]
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ValidationError, match=">= 0"):
+            run_workflow(build_pipeline_graph(), input=-1, mapping="simple")
+
+    def test_stateful_wordcount(self):
+        result = run_workflow(build_wordcount_graph(), input=7, mapping="simple")
+        assert result.results["KeyCounter.output"] == [
+            ("alpha", 3), ("beta", 2), ("gamma", 2),
+        ]
+
+    def test_diamond_merges_both_branches(self):
+        result = run_workflow(build_diamond_graph(), input=4, mapping="simple")
+        [collected] = result.results["Collector.output"]
+        # branch A adds ten -> 11..14; branch B keeps evens -> 2, 4
+        assert collected == [2, 4, 11, 12, 13, 14]
+
+    def test_counters_track_consumption(self):
+        result = run_workflow(build_pipeline_graph(), input=5, mapping="simple")
+        assert result.counters["OneToTenProducer"]["consumed"] == 5
+        assert result.counters["AddTen"]["consumed"] == 5
+        assert result.counters["Collector"]["consumed"] == 5
+
+    def test_mapping_result_metadata(self):
+        result = run_workflow(build_pipeline_graph(), input=1, mapping="simple")
+        assert result.mapping == "simple"
+        assert result.elapsed >= 0.0
+
+
+class TestStdoutCapture:
+    def _print_graph(self):
+        graph = WorkflowGraph("printer")
+        graph.connect(OneToTenProducer(), "output", Printer(), "input")
+        return graph
+
+    def test_stdout_captured(self):
+        result = run_workflow(self._print_graph(), input=3, mapping="simple")
+        lines = result.stdout.strip().splitlines()
+        assert lines == ["value: 1", "value: 2", "value: 3"]
+
+    def test_capture_disabled_leaves_stdout_empty(self, capsys):
+        result = run_workflow(
+            self._print_graph(), input=2, mapping="simple", capture_stdout=False
+        )
+        assert result.stdout == ""
+        assert "value: 1" in capsys.readouterr().out
+
+
+class TestExternalInput:
+    def _file_graph(self):
+        graph = WorkflowGraph("files")
+        graph.connect(FileLineReader(), "output", Collector(), "input")
+        return graph
+
+    def test_list_input_feeds_root(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("beta\nalpha\n")
+        result = run_workflow(
+            self._file_graph(),
+            input=[{"input": str(path)}],
+            mapping="simple",
+        )
+        assert result.results["Collector.output"] == [["alpha", "beta"]]
+
+    def test_multiple_items_processed(self, tmp_path):
+        one, two = tmp_path / "a.txt", tmp_path / "b.txt"
+        one.write_text("1\n")
+        two.write_text("2\n")
+        result = run_workflow(
+            self._file_graph(),
+            input=[{"input": str(one)}, {"input": str(two)}],
+            mapping="simple",
+        )
+        assert result.results["Collector.output"] == [["1", "2"]]
+
+    def test_int_input_for_fed_root_rejected(self):
+        with pytest.raises(ValidationError, match="expects data items"):
+            run_workflow(self._file_graph(), input=3, mapping="simple")
+
+    def test_list_input_for_producer_root_rejected(self):
+        with pytest.raises(ValidationError, match="no root PE with input ports"):
+            run_workflow(
+                build_pipeline_graph(), input=[{"input": 1}], mapping="simple"
+            )
+
+    def test_unmatched_item_ports_rejected(self):
+        with pytest.raises(ValidationError, match="match no root PE"):
+            run_workflow(
+                self._file_graph(), input=[{"bogus": 1}], mapping="simple"
+            )
+
+    def test_non_dict_item_rejected(self):
+        with pytest.raises(ValidationError, match="dicts"):
+            run_workflow(self._file_graph(), input=["x"], mapping="simple")
+
+
+class TestMappingRegistry:
+    def test_get_mapping_case_insensitive(self):
+        assert get_mapping("SIMPLE").name == "simple"
+        assert get_mapping("Multi").name == "multi"
+
+    def test_unknown_mapping_rejected(self):
+        with pytest.raises(ValidationError, match="unknown mapping"):
+            get_mapping("spark")
+
+    def test_unsupported_input_type_rejected(self):
+        with pytest.raises(ValidationError, match="unsupported input type"):
+            run_workflow(build_pipeline_graph(), input="five", mapping="simple")

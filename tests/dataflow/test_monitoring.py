@@ -1,0 +1,43 @@
+"""Tests for per-instance counters and aggregation."""
+
+import time
+
+from repro.dataflow.monitoring import InstanceCounters, Stopwatch, merge_counters
+
+
+class TestCounters:
+    def test_defaults(self):
+        counters = InstanceCounters(pe_name="X", instance=0)
+        assert counters.consumed == 0
+        assert counters.produced == 0
+        assert counters.process_seconds == 0.0
+
+    def test_as_dict_round_trip(self):
+        counters = InstanceCounters(pe_name="X", instance=1, consumed=3, produced=2)
+        data = counters.as_dict()
+        assert data["consumed"] == 3 and data["produced"] == 2
+
+    def test_stopwatch_accumulates(self):
+        counters = InstanceCounters(pe_name="X")
+        with Stopwatch(counters):
+            time.sleep(0.01)
+        with Stopwatch(counters):
+            time.sleep(0.01)
+        assert counters.process_seconds >= 0.02
+
+
+class TestMerge:
+    def test_merge_by_pe_name(self):
+        items = [
+            InstanceCounters(pe_name="A", instance=0, consumed=2, produced=1),
+            InstanceCounters(pe_name="A", instance=1, consumed=3, produced=2),
+            InstanceCounters(pe_name="B", instance=0, consumed=5, produced=5),
+        ]
+        merged = merge_counters(items)
+        assert merged["A"]["consumed"] == 5
+        assert merged["A"]["produced"] == 3
+        assert merged["A"]["instances"] == 2
+        assert merged["B"]["instances"] == 1
+
+    def test_merge_empty(self):
+        assert merge_counters([]) == {}

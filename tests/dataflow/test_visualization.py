@@ -1,0 +1,47 @@
+"""Tests for DOT/ASCII workflow rendering (Figure 1 views)."""
+
+from repro.dataflow.partition import build_concrete_workflow
+from repro.dataflow.visualization import (
+    abstract_to_ascii,
+    abstract_to_dot,
+    concrete_to_ascii,
+    concrete_to_dot,
+)
+from repro.workflows.isprime import build_isprime_graph
+from tests.helpers import build_wordcount_graph
+
+
+class TestAbstractViews:
+    def test_dot_contains_all_pes_and_edges(self):
+        dot = abstract_to_dot(build_isprime_graph())
+        for name in ("NumberProducer", "IsPrime", "PrintPrime"):
+            assert f'"{name}"' in dot
+        assert '"NumberProducer" -> "IsPrime"' in dot
+        assert dot.startswith("digraph abstract")
+
+    def test_dot_labels_groupings(self):
+        dot = abstract_to_dot(build_wordcount_graph())
+        assert "group-by" in dot
+
+    def test_ascii_lists_edges_and_sinks(self):
+        text = abstract_to_ascii(build_isprime_graph())
+        assert "NumberProducer.output --> IsPrime.input" in text
+        assert "PrintPrime (sink)" in text
+
+
+class TestConcreteViews:
+    def test_dot_enumerates_instances(self):
+        workflow = build_concrete_workflow(build_isprime_graph(), 5)
+        dot = concrete_to_dot(workflow)
+        assert '"IsPrime[0]"' in dot and '"IsPrime[1]"' in dot
+        assert '"PrintPrime[1]"' in dot
+        # producer fans out to both IsPrime instances
+        assert '"NumberProducer[0]" -> "IsPrime[0]"' in dot
+        assert '"NumberProducer[0]" -> "IsPrime[1]"' in dot
+
+    def test_ascii_matches_figure_1_caption(self):
+        workflow = build_concrete_workflow(build_isprime_graph(), 5)
+        text = concrete_to_ascii(workflow)
+        assert "5 processes" in text
+        assert "NumberProducer" in text and "x1" in text
+        assert "x2" in text

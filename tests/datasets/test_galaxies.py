@@ -1,0 +1,47 @@
+"""Tests for synthetic galaxy catalogs."""
+
+import pytest
+
+from repro.datasets.galaxies import (
+    generate_coordinates,
+    parse_coordinates,
+    render_coordinates,
+    write_coordinates_file,
+)
+
+
+class TestGeneration:
+    def test_count_and_ranges(self):
+        coords = generate_coordinates(200, seed=1)
+        assert len(coords) == 200
+        for ra, dec in coords:
+            assert 0.0 <= ra < 360.0
+            assert -90.0 <= dec <= 90.0
+
+    def test_deterministic(self):
+        assert generate_coordinates(50, seed=9) == generate_coordinates(50, seed=9)
+
+    def test_seed_matters(self):
+        assert generate_coordinates(50, seed=1) != generate_coordinates(50, seed=2)
+
+
+class TestFormat:
+    def test_render_parse_round_trip(self):
+        coords = generate_coordinates(25, seed=3)
+        assert parse_coordinates(render_coordinates(coords)) == coords
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\n10.0\t20.0\n"
+        assert parse_coordinates(text) == [(10.0, 20.0)]
+
+    def test_comma_separator_accepted(self):
+        assert parse_coordinates("1.5, 2.5\n") == [(1.5, 2.5)]
+
+    def test_bad_line_raises_with_line_number(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_coordinates("justonevalue\n")
+
+    def test_write_coordinates_file(self, tmp_path):
+        path = write_coordinates_file(tmp_path / "sub" / "coords.txt", 10, seed=4)
+        assert path.exists()
+        assert len(parse_coordinates(path.read_text())) == 10

@@ -1,0 +1,125 @@
+"""Tests for code mutations — especially semantics preservation."""
+
+import ast
+import random
+
+import pytest
+
+from repro.datasets.codebank import PROBLEM_INDEX
+from repro.datasets.mutate import (
+    collect_renameable,
+    make_clone,
+    rename_identifiers,
+    strip_comments,
+    strip_docstrings,
+    truncate_code,
+)
+from tests.datasets.test_codebank import SAMPLE_CALLS, run_variant
+
+SAMPLE = '''
+def is_prime(num):
+    """Check primality."""
+    # trial division
+    for divisor in range(2, num):
+        if num % divisor == 0:
+            return False
+    return num >= 2
+'''
+
+
+class TestCollectRenameable:
+    def test_finds_functions_args_locals(self):
+        names = collect_renameable(SAMPLE)
+        assert {"is_prime", "num", "divisor"} <= set(names)
+
+    def test_excludes_builtins_and_imports(self):
+        source = "import os\nfrom json import loads\n\ndef f(x):\n    return loads(os.getenv(x)) or len(x)\n"
+        names = collect_renameable(source)
+        assert "os" not in names and "loads" not in names and "len" not in names
+
+    def test_unparsable_gives_empty(self):
+        assert collect_renameable(")(") == []
+
+
+class TestRename:
+    @pytest.mark.parametrize("style", ["snake", "camel", "abbrev", "generic"])
+    def test_renamed_code_parses(self, style):
+        renamed = rename_identifiers(SAMPLE, random.Random(1), style)
+        ast.parse(renamed)
+
+    def test_original_names_gone(self):
+        renamed = rename_identifiers(SAMPLE, random.Random(1), "generic")
+        assert "is_prime" not in renamed
+        assert "divisor" not in renamed
+
+    def test_keep_protects_names(self):
+        renamed = rename_identifiers(
+            SAMPLE, random.Random(1), "generic", keep={"is_prime"}
+        )
+        assert "def is_prime(" in renamed
+        assert "divisor" not in renamed
+
+    def test_attributes_not_renamed(self):
+        source = "def f(count):\n    items = []\n    items.count(count)\n    return items\n"
+        renamed = rename_identifiers(source, random.Random(2), "generic")
+        assert ".count(" in renamed  # the method attribute survives
+
+    def test_rename_deterministic_per_seed(self):
+        a = rename_identifiers(SAMPLE, random.Random(7), "snake")
+        b = rename_identifiers(SAMPLE, random.Random(7), "snake")
+        assert a == b
+
+
+class TestRenamePreservesSemantics:
+    """Differential testing: clones must behave like their originals."""
+
+    @pytest.mark.parametrize("key", ["is_prime", "levenshtein", "quicksort",
+                                     "caesar_cipher", "group_by_key",
+                                     "roman_numerals", "histogram_bins"])
+    @pytest.mark.parametrize("style", ["snake", "camel", "abbrev", "generic"])
+    def test_clone_equivalent_to_original(self, key, style):
+        problem = PROBLEM_INDEX[key]
+        rng = random.Random(42)
+        for variant in problem.variants:
+            clone = make_clone(variant, rng, style=style)
+            for args in SAMPLE_CALLS[key]:
+                assert run_variant(clone, args) == run_variant(variant, args)
+
+
+class TestStripping:
+    def test_strip_docstrings(self):
+        stripped = strip_docstrings(SAMPLE)
+        assert '"""' not in stripped
+        ast.parse(stripped)
+
+    def test_strip_docstrings_keeps_behaviour(self):
+        stripped = strip_docstrings(SAMPLE)
+        assert run_variant(stripped, (7,)) is True
+        assert run_variant(stripped, (8,)) is False
+
+    def test_strip_comments(self):
+        stripped = strip_comments(SAMPLE)
+        assert "trial division" not in stripped
+        ast.parse(stripped)
+
+    def test_strip_comments_preserves_hash_in_strings(self):
+        source = 'def f():\n    return "#not-a-comment"  # real comment\n'
+        stripped = strip_comments(source)
+        assert "#not-a-comment" in stripped
+        assert "real comment" not in stripped
+
+    def test_strip_docstrings_unparsable_passthrough(self):
+        assert strip_docstrings(")(") == ")("
+
+
+class TestTruncate:
+    def test_keeps_leading_fraction(self):
+        truncated = truncate_code(SAMPLE, fraction=0.5)
+        assert truncated.splitlines()[0].startswith("def is_prime")
+        assert len(truncated.splitlines()) < len(
+            [l for l in SAMPLE.splitlines() if l.strip()]
+        )
+
+    def test_min_lines_respected(self):
+        truncated = truncate_code("a = 1\nb = 2\nc = 3\n", fraction=0.01)
+        assert len(truncated.splitlines()) == 2

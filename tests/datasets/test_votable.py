@@ -1,0 +1,116 @@
+"""Tests for the synthetic Virtual Observatory substrate."""
+
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.votable import (
+    VOTableService,
+    internal_extinction,
+    parse_votable,
+    render_votable,
+)
+from repro.errors import ValidationError
+
+row_values = st.fixed_dictionaries(
+    {
+        "name": st.text(
+            alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=12
+        ),
+        "ra": st.floats(0, 360, allow_nan=False),
+        "dec": st.floats(-90, 90, allow_nan=False),
+        "t": st.floats(1, 10, allow_nan=False),
+        "logr25": st.floats(0, 1, allow_nan=False),
+    }
+)
+
+
+class TestXmlRoundTrip:
+    def test_single_row(self):
+        rows = [{"name": "CIG0001", "ra": 10.5, "dec": -3.25, "t": 5.0, "logr25": 0.3}]
+        parsed = parse_votable(render_votable(rows))
+        assert parsed == rows
+
+    @given(st.lists(row_values, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_rows_round_trip(self, rows):
+        parsed = parse_votable(render_votable(rows))
+        assert len(parsed) == len(rows)
+        for parsed_row, row in zip(parsed, rows):
+            assert parsed_row["ra"] == pytest.approx(row["ra"])
+            assert parsed_row["t"] == pytest.approx(row["t"])
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(ValidationError, match="malformed"):
+            parse_votable("<VOTABLE><broken")
+
+    def test_xml_without_fields_rejected(self):
+        with pytest.raises(ValidationError, match="no FIELD"):
+            parse_votable("<VOTABLE></VOTABLE>")
+
+    def test_field_count_mismatch_rejected(self):
+        xml = (
+            '<VOTABLE><RESOURCE><TABLE>'
+            '<FIELD name="a" datatype="double"/><FIELD name="b" datatype="double"/>'
+            "<DATA><TABLEDATA><TR><TD>1.0</TD></TR></TABLEDATA></DATA>"
+            "</TABLE></RESOURCE></VOTABLE>"
+        )
+        with pytest.raises(ValidationError, match="cells"):
+            parse_votable(xml)
+
+
+class TestService:
+    def test_deterministic_per_coordinate(self):
+        service = VOTableService(seed=1)
+        assert service.query(10.0, 20.0) == service.query(10.0, 20.0)
+
+    def test_different_coordinates_differ(self):
+        service = VOTableService(seed=1)
+        assert service.query(10.0, 20.0) != service.query(11.0, 20.0)
+
+    def test_seed_changes_catalog(self):
+        a = VOTableService(seed=1).query(10.0, 20.0)
+        b = VOTableService(seed=2).query(10.0, 20.0)
+        assert a != b
+
+    def test_response_is_valid_votable(self):
+        [row] = parse_votable(VOTableService(seed=3).query(42.0, -17.5))
+        assert row["name"].startswith("CIG")
+        assert 1.0 <= row["t"] <= 10.0
+        assert 0.0 <= row["logr25"] <= 0.9
+
+    def test_latency_charged(self):
+        service = VOTableService(latency_s=0.03)
+        t0 = time.perf_counter()
+        service.query(1.0, 2.0)
+        assert time.perf_counter() - t0 >= 0.025
+
+    def test_zero_latency_fast(self):
+        service = VOTableService(latency_s=0.0)
+        t0 = time.perf_counter()
+        for i in range(50):
+            service.query(float(i), 0.0)
+        assert time.perf_counter() - t0 < 1.0
+
+
+class TestExtinction:
+    def test_monotonic_in_axis_ratio(self):
+        assert internal_extinction(5, 0.8) > internal_extinction(5, 0.2)
+
+    def test_monotonic_in_type(self):
+        assert internal_extinction(9, 0.5) > internal_extinction(2, 0.5)
+
+    def test_type_clamped(self):
+        assert internal_extinction(0, 0.5) == internal_extinction(1, 0.5)
+        assert internal_extinction(42, 0.5) == internal_extinction(10, 0.5)
+
+    def test_face_on_galaxy_no_extinction(self):
+        assert internal_extinction(5, 0.0) == 0.0
+
+    @given(st.floats(1, 10, allow_nan=False), st.floats(0, 1, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_extinction_bounded(self, t, logr25):
+        value = internal_extinction(t, logr25)
+        assert 0.0 <= value <= 1.7

@@ -1,0 +1,131 @@
+"""Tests for ranking metrics, including property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evalharness.metrics import (
+    average_precision_at_k,
+    mean_average_precision_at_k,
+    mean_reciprocal_rank,
+    precision_at_1,
+    rank_corpus,
+    reciprocal_rank,
+)
+
+
+def ranking(*indices):
+    return np.array(indices)
+
+
+class TestReciprocalRank:
+    def test_first_position(self):
+        assert reciprocal_rank(ranking(3, 1, 2), {3}) == 1.0
+
+    def test_third_position(self):
+        assert reciprocal_rank(ranking(5, 9, 2), {2}) == pytest.approx(1 / 3)
+
+    def test_absent_is_zero(self):
+        assert reciprocal_rank(ranking(1, 2), {7}) == 0.0
+
+    def test_empty_relevance(self):
+        assert reciprocal_rank(ranking(1, 2), set()) == 0.0
+
+    def test_first_relevant_counts(self):
+        assert reciprocal_rank(ranking(4, 2, 1), {2, 1}) == pytest.approx(0.5)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision_at_k(ranking(0, 1, 2, 3), {0, 1}, k=100) == 1.0
+
+    def test_interleaved(self):
+        # relevant at positions 1 and 3: (1/1 + 2/3)/2
+        ap = average_precision_at_k(ranking(0, 9, 1, 8), {0, 1}, k=100)
+        assert ap == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_k_truncates(self):
+        ap = average_precision_at_k(ranking(9, 8, 0), {0}, k=2)
+        assert ap == 0.0
+
+    def test_relevant_larger_than_k_normalized(self):
+        relevant = set(range(100))
+        ap = average_precision_at_k(np.arange(200), relevant, k=10)
+        assert ap == 1.0  # perfect within the reachable window
+
+
+class TestAggregates:
+    def test_mrr_mean(self):
+        rankings = np.array([[0, 1], [1, 0]])
+        assert mean_reciprocal_rank(rankings, [{0}, {0}]) == pytest.approx(0.75)
+
+    def test_map_mean(self):
+        rankings = np.array([[0, 1], [1, 0]])
+        value = mean_average_precision_at_k(rankings, [{0}, {0}], k=2)
+        assert value == pytest.approx(0.75)
+
+    def test_p_at_1(self):
+        rankings = np.array([[0, 1], [1, 0], [2, 0]])
+        assert precision_at_1(rankings, [{0}, {0}, {0}]) == pytest.approx(1 / 3)
+
+    def test_empty_inputs(self):
+        empty = np.zeros((0, 3), dtype=int)
+        assert mean_reciprocal_rank(empty, []) == 0.0
+        assert mean_average_precision_at_k(empty, []) == 0.0
+        assert precision_at_1(empty, []) == 0.0
+
+
+@st.composite
+def ranking_case(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    permutation = draw(st.permutations(list(range(n))))
+    relevant = draw(st.sets(st.integers(min_value=0, max_value=n - 1), min_size=1))
+    return np.array(permutation), relevant
+
+
+class TestMetricProperties:
+    @given(ranking_case())
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, case):
+        rank_array, relevant = case
+        rr = reciprocal_rank(rank_array, relevant)
+        ap = average_precision_at_k(rank_array, relevant, k=100)
+        assert 0.0 <= rr <= 1.0
+        assert 0.0 <= ap <= 1.0
+
+    @given(ranking_case())
+    @settings(max_examples=100, deadline=None)
+    def test_rr_at_least_ap_relation(self, case):
+        """AP can never exceed 1; RR>=1/n always when relevant non-empty."""
+        rank_array, relevant = case
+        rr = reciprocal_rank(rank_array, relevant)
+        assert rr >= 1.0 / len(rank_array)
+
+    @given(st.integers(min_value=2, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_perfect_ranking_gives_ones(self, n):
+        rank_array = np.arange(n)
+        relevant = {0, 1}
+        assert reciprocal_rank(rank_array, relevant) == 1.0
+        assert average_precision_at_k(rank_array, relevant, k=100) == 1.0
+
+
+class TestRankCorpus:
+    def test_ranks_by_similarity(self):
+        corpus = np.eye(3, dtype=np.float32)
+        queries = np.array([[0.0, 1.0, 0.0]], dtype=np.float32)
+        rankings = rank_corpus(queries, corpus)
+        assert rankings[0][0] == 1
+
+    def test_exclusion_masks_index(self):
+        corpus = np.eye(3, dtype=np.float32)
+        queries = np.array([[0.0, 1.0, 0.0]], dtype=np.float32)
+        rankings = rank_corpus(queries, corpus, exclude=[1])
+        assert rankings[0][0] != 1
+        assert rankings[0][-1] == 1  # masked to -inf -> last
+
+    def test_no_exclusion_none_entries(self):
+        corpus = np.eye(2, dtype=np.float32)
+        rankings = rank_corpus(corpus, corpus, exclude=[None, None])
+        assert rankings[0][0] == 0 and rankings[1][0] == 1

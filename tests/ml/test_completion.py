@@ -1,0 +1,78 @@
+"""Tests for retrieval-based code completion (the ReACC role)."""
+
+import pytest
+
+from repro.ml.completion import CodeCompleter, align_continuation
+
+PRODUCER = (
+    "class NumberProducer(ProducerPE):\n"
+    "    def _process(self):\n"
+    "        result = random.randint(1, 1000)\n"
+    "        return result\n"
+)
+PRIME = (
+    "class IsPrime(IterativePE):\n"
+    "    def _process(self, num):\n"
+    "        if all(num % i != 0 for i in range(2, num)):\n"
+    "            return num\n"
+)
+
+
+class TestAlignment:
+    def test_continuation_after_matched_region(self):
+        query = "result = random.randint(1, 1000)"
+        continuation = align_continuation(query, PRODUCER)
+        assert "return result" in continuation
+        assert "class NumberProducer" not in continuation
+
+    def test_no_alignment_returns_whole_candidate(self):
+        continuation = align_continuation("zzz qqq www", PRIME)
+        assert continuation == PRIME
+
+    def test_empty_query_returns_candidate(self):
+        assert align_continuation("", PRIME) == PRIME
+
+    def test_empty_candidate(self):
+        assert align_continuation("x = 1", "") == ""
+
+    def test_prefix_query_full_alignment(self):
+        lines = PRIME.splitlines()
+        partial = "\n".join(lines[:2])
+        continuation = align_continuation(partial, PRIME)
+        assert continuation.strip().startswith("if all(")
+
+
+class TestCompleter:
+    @pytest.fixture()
+    def completer(self):
+        return CodeCompleter().index(
+            ["NumberProducer", "IsPrime"], [PRODUCER, PRIME]
+        )
+
+    def test_figure_8_scenario(self, completer):
+        """The paper's query: random.randint(1, 1000) -> NumberProducer."""
+        matches = completer.complete("random.randint(1, 1000)", k=2)
+        assert matches[0].name == "NumberProducer"
+        assert matches[0].score > matches[1].score
+
+    def test_continuation_attached(self, completer):
+        [match] = completer.complete("result = random.randint(1, 1000)", k=1)
+        assert "return result" in match.continuation
+
+    def test_k_bounds_results(self, completer):
+        assert len(completer.complete("num", k=1)) == 1
+
+    def test_empty_index_returns_nothing(self):
+        assert CodeCompleter().complete("anything") == []
+
+    def test_index_validates_alignment(self):
+        with pytest.raises(ValueError, match="align"):
+            CodeCompleter().index(["a"], [])
+
+    def test_size_property(self, completer):
+        assert completer.size == 2
+
+    def test_reindex_replaces(self, completer):
+        completer.index(["Only"], [PRIME])
+        assert completer.size == 1
+        assert completer.complete("num", k=5)[0].name == "Only"

@@ -1,0 +1,160 @@
+"""Tests for the simulated MPI communicator and launcher."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mpisim import ANY_SOURCE, ANY_TAG, Communicator, MPIRunError, mpi_run
+
+
+# ----------------------------------------------------------------------
+# module-level rank functions (spawn-safe, cloudpickled by the launcher)
+# ----------------------------------------------------------------------
+
+def _ring(comm):
+    """Pass a token around the ring; every rank returns what it saw."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    comm.send(comm.rank, dest=right, tag=1)
+    return comm.recv(source=left, tag=1)
+
+
+def _collectives(comm):
+    data = comm.bcast({"seed": 7} if comm.rank == 0 else None, root=0)
+    share = comm.scatter(
+        [i * i for i in range(comm.size)] if comm.rank == 0 else None, root=0
+    )
+    gathered = comm.gather(share + data["seed"], root=0)
+    total = comm.allreduce(comm.rank, op=lambda a, b: a + b)
+    everyone = comm.allgather(comm.rank)
+    comm.barrier()
+    return {
+        "bcast": data,
+        "scatter": share,
+        "gather": gathered,
+        "allreduce": total,
+        "allgather": everyone,
+    }
+
+
+def _wildcard_recv(comm):
+    if comm.rank == 0:
+        seen = sorted(comm.recv(source=ANY_SOURCE, tag=ANY_TAG) for _ in range(comm.size - 1))
+        return seen
+    comm.send(comm.rank * 10, dest=0, tag=comm.rank)
+    return None
+
+
+def _selective_recv(comm):
+    """Rank 0 receives from rank 2 FIRST even if rank 1 sent earlier."""
+    if comm.rank == 0:
+        from_two = comm.recv(source=2, tag=0)
+        from_one = comm.recv(source=1, tag=0)
+        return (from_two, from_one)
+    comm.send(f"hello from {comm.rank}", dest=0, tag=0)
+    return None
+
+
+def _crash(comm):
+    if comm.rank == 1:
+        raise ValueError("rank 1 exploded")
+    return comm.rank
+
+
+def _nonblocking(comm):
+    if comm.rank == 0:
+        request = comm.isend({"a": 7}, dest=1, tag=11)
+        request.wait()
+        return "sent"
+    if comm.rank == 1:
+        request = comm.irecv(source=0, tag=11)
+        return request.wait()
+    return None
+
+
+class TestPointToPoint:
+    def test_ring_exchange(self):
+        results = mpi_run(4, _ring, timeout=60)
+        assert results == [3, 0, 1, 2]
+
+    def test_wildcard_receive(self):
+        results = mpi_run(3, _wildcard_recv, timeout=60)
+        assert results[0] == [10, 20]
+
+    def test_selective_receive_buffers_nonmatching(self):
+        results = mpi_run(3, _selective_recv, timeout=60)
+        assert results[0] == ("hello from 2", "hello from 1")
+
+    def test_nonblocking_send_recv(self):
+        results = mpi_run(2, _nonblocking, timeout=60)
+        assert results == ["sent", {"a": 7}]
+
+
+class TestCollectives:
+    def test_all_collectives_agree(self):
+        results = mpi_run(4, _collectives, timeout=60)
+        for rank, result in enumerate(results):
+            assert result["bcast"] == {"seed": 7}
+            assert result["scatter"] == rank * rank
+            assert result["allreduce"] == 6  # 0+1+2+3
+            assert result["allgather"] == [0, 1, 2, 3]
+        assert results[0]["gather"] == [7, 8, 11, 16]
+        assert results[1]["gather"] is None
+
+
+class TestErrors:
+    def test_rank_failure_raises(self):
+        with pytest.raises(MPIRunError) as excinfo:
+            mpi_run(3, _crash, timeout=60)
+        assert "rank 1 exploded" in (excinfo.value.details or "")
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(MappingError, match=">= 1"):
+            mpi_run(0, _ring)
+
+    def test_single_rank_ring(self):
+        # self-send must work (rank sends to itself)
+        assert mpi_run(1, _ring, timeout=60) == [0]
+
+
+class TestLocalCommunicator:
+    """Direct (single-process) communicator checks."""
+
+    def _make(self):
+        import queue
+
+        inboxes = {0: queue.Queue()}
+        return Communicator(0, 1, inboxes)
+
+    def test_rank_size_accessors(self):
+        comm = self._make()
+        assert comm.Get_rank() == 0
+        assert comm.Get_size() == 1
+        assert comm.rank == 0 and comm.size == 1
+
+    def test_send_to_invalid_rank_rejected(self):
+        comm = self._make()
+        with pytest.raises(MappingError, match="invalid rank"):
+            comm.send("x", dest=5)
+
+    def test_negative_user_tag_rejected(self):
+        comm = self._make()
+        with pytest.raises(MappingError, match="reserved"):
+            comm.send("x", dest=0, tag=-1)
+
+    def test_recv_timeout(self):
+        comm = self._make()
+        with pytest.raises(MappingError, match="timed out"):
+            comm.recv(timeout=0.05)
+
+    def test_probe_and_self_send(self):
+        comm = self._make()
+        assert not comm.probe()
+        comm.send("ping", dest=0, tag=4)
+        assert comm.probe(source=0, tag=4)
+        assert comm.recv(source=0, tag=4) == "ping"
+
+    def test_invalid_rank_construction(self):
+        import queue
+
+        with pytest.raises(MappingError, match="out of range"):
+            Communicator(5, 2, {0: queue.Queue(), 1: queue.Queue()})

@@ -1,0 +1,158 @@
+"""DAO tests, parametrized over both backends (in-memory and SQLite)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFoundError
+from repro.registry.dao import InMemoryDAO, SqliteDAO
+from repro.registry.entities import PERecord, WorkflowRecord
+
+
+@pytest.fixture(params=["memory", "sqlite", "sqlite-file"])
+def dao(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryDAO()
+    if request.param == "sqlite":
+        return SqliteDAO(":memory:")
+    return SqliteDAO(tmp_path / "registry.db")
+
+
+def make_pe(name="MyPE", code="Y29kZQ==", **kw):
+    return PERecord(
+        pe_id=0,
+        pe_name=name,
+        description=kw.get("description", "does things"),
+        pe_code=code,
+        pe_source=kw.get("pe_source", "class MyPE: pass"),
+        pe_imports=kw.get("pe_imports", ["numpy"]),
+        code_embedding=kw.get("code_embedding"),
+        desc_embedding=kw.get("desc_embedding"),
+        owners=set(kw.get("owners", ())),
+    )
+
+
+def make_wf(entry="wf", code="d29ya2Zsb3c=", **kw):
+    return WorkflowRecord(
+        workflow_id=0,
+        workflow_name=kw.get("workflow_name", entry),
+        entry_point=entry,
+        description=kw.get("description", ""),
+        workflow_code=code,
+        pe_ids=list(kw.get("pe_ids", ())),
+        owners=set(kw.get("owners", ())),
+    )
+
+
+class TestUsers:
+    def test_insert_assigns_increasing_ids(self, dao):
+        first = dao.insert_user("alice", "h1")
+        second = dao.insert_user("bob", "h2")
+        assert second.user_id > first.user_id
+
+    def test_get_by_name(self, dao):
+        dao.insert_user("alice", "h1")
+        user = dao.get_user_by_name("alice")
+        assert user is not None and user.password_hash == "h1"
+        assert dao.get_user_by_name("nobody") is None
+
+    def test_all_users_ordered(self, dao):
+        dao.insert_user("a", "h")
+        dao.insert_user("b", "h")
+        assert [u.user_name for u in dao.all_users()] == ["a", "b"]
+
+
+class TestPEs:
+    def test_insert_get_round_trip(self, dao):
+        record = make_pe(owners={1})
+        stored = dao.insert_pe(record)
+        assert stored.pe_id > 0
+        fetched = dao.get_pe(stored.pe_id)
+        assert fetched.pe_name == "MyPE"
+        assert fetched.pe_imports == ["numpy"]
+        assert fetched.owners == {1}
+
+    def test_embeddings_survive_storage(self, dao):
+        vec = np.arange(8, dtype=np.float32) / 7.0
+        stored = dao.insert_pe(make_pe(code_embedding=vec, desc_embedding=vec * 2))
+        fetched = dao.get_pe(stored.pe_id)
+        np.testing.assert_allclose(fetched.code_embedding, vec)
+        np.testing.assert_allclose(fetched.desc_embedding, vec * 2)
+
+    def test_update_pe(self, dao):
+        stored = dao.insert_pe(make_pe())
+        stored.description = "new description"
+        stored.owners = {1, 2}
+        dao.update_pe(stored)
+        fetched = dao.get_pe(stored.pe_id)
+        assert fetched.description == "new description"
+        assert fetched.owners == {1, 2}
+
+    def test_update_missing_raises(self, dao):
+        record = make_pe()
+        record.pe_id = 999
+        with pytest.raises(NotFoundError):
+            dao.update_pe(record)
+
+    def test_find_by_name(self, dao):
+        dao.insert_pe(make_pe("A"))
+        dao.insert_pe(make_pe("A", code="b3RoZXI="))
+        dao.insert_pe(make_pe("B"))
+        assert len(dao.find_pe_by_name("A")) == 2
+        assert dao.find_pe_by_name("missing") == []
+
+    def test_delete_pe(self, dao):
+        stored = dao.insert_pe(make_pe())
+        dao.delete_pe(stored.pe_id)
+        assert dao.get_pe(stored.pe_id) is None
+        with pytest.raises(NotFoundError):
+            dao.delete_pe(stored.pe_id)
+
+    def test_delete_pe_unlinks_from_workflows(self, dao):
+        pe = dao.insert_pe(make_pe())
+        wf = dao.insert_workflow(make_wf(pe_ids=[pe.pe_id]))
+        dao.delete_pe(pe.pe_id)
+        assert dao.get_workflow(wf.workflow_id).pe_ids == []
+
+
+class TestWorkflows:
+    def test_insert_get_round_trip(self, dao):
+        stored = dao.insert_workflow(make_wf("isPrime", pe_ids=[1, 2]))
+        fetched = dao.get_workflow(stored.workflow_id)
+        assert fetched.entry_point == "isPrime"
+        assert fetched.pe_ids == [1, 2]
+
+    def test_find_by_entry_point(self, dao):
+        dao.insert_workflow(make_wf("astro"))
+        assert len(dao.find_workflow_by_entry_point("astro")) == 1
+        assert dao.find_workflow_by_entry_point("none") == []
+
+    def test_update_workflow(self, dao):
+        stored = dao.insert_workflow(make_wf())
+        stored.pe_ids = [7]
+        dao.update_workflow(stored)
+        assert dao.get_workflow(stored.workflow_id).pe_ids == [7]
+
+    def test_delete_workflow(self, dao):
+        stored = dao.insert_workflow(make_wf())
+        dao.delete_workflow(stored.workflow_id)
+        assert dao.get_workflow(stored.workflow_id) is None
+        with pytest.raises(NotFoundError):
+            dao.delete_workflow(stored.workflow_id)
+
+    def test_all_workflows_ordered(self, dao):
+        dao.insert_workflow(make_wf("a"))
+        dao.insert_workflow(make_wf("b"))
+        assert [w.entry_point for w in dao.all_workflows()] == ["a", "b"]
+
+
+class TestSqlitePersistence:
+    def test_data_survives_reopen(self, tmp_path):
+        path = tmp_path / "persist.db"
+        dao = SqliteDAO(path)
+        dao.insert_user("alice", "h")
+        dao.insert_pe(make_pe(owners={1}))
+        dao.close()
+        reopened = SqliteDAO(path)
+        assert reopened.get_user_by_name("alice") is not None
+        assert len(reopened.all_pes()) == 1
+        reopened.close()

@@ -1,0 +1,100 @@
+"""Tests for workflow-level semantic search (the §8 extension)."""
+
+import pytest
+
+from repro.ml.models import UnixCoderCodeSearch
+from repro.registry.entities import WorkflowRecord
+from repro.search import SemanticSearcher
+from repro.workflows.isprime import build_isprime_graph
+from tests.helpers import build_pipeline_graph
+
+
+@pytest.fixture(scope="module")
+def searcher():
+    return SemanticSearcher(UnixCoderCodeSearch())
+
+
+def wf(wid, entry, description, searcher=None):
+    record = WorkflowRecord(
+        workflow_id=wid,
+        workflow_name=entry,
+        entry_point=entry,
+        description=description,
+        workflow_code="eA==",
+    )
+    if searcher is not None:
+        record.desc_embedding = searcher.embed_description(description)
+    return record
+
+
+class TestSearcher:
+    def test_ranks_by_description_similarity(self, searcher):
+        workflows = [
+            wf(1, "isPrime", "prints random prime numbers", searcher),
+            wf(2, "astro", "computes the internal extinction of galaxies", searcher),
+        ]
+        hits = searcher.search_workflows(
+            "a workflow about galaxy dust extinction", workflows
+        )
+        assert hits[0].workflow_id == 2
+
+    def test_missing_embedding_recomputed(self, searcher):
+        workflows = [
+            wf(1, "isPrime", "prints random prime numbers"),
+            wf(2, "astro", "computes the internal extinction of galaxies"),
+        ]
+        hits = searcher.search_workflows("prime numbers", workflows)
+        assert hits[0].workflow_id == 1
+
+    def test_empty_list(self, searcher):
+        assert searcher.search_workflows("anything", []) == []
+
+    def test_json_shape(self, searcher):
+        [hit] = searcher.search_workflows(
+            "primes", [wf(1, "isPrime", "prints primes", searcher)]
+        )
+        body = hit.to_json()
+        assert {"workflowId", "entryPoint", "description", "score"} <= set(body)
+
+
+class TestThroughTheStack:
+    def test_semantic_workflow_search(self, stack_client):
+        client = stack_client
+        client.register_Workflow(
+            build_isprime_graph(), "isPrime",
+            "Workflow that prints random prime numbers",
+        )
+        client.register_Workflow(
+            build_pipeline_graph(), "pipeline",
+            "Adds ten to a stream of numbers and collects the results",
+        )
+        hits = client.search_Registry(
+            "a workflow that finds prime numbers", "workflow", "semantic"
+        )
+        assert hits[0]["entryPoint"] == "isPrime"
+
+    def test_semantic_both_mixes_pes_and_workflows(self, stack_client):
+        client = stack_client
+        client.register_Workflow(
+            build_isprime_graph(), "isPrime",
+            "Workflow that prints random prime numbers",
+        )
+        hits = client.search_Registry(
+            "prime numbers", "both", "semantic", k=10
+        )
+        kinds = {("workflow" if "workflowId" in h else "pe") for h in hits}
+        assert kinds == {"pe", "workflow"}
+        # scores sorted descending across both kinds
+        scores = [h["score"] for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_text_query_type_keeps_paper_behaviour(self, stack_client):
+        """query_type='text' on workflows stays Figure-6 text matching."""
+        client = stack_client
+        client.register_Workflow(
+            build_isprime_graph(), "isPrime",
+            "Workflow that prints random prime numbers",
+        )
+        hits = client.search_Registry("prime", "workflow", "text")
+        assert hits[0]["name"] == "isPrime"
+        assert "matchedOn" in hits[0]

@@ -1,0 +1,77 @@
+"""Tests for the AST import analyzer (findimports substitute)."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.serialization.imports import (
+    analyze_imports,
+    external_requirements,
+    merge_requirements,
+)
+
+
+class TestAnalyze:
+    def test_plain_import(self):
+        [info] = analyze_imports("import numpy\n")
+        assert info.module == "numpy"
+        assert info.root == "numpy"
+        assert not info.is_stdlib
+
+    def test_from_import_with_names(self):
+        [info] = analyze_imports("from astropy.io import fits, votable\n")
+        assert info.module == "astropy.io"
+        assert info.root == "astropy"
+        assert info.names == ("fits", "votable")
+
+    def test_aliased_import(self):
+        [info] = analyze_imports("import numpy as np\n")
+        assert info.names == ("np",)
+
+    def test_stdlib_detection(self):
+        infos = analyze_imports("import os\nimport json\nimport requests\n")
+        stdlib_flags = {i.module: i.is_stdlib for i in infos}
+        assert stdlib_flags == {"os": True, "json": True, "requests": False}
+
+    def test_imports_inside_methods_found(self):
+        # the dispel4py idiom of Listing 2
+        source = (
+            "class CountWords:\n"
+            "    def __init__(self):\n"
+            "        from collections import defaultdict\n"
+            "        self.count = defaultdict(int)\n"
+            "    def _process(self, inputs):\n"
+            "        import os\n"
+            "        return os.getpid()\n"
+        )
+        modules = {i.module for i in analyze_imports(source)}
+        assert modules == {"collections", "os"}
+
+    def test_duplicates_collapsed(self):
+        source = "import os\nimport os\nfrom os import path\n"
+        modules = [i.module for i in analyze_imports(source)]
+        assert modules == ["os"]
+
+    def test_relative_import_ignored(self):
+        assert analyze_imports("from . import sibling\n") == []
+
+    def test_syntax_error_raises(self):
+        with pytest.raises(SerializationError, match="does not parse"):
+            analyze_imports("def broken(:\n")
+
+    def test_empty_source(self):
+        assert analyze_imports("") == []
+
+
+class TestRequirements:
+    def test_only_external_roots(self):
+        source = "import os\nimport numpy\nfrom astropy.io import fits\n"
+        assert external_requirements(source) == ["astropy", "numpy"]
+
+    def test_merge_across_sources(self):
+        merged = merge_requirements(
+            ["import numpy\n", "import scipy\nimport numpy\n", "", None]
+        )
+        assert merged == ["numpy", "scipy"]
+
+    def test_future_import_is_stdlib(self):
+        assert external_requirements("from __future__ import annotations\n") == []

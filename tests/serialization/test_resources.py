@@ -1,0 +1,87 @@
+"""Tests for resource-directory packing (the Listing 7 mechanism)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.serialization.resources import pack_resources, unpack_resources
+
+file_names = st.text(
+    alphabet=st.sampled_from("abcdefgh1234"), min_size=1, max_size=8
+).map(lambda s: s + ".txt")
+
+file_contents = st.text(max_size=200)
+
+
+class TestRoundTrip:
+    def test_single_file(self, tmp_path):
+        src = tmp_path / "resources"
+        src.mkdir()
+        (src / "coordinates.txt").write_text("10.5\t-3.2\n")
+        payload = pack_resources(src)
+        dest = tmp_path / "unpacked"
+        written = unpack_resources(payload, dest)
+        assert written == ["coordinates.txt"]
+        assert (dest / "coordinates.txt").read_text() == "10.5\t-3.2\n"
+
+    def test_nested_directories(self, tmp_path):
+        src = tmp_path / "resources"
+        (src / "deep" / "deeper").mkdir(parents=True)
+        (src / "top.txt").write_text("top")
+        (src / "deep" / "deeper" / "leaf.txt").write_text("leaf")
+        written = unpack_resources(pack_resources(src), tmp_path / "out")
+        assert written == ["deep/deeper/leaf.txt", "top.txt"]
+        assert (tmp_path / "out" / "deep" / "deeper" / "leaf.txt").read_text() == "leaf"
+
+    @given(
+        files=st.dictionaries(file_names, file_contents, min_size=1, max_size=6)
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_arbitrary_files_round_trip(self, tmp_path_factory, files):
+        src = tmp_path_factory.mktemp("src")
+        for name, content in files.items():
+            # byte-level IO: newline translation must not mask pack bugs
+            (src / name).write_bytes(content.encode("utf-8"))
+        dest = tmp_path_factory.mktemp("dest")
+        unpack_resources(pack_resources(src), dest)
+        for name, content in files.items():
+            assert (dest / name).read_bytes() == content.encode("utf-8")
+
+    def test_binary_content(self, tmp_path):
+        src = tmp_path / "resources"
+        src.mkdir()
+        (src / "blob.bin").write_bytes(bytes(range(256)))
+        dest = tmp_path / "out"
+        unpack_resources(pack_resources(src), dest)
+        assert (dest / "blob.bin").read_bytes() == bytes(range(256))
+
+
+class TestSafety:
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(SerializationError, match="does not exist"):
+            pack_resources(tmp_path / "nope")
+
+    def test_symlink_rejected(self, tmp_path):
+        src = tmp_path / "resources"
+        src.mkdir()
+        (src / "real.txt").write_text("x")
+        (src / "link.txt").symlink_to(src / "real.txt")
+        with pytest.raises(SerializationError, match="symlink"):
+            pack_resources(src)
+
+    def test_bad_base64_rejected(self, tmp_path):
+        with pytest.raises(SerializationError, match="base64"):
+            unpack_resources("!!!", tmp_path / "out")
+
+    def test_bad_tar_rejected(self, tmp_path):
+        import base64
+
+        payload = base64.b64encode(b"not a tar").decode()
+        with pytest.raises(SerializationError, match="tar"):
+            unpack_resources(payload, tmp_path / "out")
+
+    def test_empty_directory_packs(self, tmp_path):
+        src = tmp_path / "resources"
+        src.mkdir()
+        assert unpack_resources(pack_resources(src), tmp_path / "out") == []

@@ -1,0 +1,79 @@
+"""Tests for the path router and URL encoding."""
+
+import pytest
+
+from repro.errors import NotFoundError
+from repro.net.transport import Request, Response
+from repro.server.api import Router, quote_segment
+
+
+def _handler(name):
+    def handle(request, params):
+        return Response(200, {"handler": name, "params": params})
+
+    return handle
+
+
+@pytest.fixture()
+def router():
+    r = Router()
+    r.add("GET", "/registry/{user}/pe/all", _handler("all"))
+    r.add("GET", "/registry/{user}/pe/id/{id}", _handler("by_id"))
+    r.add("POST", "/registry/{user}/pe/add", _handler("add"))
+    r.add("GET", "/registry/{user}/search/{search}/type/{type}", _handler("search"))
+    return r
+
+
+class TestResolution:
+    def test_literal_and_param_segments(self, router):
+        handler, params = router.resolve("GET", "/registry/zz46/pe/all")
+        assert handler(None, params).body["handler"] == "all"
+        assert params == {"user": "zz46"}
+
+    def test_multiple_params(self, router):
+        _, params = router.resolve("GET", "/registry/zz46/pe/id/7")
+        assert params == {"user": "zz46", "id": "7"}
+
+    def test_method_disambiguates(self, router):
+        handler, _ = router.resolve("POST", "/registry/zz46/pe/add")
+        assert handler(None, {}).body["handler"] == "add"
+
+    def test_wrong_method_not_found(self, router):
+        with pytest.raises(NotFoundError, match="no route"):
+            router.resolve("DELETE", "/registry/zz46/pe/all")
+
+    def test_unknown_path_not_found(self, router):
+        with pytest.raises(NotFoundError):
+            router.resolve("GET", "/registry/zz46/nothing")
+
+    def test_length_mismatch_not_found(self, router):
+        with pytest.raises(NotFoundError):
+            router.resolve("GET", "/registry/zz46/pe")
+
+    def test_trailing_slash_tolerated(self, router):
+        _, params = router.resolve("GET", "/registry/zz46/pe/all/")
+        assert params == {"user": "zz46"}
+
+    def test_endpoints_lists_routes(self, router):
+        endpoints = router.endpoints()
+        assert ("GET", "/registry/{user}/pe/all") in endpoints
+        assert len(endpoints) == 4
+
+
+class TestEncoding:
+    def test_quote_segment_escapes_slash_and_space(self):
+        assert "/" not in quote_segment("a/b c")
+        assert " " not in quote_segment("a/b c")
+
+    def test_search_string_with_spaces_round_trips(self, router):
+        query = "A PE that checks if a number is prime"
+        path = f"/registry/zz46/search/{quote_segment(query)}/type/pe"
+        _, params = router.resolve("GET", path)
+        assert params["search"] == query
+        assert params["type"] == "pe"
+
+    def test_code_query_round_trips(self, router):
+        query = "random.randint(1, 1000)"
+        path = f"/registry/zz46/search/{quote_segment(query)}/type/pe"
+        _, params = router.resolve("GET", path)
+        assert params["search"] == query

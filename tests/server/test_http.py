@@ -1,0 +1,79 @@
+"""Tests for the real-HTTP deployment adapter (loopback socket)."""
+
+import pytest
+
+from repro.client import LaminarClient
+from repro.errors import AuthenticationError, TransportError
+from repro.server import LaminarServer
+from repro.server.http import HttpTransport, serve_http
+from tests.helpers import AddTen, build_pipeline_graph
+
+
+@pytest.fixture(scope="module")
+def http_stack(fast_bundle):
+    server = LaminarServer(models=fast_bundle)
+    handle = serve_http(server)
+    yield handle
+    handle.shutdown()
+
+
+@pytest.fixture()
+def http_client(http_stack, fast_bundle):
+    import uuid
+
+    client = LaminarClient(
+        HttpTransport(http_stack.url), models=fast_bundle, echo=False
+    )
+    user = f"user-{uuid.uuid4().hex[:8]}"
+    client.register(user, "pw")
+    client.login(user, "pw")
+    return client
+
+
+class TestHttpRoundTrips:
+    def test_register_login_over_http(self, http_client):
+        assert http_client.web.token is not None
+
+    def test_pe_lifecycle_over_http(self, http_client):
+        http_client.register_PE(AddTen, "adds ten")
+        cls = http_client.get_PE("AddTen")
+        assert cls().process({"input": 1})[0].value == 11
+
+    def test_serverless_run_over_http(self, http_client):
+        outcome = http_client.run(build_pipeline_graph(), input=3, register=False)
+        assert outcome.status == "ok"
+        assert outcome.results["Collector.output"] == [[11, 12, 13]]
+
+    def test_search_over_http(self, http_client):
+        http_client.register_PE(AddTen, "Adds ten to each incoming number")
+        hits = http_client.search_Registry("adds ten to a number", "pe", "text")
+        assert hits[0]["peName"] == "AddTen"
+
+    def test_url_encoded_search_path(self, http_client):
+        http_client.register_PE(AddTen)
+        hits = http_client.search_Registry("num + 10", "pe", "code")
+        assert hits  # spaces and '+' survive URL encoding
+
+
+class TestHttpErrors:
+    def test_error_envelope_preserves_status(self, http_stack, fast_bundle):
+        client = LaminarClient(
+            HttpTransport(http_stack.url), models=fast_bundle, echo=False
+        )
+        with pytest.raises(AuthenticationError):
+            client.login("ghost", "nope")
+
+    def test_missing_token_over_http(self, http_stack, fast_bundle):
+        client = LaminarClient(
+            HttpTransport(http_stack.url), models=fast_bundle, echo=False
+        )
+        client.web.token = "bogus-token"
+        client.web.user_name = "ghost"
+        with pytest.raises(AuthenticationError):
+            client.get_Registry()
+
+    def test_unreachable_server(self, fast_bundle):
+        transport = HttpTransport("http://127.0.0.1:1", timeout=0.5)
+        client = LaminarClient(transport, models=fast_bundle, echo=False)
+        with pytest.raises(TransportError, match="cannot reach"):
+            client.register("x", "y")

@@ -1,0 +1,248 @@
+"""Server-level tests: Table 3 endpoint coverage, auth, error envelopes."""
+
+import pytest
+
+from repro.net.transport import Request
+from repro.server import LaminarServer
+from tests.helpers import AddTen
+
+
+#: every endpoint of paper Table 3, verbatim
+TABLE3_ENDPOINTS = [
+    ("POST", "/registry/{user}/pe/add"),
+    ("GET", "/registry/{user}/pe/all"),
+    ("GET", "/registry/{user}/pe/id/{id}"),
+    ("GET", "/registry/{user}/pe/name/{name}"),
+    ("DELETE", "/registry/{user}/pe/remove/id/{id}"),
+    ("DELETE", "/registry/{user}/pe/remove/name/{name}"),
+    ("POST", "/registry/{user}/workflow/add"),
+    ("GET", "/registry/{user}/workflow/all"),
+    ("GET", "/registry/{user}/workflow/id/{id}"),
+    ("GET", "/registry/{user}/workflow/name/{name}"),
+    ("GET", "/registry/{user}/workflow/pes/id/{id}"),
+    ("GET", "/registry/{user}/workflow/pes/name/{name}"),
+    ("DELETE", "/registry/{user}/workflow/remove/id/{id}"),
+    ("DELETE", "/registry/{user}/workflow/remove/name/{name}"),
+    ("PUT", "/registry/{user}/workflow/{workflowId}/pe/{peId}"),
+    ("POST", "/execution/{user}/run"),
+    ("GET", "/registry/{user}/all"),
+    ("GET", "/registry/{user}/search/{search}/type/{type}"),
+    ("GET", "/auth/all"),
+    ("POST", "/auth/login"),
+    ("POST", "/auth/register"),
+]
+
+
+@pytest.fixture()
+def server(fast_bundle):
+    return LaminarServer(models=fast_bundle)
+
+
+@pytest.fixture()
+def token(server):
+    server.dispatch(
+        Request("POST", "/auth/register", {"userName": "zz46", "password": "pw"})
+    )
+    response = server.dispatch(
+        Request("POST", "/auth/login", {"userName": "zz46", "password": "pw"})
+    )
+    return response.body["token"]
+
+
+#: endpoints beyond Table 3 implementing the paper's §3.3/§8 future work
+EXTENSION_ENDPOINTS = [
+    ("GET", "/engines/{user}/all"),
+    ("POST", "/engines/{user}/register"),
+    ("DELETE", "/engines/{user}/remove/{name}"),
+]
+
+
+class TestEndpointTable:
+    def test_every_table3_endpoint_installed(self, server):
+        installed = set(server.endpoints())
+        for endpoint in TABLE3_ENDPOINTS:
+            assert endpoint in installed, f"missing endpoint {endpoint}"
+
+    def test_no_unexpected_endpoints(self, server):
+        expected = set(TABLE3_ENDPOINTS) | set(EXTENSION_ENDPOINTS)
+        assert set(server.endpoints()) == expected
+
+
+class TestAuthFlow:
+    def test_register_login_roundtrip(self, server):
+        response = server.dispatch(
+            Request("POST", "/auth/register", {"userName": "a", "password": "b"})
+        )
+        assert response.status == 201
+        login = server.dispatch(
+            Request("POST", "/auth/login", {"userName": "a", "password": "b"})
+        )
+        assert login.status == 200 and "token" in login.body
+
+    def test_bad_login_gets_401_envelope(self, server):
+        response = server.dispatch(
+            Request("POST", "/auth/login", {"userName": "a", "password": "x"})
+        )
+        assert response.status == 401
+        assert response.body["error"] == "AuthenticationError"
+        assert response.body["code"] == 401
+        assert "message" in response.body
+
+    def test_missing_token_rejected(self, server, token):
+        response = server.dispatch(Request("GET", "/registry/zz46/pe/all"))
+        assert response.status == 401
+        assert "login" in response.body["message"]
+
+    def test_token_user_mismatch_rejected(self, server, token):
+        server.dispatch(
+            Request("POST", "/auth/register", {"userName": "mallory", "password": "m"})
+        )
+        response = server.dispatch(
+            Request("GET", "/registry/mallory/pe/all", token=token)
+        )
+        assert response.status == 401
+        assert "does not belong" in response.body["message"]
+
+    def test_auth_all_lists_users_without_passwords(self, server, token):
+        response = server.dispatch(Request("GET", "/auth/all"))
+        assert response.status == 200
+        [user] = response.body["users"]
+        assert user["userName"] == "zz46"
+        assert "password" not in user
+
+
+class TestErrorEnvelopes:
+    def test_unknown_route_404(self, server):
+        response = server.dispatch(Request("GET", "/nope"))
+        assert response.status == 404
+        assert response.body["error"] == "NotFoundError"
+
+    def test_missing_pe_404_with_params(self, server, token):
+        response = server.dispatch(
+            Request("GET", "/registry/zz46/pe/id/999", token=token)
+        )
+        assert response.status == 404
+        assert response.body["params"]["peId"] == "999"
+
+    def test_validation_error_400(self, server, token):
+        response = server.dispatch(
+            Request("POST", "/registry/zz46/pe/add", {"description": "x"}, token=token)
+        )
+        assert response.status == 400
+        assert response.body["error"] == "ValidationError"
+
+    def test_non_integer_id_param_400(self, server, token):
+        response = server.dispatch(
+            Request("GET", "/registry/zz46/pe/id/notanint", token=token)
+        )
+        assert response.status == 400
+
+    def test_unknown_search_type_400(self, server, token):
+        response = server.dispatch(
+            Request("GET", "/registry/zz46/search/foo/type/everything", token=token)
+        )
+        assert response.status == 400
+
+    def test_internal_errors_become_500_envelopes(self, server, token, monkeypatch):
+        def boom(*a, **k):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(server.registry, "user_pes", boom)
+        response = server.dispatch(
+            Request("GET", "/registry/zz46/pe/all", token=token)
+        )
+        assert response.status == 500
+        assert response.body["error"] == "InternalError"
+        assert "kaboom" in response.body["message"]
+
+
+class TestPEEndpoints:
+    def _add(self, server, token, name="AddTen"):
+        from repro.serialization import extract_source, serialize_object
+
+        return server.dispatch(
+            Request(
+                "POST",
+                "/registry/zz46/pe/add",
+                {
+                    "peName": name,
+                    "peCode": serialize_object(AddTen),
+                    "peSource": extract_source(AddTen),
+                    "description": "adds ten",
+                },
+                token=token,
+            )
+        )
+
+    def test_add_returns_record(self, server, token):
+        response = self._add(server, token)
+        assert response.status == 201
+        assert response.body["peName"] == "AddTen"
+        assert response.body["peId"] >= 1
+
+    def test_get_by_name_and_id(self, server, token):
+        pe_id = self._add(server, token).body["peId"]
+        by_id = server.dispatch(
+            Request("GET", f"/registry/zz46/pe/id/{pe_id}", token=token)
+        )
+        by_name = server.dispatch(
+            Request("GET", "/registry/zz46/pe/name/AddTen", token=token)
+        )
+        assert by_id.body["peId"] == by_name.body["peId"] == pe_id
+
+    def test_remove_by_name(self, server, token):
+        self._add(server, token)
+        response = server.dispatch(
+            Request("DELETE", "/registry/zz46/pe/remove/name/AddTen", token=token)
+        )
+        assert response.status == 200 and response.body["removed"]
+
+    def test_put_link_pe_to_workflow(self, server, token):
+        from repro.serialization import serialize_object
+
+        pe_id = self._add(server, token).body["peId"]
+        workflow = server.dispatch(
+            Request(
+                "POST",
+                "/registry/zz46/workflow/add",
+                {
+                    "entryPoint": "linked",
+                    "workflowCode": serialize_object(AddTen),
+                },
+                token=token,
+            )
+        )
+        workflow_id = workflow.body["workflowId"]
+        response = server.dispatch(
+            Request(
+                "PUT",
+                f"/registry/zz46/workflow/{workflow_id}/pe/{pe_id}",
+                token=token,
+            )
+        )
+        assert response.status == 200
+        assert response.body["peIds"] == [pe_id]
+        pes = server.dispatch(
+            Request(
+                "GET", f"/registry/zz46/workflow/pes/id/{workflow_id}", token=token
+            )
+        )
+        assert [p["peId"] for p in pes.body["pes"]] == [pe_id]
+
+    def test_auto_description_when_missing(self, server, token):
+        from repro.serialization import extract_source, serialize_object
+
+        response = server.dispatch(
+            Request(
+                "POST",
+                "/registry/zz46/pe/add",
+                {
+                    "peName": "AddTen",
+                    "peCode": serialize_object(AddTen),
+                    "peSource": extract_source(AddTen),
+                },
+                token=token,
+            )
+        )
+        assert response.body["description"]  # summarized server-side
+        assert response.body["descriptionOrigin"] == "auto"

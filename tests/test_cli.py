@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.mapping == "MULTI" and args.num == 5
+
+    def test_eval_table_choices(self):
+        assert build_parser().parse_args(["eval", "6"]).table == 6
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["eval", "9"])
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--db", "reg.db", "--no-fit"]
+        )
+        assert args.port == 9000 and args.db == "reg.db" and args.no_fit
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        code = main(["demo", "--input", "4", "--mapping", "SIMPLE"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "isPrime" in out
+        assert "before checking" in out
+
+    def test_eval_table6(self, capsys):
+        assert main(["eval", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "unixcoder-code-search" in out
+        assert "MISS" not in out
+
+    def test_endpoints_prints_table3(self, capsys):
+        assert main(["endpoints"]) == 0
+        out = capsys.readouterr().out
+        assert "POST    /registry/{user}/pe/add" in out
+        assert "POST    /execution/{user}/run" in out
+
+    def test_serve_builds_and_binds(self):
+        # exercise the serve path without blocking: build + bind manually
+        from repro.cli import _build_server
+        from repro.server.http import serve_http
+
+        server = _build_server(None, fit=False)
+        with serve_http(server, port=0) as handle:
+            assert handle.url.startswith("http://127.0.0.1:")

@@ -1,0 +1,88 @@
+"""Tests for the shared error hierarchy and JSON envelopes (§3.2.5)."""
+
+import pytest
+
+from repro.errors import (
+    AuthenticationError,
+    DuplicateError,
+    ExecutionError,
+    GraphError,
+    MappingError,
+    NotFoundError,
+    ReproError,
+    SerializationError,
+    TransportError,
+    ValidationError,
+    error_from_json,
+)
+
+ALL_ERRORS = [
+    ReproError,
+    ValidationError,
+    GraphError,
+    MappingError,
+    SerializationError,
+    NotFoundError,
+    DuplicateError,
+    AuthenticationError,
+    ExecutionError,
+    TransportError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("cls", ALL_ERRORS)
+    def test_everything_is_a_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+
+    def test_graph_error_is_validation_error(self):
+        assert issubclass(GraphError, ValidationError)
+
+    def test_http_codes(self):
+        assert ValidationError.code == 400
+        assert AuthenticationError.code == 401
+        assert NotFoundError.code == 404
+        assert DuplicateError.code == 409
+        assert ReproError.code == 500
+
+
+class TestEnvelope:
+    def test_minimal_envelope(self):
+        body = ValidationError("bad input").to_json()
+        assert body == {
+            "error": "ValidationError",
+            "code": 400,
+            "message": "bad input",
+        }
+
+    def test_params_and_details_included(self):
+        err = NotFoundError(
+            "PE not found", params={"peId": 7}, details="check the id"
+        )
+        body = err.to_json()
+        assert body["params"] == {"peId": "7"}
+        assert body["details"] == "check the id"
+
+    def test_envelope_is_json_serializable(self):
+        import json
+
+        err = MappingError("boom", params={"obj": object()})
+        json.dumps(err.to_json())  # params repr()'d -> always serializable
+
+
+class TestRehydration:
+    @pytest.mark.parametrize("cls", ALL_ERRORS)
+    def test_round_trip_preserves_class(self, cls):
+        original = cls("something failed", details="why")
+        restored = error_from_json(original.to_json())
+        assert type(restored) is cls
+        assert restored.message == "something failed"
+        assert restored.details == "why"
+
+    def test_unknown_kind_degrades_to_base(self):
+        restored = error_from_json({"error": "AlienError", "message": "x"})
+        assert type(restored) is ReproError
+
+    def test_empty_body_safe(self):
+        restored = error_from_json({})
+        assert isinstance(restored, ReproError)

@@ -1,0 +1,155 @@
+"""Full-stack integration scenarios spanning every subsystem."""
+
+import pytest
+
+from repro.client import LaminarClient, local_stack
+from repro.dataflow.graph import WorkflowGraph
+from repro.datasets.galaxies import write_coordinates_file
+from repro.net.latency import LatencyModel
+from repro.registry.dao import SqliteDAO
+from repro.workflows.astrophysics import build_internal_extinction_graph
+from repro.workflows.isprime import build_isprime_graph
+from repro.workflows.library import ALL_LIBRARY_PES
+from tests.helpers import build_pipeline_graph
+
+
+class TestPaperSession:
+    """The end-to-end session the paper walks through (§3.4, §5.1)."""
+
+    def test_full_isprime_lifecycle(self, stack_client):
+        client = stack_client
+        # register the showcase workflow (auto-registers its PEs)
+        client.register_Workflow(
+            build_isprime_graph(), "isPrime",
+            "Workflow that prints random prime numbers",
+        )
+        # Figure 6: text search finds it by partial name
+        hits = client.search_Registry("prime", "workflow")
+        assert hits[0]["name"] == "isPrime"
+        # Figure 7: semantic search surfaces the IsPrime PE first
+        hits = client.search_Registry(
+            "A PE that checks if a number is prime", "pe", "text"
+        )
+        assert hits[0]["peName"] == "IsPrime"
+        # Figure 8: code completion finds the producer
+        hits = client.search_Registry("random.randint(1, 1000)", "pe", "code")
+        assert hits[0]["peName"] == "NumberProducer"
+        # Listing 4 / Figure 9: run with Multi and five processes
+        outcome = client.run("isPrime", input=5, process="MULTI", args={"num": 5})
+        assert outcome.status == "ok"
+        checked = [
+            line for line in outcome.stdout.splitlines() if "before checking" in line
+        ]
+        assert len(checked) == 5
+
+    def test_astrophysics_listing_5_to_7(self, stack_client, tmp_path, monkeypatch):
+        client = stack_client
+        write_coordinates_file(tmp_path / "resources" / "coordinates.txt", 5, seed=2)
+        monkeypatch.chdir(tmp_path)
+        graph = build_internal_extinction_graph(latency_s=0.0, seed=2)
+        # Listing 5: register
+        client.register_Workflow(
+            graph, "Astrophysics",
+            "A workflow to compute the internal extinction of galaxies",
+        )
+        # Listing 6: retrieve
+        fetched = client.get_Workflow("Astrophysics")
+        assert isinstance(fetched, WorkflowGraph)
+        # Listing 7: execute with resources (redis mapping, smaller procs)
+        outcome = client.run(
+            "Astrophysics",
+            input=[{"input": "resources/coordinates.txt"}],
+            process="REDIS",
+            args={"num": 5},
+            resources=True,
+        )
+        assert outcome.status == "ok"
+        values = [v for vs in outcome.results.values() for v in vs]
+        assert len(values) == 5
+
+
+class TestFigure7Population:
+    def test_register_22_pes_and_search(self, stack_client):
+        client = stack_client
+        for cls in ALL_LIBRARY_PES:
+            client.register_PE(cls)
+        registry = client.get_Registry()
+        assert len(registry["pes"]) == 22
+        hits = client.search_Registry(
+            "a PE that counts how often each word occurs", "pe", "text", k=5
+        )
+        assert "CountWords" in [h["peName"] for h in hits]
+
+    def test_code_completion_over_library(self, stack_client):
+        client = stack_client
+        for cls in ALL_LIBRARY_PES:
+            client.register_PE(cls)
+        hits = client.search_Registry(
+            "heapq.heappush(self.heap", "pe", "code", k=3
+        )
+        assert hits[0]["peName"] == "TopK"
+
+
+class TestDeployments:
+    def test_sqlite_backed_stack(self, tmp_path, fast_bundle):
+        dao = SqliteDAO(tmp_path / "registry.db")
+        client = LaminarClient(
+            local_stack(dao=dao, models=fast_bundle), models=fast_bundle, echo=False
+        )
+        client.register("sq", "pw")
+        client.login("sq", "pw")
+        client.register_Workflow(build_pipeline_graph(), "pipeline")
+        outcome = client.run("pipeline", input=3)
+        assert outcome.results["Collector.output"] == [[11, 12, 13]]
+        # the registry row really is in sqlite
+        assert dao.find_workflow_by_entry_point("pipeline")
+
+    def test_latency_shaped_remote_stack(self, fast_bundle):
+        latency = LatencyModel(name="test-wan", rtt_s=0.005, sleep=True)
+        client = LaminarClient(
+            local_stack(latency=latency, models=fast_bundle),
+            models=fast_bundle,
+            echo=False,
+        )
+        client.register("remote", "pw")
+        client.login("remote", "pw")
+        outcome = client.run(build_pipeline_graph(), input=2, register=False)
+        assert outcome.status == "ok"
+        # every request paid the WAN cost in both directions
+        assert latency.accounted_s > 0.01
+
+    def test_two_users_share_one_stack(self, fast_bundle):
+        transport = local_stack(models=fast_bundle)
+        alice = LaminarClient(transport, models=fast_bundle, echo=False)
+        alice.register("alice", "a")
+        alice.login("alice", "a")
+        bob = LaminarClient(transport, models=fast_bundle, echo=False)
+        bob.register("bob", "b")
+        bob.login("bob", "b")
+
+        alice.register_Workflow(build_pipeline_graph(), "pipeline")
+        # bob cannot see alice's workflow (privacy rule of §3.1)
+        assert bob.get_Registry()["workflows"] == []
+        # bob registering the identical workflow becomes co-owner
+        bob.register_Workflow(build_pipeline_graph(), "pipeline")
+        body = bob.get_Registry()["workflows"][0]
+        assert len(body["owners"]) == 2
+
+
+@pytest.mark.parametrize("mapping", ["SIMPLE", "MULTI", "MPI", "REDIS"])
+class TestAllMappingsThroughServerlessStack:
+    def test_serverless_run(self, stack_client, mapping):
+        outcome = stack_client.run(
+            build_pipeline_graph(),
+            input=4,
+            process=mapping,
+            args={"num": 4},
+            register=False,
+        )
+        assert outcome.status == "ok"
+        merged = sorted(
+            v
+            for values in outcome.results["Collector.output"]
+            for v in values
+        )
+        assert merged == [11, 12, 13, 14]

@@ -1,0 +1,150 @@
+"""Tests for the paper's two showcase workflows (§5)."""
+
+import pytest
+
+from repro.dataflow.mappings import run_workflow
+from repro.datasets.galaxies import write_coordinates_file
+from repro.datasets.votable import internal_extinction
+from repro.workflows.astrophysics import build_internal_extinction_graph
+from repro.workflows.isprime import IsPrime, build_isprime_graph
+from repro.workflows.library import ALL_LIBRARY_PES
+
+
+class TestIsPrime:
+    def test_graph_shape(self):
+        graph = build_isprime_graph()
+        assert [type(pe).__name__ for pe in graph.topological_order()] == [
+            "NumberProducer", "IsPrime", "PrintPrime",
+        ]
+
+    def test_isprime_pe_logic(self, capsys):
+        pe = IsPrime()
+        assert pe.process({"input": 7})[0].value == 7
+        assert pe.process({"input": 8}) == []
+        assert pe.process({"input": 1}) == []
+        assert pe.process({"input": 2})[0].value == 2
+        capsys.readouterr()
+
+    def test_workflow_prints_only_primes(self):
+        result = run_workflow(build_isprime_graph(), input=20, mapping="simple")
+        printed = [
+            int(line.rsplit(" ", 3)[1])
+            for line in result.stdout.splitlines()
+            if line.startswith("the num")
+        ]
+        for value in printed:
+            assert all(value % i != 0 for i in range(2, value))
+
+    @pytest.mark.parametrize("mapping", ["simple", "multi"])
+    def test_figure9_scenario(self, mapping):
+        """input=5, num=5: five checks, primes reported."""
+        result = run_workflow(
+            build_isprime_graph(), input=5, mapping=mapping, nprocs=5, timeout=90
+        )
+        checked = [
+            line for line in result.stdout.splitlines() if "before checking" in line
+        ]
+        assert len(checked) == 5
+
+
+class TestInternalExtinction:
+    def _catalog(self, tmp_path, n=8):
+        return write_coordinates_file(tmp_path / "coordinates.txt", n, seed=7)
+
+    def test_graph_shape_matches_figure_10(self):
+        graph = build_internal_extinction_graph()
+        assert [type(pe).__name__ for pe in graph.topological_order()] == [
+            "ReadRaDec", "GetVOTable", "FilterColumns", "InternalExtinction",
+        ]
+
+    @pytest.mark.parametrize("mapping", ["simple", "multi", "redis"])
+    def test_computes_extinction_for_every_galaxy(self, mapping, tmp_path):
+        catalog = self._catalog(tmp_path, n=6)
+        graph = build_internal_extinction_graph(latency_s=0.0, seed=11)
+        result = run_workflow(
+            graph,
+            input=[{"input": str(catalog)}],
+            mapping=mapping,
+            nprocs=5,
+            timeout=120,
+        )
+        values = [
+            value
+            for values in result.results.values()
+            for value in values
+        ]
+        assert len(values) == 6
+        for name, extinction in values:
+            assert str(name).startswith("CIG")
+            assert 0.0 <= float(extinction) <= 1.7
+
+    def test_deterministic_across_mappings(self, tmp_path):
+        catalog = self._catalog(tmp_path, n=5)
+
+        def run(mapping):
+            graph = build_internal_extinction_graph(latency_s=0.0, seed=3)
+            result = run_workflow(
+                graph, input=[{"input": str(catalog)}], mapping=mapping,
+                nprocs=4, timeout=120,
+            )
+            return sorted(
+                tuple(v) for values in result.results.values() for v in values
+            )
+
+        assert run("simple") == run("multi")
+
+    def test_extinction_values_match_formula(self, tmp_path):
+        from repro.datasets.votable import VOTableService, parse_votable
+        from repro.datasets.galaxies import parse_coordinates
+
+        catalog = self._catalog(tmp_path, n=3)
+        graph = build_internal_extinction_graph(latency_s=0.0, seed=5)
+        result = run_workflow(
+            graph, input=[{"input": str(catalog)}], mapping="simple"
+        )
+        produced = dict(
+            v for values in result.results.values() for v in values
+        )
+        service = VOTableService(seed=5)
+        for ra, dec in parse_coordinates(catalog.read_text()):
+            [row] = parse_votable(service.query(ra, dec))
+            expected = round(internal_extinction(row["t"], row["logr25"]), 4)
+            assert produced[row["name"]] == pytest.approx(expected)
+
+
+class TestLibrary:
+    def test_figure7_population_size(self):
+        assert len(ALL_LIBRARY_PES) == 22
+
+    def test_every_library_pe_instantiable(self):
+        for cls in ALL_LIBRARY_PES:
+            pe = cls()
+            assert pe.name == cls.__name__
+
+    def test_library_pipeline_runs(self):
+        from repro.dataflow.graph import WorkflowGraph
+        from repro.workflows.library import (
+            CounterProducer, IsEven, SquareNumber, CollectList,
+        )
+
+        graph = WorkflowGraph("lib")
+        counter, even, square, collect = (
+            CounterProducer(), IsEven(), SquareNumber(), CollectList(),
+        )
+        graph.connect(counter, "output", even, "input")
+        graph.connect(even, "output", square, "input")
+        graph.connect(square, "output", collect, "input")
+        result = run_workflow(graph, input=6, mapping="simple")
+        assert result.results["CollectList.output"] == [[0, 4, 16]]
+
+    def test_wordcount_library_pes(self):
+        from repro.dataflow.graph import WorkflowGraph
+        from repro.workflows.library import CountWords, SentenceProducer, Tokenizer
+
+        graph = WorkflowGraph("wc")
+        graph.connect(SentenceProducer(), "output", Tokenizer(), "input")
+        tokenizer = graph.get_pes()[1]
+        graph.connect(tokenizer, "output", CountWords(), "input")
+        result = run_workflow(graph, input=4, mapping="simple")
+        counts = dict(result.results["CountWords.output"])
+        assert counts["the"] >= 3
