@@ -13,6 +13,19 @@ from pathlib import Path
 import pytest
 
 OUT_DIR = Path(__file__).parent / "out"
+_BENCH_DIR = str(Path(__file__).parent.resolve())
+
+
+def pytest_collection_modifyitems(config, items):
+    """Every test under benchmarks/ is ``slow``.
+
+    The tier-1 suite (`pytest` with the repo default ``-m "not slow"``,
+    see pytest.ini) then deselects the benchmarks; run them explicitly
+    with ``pytest benchmarks/ -m slow``.
+    """
+    for item in items:
+        if str(item.path).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

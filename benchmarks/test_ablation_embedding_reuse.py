@@ -49,6 +49,9 @@ def test_search_recomputing_embeddings(benchmark, registry_pes):
     searcher, records = registry_pes
 
     def recompute_path():
+        # fresh embedding-less records every iteration: the searcher now
+        # caches fallback vectors back onto records, so reusing one
+        # stripped list would only re-embed on the first query
         stripped = [
             PERecord(
                 pe_id=r.pe_id,
@@ -83,6 +86,11 @@ def test_reuse_speedup_report(benchmark, registry_pes, record):
         stored = time.perf_counter() - t0
         t0 = time.perf_counter()
         for _ in range(20):
+            # re-strip every query: the searcher caches fallback vectors
+            # back onto records, and this arm measures the paper's
+            # counterfactual of re-embedding the corpus per query
+            for r in stripped:
+                r.desc_embedding = None
             searcher.search(QUERY, stripped, k=5)
         recomputed = time.perf_counter() - t0
         return stored, recomputed

@@ -4,6 +4,13 @@ The execution environment has setuptools but no ``wheel`` package, so the
 PEP 660 editable-install path (which builds an editable wheel) fails
 offline.  This shim enables the legacy ``pip install -e . --no-use-pep517``
 path; all metadata lives in pyproject.toml.
+
+Test tiers (configured in pytest.ini + benchmarks/conftest.py):
+
+* tier-1 (default): ``python -m pytest -x -q`` — unit/integration tests
+  only; everything under benchmarks/ carries the ``slow`` marker and is
+  deselected by the default ``-m "not slow"``.
+* benchmarks: ``python -m pytest benchmarks/ -m slow``.
 """
 
 from setuptools import setup

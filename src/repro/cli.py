@@ -6,6 +6,8 @@ Commands:
   backed), the deployment entry point.
 * ``demo``    — run the IsPrime showcase end to end in one process.
 * ``eval``    — regenerate a paper table (5, 6 or 7) on the terminal.
+* ``search``  — query a registry from the terminal (text/semantic/code),
+  served from the per-user vector index.
 * ``endpoints`` — print the server's API table (paper Table 3 + extensions).
 """
 
@@ -45,6 +47,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate = sub.add_parser("eval", help="regenerate a paper table")
     evaluate.add_argument("table", type=int, choices=[5, 6, 7])
+
+    search = sub.add_parser(
+        "search",
+        help="search a registry from the terminal (index-served)",
+    )
+    search.add_argument("query", help="the search string (no '/' characters)")
+    search.add_argument(
+        "--db", default=None, help="SQLite registry path (default: in-memory)"
+    )
+    search.add_argument("--user", default="cli", help="registry user name")
+    search.add_argument("--password", default="cli", help="registry password")
+    search.add_argument(
+        "--type", dest="search_type", default="both",
+        choices=["pe", "workflow", "both"],
+    )
+    search.add_argument(
+        "--query-type", dest="query_type", default="semantic",
+        choices=["text", "semantic", "code"],
+    )
+    search.add_argument("-k", type=int, default=None, help="max results")
+    search.add_argument(
+        "--no-fit", action="store_true",
+        help="skip model IDF fitting (faster startup, weaker search)",
+    )
 
     sub.add_parser("endpoints", help="print the API endpoint table")
     return parser
@@ -120,6 +146,59 @@ def cmd_eval(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_search(args: argparse.Namespace) -> int:
+    """One-shot registry search over the index-backed search endpoint.
+
+    Most useful against a SQLite registry (``--db``): the server bulk-
+    loads the vector index from the stored embeddings at startup and the
+    query is served from the per-user shards, exactly like ``serve``.
+    """
+    from repro.client.display import render_search_hits
+    from repro.errors import NotFoundError
+    from repro.net.transport import Request
+
+    server = _build_server(args.db, fit=not args.no_fit)
+    try:
+        server.registry.get_user(args.user)
+    except NotFoundError:
+        if args.db is not None:
+            # never mutate a persistent registry from a read-only command
+            print(f"unknown user {args.user!r} in registry {args.db}")
+            return 1
+        # ephemeral in-memory registry: create the throwaway user
+        server.registry.register_user(args.user, args.password)
+    login = server.dispatch(
+        Request(
+            "POST",
+            "/auth/login",
+            {"userName": args.user, "password": args.password},
+        )
+    )
+    if login.status != 200:
+        print(f"login failed: {login.body.get('message', login.body)}")
+        return 1
+    body: dict = {"queryType": args.query_type}
+    if args.k is not None:
+        body["k"] = args.k
+    response = server.dispatch(
+        Request(
+            "GET",
+            f"/registry/{args.user}/search/{args.query}/type/{args.search_type}",
+            body,
+            token=login.body["token"],
+        )
+    )
+    if response.status != 200:
+        print(f"search failed: {response.body.get('message', response.body)}")
+        return 1
+    print(
+        render_search_hits(
+            response.body.get("searchKind", "text"), response.body.get("hits", [])
+        )
+    )
+    return 0
+
+
 def cmd_endpoints(args: argparse.Namespace) -> int:
     server = _build_server(None, fit=False)
     for method, pattern in server.endpoints():
@@ -131,6 +210,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "demo": cmd_demo,
     "eval": cmd_eval,
+    "search": cmd_search,
     "endpoints": cmd_endpoints,
 }
 

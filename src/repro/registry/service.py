@@ -13,6 +13,8 @@ Implements the ownership semantics the paper describes:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import (
     AuthenticationError,
     DuplicateError,
@@ -27,12 +29,75 @@ from repro.registry.entities import (
     hash_password,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.search.index import VectorIndex
+
 
 class RegistryService:
-    """All registry business logic, backend-agnostic."""
+    """All registry business logic, backend-agnostic.
 
-    def __init__(self, dao: RegistryDAO) -> None:
+    When constructed with a :class:`~repro.search.index.VectorIndex`,
+    the service keeps the per-owner search shards synchronized with every
+    PE/workflow mutation: registration adds the stored embeddings under
+    each owner's shard, removal drops them, and a pre-populated DAO
+    (e.g. a reopened SQLite registry) is bulk-loaded at attach time.
+    """
+
+    def __init__(
+        self, dao: RegistryDAO, index: "VectorIndex | None" = None
+    ) -> None:
         self.dao = dao
+        self.index = None
+        if index is not None:
+            self.attach_index(index)
+
+    # ------------------------------------------------------------------
+    # Search-index maintenance
+    # ------------------------------------------------------------------
+    def attach_index(self, index: "VectorIndex") -> None:
+        """Adopt ``index`` and bulk-load it from the current DAO state."""
+        self.index = index
+        for record in self.dao.all_pes():
+            for user_id in record.owners:
+                self._index_pe(user_id, record)
+        for record in self.dao.all_workflows():
+            for user_id in record.owners:
+                self._index_workflow(user_id, record)
+
+    def _index_pe(self, user_id: int, record: PERecord) -> None:
+        if self.index is None:
+            return
+        from repro.search.index import KIND_CODE, KIND_DESC
+
+        if record.desc_embedding is not None:
+            self.index.add(user_id, KIND_DESC, record.pe_id, record.desc_embedding)
+        if record.code_embedding is not None:
+            self.index.add(user_id, KIND_CODE, record.pe_id, record.code_embedding)
+
+    def _unindex_pe(self, user_id: int, pe_id: int) -> None:
+        if self.index is None:
+            return
+        from repro.search.index import KIND_CODE, KIND_DESC
+
+        self.index.remove(user_id, KIND_DESC, pe_id)
+        self.index.remove(user_id, KIND_CODE, pe_id)
+
+    def _index_workflow(self, user_id: int, record: WorkflowRecord) -> None:
+        if self.index is None:
+            return
+        from repro.search.index import KIND_WORKFLOW
+
+        if record.desc_embedding is not None:
+            self.index.add(
+                user_id, KIND_WORKFLOW, record.workflow_id, record.desc_embedding
+            )
+
+    def _unindex_workflow(self, user_id: int, workflow_id: int) -> None:
+        if self.index is None:
+            return
+        from repro.search.index import KIND_WORKFLOW
+
+        self.index.remove(user_id, KIND_WORKFLOW, workflow_id)
 
     # ------------------------------------------------------------------
     # Users / auth
@@ -75,9 +140,12 @@ class RegistryService:
                 if user.user_id not in existing.owners:
                     existing.owners.add(user.user_id)
                     self.dao.update_pe(existing)
+                self._index_pe(user.user_id, existing)
                 return existing
         record.owners = {user.user_id}
-        return self.dao.insert_pe(record)
+        stored = self.dao.insert_pe(record)
+        self._index_pe(user.user_id, stored)
+        return stored
 
     def _owned_pe(self, user: UserRecord, pe_id: int) -> PERecord:
         record = self.dao.get_pe(pe_id)
@@ -115,6 +183,7 @@ class RegistryService:
             self.dao.update_pe(record)
         else:
             self.dao.delete_pe(pe_id)
+        self._unindex_pe(user.user_id, pe_id)
 
     def remove_pe_by_name(self, user: UserRecord, name: str) -> None:
         record = self.get_pe_by_name(user, name)
@@ -131,9 +200,12 @@ class RegistryService:
                 if user.user_id not in existing.owners:
                     existing.owners.add(user.user_id)
                     self.dao.update_workflow(existing)
+                self._index_workflow(user.user_id, existing)
                 return existing
         record.owners = {user.user_id}
-        return self.dao.insert_workflow(record)
+        stored = self.dao.insert_workflow(record)
+        self._index_workflow(user.user_id, stored)
+        return stored
 
     def _owned_workflow(self, user: UserRecord, workflow_id: int) -> WorkflowRecord:
         record = self.dao.get_workflow(workflow_id)
@@ -173,6 +245,7 @@ class RegistryService:
             self.dao.update_workflow(record)
         else:
             self.dao.delete_workflow(workflow_id)
+        self._unindex_workflow(user.user_id, workflow_id)
 
     def remove_workflow_by_name(self, user: UserRecord, name: str) -> None:
         record = self.get_workflow_by_name(user, name)

@@ -11,11 +11,63 @@ Three search mechanisms over registered PEs and workflows:
 
 All searches exploit embeddings stored in the Registry at registration
 time (§3.1.1) — nothing is re-embedded on the corpus side at query time.
+
+The vector index
+================
+
+:mod:`repro.search.index` is the serving layer underneath the two
+embedding searches.  Without it, every query rebuilds an ``(N, D)``
+corpus matrix from Python records and full-sorts the similarities; with
+it, embeddings live in pre-stacked, pre-normalized float32 shards keyed
+by ``(user, kind)`` and a query costs one BLAS product plus an
+``argpartition`` top-k selection.
+
+Quick tour::
+
+    from repro.search import KIND_DESC, SemanticSearcher, VectorIndex
+
+    index = VectorIndex()
+    index.add(user_id, KIND_DESC, pe.pe_id, pe.desc_embedding)   # at register
+    index.remove(user_id, KIND_DESC, pe.pe_id)                    # at remove
+
+    searcher = SemanticSearcher(model)
+    hits = searcher.search(query, pes, k=10, index=index, user=user_id)
+
+Key properties:
+
+* **Incremental** — ``add``/``remove``/``update`` are keyed by record id;
+  insertion and removal shift at most the row tail, so registry
+  mutations never trigger a rebuild.
+* **Exact** — indexed and brute-force paths return identical ids and
+  scores, including stable ascending-id tie-breaking for equal
+  similarities (``tests/search/test_index_parity.py`` asserts this; the
+  searchers fall back to brute force when the candidate set does not
+  match the shard).  Live rows stay contiguous in id order precisely so
+  the BLAS scoring call is bitwise identical to the brute-force matrix
+  rebuild over the same id-ordered records.
+* **Thread-safe** — one reentrant lock per index; searches never observe
+  torn shards and removed ids are never returned after ``remove``.
+* **Cached** — an LRU of recent query embeddings (``index.query_cache``)
+  makes repeated queries skip the embedder entirely.
+
+The index is maintained automatically by
+:class:`~repro.registry.service.RegistryService` (every PE/workflow
+add/remove updates the owner's shards) and served by the HTTP layer's
+``/registry/{user}/search`` endpoint and the ``repro search`` CLI
+command.  ``benchmarks/test_index_vs_scan.py`` records the speedup over
+the per-query matrix rebuild.
 """
 
 from repro.search.text_search import TextMatch, text_search_pes, text_search_workflows
 from repro.search.semantic import SemanticHit, SemanticSearcher, WorkflowSemanticHit
 from repro.search.code_search import CodeHit, CodeSearcher
+from repro.search.index import (
+    KIND_CODE,
+    KIND_DESC,
+    KIND_WORKFLOW,
+    EmbeddingLRU,
+    VectorIndex,
+)
 
 __all__ = [
     "TextMatch",
@@ -26,4 +78,9 @@ __all__ = [
     "SemanticSearcher",
     "CodeHit",
     "CodeSearcher",
+    "VectorIndex",
+    "EmbeddingLRU",
+    "KIND_DESC",
+    "KIND_CODE",
+    "KIND_WORKFLOW",
 ]

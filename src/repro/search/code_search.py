@@ -5,12 +5,17 @@ retriever and compared against all stored ``codeEmbedding`` vectors.
 Each hit also carries a suggested *continuation* extracted by aligning
 the query against the retrieved code (the "completion" of ReACC's
 retrieve-then-reuse loop).
+
+Like :class:`~repro.search.semantic.SemanticSearcher`, the searcher
+serves from a pre-stacked :class:`~repro.search.index.VectorIndex` shard
+when one is supplied and falls back to the brute-force matrix rebuild
+otherwise; both paths rank ties by insertion order and agree exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Hashable, Sequence
 
 import numpy as np
 
@@ -19,6 +24,7 @@ from repro.ml.embedding import EmbeddingModel
 from repro.ml.models import ReACCRetriever
 from repro.ml.similarity import cosine_similarity_matrix
 from repro.registry.entities import PERecord
+from repro.search.index import KIND_CODE, VectorIndex
 
 
 @dataclass
@@ -54,46 +60,69 @@ class CodeSearcher:
         """The embedding computed at registration time (§3.1.1)."""
         return self.model.embed_one(code, kind="code")
 
+    def _hit(self, record: PERecord, code_query: str, score: float) -> CodeHit:
+        continuation = (
+            align_continuation(code_query, record.pe_source)
+            if record.pe_source
+            else ""
+        )
+        return CodeHit(
+            pe_id=record.pe_id,
+            pe_name=record.pe_name,
+            description=record.description,
+            score=float(score),
+            continuation=continuation,
+        )
+
     def search(
         self,
         code_query: str,
         pes: Sequence[PERecord],
         k: int | None = None,
         query_embedding: np.ndarray | None = None,
+        *,
+        index: VectorIndex | None = None,
+        user: Hashable | None = None,
     ) -> list[CodeHit]:
-        """Rank ``pes`` by code similarity to ``code_query``."""
+        """Rank ``pes`` by code similarity to ``code_query``.
+
+        PEs lacking a stored code embedding are embedded once as a
+        fallback and the vector is cached back onto the record.  With
+        ``index``/``user`` the scoring runs against the pre-stacked
+        shard instead of rebuilding the corpus matrix per query.
+        """
         if not pes:
             return []
-        qvec = (
-            np.asarray(query_embedding, dtype=np.float32)
-            if query_embedding is not None
-            else self.embed_query(code_query)
-        )
+        if query_embedding is not None:
+            qvec = np.asarray(query_embedding, dtype=np.float32)
+        elif index is not None:
+            qvec = index.cached_query_vector(
+                (KIND_CODE, self.model.name, code_query),
+                lambda: self.embed_query(code_query),
+            )
+        else:
+            qvec = self.embed_query(code_query)
+        if index is not None and user is not None:
+            # read-only fast path (membership owned by the registry
+            # service); None -> brute force, which is always exact
+            result = index.search_among(
+                user, KIND_CODE, [record.pe_id for record in pes], qvec, k
+            )
+            if result is not None:
+                by_id = {record.pe_id: record for record in pes}
+                return [
+                    self._hit(by_id[rid], code_query, score)
+                    for rid, score in zip(*result)
+                ]
         matrix = np.zeros((len(pes), qvec.shape[0]), dtype=np.float32)
         for i, record in enumerate(pes):
             vec = record.code_embedding
             if vec is None:
                 vec = self.embed_code(record.pe_source or record.pe_name)
+                record.code_embedding = vec
             matrix[i] = vec
         sims = cosine_similarity_matrix(qvec, matrix)[0]
-        order = np.argsort(-sims)
+        order = np.argsort(-sims, kind="stable")
         if k is not None:
             order = order[:k]
-        hits = []
-        for i in order:
-            record = pes[i]
-            continuation = (
-                align_continuation(code_query, record.pe_source)
-                if record.pe_source
-                else ""
-            )
-            hits.append(
-                CodeHit(
-                    pe_id=record.pe_id,
-                    pe_name=record.pe_name,
-                    description=record.description,
-                    score=float(sims[i]),
-                    continuation=continuation,
-                )
-            )
-        return hits
+        return [self._hit(pes[i], code_query, sims[i]) for i in order]

@@ -5,12 +5,23 @@ The query is embedded with the fine-tuned code-search model and compared
 were computed once at registration (§3.1.1), never re-computed at query
 time.  Results are the ranked PEs with their similarity scores, exactly
 the Figure 7 table.
+
+Two execution paths serve every search:
+
+* **indexed** — when a :class:`~repro.search.index.VectorIndex` (and the
+  shard owner) is supplied, scoring runs against the pre-stacked shard
+  with ``argpartition`` top-k selection and an LRU-cached query vector;
+* **brute force** — without an index the corpus matrix is rebuilt from
+  the records, the historical behaviour kept as reference and fallback.
+
+Both paths rank ties by insertion order (stable sort) and return
+identical ids and scores.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Hashable, Sequence
 
 import numpy as np
 
@@ -18,6 +29,7 @@ from repro.ml.embedding import EmbeddingModel
 from repro.ml.models import UnixCoderCodeSearch
 from repro.ml.similarity import cosine_similarity_matrix
 from repro.registry.entities import PERecord, WorkflowRecord
+from repro.search.index import KIND_DESC, KIND_WORKFLOW, VectorIndex
 
 
 @dataclass
@@ -53,34 +65,72 @@ class SemanticSearcher:
         """The embedding computed at registration time (§3.1.1)."""
         return self.model.embed_one(description, kind="text")
 
+    def _query_vector(
+        self,
+        query: str,
+        query_embedding: np.ndarray | None,
+        index: VectorIndex | None,
+    ) -> np.ndarray:
+        if query_embedding is not None:
+            return np.asarray(query_embedding, dtype=np.float32)
+        if index is not None:
+            return index.cached_query_vector(
+                (KIND_DESC, self.model.name, query),
+                lambda: self.embed_query(query),
+            )
+        return self.embed_query(query)
+
     def search(
         self,
         query: str,
         pes: Sequence[PERecord],
         k: int | None = None,
         query_embedding: np.ndarray | None = None,
+        *,
+        index: VectorIndex | None = None,
+        user: Hashable | None = None,
     ) -> list[SemanticHit]:
         """Rank ``pes`` by description similarity to ``query``.
 
         ``query_embedding`` may be supplied by the caller (the Client
         computes it in the paper's architecture); PEs lacking a stored
-        embedding are embedded on the fly as a fallback.
+        embedding are embedded once as a fallback and the vector is
+        cached back onto the record.  With ``index``/``user`` the scoring
+        runs against the pre-stacked shard instead of rebuilding the
+        corpus matrix.
         """
         if not pes:
             return []
-        qvec = (
-            np.asarray(query_embedding, dtype=np.float32)
-            if query_embedding is not None
-            else self.embed_query(query)
-        )
+        qvec = self._query_vector(query, query_embedding, index)
+        if index is not None and user is not None:
+            # read-only fast path: membership is owned by the registry
+            # service; a mismatched shard (subset query, unindexed
+            # records, concurrent mutation) returns None and the query
+            # serves brute force, which is always exact
+            result = index.search_among(
+                user, KIND_DESC, [record.pe_id for record in pes], qvec, k
+            )
+            if result is not None:
+                by_id = {record.pe_id: record for record in pes}
+                return [
+                    SemanticHit(
+                        pe_id=rid,
+                        pe_name=by_id[rid].pe_name,
+                        description=by_id[rid].description,
+                        description_origin=by_id[rid].description_origin,
+                        score=float(score),
+                    )
+                    for rid, score in zip(*result)
+                ]
         matrix = np.zeros((len(pes), qvec.shape[0]), dtype=np.float32)
         for i, record in enumerate(pes):
             vec = record.desc_embedding
             if vec is None:
                 vec = self.embed_description(record.description or record.pe_name)
+                record.desc_embedding = vec
             matrix[i] = vec
         sims = cosine_similarity_matrix(qvec, matrix)[0]
-        order = np.argsort(-sims)
+        order = np.argsort(-sims, kind="stable")
         if k is not None:
             order = order[:k]
         return [
@@ -100,6 +150,9 @@ class SemanticSearcher:
         workflows: Sequence[WorkflowRecord],
         k: int | None = None,
         query_embedding: np.ndarray | None = None,
+        *,
+        index: VectorIndex | None = None,
+        user: Hashable | None = None,
     ) -> list["WorkflowSemanticHit"]:
         """Semantic search over *workflow* descriptions.
 
@@ -110,11 +163,26 @@ class SemanticSearcher:
         """
         if not workflows:
             return []
-        qvec = (
-            np.asarray(query_embedding, dtype=np.float32)
-            if query_embedding is not None
-            else self.embed_query(query)
-        )
+        qvec = self._query_vector(query, query_embedding, index)
+        if index is not None and user is not None:
+            result = index.search_among(
+                user,
+                KIND_WORKFLOW,
+                [record.workflow_id for record in workflows],
+                qvec,
+                k,
+            )
+            if result is not None:
+                by_id = {record.workflow_id: record for record in workflows}
+                return [
+                    WorkflowSemanticHit(
+                        workflow_id=rid,
+                        entry_point=by_id[rid].entry_point,
+                        description=by_id[rid].description,
+                        score=float(score),
+                    )
+                    for rid, score in zip(*result)
+                ]
         matrix = np.zeros((len(workflows), qvec.shape[0]), dtype=np.float32)
         for i, record in enumerate(workflows):
             vec = record.desc_embedding
@@ -122,9 +190,10 @@ class SemanticSearcher:
                 vec = self.embed_description(
                     record.description or record.entry_point
                 )
+                record.desc_embedding = vec
             matrix[i] = vec
         sims = cosine_similarity_matrix(qvec, matrix)[0]
-        order = np.argsort(-sims)
+        order = np.argsort(-sims, kind="stable")
         if k is not None:
             order = order[:k]
         return [

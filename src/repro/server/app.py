@@ -15,7 +15,7 @@ from repro.errors import ReproError
 from repro.ml.bundle import ModelBundle
 from repro.net.transport import Request, Response
 from repro.registry import InMemoryDAO, RegistryDAO, RegistryService
-from repro.search import CodeSearcher, SemanticSearcher
+from repro.search import CodeSearcher, SemanticSearcher, VectorIndex
 from repro.server.api import Router
 from repro.server.controllers import (
     EngineController,
@@ -49,7 +49,10 @@ class LaminarServer:
     ) -> None:
         from repro.engine import EnginePool
 
-        self.registry = RegistryService(dao or InMemoryDAO())
+        #: per-(user, kind) embedding shards serving /registry/{user}/search;
+        #: maintained by the registry service on every PE/workflow mutation
+        self.index = VectorIndex()
+        self.registry = RegistryService(dao or InMemoryDAO(), index=self.index)
         #: named Execution Engines (§3.3/§8 future work: multiple engines
         #: registered at one server); ``engine`` becomes the default
         self.engines = EnginePool(engine)

@@ -126,8 +126,12 @@ class PEController(BaseController):
         if desc_embedding is None:
             desc_embedding = self.app.semantic.embed_description(description)
         code_embedding = self._embedding(body, "codeEmbedding")
-        if code_embedding is None and source:
-            code_embedding = self.app.code_search.embed_code(source)
+        if code_embedding is None:
+            # embed the same fallback text the searcher would use, so the
+            # code shard always has a row for every registered PE
+            code_embedding = self.app.code_search.embed_code(
+                source or str(body["peName"])
+            )
         record = PERecord(
             pe_id=0,
             pe_name=str(body["peName"]),
@@ -352,12 +356,18 @@ class RegistryController(BaseController):
         if query_embedding is not None:
             query_embedding = np.asarray(query_embedding, dtype=np.float32)
 
-        pes = self.app.registry.user_pes(user)
-        workflows = self.app.registry.user_workflows(user)
-
+        # materialize only the corpus each branch actually ranks over
+        # (record lists are still needed to build hit payloads; only the
+        # *scoring* is served from the pre-stacked index shards)
+        index = self.app.index
         if query_type == "code":
             hits = self.app.code_search.search(
-                search, pes, k=k, query_embedding=query_embedding
+                search,
+                self.app.registry.user_pes(user),
+                k=k,
+                query_embedding=query_embedding,
+                index=index,
+                user=user.user_id,
             )
             return Response(
                 200,
@@ -371,14 +381,24 @@ class RegistryController(BaseController):
                 hits.extend(
                     h.to_json()
                     for h in self.app.semantic.search(
-                        search, pes, k=k, query_embedding=query_embedding
+                        search,
+                        self.app.registry.user_pes(user),
+                        k=k,
+                        query_embedding=query_embedding,
+                        index=index,
+                        user=user.user_id,
                     )
                 )
             if search_type in ("workflow", "both"):
                 hits.extend(
                     h.to_json()
                     for h in self.app.semantic.search_workflows(
-                        search, workflows, k=k, query_embedding=query_embedding
+                        search,
+                        self.app.registry.user_workflows(user),
+                        k=k,
+                        query_embedding=query_embedding,
+                        index=index,
+                        user=user.user_id,
                     )
                 )
             hits.sort(key=lambda h: -h["score"])
@@ -387,23 +407,30 @@ class RegistryController(BaseController):
             return Response(200, {"searchKind": "semantic", "hits": hits})
         if query_type == "text":
             if search_type == "workflow":
-                matches = text_search_workflows(search, workflows)
+                matches = text_search_workflows(
+                    search, self.app.registry.user_workflows(user)
+                )
                 return Response(
                     200,
                     {"searchKind": "text", "hits": [m.to_json() for m in matches]},
                 )
             if search_type == "pe":
                 hits = self.app.semantic.search(
-                    search, pes, k=k, query_embedding=query_embedding
+                    search,
+                    self.app.registry.user_pes(user),
+                    k=k,
+                    query_embedding=query_embedding,
+                    index=index,
+                    user=user.user_id,
                 )
                 return Response(
                     200,
                     {"searchKind": "semantic", "hits": [h.to_json() for h in hits]},
                 )
             # both: plain text match across the whole registry (Figure 6)
-            matches = text_search_pes(search, pes) + text_search_workflows(
-                search, workflows
-            )
+            matches = text_search_pes(
+                search, self.app.registry.user_pes(user)
+            ) + text_search_workflows(search, self.app.registry.user_workflows(user))
             matches.sort(key=lambda m: (-m.score, m.kind, m.entity_id))
             return Response(
                 200,

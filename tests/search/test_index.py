@@ -1,0 +1,243 @@
+"""Unit tests for the incremental vector index (repro.search.index)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.search import KIND_CODE, KIND_DESC, EmbeddingLRU, VectorIndex
+
+
+def unit(rng, dim=16):
+    vec = rng.standard_normal(dim).astype(np.float32)
+    return vec / np.linalg.norm(vec)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestMutation:
+    def test_add_then_search(self, rng):
+        index = VectorIndex()
+        vec = unit(rng)
+        index.add("u", KIND_DESC, 1, vec)
+        ids, scores = index.search("u", KIND_DESC, vec)
+        assert ids == [1]
+        assert scores[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_add_same_id_updates_in_place(self, rng):
+        index = VectorIndex()
+        index.add("u", KIND_DESC, 1, unit(rng))
+        replacement = unit(rng)
+        index.add("u", KIND_DESC, 1, replacement)
+        assert index.size("u", KIND_DESC) == 1
+        ids, scores = index.search("u", KIND_DESC, replacement)
+        assert ids == [1] and scores[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_remove_drops_id(self, rng):
+        index = VectorIndex()
+        q = unit(rng)
+        index.add("u", KIND_DESC, 1, unit(rng))
+        index.add("u", KIND_DESC, 2, unit(rng))
+        assert index.remove("u", KIND_DESC, 1)
+        ids, _ = index.search("u", KIND_DESC, q)
+        assert ids == [2]
+        assert index.size("u", KIND_DESC) == 1
+
+    def test_remove_missing_is_false(self):
+        index = VectorIndex()
+        assert not index.remove("u", KIND_DESC, 99)
+        assert not index.remove("nobody", KIND_DESC, 1)
+
+    def test_remove_everywhere(self, rng):
+        index = VectorIndex()
+        index.add("u", KIND_DESC, 5, unit(rng))
+        index.add("u", KIND_CODE, 5, unit(rng))
+        index.add("v", KIND_DESC, 5, unit(rng))
+        index.remove_everywhere("u", 5)
+        assert index.size("u", KIND_DESC) == 0
+        assert index.size("u", KIND_CODE) == 0
+        assert index.size("v", KIND_DESC) == 1
+
+    def test_growth_beyond_initial_capacity(self, rng):
+        index = VectorIndex()
+        for rid in range(100):
+            index.add("u", KIND_DESC, rid, unit(rng))
+        assert index.size("u", KIND_DESC) == 100
+        assert index.ids("u", KIND_DESC) == list(range(100))
+
+    def test_removal_preserves_insertion_order(self, rng):
+        index = VectorIndex()
+        for rid in range(200):
+            index.add("u", KIND_DESC, rid, unit(rng))
+        for rid in range(0, 200, 2):
+            index.remove("u", KIND_DESC, rid)
+        assert index.ids("u", KIND_DESC) == list(range(1, 200, 2))
+        assert index.stats()["u/desc"]["live"] == 100
+
+    def test_clear_user(self, rng):
+        index = VectorIndex()
+        index.add("u", KIND_DESC, 1, unit(rng))
+        index.add("v", KIND_DESC, 2, unit(rng))
+        index.clear("u")
+        assert index.size("u", KIND_DESC) == 0
+        assert index.size("v", KIND_DESC) == 1
+
+    def test_shards_isolated_per_user_and_kind(self, rng):
+        index = VectorIndex()
+        q = unit(rng)
+        index.add("u", KIND_DESC, 1, q)
+        other_user_ids, other_user_scores = index.search("v", KIND_DESC, q)
+        assert other_user_ids == [] and other_user_scores.size == 0
+        other_kind_ids, other_kind_scores = index.search("u", KIND_CODE, q)
+        assert other_kind_ids == [] and other_kind_scores.size == 0
+
+    def test_dimension_mismatch_rejected(self, rng):
+        index = VectorIndex()
+        index.add("u", KIND_DESC, 1, unit(rng, dim=8))
+        with pytest.raises(ValidationError):
+            index.add("u", KIND_DESC, 2, unit(rng, dim=16))
+
+    def test_non_unit_vectors_stored_verbatim(self, rng):
+        """Raw dot-product semantics, exactly like the brute-force scan —
+        the index must never renormalize caller-supplied vectors."""
+        index = VectorIndex()
+        vec = unit(rng)
+        index.add("u", KIND_DESC, 1, vec * 42.0)
+        _, scores = index.search("u", KIND_DESC, vec)
+        assert scores[0] == pytest.approx(42.0, abs=1e-3)
+
+
+class TestSearch:
+    def test_k_validation(self, rng):
+        index = VectorIndex()
+        index.add("u", KIND_DESC, 1, unit(rng))
+        with pytest.raises(ValidationError):
+            index.search("u", KIND_DESC, unit(rng), k=0)
+
+    def test_empty_index(self, rng):
+        index = VectorIndex()
+        ids, scores = index.search("u", KIND_DESC, unit(rng), k=5)
+        assert ids == [] and scores.shape == (0,)
+
+    def test_k_larger_than_corpus(self, rng):
+        index = VectorIndex()
+        for rid in range(3):
+            index.add("u", KIND_DESC, rid, unit(rng))
+        ids, _ = index.search("u", KIND_DESC, unit(rng), k=50)
+        assert len(ids) == 3
+
+    def test_scores_descending(self, rng):
+        index = VectorIndex()
+        for rid in range(50):
+            index.add("u", KIND_DESC, rid, unit(rng))
+        _, scores = index.search("u", KIND_DESC, unit(rng), k=10)
+        assert all(scores[i] >= scores[i + 1] for i in range(len(scores) - 1))
+
+    def test_batch_matches_single_queries(self, rng):
+        index = VectorIndex()
+        for rid in range(40):
+            index.add("u", KIND_DESC, rid, unit(rng))
+        queries = np.stack([unit(rng) for _ in range(5)])
+        batched = index.search_batch("u", KIND_DESC, queries, k=7)
+        for q, (ids, scores) in zip(queries, batched):
+            solo_ids, solo_scores = index.search("u", KIND_DESC, q, k=7)
+            assert ids == solo_ids
+            np.testing.assert_allclose(scores, solo_scores, atol=1e-6)
+
+    def test_batch_on_empty_index(self, rng):
+        index = VectorIndex()
+        out = index.search_batch("u", KIND_DESC, np.stack([unit(rng)] * 3), k=2)
+        assert [ids for ids, _ in out] == [[], [], []]
+
+
+class TestSearchAmong:
+    """The membership-verified fast path the searchers use."""
+
+    def _index(self, rng, n=10):
+        index = VectorIndex()
+        vectors = [unit(rng) for _ in range(n)]
+        for rid, vec in enumerate(vectors):
+            index.add("u", KIND_DESC, rid, vec)
+        return index, vectors
+
+    def test_exact_membership_matches_plain_search(self, rng):
+        index, _ = self._index(rng)
+        q = unit(rng)
+        result = index.search_among("u", KIND_DESC, list(range(10)), q, k=4)
+        assert result is not None
+        ids, scores = result
+        plain_ids, plain_scores = index.search("u", KIND_DESC, q, k=4)
+        assert ids == plain_ids
+        np.testing.assert_array_equal(scores, plain_scores)
+
+    def test_candidate_order_is_irrelevant(self, rng):
+        index, _ = self._index(rng)
+        q = unit(rng)
+        shuffled = list(rng.permutation(10))
+        assert index.search_among("u", KIND_DESC, shuffled, q) is not None
+
+    def test_subset_returns_none(self, rng):
+        index, _ = self._index(rng)
+        assert index.search_among("u", KIND_DESC, [0, 1, 2], unit(rng)) is None
+
+    def test_superset_returns_none(self, rng):
+        index, _ = self._index(rng)
+        rids = list(range(11))  # one record the shard never saw
+        assert index.search_among("u", KIND_DESC, rids, unit(rng)) is None
+
+    def test_same_size_different_ids_returns_none(self, rng):
+        index, _ = self._index(rng)
+        rids = list(range(1, 10)) + [99]
+        assert index.search_among("u", KIND_DESC, rids, unit(rng)) is None
+
+    def test_missing_shard_returns_none(self, rng):
+        index = VectorIndex()
+        assert index.search_among("u", KIND_DESC, [1], unit(rng)) is None
+
+    def test_stale_after_remove_returns_none(self, rng):
+        index, _ = self._index(rng)
+        index.remove("u", KIND_DESC, 3)
+        # caller's snapshot still lists id 3 -> must fall back, never
+        # resurrect or silently drop the removed record
+        assert index.search_among("u", KIND_DESC, list(range(10)), unit(rng)) is None
+
+
+class TestQueryCache:
+    def test_lru_hit_skips_compute(self):
+        cache = EmbeddingLRU(maxsize=2)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.ones(4, dtype=np.float32)
+
+        cache.get_or_compute("a", compute)
+        cache.get_or_compute("a", compute)
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_evicts_oldest(self):
+        cache = EmbeddingLRU(maxsize=2)
+        make = lambda: np.zeros(2, dtype=np.float32)
+        cache.get_or_compute("a", make)
+        cache.get_or_compute("b", make)
+        cache.get_or_compute("a", make)  # refresh a
+        cache.get_or_compute("c", make)  # evicts b
+        assert len(cache) == 2
+        misses = cache.misses
+        cache.get_or_compute("b", make)
+        assert cache.misses == misses + 1
+
+    def test_bad_maxsize_rejected(self):
+        with pytest.raises(ValidationError):
+            EmbeddingLRU(maxsize=0)
+
+    def test_index_cached_query_vector(self):
+        index = VectorIndex()
+        vec = index.cached_query_vector("key", lambda: np.ones(3, dtype=np.float32))
+        again = index.cached_query_vector(
+            "key", lambda: pytest.fail("must not recompute")
+        )
+        np.testing.assert_array_equal(vec, again)

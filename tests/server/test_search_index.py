@@ -1,0 +1,239 @@
+"""End-to-end: /registry/{user}/search served from the vector index.
+
+Covers the wiring chain controller -> service -> index: registrations
+populate the per-user shards, removals evict them mid-session, and the
+search endpoint's results always reflect the live registry.
+"""
+
+import pytest
+
+from repro.net.transport import Request
+from repro.search import KIND_CODE, KIND_DESC, KIND_WORKFLOW
+from repro.server import LaminarServer
+
+
+@pytest.fixture()
+def server(fast_bundle):
+    return LaminarServer(models=fast_bundle)
+
+
+@pytest.fixture()
+def token(server):
+    server.dispatch(
+        Request("POST", "/auth/register", {"userName": "ix", "password": "pw"})
+    )
+    response = server.dispatch(
+        Request("POST", "/auth/login", {"userName": "ix", "password": "pw"})
+    )
+    return response.body["token"]
+
+
+def add_pe(server, token, name, description, source=""):
+    response = server.dispatch(
+        Request(
+            "POST",
+            "/registry/ix/pe/add",
+            {
+                "peName": name,
+                "peCode": "eA==",
+                "description": description,
+                "peSource": source,
+            },
+            token=token,
+        )
+    )
+    assert response.status == 201
+    return response.body["peId"]
+
+
+def search(server, token, query, search_type="pe", query_type="semantic", k=None):
+    body = {"queryType": query_type}
+    if k is not None:
+        body["k"] = k
+    response = server.dispatch(
+        Request(
+            "GET",
+            f"/registry/ix/search/{query}/type/{search_type}",
+            body,
+            token=token,
+        )
+    )
+    assert response.status == 200
+    return response.body["hits"]
+
+
+class TestIndexMaintenance:
+    def test_registration_populates_shards(self, server, token):
+        pe_id = add_pe(server, token, "Summer", "adds numbers together")
+        user_id = server.registry.get_user("ix").user_id
+        assert server.index.contains(user_id, KIND_DESC, pe_id)
+        assert server.index.contains(user_id, KIND_CODE, pe_id)
+
+    def test_workflow_registration_populates_shard(self, server, token):
+        response = server.dispatch(
+            Request(
+                "POST",
+                "/registry/ix/workflow/add",
+                {
+                    "entryPoint": "sumflow",
+                    "workflowCode": "eA==",
+                    "description": "summing workflow",
+                },
+                token=token,
+            )
+        )
+        assert response.status == 201
+        user_id = server.registry.get_user("ix").user_id
+        assert server.index.contains(
+            user_id, KIND_WORKFLOW, response.body["workflowId"]
+        )
+
+    def test_search_hits_come_from_index(self, server, token):
+        add_pe(server, token, "Summer", "adds numbers together")
+        add_pe(server, token, "Prime", "checks whether a number is prime")
+        hits = search(server, token, "prime number check")
+        assert hits and hits[0]["peName"] == "Prime"
+
+    def test_removed_pe_absent_mid_session(self, server, token):
+        """The ISSUE's end-to-end criterion: a PE removed mid-session
+        disappears from subsequent /registry/{user}/search results."""
+        keep_id = add_pe(server, token, "Summer", "adds numbers together")
+        drop_id = add_pe(server, token, "Prime", "checks whether a number is prime")
+
+        before = {h["peId"] for h in search(server, token, "number")}
+        assert {keep_id, drop_id} <= before
+
+        response = server.dispatch(
+            Request(
+                "DELETE",
+                f"/registry/ix/pe/remove/id/{drop_id}",
+                token=token,
+            )
+        )
+        assert response.status == 200
+
+        after = {h["peId"] for h in search(server, token, "number")}
+        assert drop_id not in after
+        assert keep_id in after
+
+        user_id = server.registry.get_user("ix").user_id
+        assert not server.index.contains(user_id, KIND_DESC, drop_id)
+        assert not server.index.contains(user_id, KIND_CODE, drop_id)
+
+    def test_removed_workflow_absent_mid_session(self, server, token):
+        for entry in ("alpha", "beta"):
+            server.dispatch(
+                Request(
+                    "POST",
+                    "/registry/ix/workflow/add",
+                    {
+                        "entryPoint": entry,
+                        "workflowCode": entry.encode("ascii").hex(),
+                        "description": f"workflow {entry}",
+                    },
+                    token=token,
+                )
+            )
+        response = server.dispatch(
+            Request("DELETE", "/registry/ix/workflow/remove/name/alpha", token=token)
+        )
+        assert response.status == 200
+        hits = search(server, token, "workflow", search_type="workflow")
+        assert all(h["entryPoint"] != "alpha" for h in hits)
+
+    def test_code_search_served_from_index(self, server, token):
+        add_pe(
+            server,
+            token,
+            "Randomizer",
+            "random numbers",
+            source="class Randomizer:\n    def run(self):\n"
+            "        return random.randint(1, 1000)\n",
+        )
+        add_pe(
+            server,
+            token,
+            "Sorter",
+            "sorts lists",
+            source="class Sorter:\n    def run(self, xs):\n"
+            "        return sorted(xs)\n",
+        )
+        hits = search(server, token, "random.randint(1, 1000)", query_type="code")
+        assert hits and hits[0]["peName"] == "Randomizer"
+
+    def test_other_users_shards_untouched(self, server, token):
+        add_pe(server, token, "Summer", "adds numbers together")
+        server.dispatch(
+            Request("POST", "/auth/register", {"userName": "zz", "password": "pw"})
+        )
+        other_token = server.dispatch(
+            Request("POST", "/auth/login", {"userName": "zz", "password": "pw"})
+        ).body["token"]
+        response = server.dispatch(
+            Request(
+                "GET",
+                "/registry/zz/search/numbers/type/pe",
+                {"queryType": "semantic"},
+                token=other_token,
+            )
+        )
+        assert response.status == 200
+        assert response.body["hits"] == []
+
+    def test_shared_pe_removal_only_evicts_caller(self, server, token):
+        """Dedup makes two owners share one PE; removal by one owner must
+        keep the other owner's shard entry."""
+        pe_id = add_pe(server, token, "Shared", "a shared processing element")
+        server.dispatch(
+            Request("POST", "/auth/register", {"userName": "zz", "password": "pw"})
+        )
+        other_token = server.dispatch(
+            Request("POST", "/auth/login", {"userName": "zz", "password": "pw"})
+        ).body["token"]
+        response = server.dispatch(
+            Request(
+                "POST",
+                "/registry/zz/pe/add",
+                {
+                    "peName": "Shared",
+                    "peCode": "eA==",
+                    "description": "a shared processing element",
+                },
+                token=other_token,
+            )
+        )
+        assert response.body["peId"] == pe_id  # deduped, co-owned
+
+        server.dispatch(
+            Request("DELETE", f"/registry/ix/pe/remove/id/{pe_id}", token=token)
+        )
+        ix_id = server.registry.get_user("ix").user_id
+        zz_id = server.registry.get_user("zz").user_id
+        assert not server.index.contains(ix_id, KIND_DESC, pe_id)
+        assert server.index.contains(zz_id, KIND_DESC, pe_id)
+
+
+class TestBulkLoadFromDao:
+    def test_sqlite_registry_is_bulk_indexed_on_attach(self, fast_bundle, tmp_path):
+        from repro.registry.dao import SqliteDAO
+
+        db = tmp_path / "reg.db"
+        first = LaminarServer(dao=SqliteDAO(db), models=fast_bundle)
+        first.dispatch(
+            Request("POST", "/auth/register", {"userName": "ix", "password": "pw"})
+        )
+        token = first.dispatch(
+            Request("POST", "/auth/login", {"userName": "ix", "password": "pw"})
+        ).body["token"]
+        pe_id = add_pe(first, token, "Summer", "adds numbers together")
+        first.registry.dao.close()
+
+        # a fresh server over the same DB: shards rebuilt at attach time
+        second = LaminarServer(dao=SqliteDAO(db), models=fast_bundle)
+        user_id = second.registry.get_user("ix").user_id
+        assert second.index.contains(user_id, KIND_DESC, pe_id)
+        token2 = second.dispatch(
+            Request("POST", "/auth/login", {"userName": "ix", "password": "pw"})
+        ).body["token"]
+        hits = search(second, token2, "adds numbers")
+        assert [h["peId"] for h in hits] == [pe_id]

@@ -25,6 +25,20 @@ class TestParser:
         )
         assert args.port == 9000 and args.db == "reg.db" and args.no_fit
 
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search", "prime numbers"])
+        assert args.query == "prime numbers"
+        assert args.search_type == "both" and args.query_type == "semantic"
+        assert args.k is None and args.db is None
+
+    def test_search_options(self):
+        args = build_parser().parse_args(
+            ["search", "randint", "--query-type", "code", "--type", "pe",
+             "-k", "3", "--no-fit"]
+        )
+        assert args.query_type == "code" and args.search_type == "pe"
+        assert args.k == 3 and args.no_fit
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
@@ -39,6 +53,63 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "unixcoder-code-search" in out
         assert "MISS" not in out
+
+    def test_search_empty_registry(self, capsys):
+        code = main(["search", "anything", "--no-fit"])
+        assert code == 0
+        assert "(no results)" in capsys.readouterr().out
+
+    def test_search_unknown_user_on_persistent_db(self, capsys, tmp_path):
+        """A read-only command must not create users in a persistent
+        registry — unknown user is an error, not a registration."""
+        from repro.registry.dao import SqliteDAO
+
+        db = tmp_path / "reg.db"
+        SqliteDAO(db).close()  # initialize an empty registry
+        code = main(
+            ["search", "x", "--db", str(db), "--user", "ghost", "--no-fit"]
+        )
+        assert code == 1
+        assert "unknown user" in capsys.readouterr().out
+        dao = SqliteDAO(db)
+        assert dao.get_user_by_name("ghost") is None
+        dao.close()
+
+    def test_search_sqlite_roundtrip(self, capsys, tmp_path):
+        """Register via one server process, search it from the CLI: the
+        index is bulk-loaded from the stored embeddings at startup."""
+        from repro.ml.bundle import ModelBundle
+        from repro.net.transport import Request
+        from repro.registry.dao import SqliteDAO
+        from repro.server import LaminarServer
+
+        db = tmp_path / "reg.db"
+        server = LaminarServer(
+            dao=SqliteDAO(db), models=ModelBundle.default(fit=False)
+        )
+        server.dispatch(
+            Request("POST", "/auth/register", {"userName": "cli", "password": "cli"})
+        )
+        token = server.dispatch(
+            Request("POST", "/auth/login", {"userName": "cli", "password": "cli"})
+        ).body["token"]
+        server.dispatch(
+            Request(
+                "POST",
+                "/registry/cli/pe/add",
+                {
+                    "peName": "PrimeChecker",
+                    "peCode": "eA==",
+                    "description": "checks whether a number is prime",
+                },
+                token=token,
+            )
+        )
+        server.registry.dao.close()
+
+        code = main(["search", "prime", "--db", str(db), "--no-fit", "-k", "1"])
+        assert code == 0
+        assert "PrimeChecker" in capsys.readouterr().out
 
     def test_endpoints_prints_table3(self, capsys):
         assert main(["endpoints"]) == 0
