@@ -8,6 +8,9 @@ Commands:
 * ``eval``    — regenerate a paper table (5, 6 or 7) on the terminal.
 * ``search``  — query a registry from the terminal (text/semantic/code),
   served from the per-user vector index.
+* ``stats``   — per-user registry counts via the DAO's owned-id
+  projections (no record materialization, no model loading); add
+  ``--shards`` for index shard occupancy.
 * ``endpoints`` — print the server's API table (paper Table 3 + extensions).
 """
 
@@ -70,6 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--no-fit", action="store_true",
         help="skip model IDF fitting (faster startup, weaker search)",
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help="registry ownership counts (cheap) and, with --shards, "
+        "index shard occupancy",
+    )
+    stats.add_argument(
+        "--db", default=None, help="SQLite registry path (default: in-memory)"
+    )
+    stats.add_argument(
+        "--shards", action="store_true",
+        help="also build the vector index and report shard occupancy "
+        "(reads the whole registry, like server startup)",
     )
 
     sub.add_parser("endpoints", help="print the API endpoint table")
@@ -199,6 +216,45 @@ def cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Registry occupancy without materializing a single record.
+
+    Per-user PE/workflow counts come straight from the DAO's owned-id
+    projections (``pe_ids_owned_by`` / ``workflow_ids_owned_by``), which
+    read only the ownership index — no row fetches, no embedding
+    unblobbing, no model or server construction — so the default mode
+    stays cheap even against a huge registry.  ``--shards`` additionally
+    builds the vector index (an O(corpus) pass, the same work server
+    startup does) and reports per-shard occupancy.
+    """
+    from repro.registry.dao import InMemoryDAO, SqliteDAO
+
+    dao = SqliteDAO(args.db) if args.db else InMemoryDAO()
+    users = dao.all_users()
+    print(f"registry: {args.db or 'in-memory'}  ({len(users)} user(s))")
+    for user in users:
+        pe_ids = dao.pe_ids_owned_by(user.user_id)
+        wf_ids = dao.workflow_ids_owned_by(user.user_id)
+        print(
+            f"  {user.user_name:<20} {len(pe_ids):>6} PE(s) "
+            f"{len(wf_ids):>6} workflow(s)"
+        )
+    if args.shards:
+        from repro.registry.service import RegistryService
+        from repro.search import VectorIndex
+
+        service = RegistryService(dao)
+        service.attach_index(VectorIndex())
+        shards = service.index.stats()
+        print(f"index: {len(shards)} shard(s)")
+        for key, info in sorted(shards.items()):
+            print(
+                f"  {key:<20} {info['live']:>6} live rows  "
+                f"(capacity {info['capacity']}, d={info['dim']})"
+            )
+    return 0
+
+
 def cmd_endpoints(args: argparse.Namespace) -> int:
     server = _build_server(None, fit=False)
     for method, pattern in server.endpoints():
@@ -211,6 +267,7 @@ _COMMANDS = {
     "demo": cmd_demo,
     "eval": cmd_eval,
     "search": cmd_search,
+    "stats": cmd_stats,
     "endpoints": cmd_endpoints,
 }
 

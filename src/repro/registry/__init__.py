@@ -18,6 +18,39 @@ local stacks) and SQLite (durable) — behind the same service layer that
 implements the paper's ownership/dedup rules (§3.1: re-registering an
 existing PE adds the user as an additional owner instead of duplicating
 the entry).
+
+O(k) serving-path primitives
+============================
+
+Because the registry fronts a remote store serving many users, the DAO
+exposes access paths whose cost scales with the *result*, not the
+corpus:
+
+* ``pes_owned_by(user_id)`` / ``workflows_owned_by(user_id)`` —
+  owner-scoped listings, O(user's rows).  ``RegistryService.user_pes``
+  / ``user_workflows`` delegate here instead of filtering
+  ``all_pes()`` in Python.
+* ``pe_ids_owned_by(user_id)`` / ``workflow_ids_owned_by(user_id)`` —
+  id-only projections that never materialize rows or unblob embedding
+  BLOBs; the search serving path uses them for shard-membership checks
+  (``RegistryService.owned_pe_ids`` / ``owned_workflow_ids``).
+* ``get_pes(ids)`` / ``get_workflows(ids)`` — id-batched fetch in
+  request order, used by ``RegistryService.resolve_pes`` /
+  ``resolve_workflows`` to hydrate exactly the top-k search winners.
+* ``insert_pes`` / ``insert_workflows`` — bulk load (one
+  ``executemany`` batch per table in SQLite).
+
+The owners migration
+====================
+
+In :class:`~repro.registry.dao.SqliteDAO`, ownership and the
+PE<->workflow association are normalized into indexed join tables
+(``pe_owners``, ``workflow_owners``, ``workflow_pes``) so the scoped
+queries filter in SQL.  The legacy JSON ``owners`` / ``pe_ids`` columns
+remain the on-record storage format (old readers keep working); the
+join tables are derived data kept in sync on every write.  A file
+written before schema v1 (``PRAGMA user_version`` < 1) is backfilled
+from the JSON columns exactly once when opened.
 """
 
 from repro.registry.entities import PERecord, UserRecord, WorkflowRecord

@@ -7,7 +7,27 @@ CRUD against the data store.  Two interchangeable backends:
   remote MySQL web service; embeddings stored as float32 BLOBs.
 
 The DAO layer knows nothing about ownership/dedup rules — that is the
-service layer's job — it only persists and retrieves records.
+service layer's job — it only persists and retrieves records.  It does,
+however, own the *access paths* that make ownership filtering cheap:
+
+* ``pes_owned_by`` / ``workflows_owned_by`` — owner-scoped listings
+  whose cost is O(user's records), not O(total registry);
+* ``pe_ids_owned_by`` / ``workflow_ids_owned_by`` — id-only projections
+  that never materialize rows or unblob embeddings, used by the search
+  serving path for shard-membership checks;
+* ``get_pes`` / ``get_workflows`` — id-batched fetch for top-k result
+  hydration;
+* ``insert_pes`` / ``insert_workflows`` — batched bulk load.
+
+In :class:`SqliteDAO`, ownership lives in normalized ``pe_owners`` /
+``workflow_owners`` join tables (indexed by ``user_id``) and the
+PE<->workflow association in a ``workflow_pes`` link table, all migrated
+automatically from the legacy JSON columns the first time an old file is
+opened (tracked by ``PRAGMA user_version``).  The JSON ``owners`` /
+``pe_ids`` columns remain the storage format *on the record itself* so
+old readers keep working; the join tables are derived data kept in sync
+on every write.  :class:`InMemoryDAO` maintains the equivalent per-user
+id sets.
 """
 
 from __future__ import annotations
@@ -17,6 +37,7 @@ import sqlite3
 import threading
 from abc import ABC, abstractmethod
 from pathlib import Path
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -56,6 +77,28 @@ class RegistryDAO(ABC):
     @abstractmethod
     def delete_pe(self, pe_id: int) -> None: ...
 
+    # -- PEs: owner-scoped / batched access paths -------------------------
+    def insert_pes(self, records: Sequence[PERecord]) -> list[PERecord]:
+        """Bulk insert; backends may batch.  Returns the stored records."""
+        return [self.insert_pe(record) for record in records]
+
+    def get_pes(self, pe_ids: Sequence[int]) -> list[PERecord]:
+        """Batched fetch, in the order of ``pe_ids``; missing ids skipped."""
+        records = []
+        for pe_id in pe_ids:
+            record = self.get_pe(pe_id)
+            if record is not None:
+                records.append(record)
+        return records
+
+    @abstractmethod
+    def pes_owned_by(self, user_id: int) -> list[PERecord]:
+        """All PEs owned by ``user_id``, ascending id — O(user's records)."""
+
+    @abstractmethod
+    def pe_ids_owned_by(self, user_id: int) -> list[int]:
+        """Ascending owned PE ids; never materializes rows or embeddings."""
+
     # -- workflows -----------------------------------------------------------
     @abstractmethod
     def insert_workflow(self, record: WorkflowRecord) -> WorkflowRecord: ...
@@ -77,33 +120,113 @@ class RegistryDAO(ABC):
     @abstractmethod
     def delete_workflow(self, workflow_id: int) -> None: ...
 
+    # -- workflows: owner-scoped / batched access paths -------------------
+    def insert_workflows(
+        self, records: Sequence[WorkflowRecord]
+    ) -> list[WorkflowRecord]:
+        """Bulk insert; backends may batch.  Returns the stored records."""
+        return [self.insert_workflow(record) for record in records]
+
+    def get_workflows(self, workflow_ids: Sequence[int]) -> list[WorkflowRecord]:
+        """Batched fetch, in the order of ``workflow_ids``; missing skipped."""
+        records = []
+        for workflow_id in workflow_ids:
+            record = self.get_workflow(workflow_id)
+            if record is not None:
+                records.append(record)
+        return records
+
+    @abstractmethod
+    def workflows_owned_by(self, user_id: int) -> list[WorkflowRecord]:
+        """All workflows owned by ``user_id``, ascending id."""
+
+    @abstractmethod
+    def workflow_ids_owned_by(self, user_id: int) -> list[int]:
+        """Ascending owned workflow ids; never materializes rows."""
+
 
 class InMemoryDAO(RegistryDAO):
-    """Dict-backed DAO; thread-safe for the in-process server."""
+    """Dict-backed DAO; thread-safe for the in-process server.
+
+    Ownership and the PE<->workflow association are mirrored into
+    per-user (and per-PE) id sets so owner-scoped listings and the
+    delete-time back-reference walk are O(result), not O(registry).
+    """
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
         self._users: dict[int, UserRecord] = {}
+        self._users_by_name: dict[str, UserRecord] = {}
         self._pes: dict[int, PERecord] = {}
         self._workflows: dict[int, WorkflowRecord] = {}
         self._next_user = 1
         self._next_pe = 1
         self._next_workflow = 1
+        # owner index: user_id -> owned ids (kept in sync on every write)
+        self._owner_pes: dict[int, set[int]] = {}
+        self._owner_workflows: dict[int, set[int]] = {}
+        # last-indexed owner sets, so updates can diff against mutated
+        # record objects (the service mutates records in place)
+        self._pe_owner_snapshot: dict[int, frozenset[int]] = {}
+        self._wf_owner_snapshot: dict[int, frozenset[int]] = {}
+        # back-reference: pe_id -> workflows linking it
+        self._pe_backrefs: dict[int, set[int]] = {}
+        self._wf_link_snapshot: dict[int, frozenset[int]] = {}
+
+    # -- index maintenance -------------------------------------------------
+    def _reindex_pe_owners(self, record: PERecord) -> None:
+        old = self._pe_owner_snapshot.get(record.pe_id, frozenset())
+        new = frozenset(record.owners)
+        for user_id in old - new:
+            self._owner_pes.get(user_id, set()).discard(record.pe_id)
+        for user_id in new - old:
+            self._owner_pes.setdefault(user_id, set()).add(record.pe_id)
+        self._pe_owner_snapshot[record.pe_id] = new
+
+    def _drop_pe_owners(self, pe_id: int) -> None:
+        for user_id in self._pe_owner_snapshot.pop(pe_id, frozenset()):
+            self._owner_pes.get(user_id, set()).discard(pe_id)
+
+    def _reindex_wf_owners(self, record: WorkflowRecord) -> None:
+        old = self._wf_owner_snapshot.get(record.workflow_id, frozenset())
+        new = frozenset(record.owners)
+        for user_id in old - new:
+            self._owner_workflows.get(user_id, set()).discard(record.workflow_id)
+        for user_id in new - old:
+            self._owner_workflows.setdefault(user_id, set()).add(
+                record.workflow_id
+            )
+        self._wf_owner_snapshot[record.workflow_id] = new
+
+    def _drop_wf_owners(self, workflow_id: int) -> None:
+        for user_id in self._wf_owner_snapshot.pop(workflow_id, frozenset()):
+            self._owner_workflows.get(user_id, set()).discard(workflow_id)
+
+    def _reindex_wf_links(self, record: WorkflowRecord) -> None:
+        old = self._wf_link_snapshot.get(record.workflow_id, frozenset())
+        new = frozenset(record.pe_ids)
+        for pe_id in old - new:
+            self._pe_backrefs.get(pe_id, set()).discard(record.workflow_id)
+        for pe_id in new - old:
+            self._pe_backrefs.setdefault(pe_id, set()).add(record.workflow_id)
+        self._wf_link_snapshot[record.workflow_id] = new
+
+    def _drop_wf_links(self, workflow_id: int) -> None:
+        for pe_id in self._wf_link_snapshot.pop(workflow_id, frozenset()):
+            self._pe_backrefs.get(pe_id, set()).discard(workflow_id)
 
     # -- users ------------------------------------------------------------
     def insert_user(self, name: str, password_hash: str) -> UserRecord:
         with self._lock:
             record = UserRecord(self._next_user, name, password_hash)
             self._users[record.user_id] = record
+            self._users_by_name[name] = record
             self._next_user += 1
             return record
 
     def get_user_by_name(self, name: str) -> UserRecord | None:
         with self._lock:
-            for user in self._users.values():
-                if user.user_name == name:
-                    return user
-            return None
+            return self._users_by_name.get(name)
 
     def all_users(self) -> list[UserRecord]:
         with self._lock:
@@ -115,6 +238,7 @@ class InMemoryDAO(RegistryDAO):
             record.pe_id = self._next_pe
             self._next_pe += 1
             self._pes[record.pe_id] = record
+            self._reindex_pe_owners(record)
             return record
 
     def update_pe(self, record: PERecord) -> None:
@@ -124,6 +248,7 @@ class InMemoryDAO(RegistryDAO):
                     f"PE id {record.pe_id} not found", params={"peId": record.pe_id}
                 )
             self._pes[record.pe_id] = record
+            self._reindex_pe_owners(record)
 
     def get_pe(self, pe_id: int) -> PERecord | None:
         with self._lock:
@@ -137,14 +262,29 @@ class InMemoryDAO(RegistryDAO):
         with self._lock:
             return sorted(self._pes.values(), key=lambda p: p.pe_id)
 
+    def pes_owned_by(self, user_id: int) -> list[PERecord]:
+        with self._lock:
+            return [
+                self._pes[pe_id]
+                for pe_id in sorted(self._owner_pes.get(user_id, ()))
+            ]
+
+    def pe_ids_owned_by(self, user_id: int) -> list[int]:
+        with self._lock:
+            return sorted(self._owner_pes.get(user_id, ()))
+
     def delete_pe(self, pe_id: int) -> None:
         with self._lock:
             if pe_id not in self._pes:
                 raise NotFoundError(f"PE id {pe_id} not found", params={"peId": pe_id})
             del self._pes[pe_id]
-            for workflow in self._workflows.values():
+            self._drop_pe_owners(pe_id)
+            # back-reference walk: only the workflows that link this PE
+            for workflow_id in sorted(self._pe_backrefs.pop(pe_id, set())):
+                workflow = self._workflows[workflow_id]
                 if pe_id in workflow.pe_ids:
                     workflow.pe_ids.remove(pe_id)
+                self._reindex_wf_links(workflow)
 
     # -- workflows -----------------------------------------------------------
     def insert_workflow(self, record: WorkflowRecord) -> WorkflowRecord:
@@ -152,6 +292,8 @@ class InMemoryDAO(RegistryDAO):
             record.workflow_id = self._next_workflow
             self._next_workflow += 1
             self._workflows[record.workflow_id] = record
+            self._reindex_wf_owners(record)
+            self._reindex_wf_links(record)
             return record
 
     def update_workflow(self, record: WorkflowRecord) -> None:
@@ -162,6 +304,8 @@ class InMemoryDAO(RegistryDAO):
                     params={"workflowId": record.workflow_id},
                 )
             self._workflows[record.workflow_id] = record
+            self._reindex_wf_owners(record)
+            self._reindex_wf_links(record)
 
     def get_workflow(self, workflow_id: int) -> WorkflowRecord | None:
         with self._lock:
@@ -179,6 +323,17 @@ class InMemoryDAO(RegistryDAO):
         with self._lock:
             return sorted(self._workflows.values(), key=lambda w: w.workflow_id)
 
+    def workflows_owned_by(self, user_id: int) -> list[WorkflowRecord]:
+        with self._lock:
+            return [
+                self._workflows[workflow_id]
+                for workflow_id in sorted(self._owner_workflows.get(user_id, ()))
+            ]
+
+    def workflow_ids_owned_by(self, user_id: int) -> list[int]:
+        with self._lock:
+            return sorted(self._owner_workflows.get(user_id, ()))
+
     def delete_workflow(self, workflow_id: int) -> None:
         with self._lock:
             if workflow_id not in self._workflows:
@@ -187,6 +342,8 @@ class InMemoryDAO(RegistryDAO):
                     params={"workflowId": workflow_id},
                 )
             del self._workflows[workflow_id]
+            self._drop_wf_owners(workflow_id)
+            self._drop_wf_links(workflow_id)
 
 
 _SCHEMA = """
@@ -220,7 +377,37 @@ CREATE TABLE IF NOT EXISTS workflows (
 );
 CREATE INDEX IF NOT EXISTS idx_pes_name ON pes(pe_name);
 CREATE INDEX IF NOT EXISTS idx_wf_entry ON workflows(entry_point);
+-- normalized ownership + association (schema v1): ownership filtering
+-- happens in SQL against these, the JSON columns stay as the on-record
+-- storage format for backward compatibility
+CREATE TABLE IF NOT EXISTS pe_owners (
+    pe_id INTEGER NOT NULL,
+    user_id INTEGER NOT NULL,
+    PRIMARY KEY (pe_id, user_id)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_pe_owners_user ON pe_owners(user_id, pe_id);
+CREATE TABLE IF NOT EXISTS workflow_owners (
+    workflow_id INTEGER NOT NULL,
+    user_id INTEGER NOT NULL,
+    PRIMARY KEY (workflow_id, user_id)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_workflow_owners_user
+    ON workflow_owners(user_id, workflow_id);
+CREATE TABLE IF NOT EXISTS workflow_pes (
+    workflow_id INTEGER NOT NULL,
+    pe_id INTEGER NOT NULL,
+    PRIMARY KEY (workflow_id, pe_id)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_workflow_pes_pe ON workflow_pes(pe_id, workflow_id);
 """
+
+#: bumped when the normalized join tables were introduced; files at
+#: version 0 are backfilled from the JSON columns on open
+_SCHEMA_VERSION = 1
+
+#: SQLite caps host parameters per statement (999 before 3.32); chunk
+#: IN(...) lists well below that
+_IN_CHUNK = 500
 
 
 def _blob(vec: np.ndarray | None) -> bytes | None:
@@ -235,18 +422,96 @@ def _unblob(raw: bytes | None) -> np.ndarray | None:
     return np.frombuffer(raw, dtype=np.float32).copy()
 
 
+def _chunked(ids: Sequence[int]) -> Iterable[Sequence[int]]:
+    for start in range(0, len(ids), _IN_CHUNK):
+        yield ids[start : start + _IN_CHUNK]
+
+
 class SqliteDAO(RegistryDAO):
-    """SQLite-backed DAO (the durable stand-in for the web MySQL service)."""
+    """SQLite-backed DAO (the durable stand-in for the web MySQL service).
+
+    Ownership and the PE<->workflow association are normalized into
+    ``pe_owners`` / ``workflow_owners`` / ``workflow_pes`` (indexed join
+    tables) so owner-scoped queries filter in SQL instead of
+    deserializing the whole registry.  Files created before schema v1
+    are migrated automatically on open (one backfill pass over the JSON
+    columns, tracked by ``PRAGMA user_version``).
+    """
 
     def __init__(self, path: str | Path = ":memory:") -> None:
         self._conn = sqlite3.connect(str(path), check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
         self._lock = threading.RLock()
         with self._lock, self._conn:
+            # WAL lets readers proceed during writes; NORMAL fsyncs once
+            # per checkpoint instead of per transaction (both no-ops for
+            # :memory: databases)
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.executescript(_SCHEMA)
+            self._migrate()
+
+    def _migrate(self) -> None:
+        """Backfill the join tables from the legacy JSON columns once."""
+        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+        if version >= _SCHEMA_VERSION:
+            return
+        for row in self._conn.execute("SELECT pe_id, owners FROM pes"):
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO pe_owners (pe_id, user_id) VALUES (?, ?)",
+                [(row["pe_id"], int(uid)) for uid in json.loads(row["owners"])],
+            )
+        for row in self._conn.execute(
+            "SELECT workflow_id, owners, pe_ids FROM workflows"
+        ):
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO workflow_owners (workflow_id, user_id)"
+                " VALUES (?, ?)",
+                [
+                    (row["workflow_id"], int(uid))
+                    for uid in json.loads(row["owners"])
+                ],
+            )
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO workflow_pes (workflow_id, pe_id)"
+                " VALUES (?, ?)",
+                [
+                    (row["workflow_id"], int(pe_id))
+                    for pe_id in json.loads(row["pe_ids"])
+                ],
+            )
+        self._conn.execute(f"PRAGMA user_version = {_SCHEMA_VERSION}")
 
     def close(self) -> None:
         self._conn.close()
+
+    # -- join-table sync ---------------------------------------------------
+    def _sync_pe_owners(self, pe_id: int, owners: Iterable[int]) -> None:
+        self._conn.execute("DELETE FROM pe_owners WHERE pe_id=?", (pe_id,))
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO pe_owners (pe_id, user_id) VALUES (?, ?)",
+            [(pe_id, int(uid)) for uid in owners],
+        )
+
+    def _sync_wf_owners(self, workflow_id: int, owners: Iterable[int]) -> None:
+        self._conn.execute(
+            "DELETE FROM workflow_owners WHERE workflow_id=?", (workflow_id,)
+        )
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO workflow_owners (workflow_id, user_id)"
+            " VALUES (?, ?)",
+            [(workflow_id, int(uid)) for uid in owners],
+        )
+
+    def _sync_wf_links(self, workflow_id: int, pe_ids: Iterable[int]) -> None:
+        self._conn.execute(
+            "DELETE FROM workflow_pes WHERE workflow_id=?", (workflow_id,)
+        )
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO workflow_pes (workflow_id, pe_id)"
+            " VALUES (?, ?)",
+            [(workflow_id, int(pe_id)) for pe_id in pe_ids],
+        )
 
     # -- users ------------------------------------------------------------
     def insert_user(self, name: str, password_hash: str) -> UserRecord:
@@ -292,6 +557,20 @@ class SqliteDAO(RegistryDAO):
             owners=set(json.loads(row["owners"])),
         )
 
+    @staticmethod
+    def _pe_params(record: PERecord) -> tuple:
+        return (
+            record.pe_name,
+            record.description,
+            record.description_origin,
+            record.pe_code,
+            record.pe_source,
+            json.dumps(record.pe_imports),
+            _blob(record.code_embedding),
+            _blob(record.desc_embedding),
+            json.dumps(sorted(record.owners)),
+        )
+
     def insert_pe(self, record: PERecord) -> PERecord:
         with self._lock, self._conn:
             cursor = self._conn.execute(
@@ -299,20 +578,38 @@ class SqliteDAO(RegistryDAO):
                    pe_code, pe_source, pe_imports, code_embedding,
                    desc_embedding, owners)
                    VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)""",
-                (
-                    record.pe_name,
-                    record.description,
-                    record.description_origin,
-                    record.pe_code,
-                    record.pe_source,
-                    json.dumps(record.pe_imports),
-                    _blob(record.code_embedding),
-                    _blob(record.desc_embedding),
-                    json.dumps(sorted(record.owners)),
-                ),
+                self._pe_params(record),
             )
             record.pe_id = int(cursor.lastrowid)
+            self._sync_pe_owners(record.pe_id, record.owners)
             return record
+
+    def insert_pes(self, records: Sequence[PERecord]) -> list[PERecord]:
+        """Bulk load: two ``executemany`` round trips for any batch size."""
+        if not records:
+            return []
+        with self._lock, self._conn:
+            base = self._conn.execute(
+                "SELECT COALESCE(MAX(pe_id), 0) FROM pes"
+            ).fetchone()[0]
+            for offset, record in enumerate(records, start=1):
+                record.pe_id = base + offset
+            self._conn.executemany(
+                """INSERT INTO pes (pe_id, pe_name, description,
+                   description_origin, pe_code, pe_source, pe_imports,
+                   code_embedding, desc_embedding, owners)
+                   VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)""",
+                [(r.pe_id, *self._pe_params(r)) for r in records],
+            )
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO pe_owners (pe_id, user_id) VALUES (?, ?)",
+                [
+                    (r.pe_id, int(uid))
+                    for r in records
+                    for uid in r.owners
+                ],
+            )
+            return list(records)
 
     def update_pe(self, record: PERecord) -> None:
         with self._lock, self._conn:
@@ -321,23 +618,13 @@ class SqliteDAO(RegistryDAO):
                    description_origin=?, pe_code=?, pe_source=?,
                    pe_imports=?, code_embedding=?, desc_embedding=?, owners=?
                    WHERE pe_id=?""",
-                (
-                    record.pe_name,
-                    record.description,
-                    record.description_origin,
-                    record.pe_code,
-                    record.pe_source,
-                    json.dumps(record.pe_imports),
-                    _blob(record.code_embedding),
-                    _blob(record.desc_embedding),
-                    json.dumps(sorted(record.owners)),
-                    record.pe_id,
-                ),
+                (*self._pe_params(record), record.pe_id),
             )
             if cursor.rowcount == 0:
                 raise NotFoundError(
                     f"PE id {record.pe_id} not found", params={"peId": record.pe_id}
                 )
+            self._sync_pe_owners(record.pe_id, record.owners)
 
     def get_pe(self, pe_id: int) -> PERecord | None:
         with self._lock:
@@ -345,6 +632,20 @@ class SqliteDAO(RegistryDAO):
                 "SELECT * FROM pes WHERE pe_id = ?", (pe_id,)
             ).fetchone()
         return None if row is None else self._pe_from_row(row)
+
+    def get_pes(self, pe_ids: Sequence[int]) -> list[PERecord]:
+        ids = [int(pe_id) for pe_id in pe_ids]
+        by_id: dict[int, PERecord] = {}
+        with self._lock:
+            for chunk in _chunked(ids):
+                placeholders = ",".join("?" * len(chunk))
+                rows = self._conn.execute(
+                    f"SELECT * FROM pes WHERE pe_id IN ({placeholders})",
+                    tuple(chunk),
+                ).fetchall()
+                for row in rows:
+                    by_id[row["pe_id"]] = self._pe_from_row(row)
+        return [by_id[pe_id] for pe_id in ids if pe_id in by_id]
 
     def find_pe_by_name(self, name: str) -> list[PERecord]:
         with self._lock:
@@ -358,20 +659,50 @@ class SqliteDAO(RegistryDAO):
             rows = self._conn.execute("SELECT * FROM pes ORDER BY pe_id").fetchall()
         return [self._pe_from_row(r) for r in rows]
 
+    def pes_owned_by(self, user_id: int) -> list[PERecord]:
+        with self._lock:
+            rows = self._conn.execute(
+                """SELECT p.* FROM pes p
+                   JOIN pe_owners o ON o.pe_id = p.pe_id
+                   WHERE o.user_id = ? ORDER BY p.pe_id""",
+                (int(user_id),),
+            ).fetchall()
+        return [self._pe_from_row(r) for r in rows]
+
+    def pe_ids_owned_by(self, user_id: int) -> list[int]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT pe_id FROM pe_owners WHERE user_id = ? ORDER BY pe_id",
+                (int(user_id),),
+            ).fetchall()
+        return [row["pe_id"] for row in rows]
+
     def delete_pe(self, pe_id: int) -> None:
         with self._lock, self._conn:
             cursor = self._conn.execute("DELETE FROM pes WHERE pe_id=?", (pe_id,))
             if cursor.rowcount == 0:
                 raise NotFoundError(f"PE id {pe_id} not found", params={"peId": pe_id})
-            rows = self._conn.execute("SELECT * FROM workflows").fetchall()
-            for row in rows:
+            self._conn.execute("DELETE FROM pe_owners WHERE pe_id=?", (pe_id,))
+            # back-reference from the link table: touch only the
+            # workflows that actually reference this PE, not all rows
+            backrefs = self._conn.execute(
+                "SELECT workflow_id FROM workflow_pes WHERE pe_id=?", (pe_id,)
+            ).fetchall()
+            for backref in backrefs:
+                row = self._conn.execute(
+                    "SELECT pe_ids FROM workflows WHERE workflow_id=?",
+                    (backref["workflow_id"],),
+                ).fetchone()
+                if row is None:
+                    continue
                 pe_ids = json.loads(row["pe_ids"])
                 if pe_id in pe_ids:
                     pe_ids.remove(pe_id)
                     self._conn.execute(
                         "UPDATE workflows SET pe_ids=? WHERE workflow_id=?",
-                        (json.dumps(pe_ids), row["workflow_id"]),
+                        (json.dumps(pe_ids), backref["workflow_id"]),
                     )
+            self._conn.execute("DELETE FROM workflow_pes WHERE pe_id=?", (pe_id,))
 
     # -- workflows -----------------------------------------------------------
     @staticmethod
@@ -388,6 +719,19 @@ class SqliteDAO(RegistryDAO):
             owners=set(json.loads(row["owners"])),
         )
 
+    @staticmethod
+    def _wf_params(record: WorkflowRecord) -> tuple:
+        return (
+            record.workflow_name,
+            record.entry_point,
+            record.description,
+            record.workflow_code,
+            record.workflow_source,
+            json.dumps(record.pe_ids),
+            _blob(record.desc_embedding),
+            json.dumps(sorted(record.owners)),
+        )
+
     def insert_workflow(self, record: WorkflowRecord) -> WorkflowRecord:
         with self._lock, self._conn:
             cursor = self._conn.execute(
@@ -395,19 +739,51 @@ class SqliteDAO(RegistryDAO):
                    description, workflow_code, workflow_source, pe_ids,
                    desc_embedding, owners)
                    VALUES (?, ?, ?, ?, ?, ?, ?, ?)""",
-                (
-                    record.workflow_name,
-                    record.entry_point,
-                    record.description,
-                    record.workflow_code,
-                    record.workflow_source,
-                    json.dumps(record.pe_ids),
-                    _blob(record.desc_embedding),
-                    json.dumps(sorted(record.owners)),
-                ),
+                self._wf_params(record),
             )
             record.workflow_id = int(cursor.lastrowid)
+            self._sync_wf_owners(record.workflow_id, record.owners)
+            self._sync_wf_links(record.workflow_id, record.pe_ids)
             return record
+
+    def insert_workflows(
+        self, records: Sequence[WorkflowRecord]
+    ) -> list[WorkflowRecord]:
+        """Bulk load: three ``executemany`` round trips for any batch size."""
+        if not records:
+            return []
+        with self._lock, self._conn:
+            base = self._conn.execute(
+                "SELECT COALESCE(MAX(workflow_id), 0) FROM workflows"
+            ).fetchone()[0]
+            for offset, record in enumerate(records, start=1):
+                record.workflow_id = base + offset
+            self._conn.executemany(
+                """INSERT INTO workflows (workflow_id, workflow_name,
+                   entry_point, description, workflow_code, workflow_source,
+                   pe_ids, desc_embedding, owners)
+                   VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)""",
+                [(r.workflow_id, *self._wf_params(r)) for r in records],
+            )
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO workflow_owners (workflow_id, user_id)"
+                " VALUES (?, ?)",
+                [
+                    (r.workflow_id, int(uid))
+                    for r in records
+                    for uid in r.owners
+                ],
+            )
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO workflow_pes (workflow_id, pe_id)"
+                " VALUES (?, ?)",
+                [
+                    (r.workflow_id, int(pe_id))
+                    for r in records
+                    for pe_id in r.pe_ids
+                ],
+            )
+            return list(records)
 
     def update_workflow(self, record: WorkflowRecord) -> None:
         with self._lock, self._conn:
@@ -415,23 +791,15 @@ class SqliteDAO(RegistryDAO):
                 """UPDATE workflows SET workflow_name=?, entry_point=?,
                    description=?, workflow_code=?, workflow_source=?,
                    pe_ids=?, desc_embedding=?, owners=? WHERE workflow_id=?""",
-                (
-                    record.workflow_name,
-                    record.entry_point,
-                    record.description,
-                    record.workflow_code,
-                    record.workflow_source,
-                    json.dumps(record.pe_ids),
-                    _blob(record.desc_embedding),
-                    json.dumps(sorted(record.owners)),
-                    record.workflow_id,
-                ),
+                (*self._wf_params(record), record.workflow_id),
             )
             if cursor.rowcount == 0:
                 raise NotFoundError(
                     f"workflow id {record.workflow_id} not found",
                     params={"workflowId": record.workflow_id},
                 )
+            self._sync_wf_owners(record.workflow_id, record.owners)
+            self._sync_wf_links(record.workflow_id, record.pe_ids)
 
     def get_workflow(self, workflow_id: int) -> WorkflowRecord | None:
         with self._lock:
@@ -439,6 +807,21 @@ class SqliteDAO(RegistryDAO):
                 "SELECT * FROM workflows WHERE workflow_id = ?", (workflow_id,)
             ).fetchone()
         return None if row is None else self._wf_from_row(row)
+
+    def get_workflows(self, workflow_ids: Sequence[int]) -> list[WorkflowRecord]:
+        ids = [int(workflow_id) for workflow_id in workflow_ids]
+        by_id: dict[int, WorkflowRecord] = {}
+        with self._lock:
+            for chunk in _chunked(ids):
+                placeholders = ",".join("?" * len(chunk))
+                rows = self._conn.execute(
+                    f"SELECT * FROM workflows WHERE workflow_id"
+                    f" IN ({placeholders})",
+                    tuple(chunk),
+                ).fetchall()
+                for row in rows:
+                    by_id[row["workflow_id"]] = self._wf_from_row(row)
+        return [by_id[wf_id] for wf_id in ids if wf_id in by_id]
 
     def find_workflow_by_entry_point(self, entry_point: str) -> list[WorkflowRecord]:
         with self._lock:
@@ -455,6 +838,25 @@ class SqliteDAO(RegistryDAO):
             ).fetchall()
         return [self._wf_from_row(r) for r in rows]
 
+    def workflows_owned_by(self, user_id: int) -> list[WorkflowRecord]:
+        with self._lock:
+            rows = self._conn.execute(
+                """SELECT w.* FROM workflows w
+                   JOIN workflow_owners o ON o.workflow_id = w.workflow_id
+                   WHERE o.user_id = ? ORDER BY w.workflow_id""",
+                (int(user_id),),
+            ).fetchall()
+        return [self._wf_from_row(r) for r in rows]
+
+    def workflow_ids_owned_by(self, user_id: int) -> list[int]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT workflow_id FROM workflow_owners WHERE user_id = ?"
+                " ORDER BY workflow_id",
+                (int(user_id),),
+            ).fetchall()
+        return [row["workflow_id"] for row in rows]
+
     def delete_workflow(self, workflow_id: int) -> None:
         with self._lock, self._conn:
             cursor = self._conn.execute(
@@ -465,3 +867,9 @@ class SqliteDAO(RegistryDAO):
                     f"workflow id {workflow_id} not found",
                     params={"workflowId": workflow_id},
                 )
+            self._conn.execute(
+                "DELETE FROM workflow_owners WHERE workflow_id=?", (workflow_id,)
+            )
+            self._conn.execute(
+                "DELETE FROM workflow_pes WHERE workflow_id=?", (workflow_id,)
+            )

@@ -55,14 +55,44 @@ class RegistryService:
     # Search-index maintenance
     # ------------------------------------------------------------------
     def attach_index(self, index: "VectorIndex") -> None:
-        """Adopt ``index`` and bulk-load it from the current DAO state."""
+        """Adopt ``index`` and bulk-load it from the current DAO state.
+
+        One pass over the DAO accumulates each (user, kind) shard's ids
+        and vectors, then every shard is stacked in a single
+        :meth:`~repro.search.index.VectorIndex.add_many` call — no
+        per-record ``searchsorted``/regrowth work at attach time.
+        """
+        from repro.search.index import KIND_CODE, KIND_DESC, KIND_WORKFLOW
+
         self.index = index
+        shards: dict[tuple[int, str], tuple[list[int], list]] = {}
+
+        def accumulate(user_id: int, kind: str, rid: int, vector) -> None:
+            ids, vectors = shards.setdefault((user_id, kind), ([], []))
+            ids.append(rid)
+            vectors.append(vector)
+
         for record in self.dao.all_pes():
             for user_id in record.owners:
-                self._index_pe(user_id, record)
+                if record.desc_embedding is not None:
+                    accumulate(
+                        user_id, KIND_DESC, record.pe_id, record.desc_embedding
+                    )
+                if record.code_embedding is not None:
+                    accumulate(
+                        user_id, KIND_CODE, record.pe_id, record.code_embedding
+                    )
         for record in self.dao.all_workflows():
             for user_id in record.owners:
-                self._index_workflow(user_id, record)
+                if record.desc_embedding is not None:
+                    accumulate(
+                        user_id,
+                        KIND_WORKFLOW,
+                        record.workflow_id,
+                        record.desc_embedding,
+                    )
+        for (user_id, kind), (ids, vectors) in shards.items():
+            index.add_many(user_id, kind, ids, vectors)
 
     def _index_pe(self, user_id: int, record: PERecord) -> None:
         if self.index is None:
@@ -169,9 +199,25 @@ class RegistryService:
         )
 
     def user_pes(self, user: UserRecord) -> list[PERecord]:
+        """The user's PEs, ascending id — owner-scoped at the DAO."""
+        return self.dao.pes_owned_by(user.user_id)
+
+    def owned_pe_ids(self, user: UserRecord) -> list[int]:
+        """Ascending owned PE ids; no row materialization at all."""
+        return self.dao.pe_ids_owned_by(user.user_id)
+
+    def resolve_pes(self, user: UserRecord, pe_ids: list[int]) -> list[PERecord]:
+        """Batch-hydrate ``pe_ids`` in order, dropping non-owned records.
+
+        The top-k serving path: the searcher ranks on the index shard
+        and materializes only the winners through this call.  Ids that
+        vanished or changed hands since ranking are silently skipped —
+        the caller's result is then slightly under-filled rather than
+        wrong.
+        """
         return [
             record
-            for record in self.dao.all_pes()
+            for record in self.dao.get_pes(pe_ids)
             if user.user_id in record.owners
         ]
 
@@ -232,9 +278,20 @@ class RegistryService:
         )
 
     def user_workflows(self, user: UserRecord) -> list[WorkflowRecord]:
+        """The user's workflows, ascending id — owner-scoped at the DAO."""
+        return self.dao.workflows_owned_by(user.user_id)
+
+    def owned_workflow_ids(self, user: UserRecord) -> list[int]:
+        """Ascending owned workflow ids; no row materialization at all."""
+        return self.dao.workflow_ids_owned_by(user.user_id)
+
+    def resolve_workflows(
+        self, user: UserRecord, workflow_ids: list[int]
+    ) -> list[WorkflowRecord]:
+        """Batch-hydrate ``workflow_ids`` in order, dropping non-owned."""
         return [
             record
-            for record in self.dao.all_workflows()
+            for record in self.dao.get_workflows(workflow_ids)
             if user.user_id in record.owners
         ]
 

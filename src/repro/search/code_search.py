@@ -15,7 +15,7 @@ otherwise; both paths rank ties by insertion order and agree exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Sequence
+from typing import Callable, Hashable, Sequence
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.ml.models import ReACCRetriever
 from repro.ml.similarity import cosine_similarity_matrix
 from repro.registry.entities import PERecord
 from repro.search.index import KIND_CODE, VectorIndex
+from repro.search.serving import serve_topk
 
 
 @dataclass
@@ -60,6 +61,21 @@ class CodeSearcher:
         """The embedding computed at registration time (§3.1.1)."""
         return self.model.embed_one(code, kind="code")
 
+    def _query_vector(
+        self,
+        code_query: str,
+        query_embedding: np.ndarray | None,
+        index: VectorIndex | None,
+    ) -> np.ndarray:
+        if query_embedding is not None:
+            return np.asarray(query_embedding, dtype=np.float32)
+        if index is not None:
+            return index.cached_query_vector(
+                (KIND_CODE, self.model.name, code_query),
+                lambda: self.embed_query(code_query),
+            )
+        return self.embed_query(code_query)
+
     def _hit(self, record: PERecord, code_query: str, score: float) -> CodeHit:
         continuation = (
             align_continuation(code_query, record.pe_source)
@@ -93,15 +109,7 @@ class CodeSearcher:
         """
         if not pes:
             return []
-        if query_embedding is not None:
-            qvec = np.asarray(query_embedding, dtype=np.float32)
-        elif index is not None:
-            qvec = index.cached_query_vector(
-                (KIND_CODE, self.model.name, code_query),
-                lambda: self.embed_query(code_query),
-            )
-        else:
-            qvec = self.embed_query(code_query)
+        qvec = self._query_vector(code_query, query_embedding, index)
         if index is not None and user is not None:
             # read-only fast path (membership owned by the registry
             # service); None -> brute force, which is always exact
@@ -126,3 +134,39 @@ class CodeSearcher:
         if k is not None:
             order = order[:k]
         return [self._hit(pes[i], code_query, sims[i]) for i in order]
+
+    def search_topk(
+        self,
+        code_query: str,
+        *,
+        index: VectorIndex,
+        user: Hashable,
+        owned_ids: Sequence[int],
+        resolve: Callable[[list[int]], Sequence[PERecord]],
+        k: int | None = None,
+        query_embedding: np.ndarray | None = None,
+    ) -> list[CodeHit]:
+        """Index-first serving path: materialize only the top-k records.
+
+        The shared :func:`~repro.search.serving.serve_topk` protocol
+        over the code shard — O(k) DAO work per request, with the exact
+        brute-force scan as fallback.
+        """
+        return serve_topk(
+            index=index,
+            user=user,
+            kind=KIND_CODE,
+            owned_ids=owned_ids,
+            k=k,
+            query_vector=lambda: self._query_vector(
+                code_query, query_embedding, index
+            ),
+            resolve=resolve,
+            rid_of=lambda record: record.pe_id,
+            build_hit=lambda record, score: self._hit(
+                record, code_query, score
+            ),
+            fallback=lambda records, qvec: self.search(
+                code_query, records, k=k, query_embedding=qvec
+            ),
+        )

@@ -237,6 +237,51 @@ class VectorIndex:
 
     update = add
 
+    def add_many(
+        self,
+        user: Hashable,
+        kind: str,
+        rids: Sequence[int],
+        vectors: np.ndarray | Sequence[np.ndarray],
+    ) -> None:
+        """Bulk insert one shard's rows in a single vectorized pass.
+
+        The attach-time fast path: when the shard does not exist yet and
+        ``rids`` arrive in strictly ascending order (the DAO's natural
+        id order), the whole slab is stacked at once — no per-row
+        ``searchsorted``, shifting or geometric regrowth.  Any other
+        case falls back to per-row :meth:`add`, which preserves the
+        id-ordered layout invariant.
+        """
+        ids = [int(rid) for rid in rids]
+        matrix = np.asarray(vectors, dtype=np.float32)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        if matrix.shape[0] != len(ids):
+            raise ValidationError(
+                f"got {len(ids)} ids for {matrix.shape[0]} vectors"
+            )
+        if not ids:
+            return
+        with self._lock:
+            shard = self._shards.get((user, kind))
+            ascending = all(a < b for a, b in zip(ids, ids[1:]))
+            if shard is None and ascending:
+                shard = _Shard(int(matrix.shape[1]))
+                capacity = max(
+                    _INITIAL_CAPACITY, 1 << (len(ids) - 1).bit_length()
+                )
+                shard.matrix = np.zeros((capacity, shard.dim), dtype=np.float32)
+                shard.matrix[: len(ids)] = matrix
+                shard.ids = np.zeros(capacity, dtype=np.int64)
+                shard.ids[: len(ids)] = ids
+                shard.size = len(ids)
+                shard.row_of = {rid: row for row, rid in enumerate(ids)}
+                self._shards[(user, kind)] = shard
+                return
+            for rid, vector in zip(ids, matrix):
+                self.add(user, kind, rid, vector)
+
     def remove(self, user: Hashable, kind: str, rid: int) -> bool:
         """Drop one record from a shard; returns whether it was present."""
         with self._lock:

@@ -21,7 +21,7 @@ identical ids and scores.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Sequence
+from typing import Callable, Hashable, Sequence
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from repro.ml.models import UnixCoderCodeSearch
 from repro.ml.similarity import cosine_similarity_matrix
 from repro.registry.entities import PERecord, WorkflowRecord
 from repro.search.index import KIND_DESC, KIND_WORKFLOW, VectorIndex
+from repro.search.serving import serve_topk
 
 
 @dataclass
@@ -143,6 +144,80 @@ class SemanticSearcher:
             )
             for i in order
         ]
+
+    def search_topk(
+        self,
+        query: str,
+        *,
+        index: VectorIndex,
+        user: Hashable,
+        owned_ids: Sequence[int],
+        resolve: Callable[[list[int]], Sequence[PERecord]],
+        k: int | None = None,
+        query_embedding: np.ndarray | None = None,
+    ) -> list[SemanticHit]:
+        """Index-first serving path: materialize only the top-k records.
+
+        The shared :func:`~repro.search.serving.serve_topk` protocol
+        over the description shard — per-request DAO work is O(k), not
+        O(corpus), with the exact brute-force scan as fallback.
+        """
+        return serve_topk(
+            index=index,
+            user=user,
+            kind=KIND_DESC,
+            owned_ids=owned_ids,
+            k=k,
+            query_vector=lambda: self._query_vector(
+                query, query_embedding, index
+            ),
+            resolve=resolve,
+            rid_of=lambda record: record.pe_id,
+            build_hit=lambda record, score: SemanticHit(
+                pe_id=record.pe_id,
+                pe_name=record.pe_name,
+                description=record.description,
+                description_origin=record.description_origin,
+                score=score,
+            ),
+            fallback=lambda records, qvec: self.search(
+                query, records, k=k, query_embedding=qvec
+            ),
+        )
+
+    def search_workflows_topk(
+        self,
+        query: str,
+        *,
+        index: VectorIndex,
+        user: Hashable,
+        owned_ids: Sequence[int],
+        resolve: Callable[[list[int]], Sequence[WorkflowRecord]],
+        k: int | None = None,
+        query_embedding: np.ndarray | None = None,
+    ) -> list["WorkflowSemanticHit"]:
+        """O(k)-materialization serving path for workflow search."""
+        return serve_topk(
+            index=index,
+            user=user,
+            kind=KIND_WORKFLOW,
+            owned_ids=owned_ids,
+            k=k,
+            query_vector=lambda: self._query_vector(
+                query, query_embedding, index
+            ),
+            resolve=resolve,
+            rid_of=lambda record: record.workflow_id,
+            build_hit=lambda record, score: WorkflowSemanticHit(
+                workflow_id=record.workflow_id,
+                entry_point=record.entry_point,
+                description=record.description,
+                score=score,
+            ),
+            fallback=lambda records, qvec: self.search_workflows(
+                query, records, k=k, query_embedding=qvec
+            ),
+        )
 
     def search_workflows(
         self,

@@ -1,0 +1,60 @@
+"""The shared O(k) serving protocol behind every ``search_topk``.
+
+One implementation of the index-first request path used by the PE,
+workflow and code searchers: rank on the pre-stacked shard, check
+membership against the caller's cheap owned-id projection
+(``search_among`` verifies the shard holds exactly those ids under one
+lock hold), and materialize only the returned top-k records through
+``resolve``.  Any shard / owned-set mismatch (records without stored
+embeddings, concurrent mutation) falls back to the brute-force scan
+over the fully materialized corpus, which is always exact and bitwise
+identical to the historical behaviour.  Ids that vanish between ranking
+and hydration are skipped — the result is then slightly under-filled
+rather than wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.search.index import VectorIndex
+
+R = TypeVar("R")  # record type
+H = TypeVar("H")  # hit type
+
+
+def serve_topk(
+    *,
+    index: VectorIndex,
+    user: Hashable,
+    kind: str,
+    owned_ids: Sequence[int],
+    k: int | None,
+    query_vector: Callable[[], np.ndarray],
+    resolve: Callable[[list[int]], Sequence[R]],
+    rid_of: Callable[[R], int],
+    build_hit: Callable[[R, float], H],
+    fallback: Callable[[Sequence[R], np.ndarray], list[H]],
+) -> list[H]:
+    """Serve one query with O(k) record materialization.
+
+    ``query_vector`` is called lazily (an empty owned set never embeds);
+    ``fallback(records, qvec)`` is the searcher's brute-force scan over
+    the full corpus, invoked only on a shard mismatch.
+    """
+    owned = [int(rid) for rid in owned_ids]
+    if not owned:
+        return []
+    qvec = query_vector()
+    result = index.search_among(user, kind, owned, qvec, k)
+    if result is None:
+        return fallback(resolve(owned), qvec)
+    ids, scores = result
+    by_id = {rid_of(record): record for record in resolve(list(ids))}
+    return [
+        build_hit(by_id[rid], float(score))
+        for rid, score in zip(ids, scores)
+        if rid in by_id
+    ]

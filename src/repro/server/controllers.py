@@ -356,18 +356,22 @@ class RegistryController(BaseController):
         if query_embedding is not None:
             query_embedding = np.asarray(query_embedding, dtype=np.float32)
 
-        # materialize only the corpus each branch actually ranks over
-        # (record lists are still needed to build hit payloads; only the
-        # *scoring* is served from the pre-stacked index shards)
+        # O(k) serving path: the embedding branches rank on the index
+        # shard, check membership against the cheap owned-id projection
+        # and materialize only the returned top-k records through the
+        # DAO — never the user's full record list (a shard mismatch
+        # falls back to the exact brute-force scan inside the searcher)
         index = self.app.index
+        registry = self.app.registry
         if query_type == "code":
-            hits = self.app.code_search.search(
+            hits = self.app.code_search.search_topk(
                 search,
-                self.app.registry.user_pes(user),
-                k=k,
-                query_embedding=query_embedding,
                 index=index,
                 user=user.user_id,
+                owned_ids=registry.owned_pe_ids(user),
+                resolve=lambda ids: registry.resolve_pes(user, ids),
+                k=k,
+                query_embedding=query_embedding,
             )
             return Response(
                 200,
@@ -380,25 +384,29 @@ class RegistryController(BaseController):
             if search_type in ("pe", "both"):
                 hits.extend(
                     h.to_json()
-                    for h in self.app.semantic.search(
+                    for h in self.app.semantic.search_topk(
                         search,
-                        self.app.registry.user_pes(user),
-                        k=k,
-                        query_embedding=query_embedding,
                         index=index,
                         user=user.user_id,
+                        owned_ids=registry.owned_pe_ids(user),
+                        resolve=lambda ids: registry.resolve_pes(user, ids),
+                        k=k,
+                        query_embedding=query_embedding,
                     )
                 )
             if search_type in ("workflow", "both"):
                 hits.extend(
                     h.to_json()
-                    for h in self.app.semantic.search_workflows(
+                    for h in self.app.semantic.search_workflows_topk(
                         search,
-                        self.app.registry.user_workflows(user),
-                        k=k,
-                        query_embedding=query_embedding,
                         index=index,
                         user=user.user_id,
+                        owned_ids=registry.owned_workflow_ids(user),
+                        resolve=lambda ids: registry.resolve_workflows(
+                            user, ids
+                        ),
+                        k=k,
+                        query_embedding=query_embedding,
                     )
                 )
             hits.sort(key=lambda h: -h["score"])
@@ -415,13 +423,14 @@ class RegistryController(BaseController):
                     {"searchKind": "text", "hits": [m.to_json() for m in matches]},
                 )
             if search_type == "pe":
-                hits = self.app.semantic.search(
+                hits = self.app.semantic.search_topk(
                     search,
-                    self.app.registry.user_pes(user),
-                    k=k,
-                    query_embedding=query_embedding,
                     index=index,
                     user=user.user_id,
+                    owned_ids=registry.owned_pe_ids(user),
+                    resolve=lambda ids: registry.resolve_pes(user, ids),
+                    k=k,
+                    query_embedding=query_embedding,
                 )
                 return Response(
                     200,

@@ -145,6 +145,136 @@ class TestWorkflows:
         assert [w.entry_point for w in dao.all_workflows()] == ["a", "b"]
 
 
+class TestOwnerScopedQueries:
+    """The O(k)-serving access paths, identical across backends."""
+
+    def test_pes_owned_by_filters_and_orders(self, dao):
+        a = dao.insert_pe(make_pe("A", owners={1}))
+        dao.insert_pe(make_pe("B", code="Yg==", owners={2}))
+        c = dao.insert_pe(make_pe("C", code="Yw==", owners={1, 2}))
+        assert [p.pe_id for p in dao.pes_owned_by(1)] == [a.pe_id, c.pe_id]
+        assert dao.pes_owned_by(99) == []
+
+    def test_pe_ids_owned_by_matches_full_listing(self, dao):
+        dao.insert_pe(make_pe("A", owners={1}))
+        dao.insert_pe(make_pe("B", code="Yg==", owners={2}))
+        dao.insert_pe(make_pe("C", code="Yw==", owners={1}))
+        assert dao.pe_ids_owned_by(1) == [
+            p.pe_id for p in dao.pes_owned_by(1)
+        ]
+        assert dao.pe_ids_owned_by(42) == []
+
+    def test_owner_queries_follow_updates(self, dao):
+        stored = dao.insert_pe(make_pe(owners={1}))
+        stored.owners = {2, 3}
+        dao.update_pe(stored)
+        assert dao.pe_ids_owned_by(1) == []
+        assert dao.pe_ids_owned_by(2) == [stored.pe_id]
+        dao.delete_pe(stored.pe_id)
+        assert dao.pe_ids_owned_by(2) == []
+
+    def test_get_pes_batch_in_request_order(self, dao):
+        first = dao.insert_pe(make_pe("A"))
+        second = dao.insert_pe(make_pe("B", code="Yg=="))
+        records = dao.get_pes([second.pe_id, first.pe_id, 999])
+        assert [r.pe_id for r in records] == [second.pe_id, first.pe_id]
+        assert dao.get_pes([]) == []
+
+    def test_get_pes_preserves_embeddings(self, dao):
+        vec = np.arange(6, dtype=np.float32)
+        stored = dao.insert_pe(make_pe(desc_embedding=vec))
+        [fetched] = dao.get_pes([stored.pe_id])
+        np.testing.assert_allclose(fetched.desc_embedding, vec)
+
+    def test_workflows_owned_by(self, dao):
+        a = dao.insert_workflow(make_wf("a", owners={1}))
+        dao.insert_workflow(make_wf("b", owners={2}))
+        assert [w.workflow_id for w in dao.workflows_owned_by(1)] == [
+            a.workflow_id
+        ]
+        assert dao.workflow_ids_owned_by(1) == [a.workflow_id]
+        assert dao.workflow_ids_owned_by(3) == []
+
+    def test_get_workflows_batch(self, dao):
+        first = dao.insert_workflow(make_wf("a"))
+        second = dao.insert_workflow(make_wf("b"))
+        records = dao.get_workflows([second.workflow_id, first.workflow_id])
+        assert [r.workflow_id for r in records] == [
+            second.workflow_id,
+            first.workflow_id,
+        ]
+
+    def test_bulk_insert_pes(self, dao):
+        seeded = dao.insert_pe(make_pe("Seed"))
+        batch = [
+            make_pe(f"Bulk{i}", code=f"Yg=={i}", owners={1 + (i % 2)})
+            for i in range(5)
+        ]
+        stored = dao.insert_pes(batch)
+        assert [r.pe_id for r in stored] == [
+            seeded.pe_id + 1 + i for i in range(5)
+        ]
+        assert len(dao.all_pes()) == 6
+        assert dao.pe_ids_owned_by(1) == [stored[0].pe_id, stored[2].pe_id,
+                                          stored[4].pe_id]
+        # ids keep incrementing past the bulk block
+        after = dao.insert_pe(make_pe("After", code="YWZ0ZXI="))
+        assert after.pe_id > stored[-1].pe_id
+
+    def test_bulk_insert_workflows(self, dao):
+        stored = dao.insert_workflows(
+            [make_wf(f"wf{i}", owners={7}, pe_ids=[i + 1]) for i in range(3)]
+        )
+        assert dao.workflow_ids_owned_by(7) == [
+            r.workflow_id for r in stored
+        ]
+        assert dao.get_workflow(stored[1].workflow_id).pe_ids == [2]
+
+    def test_bulk_insert_empty(self, dao):
+        assert dao.insert_pes([]) == []
+        assert dao.insert_workflows([]) == []
+
+
+class TestSqliteDeleteBackref:
+    """delete_pe must not scan the whole workflows table (regression)."""
+
+    def test_delete_pe_reads_only_linked_workflows(self, tmp_path):
+        dao = SqliteDAO(tmp_path / "backref.db")
+        pe = dao.insert_pe(make_pe())
+        linked = dao.insert_workflow(make_wf("linked", pe_ids=[pe.pe_id]))
+        for i in range(10):
+            dao.insert_workflow(make_wf(f"other{i}", code=f"Yg=={i}"))
+
+        statements: list[str] = []
+        dao._conn.set_trace_callback(statements.append)
+        try:
+            dao.delete_pe(pe.pe_id)
+        finally:
+            dao._conn.set_trace_callback(None)
+
+        scans = [
+            s
+            for s in statements
+            if "FROM workflows" in s and "workflow_id" not in s
+        ]
+        assert scans == [], f"full workflows scan during delete_pe: {scans}"
+        assert dao.get_workflow(linked.workflow_id).pe_ids == []
+        dao.close()
+
+    def test_delete_pe_unlinks_only_referencing_workflows(self, dao):
+        pe = dao.insert_pe(make_pe())
+        keep = dao.insert_pe(make_pe("Keep", code="a2VlcA=="))
+        linked = dao.insert_workflow(
+            make_wf("linked", pe_ids=[pe.pe_id, keep.pe_id])
+        )
+        untouched = dao.insert_workflow(
+            make_wf("untouched", code="Yg==", pe_ids=[keep.pe_id])
+        )
+        dao.delete_pe(pe.pe_id)
+        assert dao.get_workflow(linked.workflow_id).pe_ids == [keep.pe_id]
+        assert dao.get_workflow(untouched.workflow_id).pe_ids == [keep.pe_id]
+
+
 class TestSqlitePersistence:
     def test_data_survives_reopen(self, tmp_path):
         path = tmp_path / "persist.db"

@@ -1,0 +1,164 @@
+"""JSON-owners -> join-table migration of pre-existing SQLite files.
+
+Registry files written before schema v1 stored ownership only as a JSON
+``owners`` column (and the PE<->workflow association as a JSON
+``pe_ids`` column).  Opening such a file with :class:`SqliteDAO` must
+backfill the normalized ``pe_owners`` / ``workflow_owners`` /
+``workflow_pes`` tables exactly once, after which the owner-scoped
+queries return precisely what the historical filter-in-Python listing
+returned.
+"""
+
+import json
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.registry.dao import SqliteDAO
+from repro.registry.entities import UserRecord
+from repro.registry.service import RegistryService
+
+_LEGACY_SCHEMA = """
+CREATE TABLE users (
+    user_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    user_name TEXT UNIQUE NOT NULL,
+    password_hash TEXT NOT NULL
+);
+CREATE TABLE pes (
+    pe_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    pe_name TEXT NOT NULL,
+    description TEXT NOT NULL DEFAULT '',
+    description_origin TEXT NOT NULL DEFAULT 'user',
+    pe_code TEXT NOT NULL,
+    pe_source TEXT NOT NULL DEFAULT '',
+    pe_imports TEXT NOT NULL DEFAULT '[]',
+    code_embedding BLOB,
+    desc_embedding BLOB,
+    owners TEXT NOT NULL DEFAULT '[]'
+);
+CREATE TABLE workflows (
+    workflow_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    workflow_name TEXT NOT NULL,
+    entry_point TEXT NOT NULL,
+    description TEXT NOT NULL DEFAULT '',
+    workflow_code TEXT NOT NULL,
+    workflow_source TEXT NOT NULL DEFAULT '',
+    pe_ids TEXT NOT NULL DEFAULT '[]',
+    desc_embedding BLOB,
+    owners TEXT NOT NULL DEFAULT '[]'
+);
+"""
+
+
+@pytest.fixture()
+def legacy_db(tmp_path):
+    """A registry file exactly as the pre-v1 code would have written it."""
+    path = tmp_path / "legacy.db"
+    conn = sqlite3.connect(path)
+    conn.executescript(_LEGACY_SCHEMA)
+    conn.execute(
+        "INSERT INTO users (user_name, password_hash) VALUES ('alice', 'h1')"
+    )
+    conn.execute(
+        "INSERT INTO users (user_name, password_hash) VALUES ('bob', 'h2')"
+    )
+    vec = np.arange(4, dtype=np.float32).tobytes()
+    for name, owners in (("Solo", [1]), ("Shared", [1, 2]), ("Bobs", [2])):
+        conn.execute(
+            "INSERT INTO pes (pe_name, pe_code, desc_embedding, owners)"
+            " VALUES (?, 'eA==', ?, ?)",
+            (name, vec, json.dumps(owners)),
+        )
+    conn.execute(
+        "INSERT INTO workflows (workflow_name, entry_point, workflow_code,"
+        " pe_ids, owners) VALUES ('wf', 'wf', 'eA==', ?, ?)",
+        (json.dumps([1, 2]), json.dumps([1])),
+    )
+    conn.commit()
+    assert conn.execute("PRAGMA user_version").fetchone()[0] == 0
+    conn.close()
+    return path
+
+
+def legacy_user_pes(dao, user_id):
+    """The seed implementation: filter the full listing in Python."""
+    return [r for r in dao.all_pes() if user_id in r.owners]
+
+
+def legacy_user_workflows(dao, user_id):
+    return [r for r in dao.all_workflows() if user_id in r.owners]
+
+
+class TestMigration:
+    def test_join_tables_backfilled_on_open(self, legacy_db):
+        dao = SqliteDAO(legacy_db)
+        rows = dao._conn.execute(
+            "SELECT pe_id, user_id FROM pe_owners ORDER BY pe_id, user_id"
+        ).fetchall()
+        assert [(r["pe_id"], r["user_id"]) for r in rows] == [
+            (1, 1),
+            (2, 1),
+            (2, 2),
+            (3, 2),
+        ]
+        links = dao._conn.execute(
+            "SELECT workflow_id, pe_id FROM workflow_pes ORDER BY pe_id"
+        ).fetchall()
+        assert [(r["workflow_id"], r["pe_id"]) for r in links] == [
+            (1, 1),
+            (1, 2),
+        ]
+        assert (
+            dao._conn.execute("PRAGMA user_version").fetchone()[0] >= 1
+        )
+        dao.close()
+
+    def test_migration_runs_once(self, legacy_db):
+        SqliteDAO(legacy_db).close()
+        dao = SqliteDAO(legacy_db)
+        # a second open over a migrated file must not duplicate rows
+        count = dao._conn.execute(
+            "SELECT COUNT(*) FROM pe_owners"
+        ).fetchone()[0]
+        assert count == 4
+        dao.close()
+
+    def test_owner_queries_match_legacy_listing(self, legacy_db):
+        dao = SqliteDAO(legacy_db)
+        for user_id in (1, 2, 3):
+            legacy = legacy_user_pes(dao, user_id)
+            scoped = dao.pes_owned_by(user_id)
+            assert [r.to_json() for r in scoped] == [
+                r.to_json() for r in legacy
+            ]
+            assert dao.pe_ids_owned_by(user_id) == [r.pe_id for r in legacy]
+            legacy_wf = legacy_user_workflows(dao, user_id)
+            assert [r.to_json() for r in dao.workflows_owned_by(user_id)] == [
+                r.to_json() for r in legacy_wf
+            ]
+        dao.close()
+
+    def test_service_parity_after_migration(self, legacy_db):
+        service = RegistryService(SqliteDAO(legacy_db))
+        alice = UserRecord(1, "alice", "h1")
+        listed = service.user_pes(alice)
+        assert [r.pe_id for r in listed] == [1, 2]
+        assert service.owned_pe_ids(alice) == [1, 2]
+        resolved = service.resolve_pes(alice, [2, 1, 3])
+        # id 3 belongs to bob only: resolve keeps order, drops non-owned
+        assert [r.pe_id for r in resolved] == [2, 1]
+        service.dao.close()
+
+    def test_deletes_after_migration_maintain_join_tables(self, legacy_db):
+        dao = SqliteDAO(legacy_db)
+        dao.delete_pe(2)
+        assert dao.pe_ids_owned_by(1) == [1]
+        assert dao.pe_ids_owned_by(2) == [3]
+        # the migrated workflow link row was cleaned up too
+        assert dao.get_workflow(1).pe_ids == [1]
+        rows = dao._conn.execute(
+            "SELECT pe_id FROM workflow_pes WHERE workflow_id=1"
+        ).fetchall()
+        assert [r["pe_id"] for r in rows] == [1]
+        dao.close()

@@ -109,6 +109,57 @@ class TestMutation:
         assert scores[0] == pytest.approx(42.0, abs=1e-3)
 
 
+class TestAddMany:
+    """Bulk shard construction (the attach-time fast path)."""
+
+    def test_bulk_matches_incremental(self, rng):
+        vectors = np.stack([unit(rng) for _ in range(20)])
+        ids = list(range(1, 21))
+        bulk, incremental = VectorIndex(), VectorIndex()
+        bulk.add_many("u", KIND_DESC, ids, vectors)
+        for rid, vec in zip(ids, vectors):
+            incremental.add("u", KIND_DESC, rid, vec)
+        query = unit(rng)
+        got = bulk.search("u", KIND_DESC, query, k=5)
+        want = incremental.search("u", KIND_DESC, query, k=5)
+        assert got[0] == want[0]
+        np.testing.assert_array_equal(got[1], want[1])
+        assert bulk.ids("u", KIND_DESC) == ids
+
+    def test_unsorted_ids_fall_back_to_incremental_path(self, rng):
+        vectors = np.stack([unit(rng) for _ in range(4)])
+        index = VectorIndex()
+        index.add_many("u", KIND_DESC, [4, 2, 9, 1], vectors)
+        assert index.ids("u", KIND_DESC) == [1, 2, 4, 9]
+
+    def test_bulk_into_existing_shard_merges(self, rng):
+        index = VectorIndex()
+        index.add("u", KIND_DESC, 5, unit(rng))
+        index.add_many(
+            "u", KIND_DESC, [1, 9], np.stack([unit(rng), unit(rng)])
+        )
+        assert index.ids("u", KIND_DESC) == [1, 5, 9]
+
+    def test_incremental_adds_after_bulk(self, rng):
+        index = VectorIndex()
+        index.add_many(
+            "u", KIND_DESC, [1, 2, 3], np.stack([unit(rng)] * 3)
+        )
+        index.add("u", KIND_DESC, 2, unit(rng))  # in-place update
+        index.add("u", KIND_DESC, 10, unit(rng))  # append past capacity
+        assert index.ids("u", KIND_DESC) == [1, 2, 3, 10]
+
+    def test_length_mismatch_rejected(self, rng):
+        index = VectorIndex()
+        with pytest.raises(ValidationError, match="ids"):
+            index.add_many("u", KIND_DESC, [1, 2], np.stack([unit(rng)]))
+
+    def test_empty_batch_is_noop(self):
+        index = VectorIndex()
+        index.add_many("u", KIND_DESC, [], np.empty((0, 8), dtype=np.float32))
+        assert index.size("u", KIND_DESC) == 0
+
+
 class TestSearch:
     def test_k_validation(self, rng):
         index = VectorIndex()
