@@ -85,8 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument(
         "--shards", action="store_true",
-        help="also build the vector index and report shard occupancy "
-        "(reads the whole registry, like server startup)",
+        help="also build the vector index and report shard occupancy and "
+        "persistence freshness (loads persisted slabs when fresh, else "
+        "reads the whole registry, like server startup)",
+    )
+    stats.add_argument(
+        "--persist", action="store_true",
+        help="with --shards: save the (re)built slabs back to the "
+        "registry so the next cold start skips the rebuild",
     )
 
     sub.add_parser("endpoints", help="print the API endpoint table")
@@ -224,8 +230,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
     read only the ownership index — no row fetches, no embedding
     unblobbing, no model or server construction — so the default mode
     stays cheap even against a huge registry.  ``--shards`` additionally
-    builds the vector index (an O(corpus) pass, the same work server
-    startup does) and reports per-shard occupancy.
+    builds the vector index — from the persisted slab snapshot when it
+    is still fresh, else the O(corpus) rebuild server startup does — and
+    reports per-shard occupancy plus persistence freshness (the stored
+    snapshot's mutation counter vs the registry's).  ``--persist`` opts
+    in to writing the built slabs back so the next cold start loads
+    them directly.
     """
     from repro.registry.dao import InMemoryDAO, SqliteDAO
 
@@ -244,14 +254,29 @@ def cmd_stats(args: argparse.Namespace) -> int:
         from repro.search import VectorIndex
 
         service = RegistryService(dao)
-        service.attach_index(VectorIndex())
+        # reporting must not write to the registry unless asked to
+        mode = service.attach_index(VectorIndex(), persist=False)
         shards = service.index.stats()
-        print(f"index: {len(shards)} shard(s)")
+        print(f"index: {len(shards)} shard(s)  (attach: {mode})")
         for key, info in sorted(shards.items()):
             print(
                 f"  {key:<20} {info['live']:>6} live rows  "
                 f"(capacity {info['capacity']}, d={info['dim']})"
             )
+        freshness = service.shard_persistence()
+        if freshness["storedCounter"] is None:
+            print("persistence: none (next cold start rebuilds)")
+        else:
+            state = "fresh" if freshness["fresh"] else "stale"
+            print(
+                f"persistence: {state}  (stored counter "
+                f"{freshness['storedCounter']}, current "
+                f"{freshness['currentCounter']}; "
+                f"{freshness['shards']} shard(s), {freshness['rows']} row(s))"
+            )
+        if args.persist:
+            saved = service.persist_shards()
+            print(f"persisted: {'yes' if saved else 'no (registry mutated)'}")
     return 0
 
 

@@ -37,7 +37,7 @@ import sqlite3
 import threading
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -144,6 +144,85 @@ class RegistryDAO(ABC):
     def workflow_ids_owned_by(self, user_id: int) -> list[int]:
         """Ascending owned workflow ids; never materializes rows."""
 
+    # -- text-search candidate filtering ----------------------------------
+    def pes_owned_by_matching(
+        self, user_id: int, patterns: Sequence[str] | None
+    ) -> list[PERecord]:
+        """Owned PEs whose name or description contains any pattern.
+
+        A *candidate superset* for the text scorer: backends may return
+        extra rows (the scorer drops non-matches) but must never drop a
+        row the scorer would keep — every pattern is matched as a
+        case-insensitive substring of the raw stored text.  ``None``
+        means "cannot filter" and returns the full owned listing.
+        """
+        records = self.pes_owned_by(user_id)
+        if not patterns:  # None or empty: cannot filter
+            return records
+        needles = [pattern.lower() for pattern in patterns]
+        return [
+            record
+            for record in records
+            if any(
+                needle in record.pe_name.lower()
+                or needle in record.description.lower()
+                for needle in needles
+            )
+        ]
+
+    def workflows_owned_by_matching(
+        self, user_id: int, patterns: Sequence[str] | None
+    ) -> list[WorkflowRecord]:
+        """Owned workflows matching any pattern on name/entry/description."""
+        records = self.workflows_owned_by(user_id)
+        if not patterns:  # None or empty: cannot filter
+            return records
+        needles = [pattern.lower() for pattern in patterns]
+        return [
+            record
+            for record in records
+            if any(
+                needle in record.entry_point.lower()
+                or needle in record.workflow_name.lower()
+                or needle in record.description.lower()
+                for needle in needles
+            )
+        ]
+
+    # -- index-shard persistence ------------------------------------------
+    def mutation_counter(self) -> int:
+        """Monotonic counter bumped on every PE/workflow write.
+
+        Backends that do not track mutations return 0 forever, which
+        marks any persisted shard snapshot permanently stale — the safe
+        default (attach always rebuilds).
+        """
+        return 0
+
+    def save_index_shards(
+        self,
+        shards: Mapping[tuple[int, str], tuple[np.ndarray, np.ndarray]],
+        counter: int,
+    ) -> None:
+        """Persist ``{(user_id, kind): (ids, matrix)}`` slabs at ``counter``.
+
+        Replaces any previous snapshot wholesale.  No-op by default.
+        """
+
+    def load_index_shards(
+        self,
+    ) -> tuple[int, dict[tuple[int, str], tuple[np.ndarray, np.ndarray]]] | None:
+        """The persisted ``(counter, shards)`` snapshot, or ``None``."""
+        return None
+
+    def index_shards_meta(self) -> dict[str, int | None]:
+        """Cheap snapshot metadata: ``{counter, shards, rows}``.
+
+        Never deserializes slab blobs; ``counter`` is ``None`` when no
+        snapshot exists.
+        """
+        return {"counter": None, "shards": 0, "rows": 0}
+
 
 class InMemoryDAO(RegistryDAO):
     """Dict-backed DAO; thread-safe for the in-process server.
@@ -172,6 +251,11 @@ class InMemoryDAO(RegistryDAO):
         # back-reference: pe_id -> workflows linking it
         self._pe_backrefs: dict[int, set[int]] = {}
         self._wf_link_snapshot: dict[int, frozenset[int]] = {}
+        # shard-persistence bookkeeping (process-local: an in-memory
+        # registry has no cold start, but tracking the counter keeps the
+        # freshness protocol uniform and testable across backends)
+        self._mutations = 0
+        self._saved_shards: tuple[int, dict] | None = None
 
     # -- index maintenance -------------------------------------------------
     def _reindex_pe_owners(self, record: PERecord) -> None:
@@ -235,6 +319,7 @@ class InMemoryDAO(RegistryDAO):
     # -- PEs ---------------------------------------------------------------
     def insert_pe(self, record: PERecord) -> PERecord:
         with self._lock:
+            self._mutations += 1
             record.pe_id = self._next_pe
             self._next_pe += 1
             self._pes[record.pe_id] = record
@@ -243,6 +328,7 @@ class InMemoryDAO(RegistryDAO):
 
     def update_pe(self, record: PERecord) -> None:
         with self._lock:
+            self._mutations += 1
             if record.pe_id not in self._pes:
                 raise NotFoundError(
                     f"PE id {record.pe_id} not found", params={"peId": record.pe_id}
@@ -275,6 +361,7 @@ class InMemoryDAO(RegistryDAO):
 
     def delete_pe(self, pe_id: int) -> None:
         with self._lock:
+            self._mutations += 1
             if pe_id not in self._pes:
                 raise NotFoundError(f"PE id {pe_id} not found", params={"peId": pe_id})
             del self._pes[pe_id]
@@ -289,6 +376,7 @@ class InMemoryDAO(RegistryDAO):
     # -- workflows -----------------------------------------------------------
     def insert_workflow(self, record: WorkflowRecord) -> WorkflowRecord:
         with self._lock:
+            self._mutations += 1
             record.workflow_id = self._next_workflow
             self._next_workflow += 1
             self._workflows[record.workflow_id] = record
@@ -298,6 +386,7 @@ class InMemoryDAO(RegistryDAO):
 
     def update_workflow(self, record: WorkflowRecord) -> None:
         with self._lock:
+            self._mutations += 1
             if record.workflow_id not in self._workflows:
                 raise NotFoundError(
                     f"workflow id {record.workflow_id} not found",
@@ -336,6 +425,7 @@ class InMemoryDAO(RegistryDAO):
 
     def delete_workflow(self, workflow_id: int) -> None:
         with self._lock:
+            self._mutations += 1
             if workflow_id not in self._workflows:
                 raise NotFoundError(
                     f"workflow id {workflow_id} not found",
@@ -344,6 +434,42 @@ class InMemoryDAO(RegistryDAO):
             del self._workflows[workflow_id]
             self._drop_wf_owners(workflow_id)
             self._drop_wf_links(workflow_id)
+
+    # -- index-shard persistence ------------------------------------------
+    def mutation_counter(self) -> int:
+        with self._lock:
+            return self._mutations
+
+    def save_index_shards(self, shards, counter) -> None:
+        with self._lock:
+            self._saved_shards = (
+                int(counter),
+                {
+                    (int(user_id), str(kind)): (
+                        np.asarray(ids, dtype=np.int64).copy(),
+                        np.asarray(matrix, dtype=np.float32).copy(),
+                    )
+                    for (user_id, kind), (ids, matrix) in shards.items()
+                },
+            )
+
+    def load_index_shards(self):
+        with self._lock:
+            if self._saved_shards is None:
+                return None
+            counter, shards = self._saved_shards
+            return counter, dict(shards)
+
+    def index_shards_meta(self) -> dict:
+        with self._lock:
+            if self._saved_shards is None:
+                return {"counter": None, "shards": 0, "rows": 0}
+            counter, shards = self._saved_shards
+            return {
+                "counter": counter,
+                "shards": len(shards),
+                "rows": sum(len(ids) for ids, _ in shards.values()),
+            }
 
 
 _SCHEMA = """
@@ -399,11 +525,30 @@ CREATE TABLE IF NOT EXISTS workflow_pes (
     PRIMARY KEY (workflow_id, pe_id)
 ) WITHOUT ROWID;
 CREATE INDEX IF NOT EXISTS idx_workflow_pes_pe ON workflow_pes(pe_id, workflow_id);
+-- schema v2: registry metadata (the PE/workflow mutation counter) and
+-- persisted index slabs so a warm cold start skips the O(corpus)
+-- rebuild; blob columns come last so the meta query never pages them in
+CREATE TABLE IF NOT EXISTS registry_meta (
+    key TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+) WITHOUT ROWID;
+INSERT OR IGNORE INTO registry_meta (key, value) VALUES ('mutation_counter', 0);
+CREATE TABLE IF NOT EXISTS index_shards (
+    user_id INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    mutation_counter INTEGER NOT NULL,
+    dim INTEGER NOT NULL,
+    rows INTEGER NOT NULL,
+    ids BLOB NOT NULL,
+    vectors BLOB NOT NULL,
+    PRIMARY KEY (user_id, kind)
+);
 """
 
-#: bumped when the normalized join tables were introduced; files at
-#: version 0 are backfilled from the JSON columns on open
-_SCHEMA_VERSION = 1
+#: v1 introduced the normalized join tables (files at version 0 are
+#: backfilled from the JSON columns on open); v2 added the mutation
+#: counter and the persisted index-shard slabs
+_SCHEMA_VERSION = 2
 
 #: SQLite caps host parameters per statement (999 before 3.32); chunk
 #: IN(...) lists well below that
@@ -452,9 +597,19 @@ class SqliteDAO(RegistryDAO):
             self._migrate()
 
     def _migrate(self) -> None:
-        """Backfill the join tables from the legacy JSON columns once."""
+        """Step the on-disk schema up to ``_SCHEMA_VERSION`` once.
+
+        v0 -> v1 backfills the join tables from the legacy JSON columns;
+        v1 -> v2 only needs the new tables (created by the schema
+        script) with the mutation counter seeded at 0 — the empty
+        ``index_shards`` table simply means the first attach rebuilds
+        and persists.
+        """
         version = self._conn.execute("PRAGMA user_version").fetchone()[0]
         if version >= _SCHEMA_VERSION:
+            return
+        if version >= 1:
+            self._conn.execute(f"PRAGMA user_version = {_SCHEMA_VERSION}")
             return
         for row in self._conn.execute("SELECT pe_id, owners FROM pes"):
             self._conn.executemany(
@@ -484,6 +639,14 @@ class SqliteDAO(RegistryDAO):
 
     def close(self) -> None:
         self._conn.close()
+
+    def _bump_mutation(self) -> None:
+        """Advance the registry mutation counter (inside the caller's
+        transaction), invalidating any persisted shard snapshot."""
+        self._conn.execute(
+            "UPDATE registry_meta SET value = value + 1"
+            " WHERE key = 'mutation_counter'"
+        )
 
     # -- join-table sync ---------------------------------------------------
     def _sync_pe_owners(self, pe_id: int, owners: Iterable[int]) -> None:
@@ -573,6 +736,7 @@ class SqliteDAO(RegistryDAO):
 
     def insert_pe(self, record: PERecord) -> PERecord:
         with self._lock, self._conn:
+            self._bump_mutation()
             cursor = self._conn.execute(
                 """INSERT INTO pes (pe_name, description, description_origin,
                    pe_code, pe_source, pe_imports, code_embedding,
@@ -589,6 +753,7 @@ class SqliteDAO(RegistryDAO):
         if not records:
             return []
         with self._lock, self._conn:
+            self._bump_mutation()
             base = self._conn.execute(
                 "SELECT COALESCE(MAX(pe_id), 0) FROM pes"
             ).fetchone()[0]
@@ -613,6 +778,7 @@ class SqliteDAO(RegistryDAO):
 
     def update_pe(self, record: PERecord) -> None:
         with self._lock, self._conn:
+            self._bump_mutation()
             cursor = self._conn.execute(
                 """UPDATE pes SET pe_name=?, description=?,
                    description_origin=?, pe_code=?, pe_source=?,
@@ -677,8 +843,56 @@ class SqliteDAO(RegistryDAO):
             ).fetchall()
         return [row["pe_id"] for row in rows]
 
+    #: LIKE-pattern cap — a wider OR chain stops being cheaper than the
+    #: plain owned listing and risks the host-parameter limit
+    _MAX_LIKE_PATTERNS = 64
+
+    @staticmethod
+    def _like(pattern: str) -> str:
+        """``%pattern%`` with LIKE metacharacters escaped (ESCAPE '\\')."""
+        escaped = (
+            pattern.replace("\\", "\\\\").replace("%", "\\%").replace("_", "\\_")
+        )
+        return f"%{escaped}%"
+
+    def pes_owned_by_matching(
+        self, user_id: int, patterns: Sequence[str] | None
+    ) -> list[PERecord]:
+        """Owner-joined SQL candidate filter for the text search path.
+
+        The name/description matching runs as an ``OR`` chain of
+        case-insensitive ``LIKE`` predicates against the owner-joined
+        rows, so the text path materializes only candidate records
+        instead of the user's full listing.  Patterns are produced by
+        :func:`repro.search.text_search.candidate_patterns`, which
+        guarantees every scorer match contains at least one pattern as a
+        substring — the filter is a strict superset of the final result.
+        """
+        if patterns is None or not (
+            0 < len(patterns) <= self._MAX_LIKE_PATTERNS
+        ):
+            return self.pes_owned_by(user_id)
+        clause = " OR ".join(
+            ["p.pe_name LIKE ? ESCAPE '\\' OR p.description LIKE ? ESCAPE '\\'"]
+            * len(patterns)
+        )
+        params = [int(user_id)]
+        for pattern in patterns:
+            like = self._like(pattern)
+            params.extend((like, like))
+        with self._lock:
+            rows = self._conn.execute(
+                f"""SELECT p.* FROM pes p
+                    JOIN pe_owners o ON o.pe_id = p.pe_id
+                    WHERE o.user_id = ? AND ({clause})
+                    ORDER BY p.pe_id""",
+                params,
+            ).fetchall()
+        return [self._pe_from_row(r) for r in rows]
+
     def delete_pe(self, pe_id: int) -> None:
         with self._lock, self._conn:
+            self._bump_mutation()
             cursor = self._conn.execute("DELETE FROM pes WHERE pe_id=?", (pe_id,))
             if cursor.rowcount == 0:
                 raise NotFoundError(f"PE id {pe_id} not found", params={"peId": pe_id})
@@ -734,6 +948,7 @@ class SqliteDAO(RegistryDAO):
 
     def insert_workflow(self, record: WorkflowRecord) -> WorkflowRecord:
         with self._lock, self._conn:
+            self._bump_mutation()
             cursor = self._conn.execute(
                 """INSERT INTO workflows (workflow_name, entry_point,
                    description, workflow_code, workflow_source, pe_ids,
@@ -753,6 +968,7 @@ class SqliteDAO(RegistryDAO):
         if not records:
             return []
         with self._lock, self._conn:
+            self._bump_mutation()
             base = self._conn.execute(
                 "SELECT COALESCE(MAX(workflow_id), 0) FROM workflows"
             ).fetchone()[0]
@@ -787,6 +1003,7 @@ class SqliteDAO(RegistryDAO):
 
     def update_workflow(self, record: WorkflowRecord) -> None:
         with self._lock, self._conn:
+            self._bump_mutation()
             cursor = self._conn.execute(
                 """UPDATE workflows SET workflow_name=?, entry_point=?,
                    description=?, workflow_code=?, workflow_source=?,
@@ -857,8 +1074,39 @@ class SqliteDAO(RegistryDAO):
             ).fetchall()
         return [row["workflow_id"] for row in rows]
 
+    def workflows_owned_by_matching(
+        self, user_id: int, patterns: Sequence[str] | None
+    ) -> list[WorkflowRecord]:
+        """SQL candidate filter over entry point, name and description."""
+        if patterns is None or not (
+            0 < len(patterns) <= self._MAX_LIKE_PATTERNS
+        ):
+            return self.workflows_owned_by(user_id)
+        clause = " OR ".join(
+            [
+                "w.entry_point LIKE ? ESCAPE '\\'"
+                " OR w.workflow_name LIKE ? ESCAPE '\\'"
+                " OR w.description LIKE ? ESCAPE '\\'"
+            ]
+            * len(patterns)
+        )
+        params = [int(user_id)]
+        for pattern in patterns:
+            like = self._like(pattern)
+            params.extend((like, like, like))
+        with self._lock:
+            rows = self._conn.execute(
+                f"""SELECT w.* FROM workflows w
+                    JOIN workflow_owners o ON o.workflow_id = w.workflow_id
+                    WHERE o.user_id = ? AND ({clause})
+                    ORDER BY w.workflow_id""",
+                params,
+            ).fetchall()
+        return [self._wf_from_row(r) for r in rows]
+
     def delete_workflow(self, workflow_id: int) -> None:
         with self._lock, self._conn:
+            self._bump_mutation()
             cursor = self._conn.execute(
                 "DELETE FROM workflows WHERE workflow_id=?", (workflow_id,)
             )
@@ -873,3 +1121,96 @@ class SqliteDAO(RegistryDAO):
             self._conn.execute(
                 "DELETE FROM workflow_pes WHERE workflow_id=?", (workflow_id,)
             )
+
+    # -- index-shard persistence ------------------------------------------
+    def mutation_counter(self) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM registry_meta WHERE key='mutation_counter'"
+            ).fetchone()
+        return 0 if row is None else int(row["value"])
+
+    def save_index_shards(
+        self,
+        shards: Mapping[tuple[int, str], tuple[np.ndarray, np.ndarray]],
+        counter: int,
+    ) -> None:
+        """Replace the slab snapshot wholesale, stamped at ``counter``.
+
+        Slabs are the stacked float32 rows and int64 ids exactly as
+        :meth:`~repro.search.index.VectorIndex.export_shards` emits them
+        — one row per table entry per (user, kind), so a fresh attach
+        reads them back with zero record deserialization.
+        """
+        payload = []
+        for (user_id, kind), (ids, matrix) in shards.items():
+            ids = np.asarray(ids, dtype=np.int64)
+            matrix = np.asarray(matrix, dtype=np.float32)
+            payload.append(
+                (
+                    int(user_id),
+                    str(kind),
+                    int(counter),
+                    int(matrix.shape[1]) if matrix.ndim == 2 else 0,
+                    int(ids.shape[0]),
+                    ids.tobytes(),
+                    matrix.tobytes(),
+                )
+            )
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM index_shards")
+            self._conn.executemany(
+                """INSERT INTO index_shards
+                   (user_id, kind, mutation_counter, dim, rows, ids, vectors)
+                   VALUES (?, ?, ?, ?, ?, ?, ?)""",
+                payload,
+            )
+
+    def load_index_shards(
+        self,
+    ) -> tuple[int, dict[tuple[int, str], tuple[np.ndarray, np.ndarray]]] | None:
+        """Read back the slab snapshot; ``None`` if absent or torn.
+
+        A snapshot is *torn* when its rows carry different mutation
+        counters (a crash mid-save); torn snapshots are ignored and the
+        caller rebuilds from the records.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT user_id, kind, mutation_counter, dim, rows, ids,"
+                " vectors FROM index_shards"
+            ).fetchall()
+        if not rows:
+            return None
+        counters = {row["mutation_counter"] for row in rows}
+        if len(counters) != 1:
+            return None
+        shards: dict[tuple[int, str], tuple[np.ndarray, np.ndarray]] = {}
+        for row in rows:
+            try:
+                ids = np.frombuffer(row["ids"], dtype=np.int64).copy()
+                matrix = (
+                    np.frombuffer(row["vectors"], dtype=np.float32)
+                    .reshape(row["rows"], row["dim"])
+                    .copy()
+                )
+            except ValueError:
+                return None  # truncated/corrupt blob — force a rebuild
+            if ids.shape[0] != row["rows"]:
+                return None  # torn blob — force a rebuild
+            shards[(int(row["user_id"]), str(row["kind"]))] = (ids, matrix)
+        return counters.pop(), shards
+
+    def index_shards_meta(self) -> dict[str, int | None]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT mutation_counter, rows FROM index_shards"
+            ).fetchall()
+        if not rows:
+            return {"counter": None, "shards": 0, "rows": 0}
+        counters = {row["mutation_counter"] for row in rows}
+        return {
+            "counter": counters.pop() if len(counters) == 1 else None,
+            "shards": len(rows),
+            "rows": sum(row["rows"] for row in rows),
+        }

@@ -48,23 +48,45 @@ class RegistryService:
     ) -> None:
         self.dao = dao
         self.index = None
+        #: the DAO mutation counter the in-memory index is known to
+        #: reflect; persist_shards stamps snapshots with this, never
+        #: with a re-read (a foreign process's write between index
+        #: sync and stamping would otherwise mark a stale snapshot
+        #: fresh).  Lost-update races on the += only under-count,
+        #: which skips a persist — the safe direction.
+        self._index_counter = 0
         if index is not None:
             self.attach_index(index)
 
     # ------------------------------------------------------------------
     # Search-index maintenance
     # ------------------------------------------------------------------
-    def attach_index(self, index: "VectorIndex") -> None:
-        """Adopt ``index`` and bulk-load it from the current DAO state.
+    def attach_index(self, index: "VectorIndex", *, persist: bool = True) -> str:
+        """Adopt ``index`` and populate it; returns ``"fresh"`` or
+        ``"rebuilt"``.
 
-        One pass over the DAO accumulates each (user, kind) shard's ids
-        and vectors, then every shard is stacked in a single
-        :meth:`~repro.search.index.VectorIndex.add_many` call — no
-        per-record ``searchsorted``/regrowth work at attach time.
+        Cold-start fast path: when the DAO holds a persisted slab
+        snapshot stamped with the *current* registry mutation counter,
+        the stacked float32 slabs are loaded directly into the index —
+        zero record deserialization, no ``all_pes()`` pass.  Any counter
+        mismatch (the registry mutated since the snapshot) falls back to
+        the O(corpus) rebuild: one pass over the DAO accumulates each
+        (user, kind) shard's ids and vectors, every shard is stacked in
+        a single :meth:`~repro.search.index.VectorIndex.add_many` call,
+        and (with ``persist``) the rebuilt slabs are saved back so the
+        *next* cold start takes the fast path.
         """
         from repro.search.index import KIND_CODE, KIND_DESC, KIND_WORKFLOW
 
         self.index = index
+        counter = self.dao.mutation_counter()
+        self._index_counter = counter
+        stored = self.dao.load_index_shards()
+        if stored is not None and stored[0] == counter:
+            for (user_id, kind), (ids, matrix) in stored[1].items():
+                index.add_many(user_id, kind, [int(i) for i in ids], matrix)
+            return "fresh"
+
         shards: dict[tuple[int, str], tuple[list[int], list]] = {}
 
         def accumulate(user_id: int, kind: str, rid: int, vector) -> None:
@@ -93,6 +115,51 @@ class RegistryService:
                     )
         for (user_id, kind), (ids, vectors) in shards.items():
             index.add_many(user_id, kind, ids, vectors)
+        if persist:
+            self.persist_shards()
+        return "rebuilt"
+
+    def _note_write(self) -> None:
+        """Record one DAO write performed *through this service* (the
+        index was updated in the same call, so it still reflects the
+        registry at the bumped counter)."""
+        self._index_counter += 1
+
+    def persist_shards(self) -> bool:
+        """Save the index's slabs through the DAO for zero-rebuild restarts.
+
+        The snapshot is stamped with the counter the index is *known*
+        to reflect (attach time plus this service's own writes) — never
+        a fresh counter read, which could cover a foreign process's
+        write this index never saw.  If the DAO's counter disagrees
+        with that stamp before or after the export (someone else wrote,
+        or wrote mid-export), the save is skipped: a snapshot must
+        never claim freshness it does not have, and the next attach
+        simply rebuilds.  Returns whether a snapshot was written.
+        """
+        if self.index is None:
+            return False
+        stamp = self._index_counter
+        if self.dao.mutation_counter() != stamp:
+            return False
+        shards = self.index.export_shards()
+        if self.dao.mutation_counter() != stamp:
+            return False
+        self.dao.save_index_shards(shards, stamp)
+        return True
+
+    def shard_persistence(self) -> dict:
+        """Freshness report for the persisted slab snapshot."""
+        meta = self.dao.index_shards_meta()
+        current = self.dao.mutation_counter()
+        stored = meta.get("counter")
+        return {
+            "storedCounter": stored,
+            "currentCounter": current,
+            "shards": meta.get("shards", 0),
+            "rows": meta.get("rows", 0),
+            "fresh": stored is not None and stored == current,
+        }
 
     def _index_pe(self, user_id: int, record: PERecord) -> None:
         if self.index is None:
@@ -170,10 +237,12 @@ class RegistryService:
                 if user.user_id not in existing.owners:
                     existing.owners.add(user.user_id)
                     self.dao.update_pe(existing)
+                    self._note_write()
                 self._index_pe(user.user_id, existing)
                 return existing
         record.owners = {user.user_id}
         stored = self.dao.insert_pe(record)
+        self._note_write()
         self._index_pe(user.user_id, stored)
         return stored
 
@@ -221,6 +290,22 @@ class RegistryService:
             if user.user_id in record.owners
         ]
 
+    def text_candidate_pes(self, user: UserRecord, query: str) -> list[PERecord]:
+        """Candidate PEs for the text scorer, filtered in the DAO.
+
+        The name/description matching runs as SQL ``LIKE`` predicates
+        over the owner-joined rows (see
+        ``RegistryDAO.pes_owned_by_matching``), so the text path no
+        longer materializes the user's full record list in Python.  The
+        filter is a strict superset of the scorer's matches — scoring
+        the candidates yields exactly the historical results.
+        """
+        from repro.search.text_search import candidate_patterns
+
+        return self.dao.pes_owned_by_matching(
+            user.user_id, candidate_patterns(query)
+        )
+
     def remove_pe(self, user: UserRecord, pe_id: int) -> None:
         """Dissociate the user; delete the PE once ownerless."""
         record = self._owned_pe(user, pe_id)
@@ -229,6 +314,7 @@ class RegistryService:
             self.dao.update_pe(record)
         else:
             self.dao.delete_pe(pe_id)
+        self._note_write()
         self._unindex_pe(user.user_id, pe_id)
 
     def remove_pe_by_name(self, user: UserRecord, name: str) -> None:
@@ -246,10 +332,12 @@ class RegistryService:
                 if user.user_id not in existing.owners:
                     existing.owners.add(user.user_id)
                     self.dao.update_workflow(existing)
+                    self._note_write()
                 self._index_workflow(user.user_id, existing)
                 return existing
         record.owners = {user.user_id}
         stored = self.dao.insert_workflow(record)
+        self._note_write()
         self._index_workflow(user.user_id, stored)
         return stored
 
@@ -295,6 +383,16 @@ class RegistryService:
             if user.user_id in record.owners
         ]
 
+    def text_candidate_workflows(
+        self, user: UserRecord, query: str
+    ) -> list[WorkflowRecord]:
+        """Candidate workflows for the text scorer (SQL-side filtering)."""
+        from repro.search.text_search import candidate_patterns
+
+        return self.dao.workflows_owned_by_matching(
+            user.user_id, candidate_patterns(query)
+        )
+
     def remove_workflow(self, user: UserRecord, workflow_id: int) -> None:
         record = self._owned_workflow(user, workflow_id)
         record.owners.discard(user.user_id)
@@ -302,6 +400,7 @@ class RegistryService:
             self.dao.update_workflow(record)
         else:
             self.dao.delete_workflow(workflow_id)
+        self._note_write()
         self._unindex_workflow(user.user_id, workflow_id)
 
     def remove_workflow_by_name(self, user: UserRecord, name: str) -> None:
@@ -320,6 +419,7 @@ class RegistryService:
         if pe_id not in workflow.pe_ids:
             workflow.pe_ids.append(pe_id)
             self.dao.update_workflow(workflow)
+            self._note_write()
         return workflow
 
     def workflow_pes(

@@ -52,10 +52,15 @@ Key properties:
 
 The index is maintained automatically by
 :class:`~repro.registry.service.RegistryService` (every PE/workflow
-add/remove updates the owner's shards) and served by the HTTP layer's
-``/registry/{user}/search`` endpoint and the ``repro search`` CLI
-command.  ``benchmarks/test_index_vs_scan.py`` records the speedup over
-the per-query matrix rebuild.
+add/remove updates the owner's shards — and persists slab snapshots so
+a warm restart attaches without the O(corpus) rebuild) and served by
+the HTTP layer's ``/registry/{user}/search`` endpoint and the ``repro
+search`` CLI command, with concurrent same-shard requests coalesced by
+:class:`~repro.search.serving.SearchBatcher` into one index pass (see
+:mod:`repro.server` for the full request flow).
+``benchmarks/test_index_vs_scan.py`` records the speedup over the
+per-query matrix rebuild and ``benchmarks/test_http_batch.py`` the
+concurrent-serving and cold-start gains.
 """
 
 from repro.search.text_search import TextMatch, text_search_pes, text_search_workflows
@@ -68,8 +73,11 @@ from repro.search.index import (
     EmbeddingLRU,
     VectorIndex,
 )
+from repro.search.serving import SearchBatcher, serve_topk
 
 __all__ = [
+    "SearchBatcher",
+    "serve_topk",
     "TextMatch",
     "text_search_pes",
     "text_search_workflows",

@@ -25,7 +25,7 @@ from repro.ml.models import ReACCRetriever
 from repro.ml.similarity import cosine_similarity_matrix
 from repro.registry.entities import PERecord
 from repro.search.index import KIND_CODE, VectorIndex
-from repro.search.serving import serve_topk
+from repro.search.serving import OwnedIds, SearchBatcher, serve_topk
 
 
 @dataclass
@@ -141,18 +141,22 @@ class CodeSearcher:
         *,
         index: VectorIndex,
         user: Hashable,
-        owned_ids: Sequence[int],
+        owned_ids: OwnedIds,
         resolve: Callable[[list[int]], Sequence[PERecord]],
         k: int | None = None,
         query_embedding: np.ndarray | None = None,
+        batcher: SearchBatcher | None = None,
     ) -> list[CodeHit]:
         """Index-first serving path: materialize only the top-k records.
 
         The shared :func:`~repro.search.serving.serve_topk` protocol
         over the code shard — O(k) DAO work per request, with the exact
-        brute-force scan as fallback.
+        brute-force scan as fallback.  With a ``batcher`` the request
+        routes through the micro-batching dispatcher (bitwise-identical
+        results, one index pass per batch of concurrent searches).
         """
-        return serve_topk(
+        dispatch = batcher.submit if batcher is not None else serve_topk
+        return dispatch(
             index=index,
             user=user,
             kind=KIND_CODE,

@@ -335,6 +335,28 @@ class VectorIndex:
             shard = self._shards.get((user, kind))
             return [] if shard is None else shard.live_ids()
 
+    def export_shards(
+        self, user: Hashable | None = None
+    ) -> dict[tuple[Hashable, str], tuple[np.ndarray, np.ndarray]]:
+        """Snapshot live slabs as ``{(user, kind): (ids, matrix)}``.
+
+        ``ids`` is the ascending int64 id vector and ``matrix`` the
+        matching float32 rows — exactly the layout :meth:`add_many`
+        bulk-stacks on import, so a persisted slab round-trips into an
+        identical shard (bitwise: vectors are copied verbatim).  Empty
+        shards are omitted.  Copies are taken under the lock, so the
+        snapshot is never torn by concurrent mutation.
+        """
+        with self._lock:
+            return {
+                key: (
+                    shard.ids[: shard.size].copy(),
+                    shard.matrix[: shard.size].copy(),
+                )
+                for key, shard in self._shards.items()
+                if shard.size > 0 and (user is None or key[0] == user)
+            }
+
     def stats(self) -> dict[str, dict[str, int]]:
         with self._lock:
             return {
@@ -416,6 +438,68 @@ class VectorIndex:
             if shard.size == 0:
                 return [], np.empty(0, dtype=np.float32)
             return self._shard_topk(shard, qvec, k)
+
+    def search_among_many(
+        self,
+        user: Hashable,
+        kind: str,
+        rids: Sequence[int],
+        queries: Sequence[np.ndarray],
+        ks: Sequence[int | None],
+    ) -> list[tuple[list[int], np.ndarray]] | None:
+        """Membership-checked search for a whole micro-batch of queries.
+
+        The batched counterpart of :meth:`search_among`: one candidate
+        set (all queries come from the same (user, kind) serving key),
+        verified *once*, with every query scored under the same lock
+        hold.  Each query is scored as its own ``(1, D)`` product — the
+        identical computation :meth:`search_among` performs — so the
+        per-query results are bitwise identical to the single-shot path
+        (a joint ``(Q, D)`` product would not be: BLAS accumulation
+        order differs between matrix-vector and matrix-matrix kernels,
+        which lets floating-point near-ties rank differently).  The
+        amortization is everything *around* the product: one lock
+        acquisition, one membership verification and one shard lookup
+        for the whole batch.
+
+        Returns ``None`` when the shard and candidate set disagree; the
+        caller then serves every query brute force, which is exact.
+        """
+        for k in ks:
+            if k is not None and k <= 0:
+                raise ValidationError(f"k must be positive, got {k}")
+        if len(queries) != len(ks):
+            raise ValidationError(
+                f"got {len(queries)} queries for {len(ks)} k values"
+            )
+        qvecs = [_as_vector(query) for query in queries]
+        with self._lock:
+            shard = self._shards.get((user, kind))
+            if shard is None:
+                return None
+            if shard.size != len(rids):
+                return None
+            row_of = shard.row_of
+            for rid in rids:
+                if int(rid) not in row_of:
+                    return None
+            if shard.size == 0:
+                empty = ([], np.empty(0, dtype=np.float32))
+                return [empty for _ in qvecs]
+            # identical queries (trending searches landing in one batch)
+            # are scored once — the same bytes produce the same product,
+            # so sharing the result stays bitwise exact; distinct (k,
+            # vector) pairs still select their own top-k
+            cache: dict[tuple[bytes, int | None], tuple] = {}
+            results = []
+            for qvec, k in zip(qvecs, ks):
+                key = (qvec.tobytes(), k)
+                hit = cache.get(key)
+                if hit is None:
+                    hit = self._shard_topk(shard, qvec, k)
+                    cache[key] = hit
+                results.append(hit)
+            return results
 
     def search_batch(
         self,

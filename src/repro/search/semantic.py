@@ -30,7 +30,7 @@ from repro.ml.models import UnixCoderCodeSearch
 from repro.ml.similarity import cosine_similarity_matrix
 from repro.registry.entities import PERecord, WorkflowRecord
 from repro.search.index import KIND_DESC, KIND_WORKFLOW, VectorIndex
-from repro.search.serving import serve_topk
+from repro.search.serving import OwnedIds, SearchBatcher, serve_topk
 
 
 @dataclass
@@ -151,18 +151,23 @@ class SemanticSearcher:
         *,
         index: VectorIndex,
         user: Hashable,
-        owned_ids: Sequence[int],
+        owned_ids: OwnedIds,
         resolve: Callable[[list[int]], Sequence[PERecord]],
         k: int | None = None,
         query_embedding: np.ndarray | None = None,
+        batcher: SearchBatcher | None = None,
     ) -> list[SemanticHit]:
         """Index-first serving path: materialize only the top-k records.
 
         The shared :func:`~repro.search.serving.serve_topk` protocol
         over the description shard — per-request DAO work is O(k), not
-        O(corpus), with the exact brute-force scan as fallback.
+        O(corpus), with the exact brute-force scan as fallback.  With a
+        ``batcher`` the request routes through the micro-batching
+        dispatcher instead, which coalesces concurrent same-shard
+        searches into one index pass (bitwise-identical results).
         """
-        return serve_topk(
+        dispatch = batcher.submit if batcher is not None else serve_topk
+        return dispatch(
             index=index,
             user=user,
             kind=KIND_DESC,
@@ -191,13 +196,15 @@ class SemanticSearcher:
         *,
         index: VectorIndex,
         user: Hashable,
-        owned_ids: Sequence[int],
+        owned_ids: OwnedIds,
         resolve: Callable[[list[int]], Sequence[WorkflowRecord]],
         k: int | None = None,
         query_embedding: np.ndarray | None = None,
+        batcher: SearchBatcher | None = None,
     ) -> list["WorkflowSemanticHit"]:
         """O(k)-materialization serving path for workflow search."""
-        return serve_topk(
+        dispatch = batcher.submit if batcher is not None else serve_topk
+        return dispatch(
             index=index,
             user=user,
             kind=KIND_WORKFLOW,

@@ -1,20 +1,36 @@
-"""The shared O(k) serving protocol behind every ``search_topk``.
+"""The concurrent O(k) serving layer behind every ``search_topk``.
 
-One implementation of the index-first request path used by the PE,
-workflow and code searchers: rank on the pre-stacked shard, check
-membership against the caller's cheap owned-id projection
-(``search_among`` verifies the shard holds exactly those ids under one
-lock hold), and materialize only the returned top-k records through
-``resolve``.  Any shard / owned-set mismatch (records without stored
-embeddings, concurrent mutation) falls back to the brute-force scan
-over the fully materialized corpus, which is always exact and bitwise
-identical to the historical behaviour.  Ids that vanish between ranking
-and hydration are skipped — the result is then slightly under-filled
-rather than wrong.
+Two cooperating pieces implement the index-first request path used by
+the PE, workflow and code searchers:
+
+* :func:`serve_topk` — the single-shot protocol: rank on the
+  pre-stacked shard, check membership against the caller's cheap
+  owned-id projection (``search_among`` verifies the shard holds
+  exactly those ids under one lock hold), and materialize only the
+  returned top-k records through ``resolve``.
+* :class:`SearchBatcher` — the micro-batching dispatcher: concurrent
+  requests for the same ``(user, kind)`` serving key are collected over
+  a short window (or until a size cap) and served as *one* index pass —
+  one owned-id projection, one membership verification, one lock hold
+  and one batched top-k hydration for the whole batch.  Every query is
+  still scored as its own ``(1, D)`` product inside that pass
+  (:meth:`~repro.search.index.VectorIndex.search_among_many`), so
+  batched results are bitwise identical to single-shot serving.  When a
+  request arrives alone, the batcher skips the window entirely and
+  degenerates into the single-shot path — sequential workloads pay no
+  batching latency.
+
+Any shard / owned-set mismatch (records without stored embeddings,
+concurrent mutation) falls back to the brute-force scan over the fully
+materialized corpus, which is always exact and bitwise identical to the
+historical behaviour.  Ids that vanish between ranking and hydration
+are skipped — the result is then slightly under-filled rather than
+wrong.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Hashable, Sequence, TypeVar
 
 import numpy as np
@@ -24,13 +40,21 @@ from repro.search.index import VectorIndex
 R = TypeVar("R")  # record type
 H = TypeVar("H")  # hit type
 
+#: owned ids may be given materialized or as a lazy projection thunk
+OwnedIds = Sequence[int] | Callable[[], Sequence[int]]
+
+
+def _materialize_owned(owned_ids: OwnedIds) -> list[int]:
+    ids = owned_ids() if callable(owned_ids) else owned_ids
+    return [int(rid) for rid in ids]
+
 
 def serve_topk(
     *,
     index: VectorIndex,
     user: Hashable,
     kind: str,
-    owned_ids: Sequence[int],
+    owned_ids: OwnedIds,
     k: int | None,
     query_vector: Callable[[], np.ndarray],
     resolve: Callable[[list[int]], Sequence[R]],
@@ -44,7 +68,7 @@ def serve_topk(
     ``fallback(records, qvec)`` is the searcher's brute-force scan over
     the full corpus, invoked only on a shard mismatch.
     """
-    owned = [int(rid) for rid in owned_ids]
+    owned = _materialize_owned(owned_ids)
     if not owned:
         return []
     qvec = query_vector()
@@ -58,3 +82,255 @@ def serve_topk(
         for rid, score in zip(ids, scores)
         if rid in by_id
     ]
+
+
+class _BatchRequest:
+    """One enqueued search awaiting its share of a batch flush."""
+
+    __slots__ = (
+        "owned_ids",
+        "k",
+        "query_vector",
+        "resolve",
+        "rid_of",
+        "build_hit",
+        "fallback",
+        "qvec",
+        "result",
+        "error",
+    )
+
+    def __init__(
+        self, owned_ids, k, query_vector, resolve, rid_of, build_hit, fallback
+    ) -> None:
+        self.owned_ids = owned_ids
+        self.k = k
+        self.query_vector = query_vector
+        self.resolve = resolve
+        self.rid_of = rid_of
+        self.build_hit = build_hit
+        self.fallback = fallback
+        self.qvec = None
+        self.result = None
+        self.error = None
+
+
+class _Batch:
+    """Requests accumulating for one (user, kind) serving key."""
+
+    __slots__ = ("requests", "closed", "full", "done")
+
+    def __init__(self) -> None:
+        self.requests: list[_BatchRequest] = []
+        self.closed = False
+        #: set by the follower that fills the batch to the size cap,
+        #: waking the leader before the window expires
+        self.full = threading.Event()
+        #: set by the leader once every request's result is populated
+        self.done = threading.Event()
+
+
+class SearchBatcher:
+    """Micro-batches concurrent same-``(user, kind)`` search requests.
+
+    The first request for a key becomes the batch *leader*; while other
+    searches are in flight it waits up to ``window`` seconds (or until
+    ``max_batch`` requests have joined) and then serves the whole batch
+    in one index pass.  A request that arrives with no other search in
+    flight skips the window — the single-shot passthrough — so the
+    batcher never taxes sequential traffic.
+
+    Batched and single-shot serving return bitwise-identical results:
+    the flush scores every query with the same ``(1, D)`` product the
+    single-shot ``search_among`` uses (see
+    :meth:`~repro.search.index.VectorIndex.search_among_many`), and any
+    shard mismatch falls back to the exact brute-force scan per query.
+
+    What one flush amortizes across its Q requests:
+
+    * the owned-id projection (one DAO query instead of Q);
+    * the shard membership verification and lock acquisition;
+    * top-k hydration — the union of all winners is materialized in a
+      single batched ``resolve`` call instead of Q round trips.
+    """
+
+    def __init__(self, window: float = 0.003, max_batch: int = 16) -> None:
+        self.window = float(window)
+        self.max_batch = max(1, int(max_batch))
+        self._lock = threading.Lock()
+        self._pending: dict[tuple[Hashable, str], _Batch] = {}
+        self._inflight = 0
+        # counters for `repro stats` and the benchmarks
+        self.requests_total = 0
+        self.batches_total = 0
+        self.batched_requests = 0
+        self.largest_batch = 0
+        self.fallbacks = 0
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        *,
+        index: VectorIndex,
+        user: Hashable,
+        kind: str,
+        owned_ids: OwnedIds,
+        k: int | None,
+        query_vector: Callable[[], np.ndarray],
+        resolve: Callable[[list[int]], Sequence[R]],
+        rid_of: Callable[[R], int],
+        build_hit: Callable[[R, float], H],
+        fallback: Callable[[Sequence[R], np.ndarray], list[H]],
+    ) -> list[H]:
+        """Serve one query through the batch dispatcher (blocking).
+
+        Same callback protocol as :func:`serve_topk`; the call returns
+        this request's hits once its batch has flushed.  Exceptions
+        raised by the callbacks re-raise in the submitting thread.
+        """
+        if k is not None and k <= 0:
+            # reject before joining a batch: one request's bad k must
+            # never poison the flush its batchmates ride in
+            from repro.errors import ValidationError
+
+            raise ValidationError(f"k must be positive, got {k}")
+        request = _BatchRequest(
+            owned_ids, k, query_vector, resolve, rid_of, build_hit, fallback
+        )
+        key = (user, kind)
+        with self._lock:
+            self._inflight += 1
+            self.requests_total += 1
+            batch = self._pending.get(key)
+            is_leader = batch is None or batch.closed
+            if is_leader:
+                batch = _Batch()
+                self._pending[key] = batch
+            batch.requests.append(request)
+            if len(batch.requests) >= self.max_batch:
+                batch.closed = True
+                if self._pending.get(key) is batch:
+                    del self._pending[key]
+                batch.full.set()
+            # only worth waiting when another search is in flight
+            wait = self.window if self._inflight > 1 else 0.0
+        try:
+            if not is_leader:
+                batch.done.wait()
+            else:
+                if wait > 0.0 and not batch.full.is_set():
+                    batch.full.wait(wait)
+                with self._lock:
+                    batch.closed = True
+                    if self._pending.get(key) is batch:
+                        del self._pending[key]
+                try:
+                    self._flush(index, user, kind, batch)
+                finally:
+                    batch.done.set()
+        finally:
+            with self._lock:
+                self._inflight -= 1
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    # ------------------------------------------------------------------
+    def _flush(
+        self, index: VectorIndex, user: Hashable, kind: str, batch: _Batch
+    ) -> None:
+        """Serve every request of ``batch`` in one index pass."""
+        requests = batch.requests
+        with self._lock:
+            self.batches_total += 1
+            self.largest_batch = max(self.largest_batch, len(requests))
+            if len(requests) > 1:
+                self.batched_requests += len(requests)
+        lead = requests[0]
+        try:
+            owned = _materialize_owned(lead.owned_ids)
+        except Exception as exc:  # DAO failure — fail the whole batch
+            for request in requests:
+                request.error = exc
+            return
+        if not owned:
+            for request in requests:
+                request.result = []
+            return
+        live: list[_BatchRequest] = []
+        for request in requests:
+            try:
+                request.qvec = request.query_vector()
+                live.append(request)
+            except Exception as exc:
+                request.error = exc
+        if not live:
+            return
+        try:
+            results = index.search_among_many(
+                user,
+                kind,
+                owned,
+                [request.qvec for request in live],
+                [request.k for request in live],
+            )
+        except Exception as exc:  # defensive: fail the batch, not None
+            for request in live:
+                request.error = exc
+            return
+        if results is None:
+            # shard/owned-set mismatch: materialize the corpus once and
+            # serve every query with its exact brute-force fallback
+            with self._lock:
+                self.fallbacks += 1
+            try:
+                records = lead.resolve(owned)
+            except Exception as exc:
+                for request in live:
+                    request.error = exc
+                return
+            for request in live:
+                try:
+                    request.result = request.fallback(records, request.qvec)
+                except Exception as exc:
+                    request.error = exc
+            return
+        # one hydration round trip for the union of every query's top-k
+        union: list[int] = []
+        seen: set[int] = set()
+        for ids, _scores in results:
+            for rid in ids:
+                if rid not in seen:
+                    seen.add(rid)
+                    union.append(rid)
+        try:
+            by_id = {
+                lead.rid_of(record): record for record in lead.resolve(union)
+            }
+        except Exception as exc:
+            for request in live:
+                request.error = exc
+            return
+        for request, (ids, scores) in zip(live, results):
+            try:
+                request.result = [
+                    request.build_hit(by_id[rid], float(score))
+                    for rid, score in zip(ids, scores)
+                    if rid in by_id
+                ]
+            except Exception as exc:
+                request.error = exc
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int | float]:
+        """Dispatcher counters (requests, batches, coalescing, fallbacks)."""
+        with self._lock:
+            return {
+                "window": self.window,
+                "maxBatch": self.max_batch,
+                "requests": self.requests_total,
+                "batches": self.batches_total,
+                "batchedRequests": self.batched_requests,
+                "largestBatch": self.largest_batch,
+                "fallbacks": self.fallbacks,
+            }

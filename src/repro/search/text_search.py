@@ -9,11 +9,14 @@ exactly as footnote 14 describes.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.ml.tokenize import split_subtokens, tokenize_text
 from repro.registry.entities import PERecord, WorkflowRecord
+
+_ALNUM_RUN = re.compile(r"[a-z0-9]+")
 
 
 @dataclass
@@ -49,6 +52,36 @@ def normalize(text: str) -> str:
     for token in text.replace("-", " ").replace(".", " ").split():
         words.extend(split_subtokens(token))
     return " ".join([raw, *words])
+
+
+def candidate_patterns(query: str) -> list[str] | None:
+    """Substring patterns whose LIKE union over-approximates the scorer.
+
+    Used by the owner-scoped SQL candidate filter
+    (``RegistryDAO.pes_owned_by_matching``): a record can only score
+    above zero in :func:`_match_score` if at least one of these patterns
+    occurs as a case-insensitive substring of its raw name or
+    description.  That holds because every token :func:`normalize`
+    produces (the raw lowercase words and all identifier subtokens) is a
+    contiguous lowercase substring of the stored text, and every scorer
+    condition — whole-query containment, per-word name hits, per-word
+    description hits — requires one of the query's words or alphanumeric
+    runs to land inside such a token.  Patterns are pure ASCII (both
+    tokenizers are), matching SQLite's ASCII-only case folding for
+    ``LIKE``.
+
+    Returns ``None`` when the query yields no usable pattern (e.g. pure
+    punctuation); the caller must then scan the full owned listing.
+    """
+    patterns = {
+        word
+        for word in tokenize_text(query, synonyms=False, stemming=False)
+        if word
+    }
+    patterns.update(_ALNUM_RUN.findall(query.lower()))
+    if not patterns:
+        return None
+    return sorted(patterns)
 
 
 def _match_score(query: str, name: str, description: str) -> tuple[float, str]:

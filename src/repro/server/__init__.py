@@ -10,6 +10,44 @@ Data exchange is JSON; error handling renders every
 dispatch a :class:`~repro.net.transport.Request` directly (in-process,
 possibly latency-shaped), or mount it behind the stdlib HTTP adapter in
 :mod:`repro.server.http` for a real socket deployment.
+
+Serving architecture (the search hot path)
+==========================================
+
+A ``/registry/{user}/search`` request flows through four stages, each
+scaling with the *result*, not the corpus::
+
+    request ──> RegistryController.search
+                  │  parse queryType/k, authenticate
+                  ▼
+            SearchBatcher.submit          (repro.search.serving)
+                  │  coalesce concurrent same-(user, kind) requests
+                  │  over a short window; lone requests pass straight
+                  │  through with no added latency
+                  ▼
+            VectorIndex.search_among_many (repro.search.index)
+                  │  one lock hold + one membership check per batch;
+                  │  every query scored as its own (1, D) product, so
+                  │  batched == single-shot bitwise
+                  ▼
+            RegistryService.resolve_pes / resolve_workflows
+                     one batched DAO fetch hydrates the union of all
+                     top-k winners; ownership re-checked per record
+
+The owned-id projection the membership check needs is fetched lazily,
+once per batch.  Any shard/owned-set disagreement (unindexed records,
+concurrent mutation) drops that batch to the exact brute-force scan —
+results are then still bitwise identical to the historical behaviour.
+Text queries (``queryType=text``) skip the index and score only the
+SQL-filtered candidate rows (owner-joined ``LIKE``), never the user's
+full record list.
+
+Cold start: :meth:`~repro.registry.service.RegistryService.attach_index`
+loads persisted float32 slabs straight from the DAO when their stamped
+mutation counter still matches the registry, skipping the O(corpus)
+``all_pes()`` rebuild entirely; after any rebuild the fresh slabs are
+persisted back, so a restarted deployment pays the pass at most once
+per mutation epoch.
 """
 
 from repro.server.api import Router

@@ -16,6 +16,7 @@ from repro.ml.bundle import ModelBundle
 from repro.net.transport import Request, Response
 from repro.registry import InMemoryDAO, RegistryDAO, RegistryService
 from repro.search import CodeSearcher, SemanticSearcher, VectorIndex
+from repro.search.serving import SearchBatcher
 from repro.server.api import Router
 from repro.server.controllers import (
     EngineController,
@@ -39,6 +40,13 @@ class LaminarServer:
     models:
         The model bundle used for server-side summarization/embedding
         fallbacks and search.
+    search_batch_window:
+        How long (seconds) a search request leading a micro-batch waits
+        for concurrent same-shard requests to join before flushing; 0
+        disables coalescing (every request flushes alone).  Lone
+        requests never wait regardless.
+    search_batch_max:
+        Size cap per micro-batch; a full batch flushes immediately.
     """
 
     def __init__(
@@ -46,12 +54,19 @@ class LaminarServer:
         dao: RegistryDAO | None = None,
         engine: ExecutionEngine | None = None,
         models: ModelBundle | None = None,
+        search_batch_window: float = 0.003,
+        search_batch_max: int = 16,
     ) -> None:
         from repro.engine import EnginePool
 
         #: per-(user, kind) embedding shards serving /registry/{user}/search;
         #: maintained by the registry service on every PE/workflow mutation
         self.index = VectorIndex()
+        #: micro-batching dispatcher: concurrent same-shard searches are
+        #: coalesced into one index pass (bitwise-identical results)
+        self.batcher = SearchBatcher(
+            window=search_batch_window, max_batch=search_batch_max
+        )
         self.registry = RegistryService(dao or InMemoryDAO(), index=self.index)
         #: named Execution Engines (§3.3/§8 future work: multiple engines
         #: registered at one server); ``engine`` becomes the default

@@ -356,22 +356,26 @@ class RegistryController(BaseController):
         if query_embedding is not None:
             query_embedding = np.asarray(query_embedding, dtype=np.float32)
 
-        # O(k) serving path: the embedding branches rank on the index
-        # shard, check membership against the cheap owned-id projection
-        # and materialize only the returned top-k records through the
-        # DAO — never the user's full record list (a shard mismatch
-        # falls back to the exact brute-force scan inside the searcher)
+        # concurrent O(k) serving path: the embedding branches route
+        # through the micro-batching dispatcher, which ranks on the
+        # index shard, checks membership against the cheap owned-id
+        # projection (fetched lazily, once per batch) and materializes
+        # only the top-k union through the DAO — never the user's full
+        # record list (a shard mismatch falls back to the exact
+        # brute-force scan)
         index = self.app.index
         registry = self.app.registry
+        batcher = self.app.batcher
         if query_type == "code":
             hits = self.app.code_search.search_topk(
                 search,
                 index=index,
                 user=user.user_id,
-                owned_ids=registry.owned_pe_ids(user),
+                owned_ids=lambda: registry.owned_pe_ids(user),
                 resolve=lambda ids: registry.resolve_pes(user, ids),
                 k=k,
                 query_embedding=query_embedding,
+                batcher=batcher,
             )
             return Response(
                 200,
@@ -388,10 +392,11 @@ class RegistryController(BaseController):
                         search,
                         index=index,
                         user=user.user_id,
-                        owned_ids=registry.owned_pe_ids(user),
+                        owned_ids=lambda: registry.owned_pe_ids(user),
                         resolve=lambda ids: registry.resolve_pes(user, ids),
                         k=k,
                         query_embedding=query_embedding,
+                        batcher=batcher,
                     )
                 )
             if search_type in ("workflow", "both"):
@@ -401,12 +406,13 @@ class RegistryController(BaseController):
                         search,
                         index=index,
                         user=user.user_id,
-                        owned_ids=registry.owned_workflow_ids(user),
+                        owned_ids=lambda: registry.owned_workflow_ids(user),
                         resolve=lambda ids: registry.resolve_workflows(
                             user, ids
                         ),
                         k=k,
                         query_embedding=query_embedding,
+                        batcher=batcher,
                     )
                 )
             hits.sort(key=lambda h: -h["score"])
@@ -414,9 +420,11 @@ class RegistryController(BaseController):
                 hits = hits[:k]
             return Response(200, {"searchKind": "semantic", "hits": hits})
         if query_type == "text":
+            # text branches score only the SQL-filtered candidate rows
+            # (owner-joined LIKE), not the user's full record list
             if search_type == "workflow":
                 matches = text_search_workflows(
-                    search, self.app.registry.user_workflows(user)
+                    search, registry.text_candidate_workflows(user, search)
                 )
                 return Response(
                     200,
@@ -427,10 +435,11 @@ class RegistryController(BaseController):
                     search,
                     index=index,
                     user=user.user_id,
-                    owned_ids=registry.owned_pe_ids(user),
+                    owned_ids=lambda: registry.owned_pe_ids(user),
                     resolve=lambda ids: registry.resolve_pes(user, ids),
                     k=k,
                     query_embedding=query_embedding,
+                    batcher=batcher,
                 )
                 return Response(
                     200,
@@ -438,8 +447,10 @@ class RegistryController(BaseController):
                 )
             # both: plain text match across the whole registry (Figure 6)
             matches = text_search_pes(
-                search, self.app.registry.user_pes(user)
-            ) + text_search_workflows(search, self.app.registry.user_workflows(user))
+                search, registry.text_candidate_pes(user, search)
+            ) + text_search_workflows(
+                search, registry.text_candidate_workflows(user, search)
+            )
             matches.sort(key=lambda m: (-m.score, m.kind, m.entity_id))
             return Response(
                 200,

@@ -1,0 +1,251 @@
+"""SearchBatcher: coalescing, bitwise parity and fallback behaviour."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFoundError, ValidationError
+from repro.search import KIND_DESC, SearchBatcher, VectorIndex, serve_topk
+
+
+class Corpus:
+    """A tiny record store mimicking the registry's resolve protocol."""
+
+    def __init__(self, user, vectors):
+        self.user = user
+        self.records = {
+            rid: {"id": rid, "vec": np.asarray(vec, dtype=np.float32)}
+            for rid, vec in vectors.items()
+        }
+        self.resolve_calls = 0
+        self.owned_calls = 0
+
+    def owned_ids(self):
+        self.owned_calls += 1
+        return sorted(self.records)
+
+    def resolve(self, ids):
+        self.resolve_calls += 1
+        return [self.records[rid] for rid in ids if rid in self.records]
+
+    def brute_force(self, records, qvec, k=None):
+        sims = np.stack([r["vec"] for r in records]) @ qvec
+        order = np.argsort(-sims, kind="stable")
+        hits = [(records[i]["id"], float(sims[i])) for i in order]
+        return hits if k is None else hits[:k]
+
+
+def unit(rng, dim=16):
+    vec = rng.standard_normal(dim).astype(np.float32)
+    return vec / np.linalg.norm(vec)
+
+
+@pytest.fixture()
+def stack():
+    rng = np.random.default_rng(7)
+    vectors = {rid: unit(rng) for rid in range(1, 21)}
+    corpus = Corpus("u", vectors)
+    index = VectorIndex()
+    for rid, vec in vectors.items():
+        index.add("u", KIND_DESC, rid, vec)
+    return index, corpus, rng
+
+
+def protocol_kwargs(index, corpus, qvec, k, kind=KIND_DESC):
+    """The serve_topk/submit callback set, k-truncating fallback included
+    (the real searchers apply k inside their brute-force fallback)."""
+    return dict(
+        index=index,
+        user=corpus.user,
+        kind=kind,
+        owned_ids=corpus.owned_ids,
+        k=k,
+        query_vector=lambda: qvec,
+        resolve=corpus.resolve,
+        rid_of=lambda r: r["id"],
+        build_hit=lambda r, s: (r["id"], s),
+        fallback=lambda records, q: corpus.brute_force(records, q, k),
+    )
+
+
+def submit(batcher, index, corpus, qvec, k=5, kind=KIND_DESC):
+    return batcher.submit(**protocol_kwargs(index, corpus, qvec, k, kind))
+
+
+def single_shot(index, corpus, qvec, k=5):
+    return serve_topk(**protocol_kwargs(index, corpus, qvec, k))
+
+
+class TestSingleRequest:
+    def test_passthrough_matches_serve_topk_bitwise(self, stack):
+        index, corpus, rng = stack
+        batcher = SearchBatcher(window=0.5)  # window must not be paid
+        qvec = unit(rng)
+        assert submit(batcher, index, corpus, qvec) == single_shot(
+            index, corpus, qvec
+        )
+        stats = batcher.stats()
+        assert stats["requests"] == 1
+        assert stats["batches"] == 1
+        assert stats["batchedRequests"] == 0
+
+    def test_empty_owned_set_returns_empty_without_embedding(self, stack):
+        index, _, _ = stack
+        empty = Corpus("u", {})
+        batcher = SearchBatcher()
+
+        def boom():
+            raise AssertionError("embedded despite empty owned set")
+
+        kwargs = protocol_kwargs(index, empty, None, 3)
+        kwargs["query_vector"] = boom
+        assert batcher.submit(**kwargs) == []
+
+    def test_callback_error_reraises_in_submitter(self, stack):
+        index, corpus, rng = stack
+        batcher = SearchBatcher()
+
+        def broken_resolve(ids):
+            raise NotFoundError("gone")
+
+        kwargs = protocol_kwargs(index, corpus, unit(rng), 2)
+        kwargs["resolve"] = broken_resolve
+        with pytest.raises(NotFoundError):
+            batcher.submit(**kwargs)
+
+
+class TestCoalescing:
+    def run_concurrent(self, batcher, index, corpus, qvecs, k=5):
+        results = [None] * len(qvecs)
+        errors = []
+        barrier = threading.Barrier(len(qvecs))
+
+        def worker(i):
+            try:
+                barrier.wait()
+                results[i] = submit(batcher, index, corpus, qvecs[i], k=k)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(len(qvecs))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        return results
+
+    def test_concurrent_submits_coalesce_and_match_single_shot(self, stack):
+        index, corpus, rng = stack
+        batcher = SearchBatcher(window=0.05, max_batch=16)
+        qvecs = [unit(rng) for _ in range(8)]
+        # scheduling may fully serialize a round; parity must hold every
+        # round, coalescing must be observed within a few
+        for _ in range(5):
+            results = self.run_concurrent(batcher, index, corpus, qvecs)
+            for qvec, got in zip(qvecs, results):
+                assert got == single_shot(index, corpus, qvec)
+            if batcher.stats()["batchedRequests"] > 0:
+                break
+        assert batcher.stats()["batchedRequests"] > 0
+
+    def test_batch_amortizes_owned_and_resolve_calls(self, stack):
+        index, corpus, rng = stack
+        batcher = SearchBatcher(window=0.2, max_batch=8)
+        qvecs = [unit(rng) for _ in range(8)]
+        before_owned, before_resolve = corpus.owned_calls, corpus.resolve_calls
+        self.run_concurrent(batcher, index, corpus, qvecs)
+        stats = batcher.stats()
+        # each flush costs exactly one owned-id fetch and one hydration
+        # round trip, however many requests it coalesced
+        assert corpus.owned_calls - before_owned == stats["batches"]
+        assert corpus.resolve_calls - before_resolve == stats["batches"]
+
+    def test_max_batch_caps_one_flush(self, stack):
+        index, corpus, rng = stack
+        batcher = SearchBatcher(window=1.0, max_batch=2)
+        qvecs = [unit(rng) for _ in range(6)]
+        results = self.run_concurrent(batcher, index, corpus, qvecs)
+        assert all(result is not None for result in results)
+        assert batcher.stats()["largestBatch"] <= 2
+
+    def test_distinct_kinds_never_share_a_batch(self, stack):
+        index, corpus, rng = stack
+        # the other kind has no shard: its request must fall back
+        # brute-force without disturbing the KIND_DESC batch
+        batcher = SearchBatcher(window=0.05)
+        outcome = {}
+        barrier = threading.Barrier(2)
+        qvec = unit(rng)
+
+        def desc_worker():
+            barrier.wait()
+            outcome["desc"] = submit(batcher, index, corpus, qvec)
+
+        def other_worker():
+            barrier.wait()
+            outcome["other"] = submit(
+                batcher, index, corpus, qvec, kind="other-kind"
+            )
+
+        threads = [
+            threading.Thread(target=desc_worker),
+            threading.Thread(target=other_worker),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcome["desc"] == single_shot(index, corpus, qvec)
+        assert outcome["other"] == corpus.brute_force(
+            corpus.resolve(corpus.owned_ids()), qvec, 5
+        )
+        assert batcher.stats()["fallbacks"] == 1
+
+
+class TestFallback:
+    def test_shard_mismatch_falls_back_brute_force(self, stack):
+        index, corpus, rng = stack
+        # grow the owned set past the shard: membership check must fail
+        corpus.records[99] = {"id": 99, "vec": unit(rng)}
+        batcher = SearchBatcher()
+        qvec = unit(rng)
+        got = submit(batcher, index, corpus, qvec, k=None)
+        assert got == corpus.brute_force(
+            corpus.resolve(corpus.owned_ids()), qvec
+        )
+        assert batcher.stats()["fallbacks"] == 1
+
+
+class TestSearchAmongMany:
+    def test_bitwise_identical_to_search_among(self, stack):
+        index, corpus, rng = stack
+        owned = corpus.owned_ids()
+        qvecs = [unit(rng) for _ in range(5)]
+        ks = [1, 3, None, 20, 2]
+        batch = index.search_among_many("u", KIND_DESC, owned, qvecs, ks)
+        assert batch is not None
+        for qvec, k, (ids, scores) in zip(qvecs, ks, batch):
+            single = index.search_among("u", KIND_DESC, owned, qvec, k)
+            assert single is not None
+            assert ids == single[0]
+            assert np.array_equal(scores, single[1])
+
+    def test_mismatch_returns_none(self, stack):
+        index, corpus, rng = stack
+        owned = corpus.owned_ids() + [999]
+        assert (
+            index.search_among_many("u", KIND_DESC, owned, [unit(rng)], [3])
+            is None
+        )
+
+    def test_rejects_bad_k(self, stack):
+        index, corpus, rng = stack
+        with pytest.raises(ValidationError):
+            index.search_among_many(
+                "u", KIND_DESC, corpus.owned_ids(), [unit(rng)], [0]
+            )

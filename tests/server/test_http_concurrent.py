@@ -1,0 +1,301 @@
+"""Concurrent serving through a real HTTP socket.
+
+Parallel searches against a mutating registry must stay exact and
+tenant-isolated: alice's corpus is static, so every response she gets —
+whatever batch it rode in — must equal the single-shot and brute-force
+results over exactly her records, while bob's thread adds and removes
+records mid-flight.  Also covers the HTTP/1.1 satellite behaviours:
+keep-alive connection reuse and the 400 envelope for malformed JSON.
+"""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.server import LaminarServer
+from repro.server.http import serve_http
+from tests.registry.test_dao import make_pe
+
+N_ALICE = 40
+SEARCH_THREADS = 6
+ROUNDS = 12
+
+
+@pytest.fixture()
+def stack(fast_bundle):
+    server = LaminarServer(
+        models=fast_bundle, search_batch_window=0.002, search_batch_max=8
+    )
+    # embeddings must come from the server's own models so the stored
+    # rows match the query embedder's dimensionality
+    embed = server.semantic.embed_description
+    embed_code = server.code_search.embed_code
+    tokens = {}
+    for name in ("alice", "bob"):
+        server.registry.register_user(name, "pw")
+        tokens[name] = server.issue_token(name)
+    alice = server.registry.get_user("alice")
+    bob = server.registry.get_user("bob")
+    for i in range(N_ALICE):
+        server.registry.add_pe(
+            alice,
+            make_pe(
+                f"AlicePE{i}",
+                code=f"alice:{i}".encode().hex(),
+                description=f"alice element {i}",
+                desc_embedding=embed(f"alice element {i}"),
+                code_embedding=embed_code(f"alice:{i}"),
+            ),
+        )
+    handle = serve_http(server)
+    yield server, handle, tokens, alice, bob
+    handle.shutdown()
+
+
+def http_request(conn, method, path, body, token):
+    payload = json.dumps(body).encode()
+    headers = {"Content-Type": "application/json"}
+    if token:
+        headers["Authorization"] = f"Bearer {token}"
+    conn.request(method, path, body=payload, headers=headers)
+    reply = conn.getresponse()
+    return reply.status, json.loads(reply.read().decode())
+
+
+class TestConcurrentSearchAgainstMutatingRegistry:
+    def test_parallel_searches_stay_exact_and_isolated(self, stack):
+        server, handle, tokens, alice, bob = stack
+        query = "alice element"
+        k = 5
+        # the reference: single-shot in-process serving (itself verified
+        # bitwise-identical to brute force by the serving-path tests)
+        reference = server.semantic.search(
+            query, server.registry.user_pes(alice), k=k
+        )
+        expected = [h.to_json() for h in reference]
+        alice_names = {f"AlicePE{i}" for i in range(N_ALICE)}
+
+        stop = threading.Event()
+        errors = []
+
+        def mutator():
+            """bob adds and removes records while searches fly."""
+            i = 0
+            try:
+                while not stop.is_set():
+                    record = make_pe(
+                        f"BobPE{i}",
+                        code=f"bob:{i}".encode().hex(),
+                        description=f"bob element {i}",
+                        desc_embedding=server.semantic.embed_description(
+                            f"bob element {i}"
+                        ),
+                    )
+                    server.registry.add_pe(bob, record)
+                    if i % 2:
+                        server.registry.remove_pe(bob, record.pe_id)
+                    i += 1
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def searcher(results):
+            try:
+                conn = http.client.HTTPConnection(
+                    handle.host, handle.port, timeout=10
+                )
+                for _ in range(ROUNDS):
+                    status, body = http_request(
+                        conn,
+                        "GET",
+                        f"/registry/alice/search/{query.replace(' ', '%20')}"
+                        "/type/pe",
+                        {"queryType": "semantic", "k": k},
+                        tokens["alice"],
+                    )
+                    results.append((status, body))
+                conn.close()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        mutate_thread = threading.Thread(target=mutator)
+        result_lists = [[] for _ in range(SEARCH_THREADS)]
+        search_threads = [
+            threading.Thread(target=searcher, args=(result_lists[i],))
+            for i in range(SEARCH_THREADS)
+        ]
+        mutate_thread.start()
+        for t in search_threads:
+            t.start()
+        for t in search_threads:
+            t.join()
+        stop.set()
+        mutate_thread.join()
+        assert not errors
+        for results in result_lists:
+            assert len(results) == ROUNDS
+            for status, body in results:
+                assert status == 200
+                # batched == single-shot == brute force, and bob's
+                # records never leak into alice's results
+                assert body["hits"] == expected
+                assert {h["peName"] for h in body["hits"]} <= alice_names
+
+    def test_bob_searches_see_only_bob_records(self, stack):
+        server, handle, tokens, alice, bob = stack
+        for i in range(4):
+            server.registry.add_pe(
+                bob,
+                make_pe(
+                    f"BobStatic{i}",
+                    code=f"bs:{i}".encode().hex(),
+                    description=f"bob static {i}",
+                    desc_embedding=server.semantic.embed_description(
+                        f"bob static {i}"
+                    ),
+                ),
+            )
+        conn = http.client.HTTPConnection(handle.host, handle.port, timeout=10)
+        status, body = http_request(
+            conn,
+            "GET",
+            "/registry/bob/search/bob%20static/type/pe",
+            {"queryType": "semantic", "k": 10},
+            tokens["bob"],
+        )
+        conn.close()
+        assert status == 200
+        assert body["hits"]
+        assert all(h["peName"].startswith("BobStatic") for h in body["hits"])
+
+    def test_batcher_coalesced_requests(self, stack):
+        """Under parallel load the dispatcher actually forms
+        multi-request batches.  Coalescing is scheduling-dependent, so
+        this uses a generous window and retries a few rounds rather
+        than trusting one pass on a loaded machine."""
+        server, handle, tokens, alice, bob = stack
+        server.batcher.window = 0.05  # widen for determinism
+        errors = []
+
+        def worker(i):
+            try:
+                conn = http.client.HTTPConnection(
+                    handle.host, handle.port, timeout=10
+                )
+                barrier.wait()
+                for r in range(6):
+                    status, body = http_request(
+                        conn,
+                        "GET",
+                        f"/registry/alice/search/alice%20element%20{i}"
+                        "/type/pe",
+                        {"queryType": "semantic", "k": 3},
+                        tokens["alice"],
+                    )
+                    assert status == 200
+                conn.close()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        for _ in range(5):
+            barrier = threading.Barrier(SEARCH_THREADS)
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(SEARCH_THREADS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            if server.batcher.stats()["batchedRequests"] > 0:
+                break
+        stats = server.batcher.stats()
+        assert stats["requests"] >= SEARCH_THREADS * 6
+        assert stats["batchedRequests"] > 0
+
+
+class TestHttp11Satellites:
+    def test_malformed_json_returns_400_envelope(self, stack):
+        _, handle, tokens, *_ = stack
+        conn = http.client.HTTPConnection(handle.host, handle.port, timeout=10)
+        conn.request(
+            "POST",
+            "/auth/login",
+            body=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        reply = conn.getresponse()
+        body = json.loads(reply.read().decode())
+        assert reply.status == 400
+        assert body["error"] == "BadRequest"
+        assert body["code"] == 400
+        assert "not valid JSON" in body["message"]
+        conn.close()
+
+    def test_non_object_json_returns_400(self, stack):
+        _, handle, tokens, *_ = stack
+        conn = http.client.HTTPConnection(handle.host, handle.port, timeout=10)
+        conn.request(
+            "POST",
+            "/auth/login",
+            body=b"[1, 2, 3]",
+            headers={"Content-Type": "application/json"},
+        )
+        reply = conn.getresponse()
+        body = json.loads(reply.read().decode())
+        assert reply.status == 400
+        assert body["error"] == "BadRequest"
+        conn.close()
+
+    def test_keep_alive_reuses_one_connection(self, stack):
+        server, handle, tokens, *_ = stack
+        conn = http.client.HTTPConnection(handle.host, handle.port, timeout=10)
+        for _ in range(3):
+            status, body = http_request(
+                conn, "GET", "/auth/all", {}, tokens["alice"]
+            )
+            assert status == 200
+        # http.client raises if the server closed the connection between
+        # requests; also check the handler advertises HTTP/1.1
+        conn.request("GET", "/auth/all", body=b"{}",
+                     headers={"Authorization": f"Bearer {tokens['alice']}"})
+        reply = conn.getresponse()
+        assert reply.version == 11
+        reply.read()
+        conn.close()
+
+    def test_chunked_transfer_encoding_rejected(self, stack):
+        """Only Content-Length framing is implemented; a chunked body
+        must be rejected (and the connection closed) rather than left
+        unread to desynchronize the kept-alive socket."""
+        _, handle, tokens, *_ = stack
+        conn = http.client.HTTPConnection(handle.host, handle.port, timeout=10)
+        conn.putrequest("POST", "/auth/login")
+        conn.putheader("Content-Type", "application/json")
+        conn.putheader("Transfer-Encoding", "chunked")
+        conn.endheaders()
+        body = json.dumps({"userName": "alice", "password": "pw"}).encode()
+        conn.send(b"%x\r\n%s\r\n0\r\n\r\n" % (len(body), body))
+        reply = conn.getresponse()
+        payload = json.loads(reply.read().decode())
+        assert reply.status == 400
+        assert payload["error"] == "BadRequest"
+        assert reply.headers.get("Connection") == "close"
+        conn.close()
+
+    def test_keep_alive_survives_a_400(self, stack):
+        _, handle, tokens, *_ = stack
+        conn = http.client.HTTPConnection(handle.host, handle.port, timeout=10)
+        conn.request(
+            "POST", "/auth/login", body=b"{broken",
+            headers={"Content-Type": "application/json"},
+        )
+        reply = conn.getresponse()
+        assert reply.status == 400
+        reply.read()
+        # same socket, next request still served
+        status, _ = http_request(conn, "GET", "/auth/all", {}, tokens["alice"])
+        assert status == 200
+        conn.close()
