@@ -1,0 +1,142 @@
+"""ANN recall/QPS: the IVF-flat backend vs the exact reference scan.
+
+The IVF-flat backend (``repro.search.backend.IVFFlatBackend``) probes
+the ``nprobe`` nearest of ``nlist`` inverted lists and re-ranks only
+their members with the exact dot product — trading a bounded recall
+loss for scanning a fraction of the corpus.  This benchmark measures
+that trade on an N≥5000 clustered corpus (embedding spaces are strongly
+clustered in practice; uniform random vectors would make *any* ANN
+structure useless by construction):
+
+* **recall@10** — |ivf top-10 ∩ exact top-10| / 10, averaged over the
+  query set, at the shipped default probe fraction;
+* **QPS** — single-thread queries/second through each backend's
+  ``search`` entry point (training amortized: the IVF state is built
+  once, on the first query after a mutation epoch).
+
+Gates (the v1 API's acceptance bar for ``backend="ivf"``):
+recall@10 >= 0.95 and IVF QPS >= 2x exact at the benchmarked nprobe,
+while nprobe=nlist stays *bitwise identical* to the exact backend.
+
+Emits ``BENCH_ann_recall.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.search import IVFFlatBackend, KIND_DESC, VectorIndex
+
+N = 6000  # corpus rows (acceptance: N >= 5000)
+DIM = 512  # high-dimensional enough to be GEMV-bound, fast to build
+CENTERS = 64  # latent cluster count of the synthetic embedding space
+NOISE = 0.25  # intra-cluster spread
+K = 10
+N_QUERIES = 200
+NLIST = 77  # ~sqrt(N), the standard IVF sizing
+NPROBE = 4  # ~5% probe fraction
+USER = 1
+
+
+def _clustered_rows(rng: np.random.Generator, n: int) -> np.ndarray:
+    # anchors keep their ~sqrt(DIM) natural norm so NOISE is the
+    # intra-cluster spread *relative* to the cluster signal
+    anchors = rng.standard_normal((CENTERS, DIM)).astype(np.float32)
+    assign = rng.integers(0, CENTERS, size=n)
+    rows = anchors[assign] + NOISE * rng.standard_normal((n, DIM)).astype(
+        np.float32
+    )
+    return rows / np.linalg.norm(rows, axis=1, keepdims=True)
+
+
+def _queries(rng: np.random.Generator, corpus: np.ndarray) -> np.ndarray:
+    """Perturbed corpus rows — the lookalike queries retrieval serves."""
+    picks = rng.integers(0, corpus.shape[0], size=N_QUERIES)
+    # corpus rows are unit-norm; 0.5*NOISE/sqrt(DIM) per component keeps
+    # the perturbation at half the intra-cluster spread
+    queries = corpus[picks] + (0.5 * NOISE / DIM**0.5) * rng.standard_normal(
+        (N_QUERIES, DIM)
+    ).astype(np.float32)
+    return queries / np.linalg.norm(queries, axis=1, keepdims=True)
+
+
+def _qps(search, queries: np.ndarray) -> float:
+    start = time.perf_counter()
+    for q in queries:
+        search(USER, KIND_DESC, q, K)
+    return queries.shape[0] / (time.perf_counter() - start)
+
+
+def test_ivf_recall_and_qps_vs_exact(record, out_dir):
+    rng = np.random.default_rng(2026)
+    corpus = _clustered_rows(rng, N)
+    ids = list(range(1, N + 1))
+    exact = VectorIndex()
+    exact.add_many(USER, KIND_DESC, ids, corpus)
+    ivf = IVFFlatBackend(exact, nlist=NLIST, nprobe=NPROBE)
+    queries = _queries(rng, corpus)
+
+    # --- correctness gates ------------------------------------------------
+    # full probe width must be bitwise identical to the exact backend
+    full = IVFFlatBackend(exact, nlist=NLIST, nprobe=NLIST)
+    probe_q = queries[0]
+    exact_ids, exact_scores = exact.search(USER, KIND_DESC, probe_q, K)
+    full_ids, full_scores = full.search(USER, KIND_DESC, probe_q, K)
+    assert full_ids == exact_ids
+    assert np.array_equal(full_scores, exact_scores)
+
+    # --- recall@10 at the benchmarked nprobe ------------------------------
+    overlap = 0
+    for q in queries:
+        want, _ = exact.search(USER, KIND_DESC, q, K)
+        got, _ = ivf.search(USER, KIND_DESC, q, K)
+        overlap += len(set(want) & set(got))
+    recall = overlap / (K * N_QUERIES)
+
+    # --- QPS (training already amortized by the recall pass) --------------
+    exact_qps = _qps(exact.search, queries)
+    ivf_qps = _qps(ivf.search, queries)
+    speedup = ivf_qps / exact_qps
+
+    text = "\n".join(
+        [
+            "ANN backend: IVF-flat vs exact reference "
+            f"(N={N}, d={DIM}, {CENTERS} latent clusters)",
+            f"  nlist={NLIST}  nprobe={NPROBE} "
+            f"(~{NPROBE / NLIST:.0%} probe fraction)",
+            f"  recall@{K}: {recall:.4f}   (gate: >= 0.95)",
+            f"  exact QPS: {exact_qps:,.0f}",
+            f"  ivf   QPS: {ivf_qps:,.0f}   ({speedup:.1f}x, gate: >= 2x)",
+            f"  ivf trainings: {ivf.trainings}  "
+            f"approx/exact queries: {ivf.approx_queries}/{ivf.exact_queries}",
+            "  nprobe=nlist parity: bitwise identical to exact",
+        ]
+    )
+    record("BENCH_ann_recall", text)
+    (out_dir / "BENCH_ann_recall.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "ann_recall",
+                "n": N,
+                "dim": DIM,
+                "centers": CENTERS,
+                "k": K,
+                "n_queries": N_QUERIES,
+                "nlist": NLIST,
+                "nprobe": NPROBE,
+                "recall_at_10": round(recall, 4),
+                "exact_qps": round(exact_qps, 1),
+                "ivf_qps": round(ivf_qps, 1),
+                "speedup": round(speedup, 2),
+                "full_probe_bitwise_exact": True,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert recall >= 0.95, f"recall@{K} {recall:.4f} below the 0.95 gate"
+    assert speedup >= 2.0, f"IVF speedup {speedup:.2f}x below the 2x gate"

@@ -69,7 +69,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-type", dest="query_type", default="semantic",
         choices=["text", "semantic", "code"],
     )
-    search.add_argument("-k", type=int, default=None, help="max results")
+    search.add_argument(
+        "-k", "--k", dest="k", type=int, default=None, help="max results"
+    )
+    search.add_argument(
+        "--backend", default="exact",
+        help="index backend name (see `repro endpoints` /v1/backends; "
+        "'exact' is the reference, 'ivf' the approximate IVF-flat engine)",
+    )
+    search.add_argument(
+        "--limit", type=int, default=None,
+        help="page size over the ranked hits (v1 cursor pagination)",
+    )
+    search.add_argument(
+        "--cursor", default=None,
+        help="opaque resume token from a previous page's nextCursor",
+    )
+    search.add_argument(
+        "--json", action="store_true",
+        help="emit the v1 SearchResponse envelope verbatim (one JSON "
+        "object on stdout)",
+    )
     search.add_argument(
         "--no-fit", action="store_true",
         help="skip model IDF fitting (faster startup, weaker search)",
@@ -170,12 +190,19 @@ def cmd_eval(args: argparse.Namespace) -> int:
 
 
 def cmd_search(args: argparse.Namespace) -> int:
-    """One-shot registry search over the index-backed search endpoint.
+    """One-shot registry search over the v1 typed search endpoint.
 
     Most useful against a SQLite registry (``--db``): the server bulk-
     loads the vector index from the stored embeddings at startup and the
     query is served from the per-user shards, exactly like ``serve``.
+    The request travels through ``POST /v1/registry/{user}/search`` —
+    backend selection (``--backend``), top-k (``--k``) and cursor
+    pagination (``--limit``/``--cursor``) are v1 envelope fields, and
+    ``--json`` prints the :class:`~repro.server.schema.SearchResponse`
+    envelope verbatim for scripting.
     """
+    import json as _json
+
     from repro.client.display import render_search_hits
     from repro.errors import NotFoundError
     from repro.net.transport import Request
@@ -200,13 +227,22 @@ def cmd_search(args: argparse.Namespace) -> int:
     if login.status != 200:
         print(f"login failed: {login.body.get('message', login.body)}")
         return 1
-    body: dict = {"queryType": args.query_type}
+    body: dict = {
+        "query": args.query,
+        "kind": args.search_type,
+        "queryType": args.query_type,
+        "backend": args.backend,
+    }
     if args.k is not None:
         body["k"] = args.k
+    if args.limit is not None:
+        body["limit"] = args.limit
+    if args.cursor is not None:
+        body["cursor"] = args.cursor
     response = server.dispatch(
         Request(
-            "GET",
-            f"/registry/{args.user}/search/{args.query}/type/{args.search_type}",
+            "POST",
+            f"/v1/registry/{args.user}/search",
             body,
             token=login.body["token"],
         )
@@ -214,11 +250,17 @@ def cmd_search(args: argparse.Namespace) -> int:
     if response.status != 200:
         print(f"search failed: {response.body.get('message', response.body)}")
         return 1
+    if args.json:
+        print(_json.dumps(response.body))
+        return 0
     print(
         render_search_hits(
             response.body.get("searchKind", "text"), response.body.get("hits", [])
         )
     )
+    next_cursor = response.body.get("nextCursor")
+    if next_cursor:
+        print(f"next page: --cursor {next_cursor}")
     return 0
 
 
@@ -251,11 +293,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
         )
     if args.shards:
         from repro.registry.service import RegistryService
-        from repro.search import VectorIndex
+        from repro.search.backend import create_backend
 
         service = RegistryService(dao)
-        # reporting must not write to the registry unless asked to
-        mode = service.attach_index(VectorIndex(), persist=False)
+        # reporting must not write to the registry unless asked to;
+        # backends are selected by name, never constructed directly
+        mode = service.attach_index(create_backend("exact"), persist=False)
         shards = service.index.stats()
         print(f"index: {len(shards)} shard(s)  (attach: {mode})")
         for key, info in sorted(shards.items()):

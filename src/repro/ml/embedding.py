@@ -119,6 +119,17 @@ class EmbeddingModel(ABC):
     def embed_one(self, text: str, kind: Kind = "auto") -> np.ndarray:
         return self.embed([text], kind)[0]
 
+    def embed_many(self, texts: Sequence[str], kind: Kind = "auto") -> np.ndarray:
+        """Embed a batch of query texts in one call.
+
+        The cross-request batching entry point used by the search
+        micro-batcher: one call vectorizes a whole batch's distinct
+        queries.  Rows are computed independently (per-text featurize,
+        hash, row-wise normalize), so ``embed_many(texts)[i]`` is
+        bitwise identical to ``embed_one(texts[i])``.
+        """
+        return self.embed(list(texts), kind)
+
     def __repr__(self) -> str:
         fitted = "fitted" if self.is_fitted else "zero-shot"
         return f"<{type(self).__name__} {self.name!r} dim={self.dim} {fitted}>"

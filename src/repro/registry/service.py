@@ -30,7 +30,7 @@ from repro.registry.entities import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.search.index import VectorIndex
+    from repro.search.backend import IndexBackend
 
 
 class RegistryService:
@@ -44,7 +44,7 @@ class RegistryService:
     """
 
     def __init__(
-        self, dao: RegistryDAO, index: "VectorIndex | None" = None
+        self, dao: RegistryDAO, index: "IndexBackend | None" = None
     ) -> None:
         self.dao = dao
         self.index = None
@@ -61,9 +61,12 @@ class RegistryService:
     # ------------------------------------------------------------------
     # Search-index maintenance
     # ------------------------------------------------------------------
-    def attach_index(self, index: "VectorIndex", *, persist: bool = True) -> str:
-        """Adopt ``index`` and populate it; returns ``"fresh"`` or
-        ``"rebuilt"``.
+    def attach_index(
+        self, index: "IndexBackend", *, persist: bool = True
+    ) -> str:
+        """Adopt ``index`` (any registered backend — select by name via
+        :func:`repro.search.backend.create_backend`) and populate it;
+        returns ``"fresh"`` or ``"rebuilt"``.
 
         Cold-start fast path: when the DAO holds a persisted slab
         snapshot stamped with the *current* registry mutation counter,
@@ -142,7 +145,7 @@ class RegistryService:
         stamp = self._index_counter
         if self.dao.mutation_counter() != stamp:
             return False
-        shards = self.index.export_shards()
+        shards = self.index.snapshot()
         if self.dao.mutation_counter() != stamp:
             return False
         self.dao.save_index_shards(shards, stamp)

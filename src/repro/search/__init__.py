@@ -61,11 +61,36 @@ search`` CLI command, with concurrent same-shard requests coalesced by
 ``benchmarks/test_index_vs_scan.py`` records the speedup over the
 per-query matrix rebuild and ``benchmarks/test_http_batch.py`` the
 concurrent-serving and cold-start gains.
+
+Pluggable backends
+==================
+
+:mod:`repro.search.backend` separates the query API from the ranking
+engine behind it: the :class:`~repro.search.backend.IndexBackend`
+protocol (``add_many``/``remove``/``search_among_many``/``snapshot`` …)
+is what the serving layer programs against, ``VectorIndex`` is the
+exact reference implementation, and
+:class:`~repro.search.backend.IVFFlatBackend` (name ``"ivf"``) is the
+first approximate engine — IVF-flat lists over the *same* shards,
+probing ``nprobe`` clusters and re-ranking candidates with the exact
+dot product.  Engines are selected **by name** via
+:func:`~repro.search.backend.create_backend` /
+:func:`~repro.search.backend.build_backends` (the v1 API exposes the
+choice per request as ``SearchRequest.backend``), and
+``benchmarks/test_ann_recall.py`` tracks the recall-vs-QPS trade.
 """
 
 from repro.search.text_search import TextMatch, text_search_pes, text_search_workflows
 from repro.search.semantic import SemanticHit, SemanticSearcher, WorkflowSemanticHit
 from repro.search.code_search import CodeHit, CodeSearcher
+from repro.search.backend import (
+    IVFFlatBackend,
+    IndexBackend,
+    backend_names,
+    build_backends,
+    create_backend,
+    register_backend,
+)
 from repro.search.index import (
     KIND_CODE,
     KIND_DESC,
@@ -76,6 +101,12 @@ from repro.search.index import (
 from repro.search.serving import SearchBatcher, serve_topk
 
 __all__ = [
+    "IndexBackend",
+    "IVFFlatBackend",
+    "backend_names",
+    "build_backends",
+    "create_backend",
+    "register_backend",
     "SearchBatcher",
     "serve_topk",
     "TextMatch",

@@ -1,0 +1,581 @@
+"""Pluggable index backends behind one retrieval protocol.
+
+The serving layer (``serve_topk``, :class:`~repro.search.serving.SearchBatcher`,
+the controllers and the ``repro search`` CLI) used to construct
+:class:`~repro.search.index.VectorIndex` directly, hard-wiring the exact
+BLAS scan as the only ranking engine.  This module separates the *query
+API* from the *index implementation* behind it:
+
+* :class:`IndexBackend` — the structural protocol every ranking engine
+  implements: incremental mutation (``add``/``add_many``/``remove``),
+  membership-checked retrieval (``search_among``/``search_among_many``)
+  and slab export (``snapshot``).  :class:`VectorIndex` satisfies it as
+  the **exact reference** implementation.
+* :class:`IVFFlatBackend` — the first approximate backend: IVF-flat
+  (inverted-file with exact re-ranking).  Each shard is clustered into
+  ``nlist`` lists by deterministic spherical k-means; a query probes the
+  ``nprobe`` nearest lists and re-ranks their members with the same
+  full-precision dot product the exact scan uses.  It *wraps* the exact
+  index — sharing its slabs, lock and LRU — so the registry service
+  maintains one copy of the vectors and both backends serve from it.
+* a **backend registry** — backends are selected by name (``"exact"``,
+  ``"ivf"``); :func:`create_backend` / :func:`build_backends` construct
+  them, and new engines (HNSW, PQ, remote scatter/gather) plug in via
+  :func:`register_backend` without touching the serving layer.
+
+Safety properties shared by every backend:
+
+* membership is verified against the caller's owned-id projection under
+  one lock hold (the registry owns shard membership; backends only
+  read), and any mismatch returns ``None`` so the caller falls back to
+  the exact brute-force scan;
+* ``nprobe >= nlist`` (or a shard too small to train) degenerates to the
+  exact scan, so IVF at full probe width is *bitwise identical* to the
+  exact backend;
+* candidate re-ranking keeps the exact path's stable ascending-id
+  tie-break, so approximate results are always a subset of the exact
+  ranking in the exact order.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import (
+    Callable,
+    Hashable,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.search.index import VectorIndex, _as_vector, _Shard
+
+#: shards smaller than this are served exactly — training IVF lists on a
+#: handful of rows costs more than the scan it would save
+_MIN_TRAIN_ROWS = 64
+
+#: Lloyd iterations for the deterministic spherical k-means
+_KMEANS_ITERS = 8
+
+
+@runtime_checkable
+class IndexBackend(Protocol):
+    """Structural contract between the serving layer and a ranking engine.
+
+    ``VectorIndex`` is the exact reference implementation; approximate
+    engines must return ids in descending-similarity order with the same
+    stable ascending-id tie-break, and must return ``None`` from the
+    ``search_among*`` methods whenever the shard does not hold exactly
+    the caller's candidate ids (the caller then serves brute force).
+    """
+
+    # -- mutation -------------------------------------------------------
+    def add(
+        self, user: Hashable, kind: str, rid: int, vector: np.ndarray
+    ) -> None: ...
+
+    def add_many(
+        self,
+        user: Hashable,
+        kind: str,
+        rids: Sequence[int],
+        vectors: np.ndarray | Sequence[np.ndarray],
+    ) -> None: ...
+
+    def remove(self, user: Hashable, kind: str, rid: int) -> bool: ...
+
+    def remove_everywhere(self, user: Hashable, rid: int) -> None: ...
+
+    def clear(self, user: Hashable | None = None) -> None: ...
+
+    # -- retrieval ------------------------------------------------------
+    def search_among(
+        self,
+        user: Hashable,
+        kind: str,
+        rids: Sequence[int],
+        query: np.ndarray,
+        k: int | None = None,
+    ) -> tuple[list[int], np.ndarray] | None: ...
+
+    def search_among_many(
+        self,
+        user: Hashable,
+        kind: str,
+        rids: Sequence[int],
+        queries: Sequence[np.ndarray],
+        ks: Sequence[int | None],
+    ) -> list[tuple[list[int], np.ndarray]] | None: ...
+
+    # -- persistence / introspection ------------------------------------
+    def snapshot(
+        self, user: Hashable | None = None
+    ) -> dict[tuple[Hashable, str], tuple[np.ndarray, np.ndarray]]: ...
+
+    def stats(self) -> dict: ...
+
+    def cached_query_vector(
+        self, key: Hashable, compute: Callable[[], np.ndarray]
+    ) -> np.ndarray: ...
+
+
+class _IVFState:
+    """Trained clustering for one shard at one version.
+
+    Validity is ``state.shard is shard and state.version == shard.version``
+    — object identity guards against a shard being dropped and rebuilt
+    (fresh shards restart their version counter), the version against
+    in-place mutation.  ``stale_serves`` counts queries served exactly
+    while the state was stale (see ``IVFFlatBackend._state_for``).
+    """
+
+    __slots__ = ("shard", "version", "centroids", "lists", "stale_serves")
+
+    def __init__(
+        self,
+        shard: _Shard,
+        version: int,
+        centroids: np.ndarray,
+        lists: list[np.ndarray],
+    ) -> None:
+        self.shard = shard
+        self.version = version
+        self.centroids = centroids
+        self.lists = lists
+        self.stale_serves = 0
+
+
+def _train_ivf(shard: _Shard, nlist: int) -> _IVFState:
+    """Deterministic spherical k-means over the live slab.
+
+    No RNG: centroids initialize from evenly spaced rows of the
+    id-ordered slab, then a fixed number of Lloyd iterations assign rows
+    to their max-dot centroid and re-normalize the means (the rows are
+    L2-normalized, so max-dot is nearest-cosine).  Empty clusters keep
+    their previous centroid.  Deterministic training means two processes
+    over the same registry build identical lists — recall numbers are
+    reproducible.
+    """
+    matrix = shard.matrix[: shard.size]
+    nlist = max(1, min(int(nlist), shard.size))
+    seeds = np.unique(
+        np.linspace(0, shard.size - 1, nlist).astype(np.int64)
+    )
+    centroids = matrix[seeds].copy()
+    assign = np.empty(shard.size, dtype=np.int64)
+    for _ in range(_KMEANS_ITERS):
+        assign = np.argmax(matrix @ centroids.T, axis=1)
+        for c in range(centroids.shape[0]):
+            members = np.flatnonzero(assign == c)
+            if members.size == 0:
+                continue  # empty cluster: keep the previous centroid
+            mean = matrix[members].mean(axis=0)
+            norm = float(np.linalg.norm(mean))
+            centroids[c] = mean / norm if norm > 0 else mean
+    assign = np.argmax(matrix @ centroids.T, axis=1)
+    lists = [
+        np.flatnonzero(assign == c).astype(np.int64)
+        for c in range(centroids.shape[0])
+    ]
+    return _IVFState(shard, shard.version, centroids, lists)
+
+
+class IVFFlatBackend:
+    """IVF-flat approximate retrieval over the exact index's shards.
+
+    A *view* over a base :class:`VectorIndex`: mutation, persistence and
+    the query-embedding LRU delegate to the base (one copy of every
+    vector in the process), while retrieval probes the ``nprobe``
+    nearest of ``nlist`` inverted lists and re-ranks only their members
+    with the exact full-precision dot product.
+
+    Guarantees:
+
+    * **membership mismatch** returns ``None`` exactly like the exact
+      backend — the caller's brute-force fallback stays the safety net;
+    * **small or over-probed shards** (``size < min_train_rows`` or
+      ``nprobe >= nlist``, including ``k=None`` full-listing queries)
+      serve through the exact scan, bitwise identical to the reference;
+    * **stale lists never serve**: the clustering is keyed to the shard
+      object *and* its mutation version, so any add/remove triggers a
+      lazy retrain on the next query.
+    """
+
+    name = "ivf"
+
+    #: the probed candidate set depends on k (degenerate paths widen to
+    #: the exact scan), so a truncated ranking is NOT a prefix of the
+    #: k=None ranking — paginating callers must not cap k per page
+    prefix_stable_topk = False
+
+    def __init__(
+        self,
+        base: VectorIndex | None = None,
+        *,
+        nlist: int | None = None,
+        nprobe: int | None = None,
+        min_train_rows: int = _MIN_TRAIN_ROWS,
+        retrain_fraction: float = 0.02,
+    ) -> None:
+        self.base = base if base is not None else VectorIndex()
+        #: None -> sqrt(N) lists, the standard IVF sizing
+        self.nlist = nlist
+        #: None -> ceil(nlist / 8), a ~12% probe fraction
+        self.nprobe = nprobe
+        self.min_train_rows = max(2, int(min_train_rows))
+        #: retraining is amortized: once trained, a shard must accrue
+        #: ``max(1, retrain_fraction * size)`` mutations before the
+        #: lists are rebuilt — queries in between serve the exact scan
+        #: (always correct), so a write-heavy interleave never pays the
+        #: O(N * nlist * D) k-means on every request.  0 retrains
+        #: eagerly on any mutation.
+        self.retrain_fraction = max(0.0, float(retrain_fraction))
+        self._states: dict[tuple[Hashable, str], _IVFState] = {}
+        self._states_lock = threading.Lock()
+        # counters for benchmarks and `repro stats`
+        self.trainings = 0
+        self.approx_queries = 0
+        self.exact_queries = 0
+
+    # ------------------------------------------------------------------
+    # Mutation / persistence / introspection: delegate to the base index
+    # ------------------------------------------------------------------
+    def add(self, user, kind, rid, vector) -> None:
+        self.base.add(user, kind, rid, vector)
+
+    def add_many(self, user, kind, rids, vectors) -> None:
+        self.base.add_many(user, kind, rids, vectors)
+
+    def remove(self, user, kind, rid) -> bool:
+        return self.base.remove(user, kind, rid)
+
+    def remove_everywhere(self, user, rid) -> None:
+        self.base.remove_everywhere(user, rid)
+
+    def clear(self, user=None) -> None:
+        self.base.clear(user)
+        with self._states_lock:
+            if user is None:
+                self._states.clear()
+            else:
+                for key in [k for k in self._states if k[0] == user]:
+                    del self._states[key]
+
+    def snapshot(self, user=None):
+        return self.base.snapshot(user)
+
+    def export_shards(self, user=None):
+        return self.base.export_shards(user)
+
+    def contains(self, user, kind, rid) -> bool:
+        return self.base.contains(user, kind, rid)
+
+    def missing_ids(self, user, kind, rids):
+        return self.base.missing_ids(user, kind, rids)
+
+    def size(self, user, kind) -> int:
+        return self.base.size(user, kind)
+
+    def ids(self, user, kind):
+        return self.base.ids(user, kind)
+
+    @property
+    def query_cache(self):
+        return self.base.query_cache
+
+    def cached_query_vector(self, key, compute):
+        return self.base.cached_query_vector(key, compute)
+
+    def stats(self) -> dict:
+        out = self.base.stats()
+        with self._states_lock:
+            trained = {
+                f"{user}/{kind}": state.centroids.shape[0]
+                for (user, kind), state in self._states.items()
+            }
+        for name, info in out.items():
+            info["ivfLists"] = trained.get(name, 0)
+        return out
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def _effective_nlist(self, size: int) -> int:
+        if self.nlist is not None:
+            return max(1, min(int(self.nlist), size))
+        return max(1, min(int(round(float(size) ** 0.5)), size))
+
+    def _effective_nprobe(self, nlist: int) -> int:
+        if self.nprobe is not None:
+            return max(1, int(self.nprobe))
+        return max(1, -(-nlist // 8))  # ceil(nlist / 8)
+
+    def _state_for(
+        self, key: tuple[Hashable, str], shard: _Shard
+    ) -> _IVFState | None:
+        """Trained lists for ``shard``; retrains lazily when stale.
+
+        Returns ``None`` while a previously trained shard is *recently*
+        mutated — the stale lists reference shifted row positions and
+        must not serve, but retraining on every write would cost more
+        than the exact scan it replaces, so the caller serves exactly
+        until a rebuild amortizes.  Two triggers end the deferral,
+        whichever fires first:
+
+        * **write count** — ``retrain_fraction * size`` mutations have
+          accrued since training (write-heavy interleave pays at most
+          one k-means per that many writes);
+        * **stale-query count** — ``len(lists)`` queries were served
+          exactly since staleness began.  Training runs a fixed number
+          of Lloyd passes (each ~``nlist`` times one exact scan), so
+          one retrain per ~``nlist`` stale queries keeps the amortized
+          training overhead within a constant factor of the scans
+          already paid — and a mutate-once-then-read-heavy shard
+          recovers its approximate speed instead of scanning forever.
+
+        Caller holds the base index lock, so the shard cannot mutate
+        underneath the (version-stamped) training pass.
+        """
+        with self._states_lock:
+            state = self._states.get(key)
+        if state is not None and state.shard is shard:
+            if state.version == shard.version:
+                return state
+            write_threshold = max(1, int(self.retrain_fraction * shard.size))
+            state.stale_serves += 1
+            if (
+                shard.version - state.version < write_threshold
+                and state.stale_serves <= len(state.lists)
+            ):
+                return None  # amortize: serve exact, retrain later
+        state = _train_ivf(shard, self._effective_nlist(shard.size))
+        with self._states_lock:
+            self._states[key] = state
+            self.trainings += 1
+        return state
+
+    def _ivf_topk(
+        self,
+        key: tuple[Hashable, str],
+        shard: _Shard,
+        qvec: np.ndarray,
+        k: int | None,
+    ) -> tuple[list[int], np.ndarray]:
+        """Probe-and-rerank top-k; exact scan when probing cannot help.
+
+        The exact degenerations (tiny shard, ``k=None`` full listing,
+        ``nprobe >= nlist``, a recently mutated shard awaiting retrain,
+        fewer candidates than ``k``) call the same ``_shard_topk`` the
+        exact backend uses — bitwise identical.
+        """
+        if k is None or shard.size < self.min_train_rows or k >= shard.size:
+            self.exact_queries += 1
+            return VectorIndex._shard_topk(shard, qvec, k)
+        # degenerate probe width: all lists would be scanned anyway, so
+        # never pay the k-means (checked against the *configured* list
+        # count; training can only shrink it via seed dedup)
+        if self._effective_nprobe(
+            self._effective_nlist(shard.size)
+        ) >= self._effective_nlist(shard.size):
+            self.exact_queries += 1
+            return VectorIndex._shard_topk(shard, qvec, k)
+        state = self._state_for(key, shard)
+        if state is None:  # recently mutated: exact until retrain amortizes
+            self.exact_queries += 1
+            return VectorIndex._shard_topk(shard, qvec, k)
+        nlist = len(state.lists)
+        nprobe = self._effective_nprobe(nlist)
+        if nprobe >= nlist:
+            self.exact_queries += 1
+            return VectorIndex._shard_topk(shard, qvec, k)
+        centroid_sims = state.centroids @ qvec
+        probe = np.argpartition(-centroid_sims, nprobe - 1)[:nprobe]
+        member_lists = [state.lists[int(c)] for c in probe]
+        rows = (
+            np.concatenate(member_lists)
+            if member_lists
+            else np.empty(0, dtype=np.int64)
+        )
+        if rows.size < k:
+            # the probed lists cannot fill k — widen to the exact scan
+            # rather than return an under-filled page
+            self.exact_queries += 1
+            return VectorIndex._shard_topk(shard, qvec, k)
+        self.approx_queries += 1
+        # ascending row order == ascending id order: the stable argsort
+        # below then reproduces the exact path's tie-break among the
+        # candidates it sees
+        rows.sort()
+        sims = shard.matrix[rows] @ qvec
+        order = np.argsort(-sims, kind="stable")[:k]
+        winners = rows[order]
+        return (
+            [int(i) for i in shard.ids[winners]],
+            sims[order].astype(np.float32, copy=False),
+        )
+
+    def search(
+        self,
+        user: Hashable,
+        kind: str,
+        query: np.ndarray,
+        k: int | None = None,
+    ) -> tuple[list[int], np.ndarray]:
+        if k is not None and k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        qvec = _as_vector(query)
+        base = self.base
+        with base._lock:
+            shard = base._shards.get((user, kind))
+            if shard is None or shard.size == 0:
+                return [], np.empty(0, dtype=np.float32)
+            return self._ivf_topk((user, kind), shard, qvec, k)
+
+    def search_among(
+        self,
+        user: Hashable,
+        kind: str,
+        rids: Sequence[int],
+        query: np.ndarray,
+        k: int | None = None,
+    ) -> tuple[list[int], np.ndarray] | None:
+        if k is not None and k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        qvec = _as_vector(query)
+        base = self.base
+        with base._lock:
+            shard = base._verified_shard(user, kind, rids)
+            if shard is None:
+                return None
+            if shard.size == 0:
+                return [], np.empty(0, dtype=np.float32)
+            return self._ivf_topk((user, kind), shard, qvec, k)
+
+    def search_among_many(
+        self,
+        user: Hashable,
+        kind: str,
+        rids: Sequence[int],
+        queries: Sequence[np.ndarray],
+        ks: Sequence[int | None],
+    ) -> list[tuple[list[int], np.ndarray]] | None:
+        for k in ks:
+            if k is not None and k <= 0:
+                raise ValidationError(f"k must be positive, got {k}")
+        if len(queries) != len(ks):
+            raise ValidationError(
+                f"got {len(queries)} queries for {len(ks)} k values"
+            )
+        qvecs = [_as_vector(query) for query in queries]
+        base = self.base
+        with base._lock:
+            shard = base._verified_shard(user, kind, rids)
+            if shard is None:
+                return None
+            if shard.size == 0:
+                empty = ([], np.empty(0, dtype=np.float32))
+                return [empty for _ in qvecs]
+            # same duplicate-query coalescing as the exact batch path
+            cache: dict[tuple[bytes, int | None], tuple] = {}
+            results = []
+            for qvec, k in zip(qvecs, ks):
+                key = (qvec.tobytes(), k)
+                hit = cache.get(key)
+                if hit is None:
+                    hit = self._ivf_topk((user, kind), shard, qvec, k)
+                    cache[key] = hit
+                results.append(hit)
+            return results
+
+
+# ---------------------------------------------------------------------------
+# Backend registry: engines are selected by name, never constructed
+# directly by the serving layer
+# ---------------------------------------------------------------------------
+
+#: name -> factory(base: VectorIndex | None, **options) -> IndexBackend.
+#: The ``base`` argument is the process's exact index; wrapping backends
+#: share its slabs, standalone backends may ignore it.
+_BACKENDS: dict[str, Callable[..., IndexBackend]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[..., IndexBackend]
+) -> None:
+    """Register a ranking engine under ``name`` (overwrites)."""
+    _BACKENDS[str(name)] = factory
+
+
+def backend_names() -> list[str]:
+    """Registered backend names, ``"exact"`` first (the reference)."""
+    names = sorted(_BACKENDS)
+    if "exact" in names:
+        names.remove("exact")
+        names.insert(0, "exact")
+    return names
+
+
+def create_backend(
+    name: str, base: VectorIndex | None = None, **options
+) -> IndexBackend:
+    """Construct one backend by name.
+
+    ``base`` is the exact index a wrapping (approximate) backend should
+    serve from; omitted, the backend owns a fresh index.
+    """
+    factory = _BACKENDS.get(str(name))
+    if factory is None:
+        raise ValidationError(
+            f"unknown index backend {name!r}",
+            params={"backend": name},
+            details=f"registered backends: {', '.join(backend_names())}",
+        )
+    return factory(base, **options)
+
+
+def build_backends(
+    base: VectorIndex | None = None,
+    options: dict[str, dict] | None = None,
+) -> dict[str, IndexBackend]:
+    """One instance of every registered backend over a shared exact index.
+
+    The ``"exact"`` entry *is* the base index (so registry-service
+    mutations through it are visible to every wrapping backend);
+    ``options`` maps backend name to factory kwargs (e.g.
+    ``{"ivf": {"nprobe": 16}, "exact": {"query_cache_size": 1024}}``).
+    ``options["exact"]`` configures the shared base itself — unless a
+    pre-built ``base`` was passed, which cannot be re-configured.
+    """
+    opts = options or {}
+    if base is not None:
+        if opts.get("exact"):
+            raise ValidationError(
+                "cannot apply 'exact' backend options to a pre-built base "
+                "index",
+                params={"options": sorted(opts["exact"])},
+            )
+        exact = base
+    else:
+        exact = create_backend("exact", None, **dict(opts.get("exact", {})))
+    backends: dict[str, IndexBackend] = {}
+    for name in backend_names():
+        kwargs = dict(opts.get(name, {}))
+        backends[name] = (
+            exact if name == "exact" else create_backend(name, exact, **kwargs)
+        )
+    return backends
+
+
+def _exact_factory(
+    base: VectorIndex | None = None, **options
+) -> VectorIndex:
+    return base if base is not None else VectorIndex(**options)
+
+
+register_backend("exact", _exact_factory)
+register_backend(
+    "ivf", lambda base=None, **options: IVFFlatBackend(base, **options)
+)

@@ -24,6 +24,7 @@ from repro.ml.embedding import EmbeddingModel
 from repro.ml.models import ReACCRetriever
 from repro.ml.similarity import cosine_similarity_matrix
 from repro.registry.entities import PERecord
+from repro.search.backend import IndexBackend
 from repro.search.index import KIND_CODE, VectorIndex
 from repro.search.serving import OwnedIds, SearchBatcher, serve_topk
 
@@ -61,11 +62,16 @@ class CodeSearcher:
         """The embedding computed at registration time (§3.1.1)."""
         return self.model.embed_one(code, kind="code")
 
+    def embed_queries(self, code_queries: list[str]) -> np.ndarray:
+        """Batch-embed code queries in one model call (row-independent,
+        bitwise identical to per-query :meth:`embed_query`)."""
+        return self.model.embed_many(code_queries, kind="code")
+
     def _query_vector(
         self,
         code_query: str,
         query_embedding: np.ndarray | None,
-        index: VectorIndex | None,
+        index: IndexBackend | None,
     ) -> np.ndarray:
         if query_embedding is not None:
             return np.asarray(query_embedding, dtype=np.float32)
@@ -97,7 +103,7 @@ class CodeSearcher:
         k: int | None = None,
         query_embedding: np.ndarray | None = None,
         *,
-        index: VectorIndex | None = None,
+        index: IndexBackend | None = None,
         user: Hashable | None = None,
     ) -> list[CodeHit]:
         """Rank ``pes`` by code similarity to ``code_query``.
@@ -139,7 +145,7 @@ class CodeSearcher:
         self,
         code_query: str,
         *,
-        index: VectorIndex,
+        index: IndexBackend,
         user: Hashable,
         owned_ids: OwnedIds,
         resolve: Callable[[list[int]], Sequence[PERecord]],
@@ -156,6 +162,7 @@ class CodeSearcher:
         results, one index pass per batch of concurrent searches).
         """
         dispatch = batcher.submit if batcher is not None else serve_topk
+        needs_embed = query_embedding is None
         return dispatch(
             index=index,
             user=user,
@@ -173,4 +180,13 @@ class CodeSearcher:
             fallback=lambda records, qvec: self.search(
                 code_query, records, k=k, query_embedding=qvec
             ),
+            # same LRU key _query_vector uses, so batch-embedded vectors
+            # serve later single-shot repeats of the same query
+            embed_key=(
+                (KIND_CODE, self.model.name, code_query)
+                if needs_embed
+                else None
+            ),
+            embed_text=code_query if needs_embed else None,
+            embed_many=self.embed_queries if needs_embed else None,
         )

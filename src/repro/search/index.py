@@ -91,6 +91,28 @@ class EmbeddingLRU:
                 self._data.popitem(last=False)
         return vector
 
+    def get(self, key: Hashable) -> np.ndarray | None:
+        """Peek without computing (used by the batch embedder to split
+        a batch's queries into cache hits and one bulk embed call)."""
+        with self._lock:
+            cached = self._data.get(key)
+            if cached is not None:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+            return None
+
+    def put(self, key: Hashable, vector: np.ndarray) -> np.ndarray:
+        """Insert one precomputed vector (idempotent)."""
+        vec = np.asarray(vector, dtype=np.float32)
+        with self._lock:
+            self._data[key] = vec
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+        return vec
+
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
@@ -114,7 +136,7 @@ class _Shard:
     near-ties rank differently than the reference scan.
     """
 
-    __slots__ = ("matrix", "ids", "size", "row_of", "dim")
+    __slots__ = ("matrix", "ids", "size", "row_of", "dim", "version")
 
     def __init__(self, dim: int) -> None:
         self.dim = dim
@@ -122,6 +144,9 @@ class _Shard:
         self.ids = np.zeros(_INITIAL_CAPACITY, dtype=np.int64)
         self.size = 0
         self.row_of: dict[int, int] = {}
+        #: bumped on every row mutation; approximate backends key their
+        #: derived structures (e.g. IVF lists) off (shard, version)
+        self.version = 0
 
     # -- mutation ---------------------------------------------------------
     def _grow(self) -> None:
@@ -133,6 +158,7 @@ class _Shard:
         self.matrix, self.ids = matrix, ids
 
     def add(self, rid: int, vector: np.ndarray) -> None:
+        self.version += 1
         row = self.row_of.get(rid)
         if row is not None:  # update in place, keeping the row position
             self.matrix[row] = vector
@@ -156,6 +182,7 @@ class _Shard:
         row = self.row_of.pop(rid, None)
         if row is None:
             return False
+        self.version += 1
         last = self.size - 1
         if row != last:
             self.matrix[row:last] = self.matrix[row + 1 : self.size]
@@ -209,6 +236,15 @@ class VectorIndex:
     service — searchers only read, via :meth:`search_among`, which
     verifies the candidate set and searches under a single lock hold.
     """
+
+    #: backend-registry name: this is the exact reference backend every
+    #: approximate engine is measured against (see repro.search.backend)
+    name = "exact"
+
+    #: truncated top-k is a *prefix* of the full ranking (stable
+    #: descending order, ascending-id tie-break) — pagination may cap k
+    #: at the page boundary without changing which hits appear
+    prefix_stable_topk = True
 
     def __init__(self, query_cache_size: int = 256) -> None:
         self._lock = threading.RLock()
@@ -357,6 +393,13 @@ class VectorIndex:
                 if shard.size > 0 and (user is None or key[0] == user)
             }
 
+    def snapshot(
+        self, user: Hashable | None = None
+    ) -> dict[tuple[Hashable, str], tuple[np.ndarray, np.ndarray]]:
+        """Protocol name for :meth:`export_shards` (see
+        :class:`repro.search.backend.IndexBackend`)."""
+        return self.export_shards(user)
+
     def stats(self) -> dict[str, dict[str, int]]:
         with self._lock:
             return {
@@ -403,6 +446,24 @@ class VectorIndex:
             np.float32, copy=False
         )
 
+    def _verified_shard(
+        self, user: Hashable, kind: str, rids: Sequence[int]
+    ) -> _Shard | None:
+        """The shard for ``(user, kind)`` iff it holds *exactly* ``rids``.
+
+        Must be called (and the returned shard used) under ``self._lock``
+        — this is the membership verification every ``search_among*``
+        variant (exact or approximate) performs before ranking.
+        """
+        shard = self._shards.get((user, kind))
+        if shard is None or shard.size != len(rids):
+            return None
+        row_of = shard.row_of
+        for rid in rids:
+            if int(rid) not in row_of:
+                return None
+        return shard
+
     def search_among(
         self,
         user: Hashable,
@@ -426,15 +487,9 @@ class VectorIndex:
             raise ValidationError(f"k must be positive, got {k}")
         qvec = _as_vector(query)
         with self._lock:
-            shard = self._shards.get((user, kind))
+            shard = self._verified_shard(user, kind, rids)
             if shard is None:
                 return None
-            if shard.size != len(rids):
-                return None
-            row_of = shard.row_of
-            for rid in rids:
-                if int(rid) not in row_of:
-                    return None
             if shard.size == 0:
                 return [], np.empty(0, dtype=np.float32)
             return self._shard_topk(shard, qvec, k)
@@ -474,15 +529,9 @@ class VectorIndex:
             )
         qvecs = [_as_vector(query) for query in queries]
         with self._lock:
-            shard = self._shards.get((user, kind))
+            shard = self._verified_shard(user, kind, rids)
             if shard is None:
                 return None
-            if shard.size != len(rids):
-                return None
-            row_of = shard.row_of
-            for rid in rids:
-                if int(rid) not in row_of:
-                    return None
             if shard.size == 0:
                 empty = ([], np.empty(0, dtype=np.float32))
                 return [empty for _ in qvecs]

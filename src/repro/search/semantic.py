@@ -29,6 +29,7 @@ from repro.ml.embedding import EmbeddingModel
 from repro.ml.models import UnixCoderCodeSearch
 from repro.ml.similarity import cosine_similarity_matrix
 from repro.registry.entities import PERecord, WorkflowRecord
+from repro.search.backend import IndexBackend
 from repro.search.index import KIND_DESC, KIND_WORKFLOW, VectorIndex
 from repro.search.serving import OwnedIds, SearchBatcher, serve_topk
 
@@ -66,11 +67,16 @@ class SemanticSearcher:
         """The embedding computed at registration time (§3.1.1)."""
         return self.model.embed_one(description, kind="text")
 
+    def embed_queries(self, queries: list[str]) -> np.ndarray:
+        """Batch-embed query texts in one model call (row-independent,
+        bitwise identical to per-query :meth:`embed_query`)."""
+        return self.model.embed_many(queries, kind="text")
+
     def _query_vector(
         self,
         query: str,
         query_embedding: np.ndarray | None,
-        index: VectorIndex | None,
+        index: IndexBackend | None,
     ) -> np.ndarray:
         if query_embedding is not None:
             return np.asarray(query_embedding, dtype=np.float32)
@@ -88,7 +94,7 @@ class SemanticSearcher:
         k: int | None = None,
         query_embedding: np.ndarray | None = None,
         *,
-        index: VectorIndex | None = None,
+        index: IndexBackend | None = None,
         user: Hashable | None = None,
     ) -> list[SemanticHit]:
         """Rank ``pes`` by description similarity to ``query``.
@@ -149,7 +155,7 @@ class SemanticSearcher:
         self,
         query: str,
         *,
-        index: VectorIndex,
+        index: IndexBackend,
         user: Hashable,
         owned_ids: OwnedIds,
         resolve: Callable[[list[int]], Sequence[PERecord]],
@@ -164,9 +170,11 @@ class SemanticSearcher:
         O(corpus), with the exact brute-force scan as fallback.  With a
         ``batcher`` the request routes through the micro-batching
         dispatcher instead, which coalesces concurrent same-shard
-        searches into one index pass (bitwise-identical results).
+        searches into one index pass (bitwise-identical results) and
+        embeds each batch's distinct queries in one model call.
         """
         dispatch = batcher.submit if batcher is not None else serve_topk
+        needs_embed = query_embedding is None
         return dispatch(
             index=index,
             user=user,
@@ -188,13 +196,20 @@ class SemanticSearcher:
             fallback=lambda records, qvec: self.search(
                 query, records, k=k, query_embedding=qvec
             ),
+            # same LRU key _query_vector uses, so batch-embedded vectors
+            # serve later single-shot repeats of the same query
+            embed_key=(
+                (KIND_DESC, self.model.name, query) if needs_embed else None
+            ),
+            embed_text=query if needs_embed else None,
+            embed_many=self.embed_queries if needs_embed else None,
         )
 
     def search_workflows_topk(
         self,
         query: str,
         *,
-        index: VectorIndex,
+        index: IndexBackend,
         user: Hashable,
         owned_ids: OwnedIds,
         resolve: Callable[[list[int]], Sequence[WorkflowRecord]],
@@ -204,6 +219,7 @@ class SemanticSearcher:
     ) -> list["WorkflowSemanticHit"]:
         """O(k)-materialization serving path for workflow search."""
         dispatch = batcher.submit if batcher is not None else serve_topk
+        needs_embed = query_embedding is None
         return dispatch(
             index=index,
             user=user,
@@ -224,6 +240,11 @@ class SemanticSearcher:
             fallback=lambda records, qvec: self.search_workflows(
                 query, records, k=k, query_embedding=qvec
             ),
+            embed_key=(
+                (KIND_DESC, self.model.name, query) if needs_embed else None
+            ),
+            embed_text=query if needs_embed else None,
+            embed_many=self.embed_queries if needs_embed else None,
         )
 
     def search_workflows(
@@ -233,7 +254,7 @@ class SemanticSearcher:
         k: int | None = None,
         query_embedding: np.ndarray | None = None,
         *,
-        index: VectorIndex | None = None,
+        index: IndexBackend | None = None,
         user: Hashable | None = None,
     ) -> list["WorkflowSemanticHit"]:
         """Semantic search over *workflow* descriptions.

@@ -35,13 +35,16 @@ from typing import Callable, Hashable, Sequence, TypeVar
 
 import numpy as np
 
-from repro.search.index import VectorIndex
+from repro.search.backend import IndexBackend
 
 R = TypeVar("R")  # record type
 H = TypeVar("H")  # hit type
 
 #: owned ids may be given materialized or as a lazy projection thunk
 OwnedIds = Sequence[int] | Callable[[], Sequence[int]]
+
+#: batched query embedder: texts -> (len(texts), D) float32 rows
+EmbedMany = Callable[[list[str]], np.ndarray]
 
 
 def _materialize_owned(owned_ids: OwnedIds) -> list[int]:
@@ -51,7 +54,7 @@ def _materialize_owned(owned_ids: OwnedIds) -> list[int]:
 
 def serve_topk(
     *,
-    index: VectorIndex,
+    index: IndexBackend,
     user: Hashable,
     kind: str,
     owned_ids: OwnedIds,
@@ -61,12 +64,19 @@ def serve_topk(
     rid_of: Callable[[R], int],
     build_hit: Callable[[R, float], H],
     fallback: Callable[[Sequence[R], np.ndarray], list[H]],
+    embed_key: Hashable | None = None,
+    embed_text: str | None = None,
+    embed_many: EmbedMany | None = None,
 ) -> list[H]:
     """Serve one query with O(k) record materialization.
 
     ``query_vector`` is called lazily (an empty owned set never embeds);
     ``fallback(records, qvec)`` is the searcher's brute-force scan over
-    the full corpus, invoked only on a shard mismatch.
+    the full corpus, invoked only on a shard mismatch.  The ``embed_*``
+    parameters describe how to embed this query *as part of a batch* —
+    single-shot serving has no batch, so they are accepted (the
+    dispatch signature is shared with :meth:`SearchBatcher.submit`) but
+    unused.
     """
     owned = _materialize_owned(owned_ids)
     if not owned:
@@ -95,13 +105,26 @@ class _BatchRequest:
         "rid_of",
         "build_hit",
         "fallback",
+        "embed_key",
+        "embed_text",
+        "embed_many",
         "qvec",
         "result",
         "error",
     )
 
     def __init__(
-        self, owned_ids, k, query_vector, resolve, rid_of, build_hit, fallback
+        self,
+        owned_ids,
+        k,
+        query_vector,
+        resolve,
+        rid_of,
+        build_hit,
+        fallback,
+        embed_key=None,
+        embed_text=None,
+        embed_many=None,
     ) -> None:
         self.owned_ids = owned_ids
         self.k = k
@@ -110,6 +133,11 @@ class _BatchRequest:
         self.rid_of = rid_of
         self.build_hit = build_hit
         self.fallback = fallback
+        #: LRU key + raw text + batched embedder for leader-side batch
+        #: embedding; None means "embed via the query_vector thunk"
+        self.embed_key = embed_key
+        self.embed_text = embed_text
+        self.embed_many = embed_many
         self.qvec = None
         self.result = None
         self.error = None
@@ -166,12 +194,14 @@ class SearchBatcher:
         self.batched_requests = 0
         self.largest_batch = 0
         self.fallbacks = 0
+        self.batch_embeds = 0
+        self.batch_embedded_queries = 0
 
     # ------------------------------------------------------------------
     def submit(
         self,
         *,
-        index: VectorIndex,
+        index: IndexBackend,
         user: Hashable,
         kind: str,
         owned_ids: OwnedIds,
@@ -181,12 +211,22 @@ class SearchBatcher:
         rid_of: Callable[[R], int],
         build_hit: Callable[[R, float], H],
         fallback: Callable[[Sequence[R], np.ndarray], list[H]],
+        embed_key: Hashable | None = None,
+        embed_text: str | None = None,
+        embed_many: EmbedMany | None = None,
     ) -> list[H]:
         """Serve one query through the batch dispatcher (blocking).
 
         Same callback protocol as :func:`serve_topk`; the call returns
         this request's hits once its batch has flushed.  Exceptions
         raised by the callbacks re-raise in the submitting thread.
+
+        When ``embed_key``/``embed_text``/``embed_many`` are supplied,
+        the flush embeds the batch's distinct un-cached query texts in
+        ONE ``embed_many`` model call (cross-request embedding batching)
+        instead of one serial ``query_vector`` call per request; the
+        vectors land in the index's query LRU under ``embed_key``, so
+        repeats still skip the embedder entirely.
         """
         if k is not None and k <= 0:
             # reject before joining a batch: one request's bad k must
@@ -195,9 +235,20 @@ class SearchBatcher:
 
             raise ValidationError(f"k must be positive, got {k}")
         request = _BatchRequest(
-            owned_ids, k, query_vector, resolve, rid_of, build_hit, fallback
+            owned_ids,
+            k,
+            query_vector,
+            resolve,
+            rid_of,
+            build_hit,
+            fallback,
+            embed_key,
+            embed_text,
+            embed_many,
         )
-        key = (user, kind)
+        # different backends over the same shards must never share a
+        # flush: the leader's index serves the whole batch
+        key = (id(index), user, kind)
         with self._lock:
             self._inflight += 1
             self.requests_total += 1
@@ -236,8 +287,93 @@ class SearchBatcher:
         return request.result
 
     # ------------------------------------------------------------------
+    def _resolve_query_vectors(
+        self, index: IndexBackend, requests: list[_BatchRequest]
+    ) -> list[_BatchRequest]:
+        """Populate ``request.qvec`` for the whole batch; returns the
+        successfully embedded requests (failures carry their error).
+
+        Requests that shipped an ``embed_many`` spec are resolved
+        batch-first: the query LRU is consulted per key, then every
+        distinct un-cached text is embedded in ONE model call per
+        embedder, and the fresh vectors are written back to the LRU.
+        The per-text computation inside ``embed_many`` is identical to
+        the single-text ``embed_one`` path (row-independent hashing and
+        normalization), so batch-embedded results stay bitwise equal to
+        serial embedding.  Requests without a spec (caller-supplied
+        embeddings, custom thunks) fall back to their ``query_vector``.
+        """
+        cache = getattr(index, "query_cache", None)
+        live: list[_BatchRequest] = []
+        direct: list[_BatchRequest] = []
+        grouped: dict[
+            Hashable, tuple[EmbedMany, dict[Hashable, list[_BatchRequest]]]
+        ] = {}
+        for request in requests:
+            if (
+                request.embed_many is None
+                or request.embed_text is None
+                or request.embed_key is None
+            ):
+                # an incomplete embed spec (no distinct cache key) must
+                # not share a batch slot: grouping keyless requests
+                # would serve them all the first request's vector
+                direct.append(request)
+                continue
+            if cache is not None:
+                hit = cache.get(request.embed_key)
+                if hit is not None:
+                    request.qvec = hit
+                    live.append(request)
+                    continue
+            fn = request.embed_many
+            # searchers pass a bound method (searcher.embed_queries),
+            # and Python mints a NEW bound-method object per attribute
+            # access — grouping by id(fn) would make every group a
+            # singleton and defeat the batching entirely.  Group by the
+            # underlying (function, instance) pair instead, so every
+            # request from the same embedder shares one model call.
+            group_key = (
+                id(getattr(fn, "__func__", fn)),
+                id(getattr(fn, "__self__", None)),
+            )
+            _, by_key = grouped.setdefault(group_key, (fn, {}))
+            by_key.setdefault(request.embed_key, []).append(request)
+        for fn, by_key in grouped.values():
+            keys = list(by_key)
+            texts = [by_key[key][0].embed_text for key in keys]
+            try:
+                matrix = np.asarray(fn(texts), dtype=np.float32)
+                if matrix.shape[0] != len(texts):
+                    raise ValueError(
+                        f"embed_many returned {matrix.shape[0]} rows for "
+                        f"{len(texts)} texts"
+                    )
+            except Exception as exc:
+                for key in keys:
+                    for request in by_key[key]:
+                        request.error = exc
+                continue
+            if len(texts) > 1:
+                with self._lock:
+                    self.batch_embeds += 1
+                    self.batch_embedded_queries += len(texts)
+            for key, row in zip(keys, matrix):
+                vec = cache.put(key, row) if cache is not None else row
+                for request in by_key[key]:
+                    request.qvec = vec
+                    live.append(request)
+        for request in direct:
+            try:
+                request.qvec = request.query_vector()
+                live.append(request)
+            except Exception as exc:
+                request.error = exc
+        return live
+
+    # ------------------------------------------------------------------
     def _flush(
-        self, index: VectorIndex, user: Hashable, kind: str, batch: _Batch
+        self, index: IndexBackend, user: Hashable, kind: str, batch: _Batch
     ) -> None:
         """Serve every request of ``batch`` in one index pass."""
         requests = batch.requests
@@ -257,13 +393,7 @@ class SearchBatcher:
             for request in requests:
                 request.result = []
             return
-        live: list[_BatchRequest] = []
-        for request in requests:
-            try:
-                request.qvec = request.query_vector()
-                live.append(request)
-            except Exception as exc:
-                request.error = exc
+        live = self._resolve_query_vectors(index, requests)
         if not live:
             return
         try:
@@ -333,4 +463,6 @@ class SearchBatcher:
                 "batchedRequests": self.batched_requests,
                 "largestBatch": self.largest_batch,
                 "fallbacks": self.fallbacks,
+                "batchEmbeds": self.batch_embeds,
+                "batchEmbeddedQueries": self.batch_embedded_queries,
             }

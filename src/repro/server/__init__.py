@@ -48,6 +48,63 @@ mutation counter still matches the registry, skipping the O(corpus)
 ``all_pes()`` rebuild entirely; after any rebuild the fresh slabs are
 persisted back, so a restarted deployment pays the pass at most once
 per mutation epoch.
+
+API reference — the versioned v1 surface
+========================================
+
+The legacy Table-3 routes remain installed verbatim (thin adapters over
+the shared search core, byte-identical responses).  New clients should
+use the ``/v1/`` table, which validates once at the edge
+(:mod:`repro.server.schema`): **unknown fields are rejected with 400**,
+every default is explicit, and all listings cursor-paginate.
+
+=======  =========================================  =======================
+Method   Path                                       Body fields
+=======  =========================================  =======================
+GET      ``/v1/users``                              ``limit``, ``cursor``
+GET      ``/v1/backends``                           —
+GET      ``/v1/registry/{user}/pes``                ``limit``, ``cursor``
+GET      ``/v1/registry/{user}/workflows``          ``limit``, ``cursor``
+GET      ``/v1/registry/{user}/workflows/{id}/pes`` ``limit``, ``cursor``
+POST     ``/v1/registry/{user}/search``             see ``SearchRequest``
+=======  =========================================  =======================
+
+**Listings** return the ``Page`` envelope::
+
+    {"apiVersion": "v1", "count": N, "limit": L,
+     "items": [...], "nextCursor": "v1.…" | null}
+
+Items order by **ascending record id** and ``cursor`` is an opaque,
+*scoped* resume token: replaying it against a different listing is a
+400, and because concurrent inserts only ever receive higher ids a
+cursor walk never skips or duplicates a pre-existing record.
+
+**Search** (``POST /v1/registry/{user}/search``) accepts the
+``SearchRequest`` envelope — defaults shown::
+
+    {"query":  <required str>,
+     "kind":   "both",        # pe | workflow | both
+     "queryType": "text",     # text | semantic | code
+     "backend": "exact",      # any name from GET /v1/backends
+     "k": null,               # top-k cap at ranking time
+     "limit": null,           # page size over the ranked hits
+     "cursor": null,          # resume token from a previous page
+     "queryEmbedding": null}  # optional client-side query vector
+
+and returns the ``SearchResponse`` envelope::
+
+    {"apiVersion": "v1", "query": …, "kind": …, "queryType": …,
+     "backend": …, "searchKind": "text"|"semantic"|"code",
+     "k": …, "count": N, "hits": [...], "nextCursor": …}
+
+``backend`` selects the ranking engine by name behind the
+:class:`~repro.search.backend.IndexBackend` protocol: ``"exact"`` is
+the reference BLAS scan, ``"ivf"`` the IVF-flat approximate engine
+(probe ``nprobe`` inverted lists, exact re-rank; degenerates to the
+exact scan bitwise when the shard is small, ``k`` is unbounded or
+``nprobe >= nlist``).  Both serve through the same micro-batcher,
+membership checks and brute-force fallback — an approximate backend can
+lose recall, never correctness or tenant isolation.
 """
 
 from repro.server.api import Router

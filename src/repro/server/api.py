@@ -35,20 +35,48 @@ class Route:
                 return None
         return params
 
+    def specificity(self) -> tuple[int, ...]:
+        """Match precedence: literal segments (0) beat ``{param}``
+        captures (1), position by position from the left.
+
+        Tuples compare lexicographically, so among routes of equal
+        length the one whose *earliest differing* segment is literal
+        wins — ``/v1/registry/{user}/pes`` can never be shadowed by a
+        same-shape all-param pattern registered first, and vice versa a
+        param route never steals a literal route's paths.
+        """
+        return tuple(
+            0 if not (s.startswith("{") and s.endswith("}")) else 1
+            for s in self.segments
+        )
+
 
 class Router:
-    """Method+path pattern matching for the controller layer."""
+    """Method+path pattern matching for the controller layer.
+
+    Routes are indexed by ``(method, segment count)`` — resolution only
+    scans candidates that could possibly match — and each bucket is
+    kept ordered most-specific-first (see :meth:`Route.specificity`),
+    so registration order can never make one pattern shadow a more
+    specific one.
+    """
 
     def __init__(self) -> None:
         self._routes: list[Route] = []
+        self._buckets: dict[tuple[str, int], list[Route]] = {}
 
     def add(self, method: str, pattern: str, handler: Handler) -> None:
         segments = tuple(s for s in pattern.strip("/").split("/") if s)
-        self._routes.append(Route(method.upper(), pattern, segments, handler))
+        route = Route(method.upper(), pattern, segments, handler)
+        self._routes.append(route)
+        bucket = self._buckets.setdefault((route.method, len(segments)), [])
+        bucket.append(route)
+        # stable sort: equal specificity keeps registration order
+        bucket.sort(key=Route.specificity)
 
     def resolve(self, method: str, path: str) -> tuple[Handler, dict[str, str]]:
         parts = tuple(s for s in path.strip("/").split("/") if s)
-        for route in self._routes:
+        for route in self._buckets.get((method.upper(), len(parts)), ()):
             params = route.match(method.upper(), parts)
             if params is not None:
                 return route.handler, params
@@ -58,7 +86,8 @@ class Router:
         )
 
     def endpoints(self) -> list[tuple[str, str]]:
-        """(method, pattern) pairs — used to assert Table 3 coverage."""
+        """(method, pattern) pairs in registration order — used to
+        assert Table 3 coverage."""
         return [(route.method, route.pattern) for route in self._routes]
 
 

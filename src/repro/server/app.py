@@ -9,13 +9,15 @@ from __future__ import annotations
 
 import secrets
 import traceback
+import urllib.parse
 
 from repro.engine import ExecutionEngine
 from repro.errors import ReproError
 from repro.ml.bundle import ModelBundle
 from repro.net.transport import Request, Response
 from repro.registry import InMemoryDAO, RegistryDAO, RegistryService
-from repro.search import CodeSearcher, SemanticSearcher, VectorIndex
+from repro.search import CodeSearcher, SemanticSearcher
+from repro.search.backend import build_backends
 from repro.search.serving import SearchBatcher
 from repro.server.api import Router
 from repro.server.controllers import (
@@ -26,6 +28,7 @@ from repro.server.controllers import (
     UserController,
     WorkflowController,
 )
+from repro.server.v1 import V1Controller
 
 
 class LaminarServer:
@@ -47,6 +50,9 @@ class LaminarServer:
         requests never wait regardless.
     search_batch_max:
         Size cap per micro-batch; a full batch flushes immediately.
+    backend_options:
+        Per-backend construction options, keyed by backend name (e.g.
+        ``{"ivf": {"nprobe": 16}}``); see :mod:`repro.search.backend`.
     """
 
     def __init__(
@@ -56,12 +62,17 @@ class LaminarServer:
         models: ModelBundle | None = None,
         search_batch_window: float = 0.003,
         search_batch_max: int = 16,
+        backend_options: dict[str, dict] | None = None,
     ) -> None:
         from repro.engine import EnginePool
 
+        #: every registered index backend over one shared exact index;
+        #: requests select by name (SearchRequest.backend), the exact
+        #: entry is the reference the approximate engines re-rank from
+        self.backends = build_backends(options=backend_options)
         #: per-(user, kind) embedding shards serving /registry/{user}/search;
         #: maintained by the registry service on every PE/workflow mutation
-        self.index = VectorIndex()
+        self.index = self.backends["exact"]
         #: micro-batching dispatcher: concurrent same-shard searches are
         #: coalesced into one index pass (bitwise-identical results)
         self.batcher = SearchBatcher(
@@ -154,11 +165,23 @@ class LaminarServer:
         add("POST", "/engines/{user}/register", engines.register)
         add("DELETE", "/engines/{user}/remove/{name}", engines.remove)
 
+        # v1 controller — the versioned surface: typed envelopes, cursor
+        # pagination on every listing, backend selection by name (the
+        # legacy table above stays as thin adapters over the same core)
+        v1 = V1Controller(self)
+        add("GET", "/v1/users", v1.list_users)
+        add("GET", "/v1/backends", v1.list_backends)
+        add("GET", "/v1/registry/{user}/pes", v1.list_pes)
+        add("GET", "/v1/registry/{user}/workflows", v1.list_workflows)
+        add("GET", "/v1/registry/{user}/workflows/{id}/pes", v1.workflow_pes)
+        add("POST", "/v1/registry/{user}/search", v1.search)
+
     # ------------------------------------------------------------------
     # Dispatch with standardized error handling (paper §3.2.5)
     # ------------------------------------------------------------------
     def dispatch(self, request: Request) -> Response:
         try:
+            request = self._merge_query_string(request)
             handler, params = self.router.resolve(request.method, request.path)
             return handler(request, params)
         except ReproError as exc:
@@ -173,6 +196,27 @@ class LaminarServer:
                     "details": traceback.format_exc(limit=5),
                 },
             )
+
+    @staticmethod
+    def _merge_query_string(request: Request) -> Request:
+        """Fold ``?key=value`` pairs into the request body (body wins).
+
+        Standard HTTP tooling cannot attach a body to GET, so the v1
+        listings accept ``?limit=…&cursor=…`` too; an explicit JSON
+        body always takes precedence over the query string.  Paths
+        without a ``?`` pass through untouched (path *segments* encode
+        literal question marks as ``%3F``, so splitting on the raw
+        ``?`` is exactly the HTTP semantics).
+        """
+        path, sep, query = request.path.partition("?")
+        if not sep:
+            return request
+        merged: dict = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(query).items()
+        }
+        merged.update(request.body or {})
+        return Request(request.method, path, merged, request.token)
 
     def endpoints(self) -> list[tuple[str, str]]:
         """The (method, pattern) table — mirrors paper Table 3."""

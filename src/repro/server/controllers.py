@@ -23,10 +23,6 @@ from repro.errors import (
 )
 from repro.net.transport import Request, Response
 from repro.registry.entities import PERecord, UserRecord, WorkflowRecord
-from repro.search import (
-    text_search_pes,
-    text_search_workflows,
-)
 from repro.serialization.imports import merge_requirements
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -339,6 +335,17 @@ class RegistryController(BaseController):
         )
 
     def search(self, request: Request, params: dict[str, str]) -> Response:
+        """Legacy Table-3 search — a thin adapter over the v1 core.
+
+        Parameter parsing, validation order, error envelopes and the
+        response body shape are kept byte-identical to the historical
+        handler; the actual ranking runs through the same
+        :func:`~repro.server.v1.execute_search` decision tree the
+        versioned endpoint uses, pinned to the exact backend.
+        """
+        from repro.server.schema import SearchRequest
+        from repro.server.v1 import execute_search
+
         user = self.authenticated_user(request, params)
         search = params["search"]
         search_type = params["type"].lower()
@@ -353,111 +360,19 @@ class RegistryController(BaseController):
         k = body.get("k")
         k = int(k) if k is not None else None
         query_embedding = body.get("queryEmbedding")
-        if query_embedding is not None:
-            query_embedding = np.asarray(query_embedding, dtype=np.float32)
-
-        # concurrent O(k) serving path: the embedding branches route
-        # through the micro-batching dispatcher, which ranks on the
-        # index shard, checks membership against the cheap owned-id
-        # projection (fetched lazily, once per batch) and materializes
-        # only the top-k union through the DAO — never the user's full
-        # record list (a shard mismatch falls back to the exact
-        # brute-force scan)
-        index = self.app.index
-        registry = self.app.registry
-        batcher = self.app.batcher
-        if query_type == "code":
-            hits = self.app.code_search.search_topk(
-                search,
-                index=index,
-                user=user.user_id,
-                owned_ids=lambda: registry.owned_pe_ids(user),
-                resolve=lambda ids: registry.resolve_pes(user, ids),
-                k=k,
-                query_embedding=query_embedding,
-                batcher=batcher,
+        if query_type not in ("text", "semantic", "code"):
+            raise ValidationError(
+                f"unknown query type {query_type!r}",
+                params={"queryType": query_type},
+                details="expected 'text', 'semantic' or 'code'",
             )
-            return Response(
-                200,
-                {"searchKind": "code", "hits": [h.to_json() for h in hits]},
-            )
-        if query_type == "semantic":
-            # §8 extension: explicit semantic search over PEs and/or
-            # workflows (query_type='text' keeps the paper's behaviour)
-            hits: list = []
-            if search_type in ("pe", "both"):
-                hits.extend(
-                    h.to_json()
-                    for h in self.app.semantic.search_topk(
-                        search,
-                        index=index,
-                        user=user.user_id,
-                        owned_ids=lambda: registry.owned_pe_ids(user),
-                        resolve=lambda ids: registry.resolve_pes(user, ids),
-                        k=k,
-                        query_embedding=query_embedding,
-                        batcher=batcher,
-                    )
-                )
-            if search_type in ("workflow", "both"):
-                hits.extend(
-                    h.to_json()
-                    for h in self.app.semantic.search_workflows_topk(
-                        search,
-                        index=index,
-                        user=user.user_id,
-                        owned_ids=lambda: registry.owned_workflow_ids(user),
-                        resolve=lambda ids: registry.resolve_workflows(
-                            user, ids
-                        ),
-                        k=k,
-                        query_embedding=query_embedding,
-                        batcher=batcher,
-                    )
-                )
-            hits.sort(key=lambda h: -h["score"])
-            if k is not None:
-                hits = hits[:k]
-            return Response(200, {"searchKind": "semantic", "hits": hits})
-        if query_type == "text":
-            # text branches score only the SQL-filtered candidate rows
-            # (owner-joined LIKE), not the user's full record list
-            if search_type == "workflow":
-                matches = text_search_workflows(
-                    search, registry.text_candidate_workflows(user, search)
-                )
-                return Response(
-                    200,
-                    {"searchKind": "text", "hits": [m.to_json() for m in matches]},
-                )
-            if search_type == "pe":
-                hits = self.app.semantic.search_topk(
-                    search,
-                    index=index,
-                    user=user.user_id,
-                    owned_ids=lambda: registry.owned_pe_ids(user),
-                    resolve=lambda ids: registry.resolve_pes(user, ids),
-                    k=k,
-                    query_embedding=query_embedding,
-                    batcher=batcher,
-                )
-                return Response(
-                    200,
-                    {"searchKind": "semantic", "hits": [h.to_json() for h in hits]},
-                )
-            # both: plain text match across the whole registry (Figure 6)
-            matches = text_search_pes(
-                search, registry.text_candidate_pes(user, search)
-            ) + text_search_workflows(
-                search, registry.text_candidate_workflows(user, search)
-            )
-            matches.sort(key=lambda m: (-m.score, m.kind, m.entity_id))
-            return Response(
-                200,
-                {"searchKind": "text", "hits": [m.to_json() for m in matches]},
-            )
-        raise ValidationError(
-            f"unknown query type {query_type!r}",
-            params={"queryType": query_type},
-            details="expected 'text', 'semantic' or 'code'",
+        req = SearchRequest(
+            query=search,
+            kind=search_type,
+            query_type=query_type,
+            backend="exact",
+            k=k,
+            query_embedding=query_embedding,
         )
+        search_kind, hits = execute_search(self.app, user, req)
+        return Response(200, {"searchKind": search_kind, "hits": hits})

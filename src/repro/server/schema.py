@@ -1,0 +1,319 @@
+"""Typed API envelopes for the versioned ``/v1/`` surface.
+
+The legacy Table-3 endpoints grew their parameters ad hoc: search
+options travel as loosely typed body keys, listings return whole
+collections, and validation is scattered through the controllers.  The
+v1 surface validates **once at the edge** instead:
+
+* :class:`SearchRequest` — the body of ``POST /v1/registry/{user}/search``,
+  parsed by :meth:`SearchRequest.from_json` with *strict* field
+  checking: unknown fields are rejected (400), every default is
+  explicit, and enum/type errors carry the offending value.
+* :class:`SearchResponse` — the typed result envelope
+  (``apiVersion``/``backend``/``searchKind``/``hits``/``nextCursor``),
+  emitted verbatim by the server and by ``repro search --json``.
+* :class:`Page` — the envelope of every v1 listing: ``items`` plus an
+  opaque ``nextCursor`` resuming after the last item.
+
+Cursors are opaque base64url-encoded JSON, *scoped*: a cursor minted by
+one listing (say ``pes``) is rejected by every other with a 400 instead
+of silently mis-paginating.  All v1 listings order by **ascending
+record id**, so a cursor marks a stable position: records inserted
+concurrently receive higher ids and appear on later pages — a walk
+never skips or duplicates a pre-existing row.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import bisect
+import json
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import ValidationError
+
+#: the version prefix every v1 cursor carries on the wire
+_CURSOR_PREFIX = "v1."
+
+#: listing page-size bounds; DEFAULT_LIMIT applies when the client
+#: sends no ``limit``
+DEFAULT_LIMIT = 100
+MAX_LIMIT = 1000
+
+#: search-parameter enums (shared with the legacy adapter)
+SEARCH_KINDS = ("pe", "workflow", "both")
+QUERY_TYPES = ("text", "semantic", "code")
+
+
+# ---------------------------------------------------------------------------
+# Opaque cursors
+# ---------------------------------------------------------------------------
+def encode_cursor(scope: str, after: int) -> str:
+    """Mint an opaque cursor resuming ``scope`` after record id ``after``."""
+    raw = json.dumps({"s": scope, "a": int(after)}, separators=(",", ":"))
+    token = base64.urlsafe_b64encode(raw.encode("utf-8")).decode("ascii")
+    return _CURSOR_PREFIX + token
+
+
+def decode_cursor(cursor: str, scope: str) -> int:
+    """The ``after`` id of ``cursor``; 400 on garbage or scope mismatch."""
+
+    def bad(details: str) -> ValidationError:
+        return ValidationError(
+            "invalid cursor", params={"cursor": cursor}, details=details
+        )
+
+    if not isinstance(cursor, str) or not cursor.startswith(_CURSOR_PREFIX):
+        raise bad("cursors are opaque v1 tokens minted by a listing response")
+    try:
+        raw = base64.urlsafe_b64decode(
+            cursor[len(_CURSOR_PREFIX) :].encode("ascii")
+        )
+        payload = json.loads(raw.decode("utf-8"))
+    except (binascii.Error, ValueError, UnicodeError) as exc:
+        raise bad(f"undecodable cursor token: {exc}") from None
+    position = payload.get("a") if isinstance(payload, dict) else None
+    # bools pass isinstance(int) and negative offsets would silently
+    # page backwards — both are forgeries, not positions
+    if isinstance(position, bool) or not isinstance(position, int) or position < 0:
+        raise bad("cursor payload is not a position")
+    if payload.get("s") != scope:
+        raise bad(
+            f"cursor was minted by {payload.get('s')!r}, not {scope!r}"
+        )
+    return int(position)
+
+
+# ---------------------------------------------------------------------------
+# Strict field parsing
+# ---------------------------------------------------------------------------
+def reject_unknown_fields(
+    body: dict[str, Any], allowed: Sequence[str], *, where: str
+) -> None:
+    """400 when ``body`` carries any key outside ``allowed``.
+
+    Unknown fields are almost always a client bug (a typoed option
+    silently changing nothing); the v1 edge refuses them instead of
+    guessing.
+    """
+    unknown = sorted(set(body) - set(allowed))
+    if unknown:
+        raise ValidationError(
+            f"unknown field(s) in {where}: {', '.join(unknown)}",
+            params={"unknownFields": unknown},
+            details=f"allowed fields: {', '.join(sorted(allowed))}",
+        )
+
+
+def parse_limit(value: Any) -> int:
+    """Validate a listing/search page size (defaults handled by caller).
+
+    Digit strings are accepted because listings also take their page
+    parameters from the URL query string (``?limit=5``), where every
+    value arrives as text.
+    """
+    if isinstance(value, str) and value.isdigit():
+        value = int(value)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(
+            f"limit must be an integer, got {value!r}",
+            params={"limit": value},
+        )
+    if not 1 <= value <= MAX_LIMIT:
+        raise ValidationError(
+            f"limit must be between 1 and {MAX_LIMIT}, got {value}",
+            params={"limit": value},
+        )
+    return int(value)
+
+
+def _parse_enum(body: dict, key: str, choices: Sequence[str], default: str) -> str:
+    value = body.get(key, default)
+    if not isinstance(value, str) or value.lower() not in choices:
+        raise ValidationError(
+            f"{key} must be one of {', '.join(choices)}; got {value!r}",
+            params={key: value},
+        )
+    return value.lower()
+
+
+# ---------------------------------------------------------------------------
+# Envelopes
+# ---------------------------------------------------------------------------
+@dataclass
+class SearchRequest:
+    """The validated body of ``POST /v1/registry/{user}/search``.
+
+    Every default is explicit here — the wire body may omit any field
+    except ``query`` and always resolves to the same request.
+    """
+
+    query: str
+    kind: str = "both"  # pe | workflow | both
+    query_type: str = "text"  # text | semantic | code (paper default: text)
+    backend: str = "exact"  # index backend name (see repro.search.backend)
+    k: int | None = None  # top-k cap applied at ranking time
+    limit: int | None = None  # page size over the ranked hits
+    cursor: str | None = None  # resume token from a previous page
+    query_embedding: Any = None  # client-side query vector (optional)
+
+    #: every wire field the envelope accepts
+    FIELDS = (
+        "query",
+        "kind",
+        "queryType",
+        "backend",
+        "k",
+        "limit",
+        "cursor",
+        "queryEmbedding",
+    )
+
+    @classmethod
+    def from_json(
+        cls, body: dict[str, Any] | None, *, backends: Sequence[str]
+    ) -> "SearchRequest":
+        """Parse + validate a wire body; raises 400 on any malformation.
+
+        ``backends`` is the server's registered backend-name set — the
+        envelope is the single place request-side backend names are
+        checked.
+        """
+        body = body or {}
+        if not isinstance(body, dict):
+            raise ValidationError(
+                f"search request must be a JSON object, got "
+                f"{type(body).__name__}"
+            )
+        reject_unknown_fields(body, cls.FIELDS, where="search request")
+        query = body.get("query")
+        if not isinstance(query, str) or not query.strip():
+            raise ValidationError(
+                "query is required and must be a non-empty string",
+                params={"query": query},
+            )
+        kind = _parse_enum(body, "kind", SEARCH_KINDS, "both")
+        query_type = _parse_enum(body, "queryType", QUERY_TYPES, "text")
+        backend = body.get("backend", "exact")
+        if not isinstance(backend, str) or backend not in backends:
+            raise ValidationError(
+                f"unknown index backend {backend!r}",
+                params={"backend": backend},
+                details=f"registered backends: {', '.join(backends)}",
+            )
+        k = body.get("k")
+        if k is not None:
+            if isinstance(k, bool) or not isinstance(k, int) or k <= 0:
+                raise ValidationError(
+                    f"k must be a positive integer, got {k!r}",
+                    params={"k": k},
+                )
+        limit = body.get("limit")
+        if limit is not None:
+            limit = parse_limit(limit)
+        cursor = body.get("cursor")
+        if cursor is not None and not isinstance(cursor, str):
+            raise ValidationError(
+                f"cursor must be a string, got {type(cursor).__name__}",
+                params={"cursor": cursor},
+            )
+        query_embedding = body.get("queryEmbedding")
+        if query_embedding is not None:
+            # edge validation: malformed embeddings must 400 here, not
+            # 500 when np.asarray/the shard product chokes downstream
+            if (
+                not isinstance(query_embedding, (list, tuple))
+                or not query_embedding
+                or not all(
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    for value in query_embedding
+                )
+            ):
+                raise ValidationError(
+                    "queryEmbedding must be a non-empty array of numbers",
+                    params={
+                        "queryEmbedding": type(query_embedding).__name__
+                    },
+                )
+        return cls(
+            query=query,
+            kind=kind,
+            query_type=query_type,
+            backend=backend,
+            k=k,
+            limit=limit,
+            cursor=cursor,
+            query_embedding=query_embedding,
+        )
+
+
+@dataclass
+class SearchResponse:
+    """The typed result envelope of the unified v1 search endpoint."""
+
+    query: str
+    kind: str
+    query_type: str
+    backend: str
+    search_kind: str  # result-row shape: text | semantic | code
+    k: int | None
+    hits: list[dict] = field(default_factory=list)
+    next_cursor: str | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "apiVersion": "v1",
+            "query": self.query,
+            "kind": self.kind,
+            "queryType": self.query_type,
+            "backend": self.backend,
+            "searchKind": self.search_kind,
+            "k": self.k,
+            "count": len(self.hits),
+            "hits": self.hits,
+            "nextCursor": self.next_cursor,
+        }
+
+
+@dataclass
+class Page:
+    """One page of a v1 listing (ascending-id order, opaque cursor)."""
+
+    items: list[dict]
+    limit: int
+    next_cursor: str | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "apiVersion": "v1",
+            "count": len(self.items),
+            "limit": self.limit,
+            "items": self.items,
+            "nextCursor": self.next_cursor,
+        }
+
+
+def paginate_ids(
+    ids: Sequence[int],
+    *,
+    scope: str,
+    limit: int,
+    cursor: str | None,
+) -> tuple[list[int], str | None]:
+    """Slice an ascending id listing into one page.
+
+    Returns ``(page_ids, next_cursor)``; ``next_cursor`` is ``None``
+    when the page reaches the end of the listing *as of this snapshot*.
+    Because ids ascend and new records always receive higher ids, a
+    cursor walk over a concurrently growing registry never skips or
+    repeats a pre-existing record.
+    """
+    after = decode_cursor(cursor, scope) if cursor is not None else -1
+    start = bisect.bisect_right(ids, after)
+    page = [int(rid) for rid in ids[start : start + limit]]
+    if start + limit < len(ids):
+        return page, encode_cursor(scope, page[-1])
+    return page, None

@@ -1,0 +1,356 @@
+"""The versioned ``/v1/`` API surface (typed envelopes, cursors, backends).
+
+Two pieces live here:
+
+* :func:`execute_search` — the single search core behind **both** API
+  generations.  It receives an already validated
+  :class:`~repro.server.schema.SearchRequest` and runs the paper's
+  text/semantic/code branches over the request's chosen index backend.
+  The legacy Table-3 route (``GET /registry/{user}/search/...``) is a
+  thin adapter that builds a ``SearchRequest`` (always
+  ``backend="exact"``) and re-shapes the result into the historical
+  ``{"searchKind", "hits"}`` body — byte-identical to the seed
+  behaviour.
+* :class:`V1Controller` — handlers for the ``/v1/`` route table:
+  cursor-paginated listings (users, PEs, workflows, a workflow's PEs)
+  and the unified ``POST /v1/registry/{user}/search`` accepting
+  ``kind``/``queryType``/``backend``/``k``/``limit``/``cursor`` in one
+  strict envelope.
+
+Listing cursors mark an ascending-id position (see
+:mod:`repro.server.schema`): concurrent inserts only ever append higher
+ids, so a paginated walk never skips or repeats a pre-existing record.
+Search "cursors" page over one ranked snapshot by offset — ranking runs
+per request, so they are best-effort under concurrent mutation (the
+invariant listings guarantee cannot hold for similarity-ordered
+results).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.net.transport import Request, Response
+from repro.registry.entities import UserRecord
+from repro.search import text_search_pes, text_search_workflows
+from repro.search.backend import backend_names
+from repro.server.controllers import BaseController
+from repro.server.schema import (
+    DEFAULT_LIMIT,
+    Page,
+    SearchRequest,
+    SearchResponse,
+    decode_cursor,
+    encode_cursor,
+    paginate_ids,
+    parse_limit,
+    reject_unknown_fields,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.app import LaminarServer
+
+
+def execute_search(
+    app: "LaminarServer", user: UserRecord, req: SearchRequest
+) -> tuple[str, list[dict]]:
+    """Run one registry search; returns ``(search_kind, hits_json)``.
+
+    The embedding branches route through the micro-batching dispatcher
+    against the backend ``req.backend`` names: rank on the shard, check
+    membership against the lazily fetched owned-id projection, and
+    materialize only the top-k union through the DAO (a shard mismatch
+    falls back to the exact brute-force scan).  Text branches score only
+    the SQL-filtered candidate rows.  This is the legacy controller's
+    exact decision tree — including the historical quirk that
+    ``queryType=text`` over ``kind=pe`` serves *semantic* ranking — now
+    shared by both API generations.
+    """
+    index = app.backends[req.backend]
+    registry = app.registry
+    batcher = app.batcher
+    k = req.k
+    query = req.query
+    query_embedding = req.query_embedding
+    if query_embedding is not None:
+        query_embedding = np.asarray(query_embedding, dtype=np.float32)
+
+    if req.query_type == "code":
+        hits = app.code_search.search_topk(
+            query,
+            index=index,
+            user=user.user_id,
+            owned_ids=lambda: registry.owned_pe_ids(user),
+            resolve=lambda ids: registry.resolve_pes(user, ids),
+            k=k,
+            query_embedding=query_embedding,
+            batcher=batcher,
+        )
+        return "code", [h.to_json() for h in hits]
+    if req.query_type == "semantic":
+        # §8 extension: explicit semantic search over PEs and/or
+        # workflows (query_type='text' keeps the paper's behaviour)
+        hits: list = []
+        if req.kind in ("pe", "both"):
+            hits.extend(
+                h.to_json()
+                for h in app.semantic.search_topk(
+                    query,
+                    index=index,
+                    user=user.user_id,
+                    owned_ids=lambda: registry.owned_pe_ids(user),
+                    resolve=lambda ids: registry.resolve_pes(user, ids),
+                    k=k,
+                    query_embedding=query_embedding,
+                    batcher=batcher,
+                )
+            )
+        if req.kind in ("workflow", "both"):
+            hits.extend(
+                h.to_json()
+                for h in app.semantic.search_workflows_topk(
+                    query,
+                    index=index,
+                    user=user.user_id,
+                    owned_ids=lambda: registry.owned_workflow_ids(user),
+                    resolve=lambda ids: registry.resolve_workflows(user, ids),
+                    k=k,
+                    query_embedding=query_embedding,
+                    batcher=batcher,
+                )
+            )
+        hits.sort(key=lambda h: -h["score"])
+        if k is not None:
+            hits = hits[:k]
+        return "semantic", hits
+    # query_type == "text" (validated upstream)
+    if req.kind == "workflow":
+        matches = text_search_workflows(
+            query, registry.text_candidate_workflows(user, query)
+        )
+        return "text", [m.to_json() for m in matches]
+    if req.kind == "pe":
+        hits = app.semantic.search_topk(
+            query,
+            index=index,
+            user=user.user_id,
+            owned_ids=lambda: registry.owned_pe_ids(user),
+            resolve=lambda ids: registry.resolve_pes(user, ids),
+            k=k,
+            query_embedding=query_embedding,
+            batcher=batcher,
+        )
+        return "semantic", [h.to_json() for h in hits]
+    # both: plain text match across the whole registry (Figure 6)
+    matches = text_search_pes(
+        query, registry.text_candidate_pes(user, query)
+    ) + text_search_workflows(
+        query, registry.text_candidate_workflows(user, query)
+    )
+    matches.sort(key=lambda m: (-m.score, m.kind, m.entity_id))
+    return "text", [m.to_json() for m in matches]
+
+
+class V1Controller(BaseController):
+    """Handlers behind the ``/v1/`` route table."""
+
+    #: wire fields a listing request may carry
+    _PAGE_FIELDS = ("limit", "cursor")
+
+    def _page_params(self, request: Request) -> tuple[int, str | None]:
+        """Strictly parse the (optional) ``limit``/``cursor`` body."""
+        body = request.body or {}
+        reject_unknown_fields(body, self._PAGE_FIELDS, where="listing request")
+        limit = body.get("limit")
+        limit = DEFAULT_LIMIT if limit is None else parse_limit(limit)
+        cursor = body.get("cursor")
+        if cursor is not None and not isinstance(cursor, str):
+            raise ValidationError(
+                f"cursor must be a string, got {type(cursor).__name__}",
+                params={"cursor": cursor},
+            )
+        return limit, cursor
+
+    # ------------------------------------------------------------------
+    # Listings (cursor-paginated, ascending id)
+    # ------------------------------------------------------------------
+    def list_users(self, request: Request, params: dict[str, str]) -> Response:
+        # parity with the legacy /auth/all listing: no auth required
+        limit, cursor = self._page_params(request)
+        users = self.app.registry.all_users()
+        page_ids, next_cursor = paginate_ids(
+            [user.user_id for user in users],
+            scope="users",
+            limit=limit,
+            cursor=cursor,
+        )
+        by_id = {user.user_id: user for user in users}
+        items = [by_id[user_id].to_json() for user_id in page_ids]
+        return Response(200, Page(items, limit, next_cursor).to_json())
+
+    def list_pes(self, request: Request, params: dict[str, str]) -> Response:
+        user = self.authenticated_user(request, params)
+        limit, cursor = self._page_params(request)
+        page_ids, next_cursor = paginate_ids(
+            self.app.registry.owned_pe_ids(user),
+            scope=f"pes:{user.user_id}",
+            limit=limit,
+            cursor=cursor,
+        )
+        # O(page) hydration: only this page's rows are materialized
+        records = self.app.registry.resolve_pes(user, page_ids)
+        items = [record.to_json() for record in records]
+        return Response(200, Page(items, limit, next_cursor).to_json())
+
+    def list_workflows(
+        self, request: Request, params: dict[str, str]
+    ) -> Response:
+        user = self.authenticated_user(request, params)
+        limit, cursor = self._page_params(request)
+        page_ids, next_cursor = paginate_ids(
+            self.app.registry.owned_workflow_ids(user),
+            scope=f"workflows:{user.user_id}",
+            limit=limit,
+            cursor=cursor,
+        )
+        records = self.app.registry.resolve_workflows(user, page_ids)
+        items = [record.to_json() for record in records]
+        return Response(200, Page(items, limit, next_cursor).to_json())
+
+    def workflow_pes(
+        self, request: Request, params: dict[str, str]
+    ) -> Response:
+        user = self.authenticated_user(request, params)
+        limit, cursor = self._page_params(request)
+        workflow_id = self.int_param(params, "id")
+        records = self.app.registry.workflow_pes(user, workflow_id)
+        # v1 listings order by ascending id and list each PE once (the
+        # legacy route keeps the workflow's raw link order, duplicates
+        # included); bounded by the workflow's PE count
+        by_id = {record.pe_id: record for record in records}
+        page_ids, next_cursor = paginate_ids(
+            sorted(by_id),
+            scope=f"workflow-pes:{user.user_id}:{workflow_id}",
+            limit=limit,
+            cursor=cursor,
+        )
+        items = [by_id[pe_id].to_json() for pe_id in page_ids]
+        return Response(200, Page(items, limit, next_cursor).to_json())
+
+    # ------------------------------------------------------------------
+    # Unified search
+    # ------------------------------------------------------------------
+    def search(self, request: Request, params: dict[str, str]) -> Response:
+        user = self.authenticated_user(request, params)
+        req = SearchRequest.from_json(
+            request.body, backends=tuple(self.app.backends)
+        )
+        if req.query_embedding is not None:
+            # dimension check completes the edge validation (the schema
+            # cannot know the serving model's width)
+            model = (
+                self.app.code_search.model
+                if req.query_type == "code"
+                else self.app.semantic.model
+            )
+            if len(req.query_embedding) != model.dim:
+                raise ValidationError(
+                    f"queryEmbedding must have {model.dim} dimensions, "
+                    f"got {len(req.query_embedding)}",
+                    params={"queryEmbeddingDim": len(req.query_embedding)},
+                )
+        paged = req.limit is not None or req.cursor is not None
+        scope = limit = offset = None
+        if paged:
+            # the scope binds every ranking parameter — query text,
+            # kind, queryType, backend, k AND the client-side embedding:
+            # a cursor replayed against any differently-ranked search is
+            # a 400, never a silently shifted hit window
+            fingerprint = hashlib.sha1(
+                json.dumps(
+                    [
+                        req.query,
+                        req.kind,
+                        req.query_type,
+                        req.backend,
+                        req.k,
+                        req.query_embedding,
+                    ],
+                    separators=(",", ":"),
+                ).encode("utf-8")
+            ).hexdigest()[:12]
+            scope = f"search:{user.user_id}:{fingerprint}"
+            limit = req.limit if req.limit is not None else DEFAULT_LIMIT
+            offset = (
+                decode_cursor(req.cursor, scope)
+                if req.cursor is not None
+                else 0
+            )
+        ranking_req = req
+        if (
+            paged
+            and req.k is None
+            and getattr(
+                self.app.backends[req.backend], "prefix_stable_topk", False
+            )
+        ):
+            # unbounded k would rank AND hydrate the whole corpus per
+            # page; this page only ever shows hits[offset:offset+limit],
+            # so cap the ranking there.  Only backends declaring
+            # prefix-stable truncation qualify: for them top-(offset+
+            # limit) is a prefix of the full ranking, so every page
+            # slices one consistent ordering.  Approximate backends
+            # (whose candidate set depends on k) rank unbounded instead
+            # — their k=None path degenerates to the exact full
+            # ordering, keeping pages consistent at O(corpus) cost.
+            ranking_req = replace(req, k=offset + limit)
+        search_kind, hits = execute_search(self.app, user, ranking_req)
+        next_cursor = None
+        if paged:
+            sliced = hits[offset : offset + limit]
+            if ranking_req is req:
+                # client-bounded k: the full ranking is in hand, so the
+                # end of the walk is known exactly
+                more = offset + limit < len(hits)
+            else:
+                # capped ranking: a full page means more *may* exist
+                # (the walk then terminates on the first short page)
+                more = len(sliced) == limit
+            if more:
+                next_cursor = encode_cursor(scope, offset + limit)
+            hits = sliced
+        return Response(
+            200,
+            SearchResponse(
+                query=req.query,
+                kind=req.kind,
+                query_type=req.query_type,
+                backend=req.backend,
+                search_kind=search_kind,
+                k=req.k,
+                hits=hits,
+                next_cursor=next_cursor,
+            ).to_json(),
+        )
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def list_backends(
+        self, request: Request, params: dict[str, str]
+    ) -> Response:
+        """Registered index backends (harmless metadata, no auth)."""
+        return Response(
+            200,
+            {
+                "apiVersion": "v1",
+                "backends": backend_names(),
+                "default": "exact",
+            },
+        )

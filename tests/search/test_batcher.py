@@ -145,7 +145,7 @@ class TestCoalescing:
         qvecs = [unit(rng) for _ in range(8)]
         # scheduling may fully serialize a round; parity must hold every
         # round, coalescing must be observed within a few
-        for _ in range(5):
+        for _ in range(12):
             results = self.run_concurrent(batcher, index, corpus, qvecs)
             for qvec, got in zip(qvecs, results):
                 assert got == single_shot(index, corpus, qvec)

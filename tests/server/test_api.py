@@ -60,6 +60,63 @@ class TestResolution:
         assert len(endpoints) == 4
 
 
+class TestSpecificity:
+    """Literal segments beat {param} captures, whatever the add order."""
+
+    def test_literal_beats_param_when_added_later(self):
+        r = Router()
+        r.add("GET", "/registry/{user}/pe/{name}", _handler("by_name"))
+        r.add("GET", "/registry/{user}/pe/all", _handler("all"))
+        handler, params = r.resolve("GET", "/registry/u/pe/all")
+        assert handler(None, params).body["handler"] == "all"
+        handler, params = r.resolve("GET", "/registry/u/pe/other")
+        assert handler(None, params).body["handler"] == "by_name"
+        assert params["name"] == "other"
+
+    def test_literal_beats_param_when_added_first(self):
+        r = Router()
+        r.add("GET", "/registry/{user}/pe/all", _handler("all"))
+        r.add("GET", "/registry/{user}/pe/{name}", _handler("by_name"))
+        handler, params = r.resolve("GET", "/registry/u/pe/all")
+        assert handler(None, params).body["handler"] == "all"
+
+    def test_earliest_literal_position_wins(self):
+        r = Router()
+        r.add("GET", "/{a}/users/list", _handler("late-literal"))
+        r.add("GET", "/v1/{b}/list", _handler("early-literal"))
+        handler, params = r.resolve("GET", "/v1/users/list")
+        # first segment literal ('v1') outranks first segment param
+        assert handler(None, params).body["handler"] == "early-literal"
+
+    def test_v1_and_legacy_patterns_cannot_shadow(self):
+        # same segment count: the /v1 literal prefix must win for /v1
+        # paths, the legacy pattern for everything else
+        r = Router()
+        r.add("GET", "/{x}/registry/search", _handler("legacy-ish"))
+        r.add("GET", "/v1/registry/search", _handler("v1"))
+        handler, params = r.resolve("GET", "/v1/registry/search")
+        assert handler(None, params).body["handler"] == "v1"
+        handler, params = r.resolve("GET", "/other/registry/search")
+        assert handler(None, params).body["handler"] == "legacy-ish"
+
+    def test_buckets_by_method_and_length(self):
+        r = Router()
+        r.add("GET", "/a/{x}", _handler("get2"))
+        r.add("POST", "/a/{x}", _handler("post2"))
+        r.add("GET", "/a/{x}/{y}", _handler("get3"))
+        handler, _ = r.resolve("POST", "/a/1")
+        assert handler(None, {}).body["handler"] == "post2"
+        handler, _ = r.resolve("GET", "/a/1/2")
+        assert handler(None, {}).body["handler"] == "get3"
+
+    def test_registration_order_breaks_specificity_ties(self):
+        r = Router()
+        r.add("GET", "/x/{a}", _handler("first"))
+        r.add("GET", "/x/{b}", _handler("second"))
+        handler, _ = r.resolve("GET", "/x/anything")
+        assert handler(None, {}).body["handler"] == "first"
+
+
 class TestEncoding:
     def test_quote_segment_escapes_slash_and_space(self):
         assert "/" not in quote_segment("a/b c")

@@ -56,6 +56,17 @@ EXTENSION_ENDPOINTS = [
     ("DELETE", "/engines/{user}/remove/{name}"),
 ]
 
+#: the versioned v1 surface (typed envelopes + cursor pagination); the
+#: Table-3 routes above remain thin adapters over the same search core
+V1_ENDPOINTS = [
+    ("GET", "/v1/users"),
+    ("GET", "/v1/backends"),
+    ("GET", "/v1/registry/{user}/pes"),
+    ("GET", "/v1/registry/{user}/workflows"),
+    ("GET", "/v1/registry/{user}/workflows/{id}/pes"),
+    ("POST", "/v1/registry/{user}/search"),
+]
+
 
 class TestEndpointTable:
     def test_every_table3_endpoint_installed(self, server):
@@ -64,7 +75,11 @@ class TestEndpointTable:
             assert endpoint in installed, f"missing endpoint {endpoint}"
 
     def test_no_unexpected_endpoints(self, server):
-        expected = set(TABLE3_ENDPOINTS) | set(EXTENSION_ENDPOINTS)
+        expected = (
+            set(TABLE3_ENDPOINTS)
+            | set(EXTENSION_ENDPOINTS)
+            | set(V1_ENDPOINTS)
+        )
         assert set(server.endpoints()) == expected
 
 
