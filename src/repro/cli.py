@@ -8,6 +8,9 @@ Commands:
 * ``eval``    — regenerate a paper table (5, 6 or 7) on the terminal.
 * ``search``  — query a registry from the terminal (text/semantic/code),
   served from the per-user vector index.
+* ``register`` — register a PE or workflow through the typed v1 write
+  endpoint (idempotency keys, conditional writes, ``--bulk`` batches).
+* ``delete``  — remove a PE or workflow through the v1 delete endpoint.
 * ``stats``   — per-user registry counts via the DAO's owned-id
   projections (no record materialization, no model loading); add
   ``--shards`` for index shard occupancy.
@@ -91,6 +94,86 @@ def build_parser() -> argparse.ArgumentParser:
         "object on stdout)",
     )
     search.add_argument(
+        "--no-fit", action="store_true",
+        help="skip model IDF fitting (faster startup, weaker search)",
+    )
+
+    register = sub.add_parser(
+        "register",
+        help="register a PE or workflow via the v1 write endpoint",
+    )
+    register.add_argument(
+        "name", nargs="?", default=None,
+        help="PE name / workflow entry point (omit with --bulk)",
+    )
+    register.add_argument(
+        "--kind", default="pe", choices=["pe", "workflow"],
+        help="what to register (--bulk is PE-only)",
+    )
+    register.add_argument(
+        "--db", default=None, help="SQLite registry path (default: in-memory)"
+    )
+    register.add_argument("--user", default="cli", help="registry user name")
+    register.add_argument("--password", default="cli", help="registry password")
+    register.add_argument(
+        "--code", default=None, help="the code payload (peCode/workflowCode)"
+    )
+    register.add_argument(
+        "--code-file", default=None,
+        help="read the code payload from a file (also used as the "
+        "source text for search/summarization unless --code is given)",
+    )
+    register.add_argument("--description", default="", help="description text")
+    register.add_argument(
+        "--if-version", dest="if_version", type=int, default=None,
+        help="conditional write: current record revision (0 = create-only); "
+        "with --bulk it pins the registry mutation counter instead; "
+        "mismatch is a 412",
+    )
+    register.add_argument(
+        "--idempotency-key", dest="idempotency_key", default=None,
+        help="retry-safe write: replaying the same key returns the stored "
+        "response verbatim",
+    )
+    register.add_argument(
+        "--bulk", default=None, metavar="FILE.json",
+        help="bulk-register PEs: a JSON array of item objects "
+        "(peName/peCode/description/...) sent to /v1/registry/{user}/pes:bulk",
+    )
+    register.add_argument(
+        "--json", action="store_true",
+        help="emit the v1 WriteResponse envelope verbatim",
+    )
+    register.add_argument(
+        "--no-fit", action="store_true",
+        help="skip model IDF fitting (faster startup, weaker search)",
+    )
+
+    delete = sub.add_parser(
+        "delete", help="remove a PE or workflow via the v1 delete endpoint"
+    )
+    delete.add_argument("name", help="PE name / workflow entry point")
+    delete.add_argument(
+        "--kind", default="pe", choices=["pe", "workflow"],
+    )
+    delete.add_argument(
+        "--db", default=None, help="SQLite registry path (default: in-memory)"
+    )
+    delete.add_argument("--user", default="cli", help="registry user name")
+    delete.add_argument("--password", default="cli", help="registry password")
+    delete.add_argument(
+        "--if-version", dest="if_version", type=int, default=None,
+        help="conditional delete: the record's current revision",
+    )
+    delete.add_argument(
+        "--idempotency-key", dest="idempotency_key", default=None,
+        help="retry-safe delete (replay returns the stored response)",
+    )
+    delete.add_argument(
+        "--json", action="store_true",
+        help="emit the v1 WriteResponse envelope verbatim",
+    )
+    delete.add_argument(
         "--no-fit", action="store_true",
         help="skip model IDF fitting (faster startup, weaker search)",
     )
@@ -264,6 +347,159 @@ def cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _login_for_write(server, user: str, password: str):
+    """Token for a write command, introducing the user when missing.
+
+    Unlike the read-only ``search`` command (which refuses to touch a
+    persistent registry), registration *is* a write — a missing user is
+    created on the spot, also against ``--db``.
+    """
+    from repro.errors import NotFoundError
+    from repro.net.transport import Request
+
+    try:
+        server.registry.get_user(user)
+    except NotFoundError:
+        server.registry.register_user(user, password)
+    login = server.dispatch(
+        Request(
+            "POST", "/auth/login", {"userName": user, "password": password}
+        )
+    )
+    if login.status != 200:
+        return None, f"login failed: {login.body.get('message', login.body)}"
+    return login.body["token"], None
+
+
+def _print_write_response(body: dict, as_json: bool) -> None:
+    import json as _json
+
+    if as_json:
+        print(_json.dumps(body))
+        return
+    op, kind = body.get("op"), body.get("kind")
+    if op == "delete":
+        print(f"removed {kind} (registry version {body.get('registryVersion')})")
+        return
+    for item in body.get("items", []):
+        name = item.get("peName") or item.get("entryPoint")
+        rid = item.get("peId") or item.get("workflowId")
+        state = "created" if item.get("created") else "existing"
+        print(
+            f"registered {kind} {name!r} (id {rid}, revision "
+            f"{item.get('revision')}, {state})"
+        )
+    print(f"registry version {body.get('registryVersion')}")
+
+
+def cmd_register(args: argparse.Namespace) -> int:
+    """Register through ``PUT /v1/registry/{user}/pes|workflows/{name}``
+    (or ``POST .../pes:bulk`` with ``--bulk``), the typed write surface:
+    ``--idempotency-key`` makes retries exact replays, ``--if-version``
+    turns the write into a compare-and-set on the record revision."""
+    import json as _json
+
+    from repro.net.transport import Request
+    from repro.server.api import quote_segment
+
+    # every argument error is knowable up front — fail before paying
+    # server construction (model loading) and login
+    if args.bulk is None and not args.name:
+        print("a name is required unless --bulk is given")
+        return 1
+    if args.bulk is not None and args.kind != "pe":
+        print("--bulk registers PEs only")
+        return 1
+    code = args.code
+    source = ""
+    if args.code_file is not None:
+        try:
+            with open(args.code_file, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"cannot read --code-file: {exc}")
+            return 1
+        if code is None:
+            code = source
+    items = None
+    if args.bulk is not None:
+        try:
+            with open(args.bulk, "r", encoding="utf-8") as handle:
+                items = _json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read --bulk file: {exc}")
+            return 1
+        if not isinstance(items, list):
+            print("--bulk file must hold a JSON array of item objects")
+            return 1
+    elif not code:
+        print("either --code or --code-file is required")
+        return 1
+    server = _build_server(args.db, fit=not args.no_fit)
+    token, error = _login_for_write(server, args.user, args.password)
+    if error:
+        print(error)
+        return 1
+    if items is not None:
+        body: dict = {"items": items}
+        method, path = "POST", f"/v1/registry/{args.user}/pes:bulk"
+    else:
+        key = "peCode" if args.kind == "pe" else "workflowCode"
+        body = {key: code}
+        if args.description:
+            body["description"] = args.description
+        if source:
+            body["peSource" if args.kind == "pe" else "workflowSource"] = source
+        collection = "pes" if args.kind == "pe" else "workflows"
+        method = "PUT"
+        path = (
+            f"/v1/registry/{args.user}/{collection}/"
+            f"{quote_segment(args.name)}"
+        )
+    if args.if_version is not None:
+        body["ifVersion"] = args.if_version
+    if args.idempotency_key is not None:
+        body["idempotencyKey"] = args.idempotency_key
+    response = server.dispatch(Request(method, path, body, token=token))
+    if not response.ok:
+        print(f"register failed: {response.body.get('message', response.body)}")
+        return 1
+    _print_write_response(response.body, args.json)
+    return 0
+
+
+def cmd_delete(args: argparse.Namespace) -> int:
+    """Remove through ``DELETE /v1/registry/{user}/pes|workflows/{name}``."""
+    from repro.net.transport import Request
+    from repro.server.api import quote_segment
+
+    server = _build_server(args.db, fit=not args.no_fit)
+    token, error = _login_for_write(server, args.user, args.password)
+    if error:
+        print(error)
+        return 1
+    body: dict = {}
+    if args.if_version is not None:
+        body["ifVersion"] = args.if_version
+    if args.idempotency_key is not None:
+        body["idempotencyKey"] = args.idempotency_key
+    collection = "pes" if args.kind == "pe" else "workflows"
+    response = server.dispatch(
+        Request(
+            "DELETE",
+            f"/v1/registry/{args.user}/{collection}/"
+            f"{quote_segment(args.name)}",
+            body,
+            token=token,
+        )
+    )
+    if not response.ok:
+        print(f"delete failed: {response.body.get('message', response.body)}")
+        return 1
+    _print_write_response(response.body, args.json)
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Registry occupancy without materializing a single record.
 
@@ -335,6 +571,8 @@ _COMMANDS = {
     "demo": cmd_demo,
     "eval": cmd_eval,
     "search": cmd_search,
+    "register": cmd_register,
+    "delete": cmd_delete,
     "stats": cmd_stats,
     "endpoints": cmd_endpoints,
 }

@@ -108,6 +108,40 @@ class DuplicateError(RegistryError):
     kind = "DuplicateError"
 
 
+class IdempotencyError(RegistryError):
+    """An idempotency key was replayed with a *different* request.
+
+    Replaying the same key with the same request returns the stored
+    response; the same key fronting different content is a client bug
+    the server must surface, never silently resolve either way.
+    """
+
+    code = 409
+    kind = "IdempotencyConflict"
+
+
+class PreconditionFailedError(RegistryError):
+    """A conditional write's ``ifVersion`` did not match the live state."""
+
+    code = 412
+    kind = "PreconditionFailed"
+
+
+class MethodNotAllowedError(ReproError):
+    """The path matches a route pattern, but not with this method.
+
+    Carries the ``allowed`` method list so the transport layer can emit
+    the HTTP ``Allow`` header alongside the 405 envelope.
+    """
+
+    code = 405
+    kind = "MethodNotAllowed"
+
+    def __init__(self, message: str, *, allowed: list[str] | None = None, **kwargs: Any) -> None:
+        super().__init__(message, **kwargs)
+        self.allowed = sorted(allowed or [])
+
+
 class AuthenticationError(ReproError):
     """Login failed or the caller is not authorized."""
 
@@ -149,6 +183,9 @@ _KIND_TO_CLASS: dict[str, type[ReproError]] = {
         RegistryError,
         NotFoundError,
         DuplicateError,
+        IdempotencyError,
+        PreconditionFailedError,
+        MethodNotAllowedError,
         AuthenticationError,
         ExecutionError,
         TransportError,

@@ -20,12 +20,21 @@ from repro.net.latency import LatencyModel
 
 @dataclass
 class Request:
-    """One client request."""
+    """One client request.
+
+    ``headers`` carries request metadata that lives outside the JSON
+    body (currently the ``Idempotency-Key`` write-retry header).  Kept
+    separate from the body on purpose: the v1 envelopes validate the
+    body strictly, and folding transport headers into it would make a
+    harmless retry header a 400 on every strict read route.  Never
+    counted by :meth:`wire_size`.
+    """
 
     method: str
     path: str
     body: dict[str, Any] = field(default_factory=dict)
     token: str | None = None
+    headers: dict[str, str] = field(default_factory=dict)
 
     def wire_size(self) -> int:
         """Bytes this request would occupy as JSON on the wire."""
@@ -44,10 +53,18 @@ class Request:
 
 @dataclass
 class Response:
-    """One server response."""
+    """One server response.
+
+    ``headers`` carries response metadata that belongs outside the JSON
+    body (e.g. ``Allow`` on a 405); the HTTP adapter emits them as real
+    headers and the in-process transport passes them through untouched.
+    They never count toward :meth:`wire_size` (header overhead is not
+    part of the latency model's payload accounting).
+    """
 
     status: int
     body: dict[str, Any] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -97,9 +114,19 @@ class InProcessTransport(Transport):
         # enforce the JSON wire format on the request body
         wire_body = json.loads(json.dumps(request.body))
         response = self.server.dispatch(
-            Request(request.method, request.path, wire_body, request.token)
+            Request(
+                request.method,
+                request.path,
+                wire_body,
+                request.token,
+                dict(request.headers),
+            )
         )
-        response_wire = Response(response.status, json.loads(json.dumps(response.body)))
+        response_wire = Response(
+            response.status,
+            json.loads(json.dumps(response.body)),
+            dict(response.headers),
+        )
         if self.latency is not None:
             self.latency.apply(response_wire.wire_size())
         return response_wire

@@ -223,6 +223,50 @@ class RegistryDAO(ABC):
         """
         return {"counter": None, "shards": 0, "rows": 0}
 
+    # -- idempotency receipts (v1 write surface) ---------------------------
+    def get_write_receipt(
+        self, user_id: int, key: str
+    ) -> tuple[str, int, dict] | None:
+        """The stored ``(fingerprint, status, body)`` for an idempotency
+        key, or ``None``.
+
+        Backends that do not implement receipts return ``None`` forever
+        — idempotent replay then degrades to re-execution (safe for the
+        §3.1 dedup semantics, but replays are no longer byte-exact).
+        Both shipped DAOs implement storage.
+        """
+        return None
+
+    def save_write_receipt(
+        self, user_id: int, key: str, fingerprint: str, status: int, body: dict
+    ) -> None:
+        """Record one write's response under ``(user_id, key)``.
+
+        Receipts are *not* registry mutations: saving one must never
+        bump :meth:`mutation_counter` (a replay leaves the counter
+        untouched, which is the observable no-op guarantee).
+        """
+
+    # -- persisted IVF training state --------------------------------------
+    def save_ivf_states(
+        self,
+        states: Mapping[tuple[int, str], tuple[np.ndarray, list[np.ndarray]]],
+        counter: int,
+    ) -> None:
+        """Persist ``{(user_id, kind): (centroids, lists)}`` at ``counter``.
+
+        ``lists`` are row-index arrays into the (ascending-id ordered)
+        slab persisted at the *same* counter — the pair is only
+        meaningful together.  Replaces any previous state wholesale.
+        No-op by default.
+        """
+
+    def load_ivf_states(
+        self,
+    ) -> tuple[int, dict[tuple[int, str], tuple[np.ndarray, list[np.ndarray]]]] | None:
+        """The persisted ``(counter, states)``, or ``None`` (absent/torn)."""
+        return None
+
 
 class InMemoryDAO(RegistryDAO):
     """Dict-backed DAO; thread-safe for the in-process server.
@@ -256,6 +300,9 @@ class InMemoryDAO(RegistryDAO):
         # freshness protocol uniform and testable across backends)
         self._mutations = 0
         self._saved_shards: tuple[int, dict] | None = None
+        self._saved_ivf: tuple[int, dict] | None = None
+        # idempotency receipts: (user_id, key) -> (fingerprint, status, body)
+        self._receipts: dict[tuple[int, str], tuple[str, int, dict]] = {}
 
     # -- index maintenance -------------------------------------------------
     def _reindex_pe_owners(self, record: PERecord) -> None:
@@ -321,10 +368,30 @@ class InMemoryDAO(RegistryDAO):
         with self._lock:
             self._mutations += 1
             record.pe_id = self._next_pe
+            record.revision = 1
             self._next_pe += 1
             self._pes[record.pe_id] = record
             self._reindex_pe_owners(record)
             return record
+
+    def insert_pes(self, records: Sequence[PERecord]) -> list[PERecord]:
+        """Bulk load under one lock hold; one mutation-counter bump.
+
+        One bump per *batch* (matching :class:`SqliteDAO`'s single
+        transaction) keeps the service layer's index-freshness
+        accounting uniform across backends.
+        """
+        if not records:
+            return []
+        with self._lock:
+            self._mutations += 1
+            for record in records:
+                record.pe_id = self._next_pe
+                record.revision = 1
+                self._next_pe += 1
+                self._pes[record.pe_id] = record
+                self._reindex_pe_owners(record)
+            return list(records)
 
     def update_pe(self, record: PERecord) -> None:
         with self._lock:
@@ -333,6 +400,7 @@ class InMemoryDAO(RegistryDAO):
                 raise NotFoundError(
                     f"PE id {record.pe_id} not found", params={"peId": record.pe_id}
                 )
+            record.revision += 1
             self._pes[record.pe_id] = record
             self._reindex_pe_owners(record)
 
@@ -378,11 +446,29 @@ class InMemoryDAO(RegistryDAO):
         with self._lock:
             self._mutations += 1
             record.workflow_id = self._next_workflow
+            record.revision = 1
             self._next_workflow += 1
             self._workflows[record.workflow_id] = record
             self._reindex_wf_owners(record)
             self._reindex_wf_links(record)
             return record
+
+    def insert_workflows(
+        self, records: Sequence[WorkflowRecord]
+    ) -> list[WorkflowRecord]:
+        """Bulk load under one lock hold; one mutation-counter bump."""
+        if not records:
+            return []
+        with self._lock:
+            self._mutations += 1
+            for record in records:
+                record.workflow_id = self._next_workflow
+                record.revision = 1
+                self._next_workflow += 1
+                self._workflows[record.workflow_id] = record
+                self._reindex_wf_owners(record)
+                self._reindex_wf_links(record)
+            return list(records)
 
     def update_workflow(self, record: WorkflowRecord) -> None:
         with self._lock:
@@ -392,6 +478,7 @@ class InMemoryDAO(RegistryDAO):
                     f"workflow id {record.workflow_id} not found",
                     params={"workflowId": record.workflow_id},
                 )
+            record.revision += 1
             self._workflows[record.workflow_id] = record
             self._reindex_wf_owners(record)
             self._reindex_wf_links(record)
@@ -471,6 +558,55 @@ class InMemoryDAO(RegistryDAO):
                 "rows": sum(len(ids) for ids, _ in shards.values()),
             }
 
+    # -- idempotency receipts ---------------------------------------------
+    def get_write_receipt(
+        self, user_id: int, key: str
+    ) -> tuple[str, int, dict] | None:
+        with self._lock:
+            receipt = self._receipts.get((int(user_id), str(key)))
+            if receipt is None:
+                return None
+            fingerprint, status, body = receipt
+            return fingerprint, status, json.loads(json.dumps(body))
+
+    def save_write_receipt(
+        self, user_id: int, key: str, fingerprint: str, status: int, body: dict
+    ) -> None:
+        with self._lock:
+            # receipts are not registry mutations: no counter bump
+            self._receipts[(int(user_id), str(key))] = (
+                str(fingerprint),
+                int(status),
+                json.loads(json.dumps(body)),
+            )
+
+    # -- persisted IVF training state -------------------------------------
+    def save_ivf_states(self, states, counter) -> None:
+        with self._lock:
+            self._saved_ivf = (
+                int(counter),
+                {
+                    (int(user_id), str(kind)): (
+                        np.asarray(centroids, dtype=np.float32).copy(),
+                        [
+                            np.asarray(members, dtype=np.int64).copy()
+                            for members in lists
+                        ],
+                    )
+                    for (user_id, kind), (centroids, lists) in states.items()
+                },
+            )
+
+    def load_ivf_states(self):
+        with self._lock:
+            if self._saved_ivf is None:
+                return None
+            counter, states = self._saved_ivf
+            return counter, {
+                key: (centroids.copy(), [members.copy() for members in lists])
+                for key, (centroids, lists) in states.items()
+            }
+
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS users (
@@ -488,7 +624,8 @@ CREATE TABLE IF NOT EXISTS pes (
     pe_imports TEXT NOT NULL DEFAULT '[]',
     code_embedding BLOB,
     desc_embedding BLOB,
-    owners TEXT NOT NULL DEFAULT '[]'
+    owners TEXT NOT NULL DEFAULT '[]',
+    revision INTEGER NOT NULL DEFAULT 1
 );
 CREATE TABLE IF NOT EXISTS workflows (
     workflow_id INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -499,7 +636,8 @@ CREATE TABLE IF NOT EXISTS workflows (
     workflow_source TEXT NOT NULL DEFAULT '',
     pe_ids TEXT NOT NULL DEFAULT '[]',
     desc_embedding BLOB,
-    owners TEXT NOT NULL DEFAULT '[]'
+    owners TEXT NOT NULL DEFAULT '[]',
+    revision INTEGER NOT NULL DEFAULT 1
 );
 CREATE INDEX IF NOT EXISTS idx_pes_name ON pes(pe_name);
 CREATE INDEX IF NOT EXISTS idx_wf_entry ON workflows(entry_point);
@@ -543,12 +681,40 @@ CREATE TABLE IF NOT EXISTS index_shards (
     vectors BLOB NOT NULL,
     PRIMARY KEY (user_id, kind)
 );
+-- schema v3: idempotency receipts for the v1 write surface (replaying
+-- a stored (user, key) returns the recorded response verbatim; a
+-- fingerprint mismatch is a 409) and persisted IVF training state
+-- (trained centroids + inverted lists stamped with the same mutation
+-- counter as the slab snapshot, so approximate cold starts skip the
+-- lazy k-means retrain)
+CREATE TABLE IF NOT EXISTS write_receipts (
+    user_id INTEGER NOT NULL,
+    idem_key TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
+    status INTEGER NOT NULL,
+    body TEXT NOT NULL,
+    PRIMARY KEY (user_id, idem_key)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS ivf_states (
+    user_id INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    mutation_counter INTEGER NOT NULL,
+    dim INTEGER NOT NULL,
+    nlist INTEGER NOT NULL,
+    rows INTEGER NOT NULL,
+    centroids BLOB NOT NULL,
+    list_sizes BLOB NOT NULL,
+    members BLOB NOT NULL,
+    PRIMARY KEY (user_id, kind)
+);
 """
 
 #: v1 introduced the normalized join tables (files at version 0 are
 #: backfilled from the JSON columns on open); v2 added the mutation
-#: counter and the persisted index-shard slabs
-_SCHEMA_VERSION = 2
+#: counter and the persisted index-shard slabs; v3 added per-record
+#: revisions (conditional writes), idempotency receipts and persisted
+#: IVF training state
+_SCHEMA_VERSION = 3
 
 #: SQLite caps host parameters per statement (999 before 3.32); chunk
 #: IN(...) lists well below that
@@ -603,38 +769,55 @@ class SqliteDAO(RegistryDAO):
         v1 -> v2 only needs the new tables (created by the schema
         script) with the mutation counter seeded at 0 — the empty
         ``index_shards`` table simply means the first attach rebuilds
-        and persists.
+        and persists; v2 -> v3 adds the ``revision`` columns (existing
+        rows start at revision 1) plus the ``write_receipts`` /
+        ``ivf_states`` tables from the schema script.
         """
         version = self._conn.execute("PRAGMA user_version").fetchone()[0]
         if version >= _SCHEMA_VERSION:
             return
-        if version >= 1:
-            self._conn.execute(f"PRAGMA user_version = {_SCHEMA_VERSION}")
-            return
-        for row in self._conn.execute("SELECT pe_id, owners FROM pes"):
-            self._conn.executemany(
-                "INSERT OR IGNORE INTO pe_owners (pe_id, user_id) VALUES (?, ?)",
-                [(row["pe_id"], int(uid)) for uid in json.loads(row["owners"])],
-            )
-        for row in self._conn.execute(
-            "SELECT workflow_id, owners, pe_ids FROM workflows"
-        ):
-            self._conn.executemany(
-                "INSERT OR IGNORE INTO workflow_owners (workflow_id, user_id)"
-                " VALUES (?, ?)",
-                [
-                    (row["workflow_id"], int(uid))
-                    for uid in json.loads(row["owners"])
-                ],
-            )
-            self._conn.executemany(
-                "INSERT OR IGNORE INTO workflow_pes (workflow_id, pe_id)"
-                " VALUES (?, ?)",
-                [
-                    (row["workflow_id"], int(pe_id))
-                    for pe_id in json.loads(row["pe_ids"])
-                ],
-            )
+        if version < 1:
+            for row in self._conn.execute("SELECT pe_id, owners FROM pes"):
+                self._conn.executemany(
+                    "INSERT OR IGNORE INTO pe_owners (pe_id, user_id)"
+                    " VALUES (?, ?)",
+                    [
+                        (row["pe_id"], int(uid))
+                        for uid in json.loads(row["owners"])
+                    ],
+                )
+            for row in self._conn.execute(
+                "SELECT workflow_id, owners, pe_ids FROM workflows"
+            ):
+                self._conn.executemany(
+                    "INSERT OR IGNORE INTO workflow_owners (workflow_id,"
+                    " user_id) VALUES (?, ?)",
+                    [
+                        (row["workflow_id"], int(uid))
+                        for uid in json.loads(row["owners"])
+                    ],
+                )
+                self._conn.executemany(
+                    "INSERT OR IGNORE INTO workflow_pes (workflow_id, pe_id)"
+                    " VALUES (?, ?)",
+                    [
+                        (row["workflow_id"], int(pe_id))
+                        for pe_id in json.loads(row["pe_ids"])
+                    ],
+                )
+        # v3 revision columns: files created before v3 lack them (the
+        # schema script only shapes *new* tables); a fresh database
+        # already carries them, so probe instead of trusting the version
+        for table in ("pes", "workflows"):
+            columns = {
+                row["name"]
+                for row in self._conn.execute(f"PRAGMA table_info({table})")
+            }
+            if "revision" not in columns:
+                self._conn.execute(
+                    f"ALTER TABLE {table} ADD COLUMN revision INTEGER"
+                    " NOT NULL DEFAULT 1"
+                )
         self._conn.execute(f"PRAGMA user_version = {_SCHEMA_VERSION}")
 
     def close(self) -> None:
@@ -718,6 +901,7 @@ class SqliteDAO(RegistryDAO):
             code_embedding=_unblob(row["code_embedding"]),
             desc_embedding=_unblob(row["desc_embedding"]),
             owners=set(json.loads(row["owners"])),
+            revision=int(row["revision"]),
         )
 
     @staticmethod
@@ -737,11 +921,12 @@ class SqliteDAO(RegistryDAO):
     def insert_pe(self, record: PERecord) -> PERecord:
         with self._lock, self._conn:
             self._bump_mutation()
+            record.revision = 1
             cursor = self._conn.execute(
                 """INSERT INTO pes (pe_name, description, description_origin,
                    pe_code, pe_source, pe_imports, code_embedding,
-                   desc_embedding, owners)
-                   VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)""",
+                   desc_embedding, owners, revision)
+                   VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, 1)""",
                 self._pe_params(record),
             )
             record.pe_id = int(cursor.lastrowid)
@@ -759,11 +944,12 @@ class SqliteDAO(RegistryDAO):
             ).fetchone()[0]
             for offset, record in enumerate(records, start=1):
                 record.pe_id = base + offset
+                record.revision = 1
             self._conn.executemany(
                 """INSERT INTO pes (pe_id, pe_name, description,
                    description_origin, pe_code, pe_source, pe_imports,
-                   code_embedding, desc_embedding, owners)
-                   VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)""",
+                   code_embedding, desc_embedding, owners, revision)
+                   VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 1)""",
                 [(r.pe_id, *self._pe_params(r)) for r in records],
             )
             self._conn.executemany(
@@ -782,14 +968,15 @@ class SqliteDAO(RegistryDAO):
             cursor = self._conn.execute(
                 """UPDATE pes SET pe_name=?, description=?,
                    description_origin=?, pe_code=?, pe_source=?,
-                   pe_imports=?, code_embedding=?, desc_embedding=?, owners=?
-                   WHERE pe_id=?""",
-                (*self._pe_params(record), record.pe_id),
+                   pe_imports=?, code_embedding=?, desc_embedding=?, owners=?,
+                   revision=? WHERE pe_id=?""",
+                (*self._pe_params(record), record.revision + 1, record.pe_id),
             )
             if cursor.rowcount == 0:
                 raise NotFoundError(
                     f"PE id {record.pe_id} not found", params={"peId": record.pe_id}
                 )
+            record.revision += 1
             self._sync_pe_owners(record.pe_id, record.owners)
 
     def get_pe(self, pe_id: int) -> PERecord | None:
@@ -931,6 +1118,7 @@ class SqliteDAO(RegistryDAO):
             pe_ids=json.loads(row["pe_ids"]),
             desc_embedding=_unblob(row["desc_embedding"]),
             owners=set(json.loads(row["owners"])),
+            revision=int(row["revision"]),
         )
 
     @staticmethod
@@ -949,11 +1137,12 @@ class SqliteDAO(RegistryDAO):
     def insert_workflow(self, record: WorkflowRecord) -> WorkflowRecord:
         with self._lock, self._conn:
             self._bump_mutation()
+            record.revision = 1
             cursor = self._conn.execute(
                 """INSERT INTO workflows (workflow_name, entry_point,
                    description, workflow_code, workflow_source, pe_ids,
-                   desc_embedding, owners)
-                   VALUES (?, ?, ?, ?, ?, ?, ?, ?)""",
+                   desc_embedding, owners, revision)
+                   VALUES (?, ?, ?, ?, ?, ?, ?, ?, 1)""",
                 self._wf_params(record),
             )
             record.workflow_id = int(cursor.lastrowid)
@@ -974,11 +1163,12 @@ class SqliteDAO(RegistryDAO):
             ).fetchone()[0]
             for offset, record in enumerate(records, start=1):
                 record.workflow_id = base + offset
+                record.revision = 1
             self._conn.executemany(
                 """INSERT INTO workflows (workflow_id, workflow_name,
                    entry_point, description, workflow_code, workflow_source,
-                   pe_ids, desc_embedding, owners)
-                   VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)""",
+                   pe_ids, desc_embedding, owners, revision)
+                   VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, 1)""",
                 [(r.workflow_id, *self._wf_params(r)) for r in records],
             )
             self._conn.executemany(
@@ -1007,14 +1197,20 @@ class SqliteDAO(RegistryDAO):
             cursor = self._conn.execute(
                 """UPDATE workflows SET workflow_name=?, entry_point=?,
                    description=?, workflow_code=?, workflow_source=?,
-                   pe_ids=?, desc_embedding=?, owners=? WHERE workflow_id=?""",
-                (*self._wf_params(record), record.workflow_id),
+                   pe_ids=?, desc_embedding=?, owners=?, revision=?
+                   WHERE workflow_id=?""",
+                (
+                    *self._wf_params(record),
+                    record.revision + 1,
+                    record.workflow_id,
+                ),
             )
             if cursor.rowcount == 0:
                 raise NotFoundError(
                     f"workflow id {record.workflow_id} not found",
                     params={"workflowId": record.workflow_id},
                 )
+            record.revision += 1
             self._sync_wf_owners(record.workflow_id, record.owners)
             self._sync_wf_links(record.workflow_id, record.pe_ids)
 
@@ -1214,3 +1410,126 @@ class SqliteDAO(RegistryDAO):
             "shards": len(rows),
             "rows": sum(row["rows"] for row in rows),
         }
+
+    # -- idempotency receipts ---------------------------------------------
+    def get_write_receipt(
+        self, user_id: int, key: str
+    ) -> tuple[str, int, dict] | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT fingerprint, status, body FROM write_receipts"
+                " WHERE user_id=? AND idem_key=?",
+                (int(user_id), str(key)),
+            ).fetchone()
+        if row is None:
+            return None
+        return row["fingerprint"], int(row["status"]), json.loads(row["body"])
+
+    def save_write_receipt(
+        self, user_id: int, key: str, fingerprint: str, status: int, body: dict
+    ) -> None:
+        # deliberately NOT a registry mutation: no _bump_mutation(),
+        # so a replayed write leaves the counter (and any persisted
+        # shard snapshot's freshness) untouched
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO write_receipts"
+                " (user_id, idem_key, fingerprint, status, body)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (
+                    int(user_id),
+                    str(key),
+                    str(fingerprint),
+                    int(status),
+                    json.dumps(body),
+                ),
+            )
+
+    # -- persisted IVF training state -------------------------------------
+    def save_ivf_states(
+        self,
+        states: Mapping[tuple[int, str], tuple[np.ndarray, list[np.ndarray]]],
+        counter: int,
+    ) -> None:
+        """Replace the IVF snapshot wholesale, stamped at ``counter``.
+
+        Per (user, kind): the float32 centroid matrix, plus the
+        inverted lists flattened to one int64 member vector with an
+        int64 per-list size vector — the row indices refer to the slab
+        snapshot persisted at the *same* counter.
+        """
+        payload = []
+        for (user_id, kind), (centroids, lists) in states.items():
+            centroids = np.asarray(centroids, dtype=np.float32)
+            sizes = np.asarray([len(members) for members in lists], dtype=np.int64)
+            members = (
+                np.concatenate(
+                    [np.asarray(m, dtype=np.int64) for m in lists]
+                )
+                if lists
+                else np.empty(0, dtype=np.int64)
+            )
+            payload.append(
+                (
+                    int(user_id),
+                    str(kind),
+                    int(counter),
+                    int(centroids.shape[1]) if centroids.ndim == 2 else 0,
+                    int(centroids.shape[0]),
+                    int(members.shape[0]),
+                    centroids.tobytes(),
+                    sizes.tobytes(),
+                    members.tobytes(),
+                )
+            )
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM ivf_states")
+            self._conn.executemany(
+                """INSERT INTO ivf_states
+                   (user_id, kind, mutation_counter, dim, nlist, rows,
+                    centroids, list_sizes, members)
+                   VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)""",
+                payload,
+            )
+
+    def load_ivf_states(
+        self,
+    ) -> tuple[int, dict[tuple[int, str], tuple[np.ndarray, list[np.ndarray]]]] | None:
+        """Read back the IVF snapshot; ``None`` if absent, torn or corrupt.
+
+        Torn means mixed mutation counters (crash mid-save) — exactly
+        the slab snapshot's protocol; the caller then simply retrains
+        lazily.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT user_id, kind, mutation_counter, dim, nlist, rows,"
+                " centroids, list_sizes, members FROM ivf_states"
+            ).fetchall()
+        if not rows:
+            return None
+        counters = {row["mutation_counter"] for row in rows}
+        if len(counters) != 1:
+            return None
+        states: dict[tuple[int, str], tuple[np.ndarray, list[np.ndarray]]] = {}
+        for row in rows:
+            try:
+                centroids = (
+                    np.frombuffer(row["centroids"], dtype=np.float32)
+                    .reshape(row["nlist"], row["dim"])
+                    .copy()
+                )
+                sizes = np.frombuffer(row["list_sizes"], dtype=np.int64)
+                members = np.frombuffer(row["members"], dtype=np.int64)
+            except ValueError:
+                return None  # truncated/corrupt blob — force a retrain
+            if sizes.shape[0] != row["nlist"] or int(sizes.sum()) != int(
+                members.shape[0]
+            ) or int(members.shape[0]) != row["rows"]:
+                return None  # torn blob — force a retrain
+            lists, start = [], 0
+            for size in sizes:
+                lists.append(members[start : start + int(size)].copy())
+                start += int(size)
+            states[(int(row["user_id"]), str(row["kind"]))] = (centroids, lists)
+        return counters.pop(), states

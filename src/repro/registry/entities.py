@@ -70,6 +70,11 @@ class PERecord:
     #: whether the description was user-provided or auto-summarized
     description_origin: str = "user"
     owners: set[int] = field(default_factory=set)
+    #: per-record revision for conditional writes (v1 ``ifVersion``):
+    #: 1 on insert, +1 on every update (DAO-managed).  Deliberately NOT
+    #: part of :meth:`to_json` — the legacy wire shapes stay
+    #: byte-identical; the v1 write envelope surfaces it explicitly.
+    revision: int = 1
 
     def identity_key(self) -> str:
         """Dedup identity (§3.1): same class name + same code payload."""
@@ -127,6 +132,8 @@ class WorkflowRecord:
     #: "enhance deep learning search for workflows" extension)
     desc_embedding: np.ndarray | None = None
     owners: set[int] = field(default_factory=set)
+    #: per-record revision for conditional writes (see PERecord.revision)
+    revision: int = 1
 
     def identity_key(self) -> str:
         digest = hashlib.sha256(self.workflow_code.encode("ascii")).hexdigest()[:16]

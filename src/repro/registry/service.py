@@ -55,6 +55,10 @@ class RegistryService:
         #: fresh).  Lost-update races on the += only under-count,
         #: which skips a persist — the safe direction.
         self._index_counter = 0
+        #: approximate companion backends (e.g. IVF) registered via
+        #: attach_approx_backend; their training state persists and
+        #: restores alongside the slab snapshot
+        self._companions: list = []
         if index is not None:
             self.attach_index(index)
 
@@ -149,6 +153,60 @@ class RegistryService:
         if self.dao.mutation_counter() != stamp:
             return False
         self.dao.save_index_shards(shards, stamp)
+        # companion training state (e.g. IVF lists) rides along at the
+        # same stamp — persist_approx_states re-verifies freshness and
+        # simply skips when nothing valid is trained
+        self.persist_approx_states()
+        return True
+
+    def attach_approx_backend(self, backend) -> str:
+        """Adopt an approximate companion backend (e.g. the IVF engine)
+        and restore its persisted training state when still fresh.
+
+        The stored centroids + inverted lists are only meaningful
+        against the slab contents at the counter they were stamped with
+        — exactly what the in-memory shards hold when the stamp equals
+        ``_index_counter`` (a fresh slab load *or* a rebuild both leave
+        ascending-id-ordered rows, which is the layout training row
+        indices refer to).  Any mismatch (stale, torn, absent) simply
+        leaves the backend untrained: it retrains lazily, which is
+        always correct.  Returns ``"restored"``, ``"stale"`` or
+        ``"untrained"``.
+        """
+        if backend not in self._companions:
+            self._companions.append(backend)
+        stored = self.dao.load_ivf_states()
+        if stored is None:
+            return "untrained"
+        counter, states = stored
+        if self.index is None or counter != self._index_counter:
+            return "stale"
+        adopted = backend.adopt_states(states)
+        return "restored" if adopted else "untrained"
+
+    def persist_approx_states(self) -> bool:
+        """Save companion backends' trained state next to the slabs.
+
+        Same freshness protocol as :meth:`persist_shards`: the export
+        is stamped with the counter the index is known to reflect and
+        skipped whenever the DAO's counter disagrees before or after
+        (state must never claim freshness it does not have).  Stale
+        trained shards are excluded by the export itself.  Returns
+        whether a snapshot was written.
+        """
+        if self.index is None or not self._companions:
+            return False
+        stamp = self._index_counter
+        if self.dao.mutation_counter() != stamp:
+            return False
+        states: dict = {}
+        for backend in self._companions:
+            states.update(backend.export_states())
+        if not states:
+            return False
+        if self.dao.mutation_counter() != stamp:
+            return False
+        self.dao.save_ivf_states(states, stamp)
         return True
 
     def shard_persistence(self) -> dict:
@@ -235,19 +293,159 @@ class RegistryService:
     # ------------------------------------------------------------------
     def add_pe(self, user: UserRecord, record: PERecord) -> PERecord:
         """Register a PE, applying the §3.1 dedup-by-identity rule."""
+        return self.register_pe(user, record)[0]
+
+    def _dedup_pe_hit(
+        self, user: UserRecord, record: PERecord
+    ) -> PERecord | None:
+        """The §3.1 dedup resolution: an identity match grants the
+        caller ownership (and indexes the record for them); ``None``
+        means the registration is genuinely new."""
+        identity = record.identity_key()
         for existing in self.dao.find_pe_by_name(record.pe_name):
-            if existing.identity_key() == record.identity_key():
+            if existing.identity_key() == identity:
                 if user.user_id not in existing.owners:
                     existing.owners.add(user.user_id)
                     self.dao.update_pe(existing)
                     self._note_write()
                 self._index_pe(user.user_id, existing)
                 return existing
+        return None
+
+    def register_pe(
+        self, user: UserRecord, record: PERecord
+    ) -> tuple[PERecord, bool]:
+        """Dedup-or-insert; returns ``(stored, created)``.
+
+        ``created`` is False when the §3.1 identity rule resolved the
+        registration onto an existing record (ownership granted, or the
+        caller already owned it) — the v1 write envelope surfaces the
+        distinction while ``add_pe`` keeps the historical signature.
+        """
+        hit = self._dedup_pe_hit(user, record)
+        if hit is not None:
+            return hit, False
         record.owners = {user.user_id}
         stored = self.dao.insert_pe(record)
         self._note_write()
         self._index_pe(user.user_id, stored)
-        return stored
+        return stored, True
+
+    def upsert_pe(
+        self, user: UserRecord, current: PERecord, record: PERecord
+    ) -> tuple[PERecord, bool]:
+        """Replace the user's name binding: ``record`` supersedes
+        ``current`` (same name, different identity).
+
+        The new content resolves through the §3.1 dedup first (joining
+        an existing identical record or inserting), then the caller's
+        stake in the old record is released — dissociation when other
+        owners remain (a PUT never rewrites another tenant's record),
+        deletion when the caller was the sole owner.  After this, the
+        user's by-name lookups, deletes and conditional writes all
+        resolve to the record now holding the PUT content.
+        """
+        stored, created = self.register_pe(user, record)
+        self.remove_pe_record(user, current)
+        return stored, created
+
+    def revise_pe(
+        self, user: UserRecord, current: PERecord, record: PERecord
+    ) -> tuple[PERecord, bool]:
+        """In-place metadata revision: same identity (name + code),
+        changed description/source/imports/embeddings.
+
+        The record id stays stable and the revision bumps.  Identical
+        identity means there is exactly ONE record (the §3.1 invariant),
+        so every owner sees the revision — shared identity is shared
+        metadata by construction; a caller wanting private metadata
+        must change the code payload (which forks via upsert).
+        """
+        current.description = record.description
+        current.description_origin = record.description_origin
+        current.pe_source = record.pe_source
+        current.pe_imports = list(record.pe_imports)
+        current.desc_embedding = record.desc_embedding
+        current.code_embedding = record.code_embedding
+        self.dao.update_pe(current)
+        self._note_write()
+        for owner in current.owners:
+            self._index_pe(owner, current)
+        return current, False
+
+    def register_pes_bulk(
+        self, user: UserRecord, records: list[PERecord], *, persist: bool = True
+    ) -> tuple[list[PERecord], list[bool]]:
+        """Bulk registration: one DAO ``executemany`` insert, one index
+        ``add_many`` per shard kind, one shard persist.
+
+        Applies the same §3.1 dedup-by-identity rule as
+        :meth:`register_pe` — against the registry *and* within the
+        batch itself (two identical items resolve to one record).
+        Returns the stored records in item order plus per-item
+        ``created`` flags.
+        """
+        from repro.search.index import KIND_CODE, KIND_DESC
+
+        stored: list[PERecord] = []
+        created: list[bool] = []
+        fresh: list[PERecord] = []
+        by_identity: dict[str, PERecord] = {}
+        for record in records:
+            identity = record.identity_key()
+            batch_hit = by_identity.get(identity)
+            if batch_hit is not None:
+                # in-batch duplicate: resolves to whatever the first
+                # occurrence resolved to.  Never index here — a fresh
+                # first occurrence has no id yet (it is inserted and
+                # indexed with its real id after the loop), and a
+                # registry hit was already indexed then.
+                stored.append(batch_hit)
+                created.append(False)
+                continue
+            hit = self._dedup_pe_hit(user, record)
+            if hit is not None:
+                by_identity[identity] = hit
+                stored.append(hit)
+                created.append(False)
+                continue
+            record.owners = {user.user_id}
+            fresh.append(record)
+            by_identity[identity] = record
+            stored.append(record)
+            created.append(True)
+        if fresh:
+            self.dao.insert_pes(fresh)
+            # both DAOs treat a bulk insert as ONE mutation event
+            self._note_write()
+            if self.index is not None:
+                desc = [
+                    (r.pe_id, r.desc_embedding)
+                    for r in fresh
+                    if r.desc_embedding is not None
+                ]
+                code = [
+                    (r.pe_id, r.code_embedding)
+                    for r in fresh
+                    if r.code_embedding is not None
+                ]
+                if desc:
+                    self.index.add_many(
+                        user.user_id,
+                        KIND_DESC,
+                        [rid for rid, _ in desc],
+                        [vec for _, vec in desc],
+                    )
+                if code:
+                    self.index.add_many(
+                        user.user_id,
+                        KIND_CODE,
+                        [rid for rid, _ in code],
+                        [vec for _, vec in code],
+                    )
+        if persist:
+            self.persist_shards()
+        return stored, created
 
     def _owned_pe(self, user: UserRecord, pe_id: int) -> PERecord:
         record = self.dao.get_pe(pe_id)
@@ -311,14 +509,22 @@ class RegistryService:
 
     def remove_pe(self, user: UserRecord, pe_id: int) -> None:
         """Dissociate the user; delete the PE once ownerless."""
-        record = self._owned_pe(user, pe_id)
+        self.remove_pe_record(user, self._owned_pe(user, pe_id))
+
+    def remove_pe_record(self, user: UserRecord, record: PERecord) -> None:
+        """Remove an already-fetched owned record (no re-fetch).
+
+        The write core resolves the target once for its revision check;
+        re-reading it here would unblob the embeddings a second time
+        inside the write lock.
+        """
         record.owners.discard(user.user_id)
         if record.owners:
             self.dao.update_pe(record)
         else:
-            self.dao.delete_pe(pe_id)
+            self.dao.delete_pe(record.pe_id)
         self._note_write()
-        self._unindex_pe(user.user_id, pe_id)
+        self._unindex_pe(user.user_id, record.pe_id)
 
     def remove_pe_by_name(self, user: UserRecord, name: str) -> None:
         record = self.get_pe_by_name(user, name)
@@ -330,6 +536,12 @@ class RegistryService:
     def add_workflow(
         self, user: UserRecord, record: WorkflowRecord
     ) -> WorkflowRecord:
+        return self.register_workflow(user, record)[0]
+
+    def register_workflow(
+        self, user: UserRecord, record: WorkflowRecord
+    ) -> tuple[WorkflowRecord, bool]:
+        """Dedup-or-insert; returns ``(stored, created)`` (see register_pe)."""
         for existing in self.dao.find_workflow_by_entry_point(record.entry_point):
             if existing.identity_key() == record.identity_key():
                 if user.user_id not in existing.owners:
@@ -337,12 +549,35 @@ class RegistryService:
                     self.dao.update_workflow(existing)
                     self._note_write()
                 self._index_workflow(user.user_id, existing)
-                return existing
+                return existing, False
         record.owners = {user.user_id}
         stored = self.dao.insert_workflow(record)
         self._note_write()
         self._index_workflow(user.user_id, stored)
-        return stored
+        return stored, True
+
+    def upsert_workflow(
+        self, user: UserRecord, current: WorkflowRecord, record: WorkflowRecord
+    ) -> tuple[WorkflowRecord, bool]:
+        """Replace the user's entry-point binding (see :meth:`upsert_pe`)."""
+        stored, created = self.register_workflow(user, record)
+        self.remove_workflow_record(user, current)
+        return stored, created
+
+    def revise_workflow(
+        self, user: UserRecord, current: WorkflowRecord, record: WorkflowRecord
+    ) -> tuple[WorkflowRecord, bool]:
+        """In-place metadata revision (see :meth:`revise_pe`)."""
+        current.workflow_name = record.workflow_name
+        current.description = record.description
+        current.workflow_source = record.workflow_source
+        current.pe_ids = list(record.pe_ids)
+        current.desc_embedding = record.desc_embedding
+        self.dao.update_workflow(current)
+        self._note_write()
+        for owner in current.owners:
+            self._index_workflow(owner, current)
+        return current, False
 
     def _owned_workflow(self, user: UserRecord, workflow_id: int) -> WorkflowRecord:
         record = self.dao.get_workflow(workflow_id)
@@ -397,14 +632,21 @@ class RegistryService:
         )
 
     def remove_workflow(self, user: UserRecord, workflow_id: int) -> None:
-        record = self._owned_workflow(user, workflow_id)
+        self.remove_workflow_record(
+            user, self._owned_workflow(user, workflow_id)
+        )
+
+    def remove_workflow_record(
+        self, user: UserRecord, record: WorkflowRecord
+    ) -> None:
+        """Remove an already-fetched owned record (no re-fetch)."""
         record.owners.discard(user.user_id)
         if record.owners:
             self.dao.update_workflow(record)
         else:
-            self.dao.delete_workflow(workflow_id)
+            self.dao.delete_workflow(record.workflow_id)
         self._note_write()
-        self._unindex_workflow(user.user_id, workflow_id)
+        self._unindex_workflow(user.user_id, record.workflow_id)
 
     def remove_workflow_by_name(self, user: UserRecord, name: str) -> None:
         record = self.get_workflow_by_name(user, name)

@@ -301,6 +301,80 @@ class IVFFlatBackend:
         return out
 
     # ------------------------------------------------------------------
+    # Training-state persistence (cold starts skip the lazy k-means)
+    # ------------------------------------------------------------------
+    def export_states(
+        self,
+    ) -> dict[tuple[Hashable, str], tuple[np.ndarray, list[np.ndarray]]]:
+        """Snapshot ``{(user, kind): (centroids, lists)}`` for every
+        trained clustering still valid against its live shard.
+
+        Stale states (any mutation since training) are excluded — the
+        member row indices would reference shifted slab positions.
+        Taken under the base index lock so the validity check and the
+        copy see one consistent shard.
+        """
+        out: dict[tuple[Hashable, str], tuple[np.ndarray, list[np.ndarray]]] = {}
+        base = self.base
+        with base._lock:
+            with self._states_lock:
+                items = list(self._states.items())
+            for key, state in items:
+                shard = base._shards.get(key)
+                if (
+                    shard is None
+                    or state.shard is not shard
+                    or state.version != shard.version
+                ):
+                    continue
+                out[key] = (
+                    state.centroids.copy(),
+                    [members.copy() for members in state.lists],
+                )
+        return out
+
+    def adopt_states(
+        self,
+        states: dict[tuple[Hashable, str], tuple[np.ndarray, list[np.ndarray]]],
+    ) -> int:
+        """Install pre-trained clusterings for the *current* shards.
+
+        The caller (``RegistryService.attach_approx_backend``) vouches
+        that the states were trained on exactly the slab contents now
+        in the shards (same mutation counter as the loaded snapshot);
+        this method still sanity-checks shape — member rows must cover
+        the live slab exactly and centroid width must match — and skips
+        anything inconsistent (the shard then retrains lazily, which is
+        always correct).  Returns the number of shards adopted.
+        """
+        adopted = 0
+        base = self.base
+        with base._lock:
+            for key, (centroids, lists) in states.items():
+                shard = base._shards.get(key)
+                if shard is None:
+                    continue
+                centroids = np.asarray(centroids, dtype=np.float32)
+                lists = [np.asarray(members, dtype=np.int64) for members in lists]
+                total = sum(int(members.shape[0]) for members in lists)
+                if (
+                    centroids.ndim != 2
+                    or centroids.shape[1] != shard.dim
+                    or total != shard.size
+                    or any(
+                        members.size > 0
+                        and (members.min() < 0 or members.max() >= shard.size)
+                        for members in lists
+                    )
+                ):
+                    continue
+                state = _IVFState(shard, shard.version, centroids, lists)
+                with self._states_lock:
+                    self._states[key] = state
+                adopted += 1
+        return adopted
+
+    # ------------------------------------------------------------------
     # Retrieval
     # ------------------------------------------------------------------
     def _effective_nlist(self, size: int) -> int:

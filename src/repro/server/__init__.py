@@ -67,6 +67,14 @@ GET      ``/v1/registry/{user}/pes``                ``limit``, ``cursor``
 GET      ``/v1/registry/{user}/workflows``          ``limit``, ``cursor``
 GET      ``/v1/registry/{user}/workflows/{id}/pes`` ``limit``, ``cursor``
 POST     ``/v1/registry/{user}/search``             see ``SearchRequest``
+PUT      ``/v1/registry/{user}/pes/{name}``         see ``RegisterPERequest``
+PUT      ``/v1/registry/{user}/workflows/{name}``   see ``RegisterWorkflowRequest``
+POST     ``/v1/registry/{user}/pes:bulk``           ``items``, ``ifVersion``,
+                                                    ``idempotencyKey``
+DELETE   ``/v1/registry/{user}/pes/{name}``         ``ifVersion``,
+                                                    ``idempotencyKey``
+DELETE   ``/v1/registry/{user}/workflows/{name}``   ``ifVersion``,
+                                                    ``idempotencyKey``
 =======  =========================================  =======================
 
 **Listings** return the ``Page`` envelope::
@@ -105,6 +113,55 @@ exact scan bitwise when the shard is small, ``k`` is unbounded or
 ``nprobe >= nlist``).  Both serve through the same micro-batcher,
 membership checks and brute-force fallback — an approximate backend can
 lose recall, never correctness or tenant isolation.
+
+**Writes** complete the versioned surface.  ``PUT`` registers under the
+path name (the PE name / the workflow entry point) with true *upsert*
+semantics: identical content is the §3.1 dedup no-op, while changed
+content supersedes the caller's binding — the new content registers
+(dedup-or-insert) and the caller's stake in the old record is released
+(other tenants' view of a shared record is never rewritten).  The
+legacy add routes keep the historical register-only behaviour.
+``DELETE`` removes by the same key, and ``POST …/pes:bulk`` lands a
+batch with one DAO ``executemany`` transaction, one index ``add_many``
+per shard kind and one shard persist.  All write routes — and the
+legacy Table-3 register/remove routes, which are thin byte-identical
+adapters — share one serialized core
+(:func:`repro.server.v1_write.execute_write`).
+Every write returns the ``WriteResponse`` envelope::
+
+    {"apiVersion": "v1", "op": "register"|"delete"|"bulk-register",
+     "kind": "pe"|"workflow", "count": N,
+     "items": [{...record..., "revision": r, "created": bool}],
+     "removed": bool, "registryVersion": m, "idempotencyKey": k|null}
+
+*Idempotency*: a write carrying ``idempotencyKey`` (body field, or the
+HTTP ``Idempotency-Key`` header — carried as request metadata so strict
+read envelopes never see it) stores its response; replaying the same
+key + identical request returns the stored envelope verbatim
+(``Idempotent-Replay: true`` header, registry mutation counter
+untouched, no model work re-paid), while the same key fronting a
+different request is a 409.  Only successful responses are recorded —
+errors stay retryable.
+
+*Conditional writes*: ``ifVersion`` pins the target record's
+``revision`` (0 = create-only; every update bumps it) — or, for bulk,
+the registry mutation counter — and a mismatch is a 412 with the
+registry untouched.
+
+Write error envelope (all carry the §3.2.5 JSON shape):
+
+=====  =====================  =============================================
+Code   ``error``              When
+=====  =====================  =============================================
+400    ValidationError        malformed envelope, unknown fields, body
+                              name disagreeing with the path
+401    AuthenticationError    missing/foreign token
+404    NotFoundError          delete target absent (or not owned)
+405    MethodNotAllowed       path exists under other methods (the
+                              response carries an ``Allow`` header)
+409    IdempotencyConflict    key replayed with a different request
+412    PreconditionFailed     ``ifVersion`` mismatch
+=====  =====================  =============================================
 """
 
 from repro.server.api import Router

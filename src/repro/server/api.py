@@ -11,7 +11,7 @@ import urllib.parse
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import NotFoundError
+from repro.errors import MethodNotAllowedError, NotFoundError
 from repro.net.transport import Request, Response
 
 Handler = Callable[[Request, dict[str, str]], Response]
@@ -80,10 +80,33 @@ class Router:
             params = route.match(method.upper(), parts)
             if params is not None:
                 return route.handler, params
+        allowed = self.allowed_methods(parts)
+        if allowed:
+            # the path exists under other methods: that is a 405 with an
+            # Allow header, not a 404 (both route tables — legacy and
+            # /v1/ — share this resolution)
+            raise MethodNotAllowedError(
+                f"method {method.upper()} not allowed for {path}",
+                allowed=allowed,
+                params={"method": method, "path": path},
+                details=f"allowed methods: {', '.join(sorted(allowed))}",
+            )
         raise NotFoundError(
             f"no route for {method.upper()} {path}",
             params={"method": method, "path": path},
         )
+
+    def allowed_methods(self, parts: tuple[str, ...]) -> list[str]:
+        """Every method some route would accept this path under."""
+        allowed = set()
+        for (method, length), bucket in self._buckets.items():
+            if length != len(parts):
+                continue
+            for route in bucket:
+                if route.match(method, parts) is not None:
+                    allowed.add(method)
+                    break
+        return sorted(allowed)
 
     def endpoints(self) -> list[tuple[str, str]]:
         """(method, pattern) pairs in registration order — used to

@@ -8,11 +8,12 @@ anywhere below into the standardized JSON error envelope of §3.2.5.
 from __future__ import annotations
 
 import secrets
+import threading
 import traceback
 import urllib.parse
 
 from repro.engine import ExecutionEngine
-from repro.errors import ReproError
+from repro.errors import MethodNotAllowedError, ReproError
 from repro.ml.bundle import ModelBundle
 from repro.net.transport import Request, Response
 from repro.registry import InMemoryDAO, RegistryDAO, RegistryService
@@ -29,6 +30,7 @@ from repro.server.controllers import (
     WorkflowController,
 )
 from repro.server.v1 import V1Controller
+from repro.server.v1_write import V1WriteController
 
 
 class LaminarServer:
@@ -79,6 +81,18 @@ class LaminarServer:
             window=search_batch_window, max_batch=search_batch_max
         )
         self.registry = RegistryService(dao or InMemoryDAO(), index=self.index)
+        #: approximate companion backends restore their persisted
+        #: training state (centroids + inverted lists stamped at the
+        #: slab snapshot's mutation counter) so a warm cold start skips
+        #: the lazy k-means retrain entirely
+        for backend in self.backends.values():
+            if hasattr(backend, "adopt_states"):
+                self.registry.attach_approx_backend(backend)
+        #: serializes every API write (v1 routes AND the legacy
+        #: adapters) through repro.server.v1_write.execute_write, making
+        #: idempotency-receipt checks and ifVersion CAS races atomic;
+        #: the search hot path never takes it
+        self.write_lock = threading.RLock()
         #: named Execution Engines (§3.3/§8 future work: multiple engines
         #: registered at one server); ``engine`` becomes the default
         self.engines = EnginePool(engine)
@@ -176,6 +190,20 @@ class LaminarServer:
         add("GET", "/v1/registry/{user}/workflows/{id}/pes", v1.workflow_pes)
         add("POST", "/v1/registry/{user}/search", v1.search)
 
+        # v1 write surface — typed envelopes with idempotency keys and
+        # conditional writes; the legacy register/remove routes above
+        # are thin adapters over the same execute_write core
+        writes = V1WriteController(self)
+        add("PUT", "/v1/registry/{user}/pes/{name}", writes.put_pe)
+        add("PUT", "/v1/registry/{user}/workflows/{name}", writes.put_workflow)
+        add("POST", "/v1/registry/{user}/pes:bulk", writes.bulk_pes)
+        add("DELETE", "/v1/registry/{user}/pes/{name}", writes.delete_pe)
+        add(
+            "DELETE",
+            "/v1/registry/{user}/workflows/{name}",
+            writes.delete_workflow,
+        )
+
     # ------------------------------------------------------------------
     # Dispatch with standardized error handling (paper §3.2.5)
     # ------------------------------------------------------------------
@@ -184,6 +212,11 @@ class LaminarServer:
             request = self._merge_query_string(request)
             handler, params = self.router.resolve(request.method, request.path)
             return handler(request, params)
+        except MethodNotAllowedError as exc:
+            # RFC 9110: a 405 names the methods the resource supports
+            return Response(
+                exc.code, exc.to_json(), {"Allow": ", ".join(exc.allowed)}
+            )
         except ReproError as exc:
             return Response(exc.code, exc.to_json())
         except Exception as exc:  # unforeseen behaviour -> 500 envelope
@@ -216,7 +249,9 @@ class LaminarServer:
             for key, values in urllib.parse.parse_qs(query).items()
         }
         merged.update(request.body or {})
-        return Request(request.method, path, merged, request.token)
+        return Request(
+            request.method, path, merged, request.token, request.headers
+        )
 
     def endpoints(self) -> list[tuple[str, str]]:
         """The (method, pattern) table — mirrors paper Table 3."""

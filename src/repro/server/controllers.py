@@ -22,7 +22,7 @@ from repro.errors import (
     ValidationError,
 )
 from repro.net.transport import Request, Response
-from repro.registry.entities import PERecord, UserRecord, WorkflowRecord
+from repro.registry.entities import UserRecord
 from repro.serialization.imports import merge_requirements
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -102,45 +102,43 @@ class PEController(BaseController):
         return np.asarray(data, dtype=np.float32)
 
     def add(self, request: Request, params: dict[str, str]) -> Response:
+        """Legacy Table-3 PE registration — a thin adapter over the v1
+        write core.
+
+        Validation order, the §3.1.1 summarize/embed fallbacks, the 201
+        body (the stored record, no envelope) and every error shape are
+        byte-identical to the historical handler; the actual write runs
+        through the same serialized
+        :func:`~repro.server.v1_write.execute_write` path the versioned
+        endpoints use.
+        """
+        from repro.server.v1_write import (
+            WriteCommand,
+            build_pe_record,
+            execute_write,
+        )
+
         user = self.authenticated_user(request, params)
         body = request.body
         if not body.get("peName"):
             raise ValidationError("peName is required", params={"keys": sorted(body)})
         if not body.get("peCode"):
             raise ValidationError("peCode is required", params={"pe": body.get("peName")})
-        description = str(body.get("description") or "")
-        origin = str(body.get("descriptionOrigin", "user"))
-        source = str(body.get("peSource", ""))
-        if not description:
-            # server-side fallback: auto-summarize (§3.1.1) when the
-            # client shipped neither a description nor a summary
-            description = self.app.models.summarizer.summarize(
-                source or body["peName"], name=body["peName"]
-            )
-            origin = "auto"
-        desc_embedding = self._embedding(body, "descEmbedding")
-        if desc_embedding is None:
-            desc_embedding = self.app.semantic.embed_description(description)
-        code_embedding = self._embedding(body, "codeEmbedding")
-        if code_embedding is None:
-            # embed the same fallback text the searcher would use, so the
-            # code shard always has a row for every registered PE
-            code_embedding = self.app.code_search.embed_code(
-                source or str(body["peName"])
-            )
-        record = PERecord(
-            pe_id=0,
-            pe_name=str(body["peName"]),
-            description=description,
-            description_origin=origin,
-            pe_code=str(body["peCode"]),
-            pe_source=source,
-            pe_imports=list(body.get("peImports", [])),
-            code_embedding=code_embedding,
-            desc_embedding=desc_embedding,
+        record = build_pe_record(
+            self.app,
+            name=str(body["peName"]),
+            code=str(body["peCode"]),
+            description=str(body.get("description") or ""),
+            origin=str(body.get("descriptionOrigin", "user")),
+            source=str(body.get("peSource", "")),
+            imports=list(body.get("peImports", [])),
+            desc_embedding=self._embedding(body, "descEmbedding"),
+            code_embedding=self._embedding(body, "codeEmbedding"),
         )
-        stored = self.app.registry.add_pe(user, record)
-        return Response(201, stored.to_json())
+        outcome = execute_write(
+            self.app, user, WriteCommand(action="register", kind="pe", record=record)
+        )
+        return Response(201, outcome.records[0].to_json())
 
     def all_pes(self, request: Request, params: dict[str, str]) -> Response:
         user = self.authenticated_user(request, params)
@@ -158,13 +156,27 @@ class PEController(BaseController):
         return Response(200, record.to_json())
 
     def remove_by_id(self, request: Request, params: dict[str, str]) -> Response:
+        from repro.server.v1_write import WriteCommand, execute_write
+
         user = self.authenticated_user(request, params)
-        self.app.registry.remove_pe(user, self.int_param(params, "id"))
+        execute_write(
+            self.app,
+            user,
+            WriteCommand(
+                action="delete", kind="pe", target_id=self.int_param(params, "id")
+            ),
+        )
         return Response(200, {"removed": True})
 
     def remove_by_name(self, request: Request, params: dict[str, str]) -> Response:
+        from repro.server.v1_write import WriteCommand, execute_write
+
         user = self.authenticated_user(request, params)
-        self.app.registry.remove_pe_by_name(user, params["name"])
+        execute_write(
+            self.app,
+            user,
+            WriteCommand(action="delete", kind="pe", target_name=params["name"]),
+        )
         return Response(200, {"removed": True})
 
 
@@ -172,6 +184,14 @@ class WorkflowController(BaseController):
     """/registry/{user}/workflow endpoints (Table 3, Workflow controller)."""
 
     def add(self, request: Request, params: dict[str, str]) -> Response:
+        """Legacy Table-3 workflow registration — thin adapter over the
+        v1 write core (see :meth:`PEController.add`)."""
+        from repro.server.v1_write import (
+            WriteCommand,
+            build_workflow_record,
+            execute_write,
+        )
+
         user = self.authenticated_user(request, params)
         body = request.body
         if not body.get("entryPoint"):
@@ -182,26 +202,25 @@ class WorkflowController(BaseController):
             raise ValidationError(
                 "workflowCode is required", params={"workflow": body.get("entryPoint")}
             )
-        description = str(body.get("description") or "")
         desc_embedding = body.get("descEmbedding")
         if desc_embedding is not None:
             desc_embedding = np.asarray(desc_embedding, dtype=np.float32)
-        else:
-            desc_embedding = self.app.semantic.embed_description(
-                description or str(body["entryPoint"])
-            )
-        record = WorkflowRecord(
-            workflow_id=0,
-            workflow_name=str(body.get("workflowName", body["entryPoint"])),
+        record = build_workflow_record(
+            self.app,
             entry_point=str(body["entryPoint"]),
-            description=description,
-            workflow_code=str(body["workflowCode"]),
-            workflow_source=str(body.get("workflowSource", "")),
+            code=str(body["workflowCode"]),
+            workflow_name=str(body.get("workflowName", body["entryPoint"])),
+            description=str(body.get("description") or ""),
+            source=str(body.get("workflowSource", "")),
             pe_ids=[int(x) for x in body.get("peIds", [])],
             desc_embedding=desc_embedding,
         )
-        stored = self.app.registry.add_workflow(user, record)
-        return Response(201, stored.to_json())
+        outcome = execute_write(
+            self.app,
+            user,
+            WriteCommand(action="register", kind="workflow", record=record),
+        )
+        return Response(201, outcome.records[0].to_json())
 
     def all_workflows(self, request: Request, params: dict[str, str]) -> Response:
         user = self.authenticated_user(request, params)
@@ -231,22 +250,44 @@ class WorkflowController(BaseController):
         return Response(200, {"pes": [pe.to_json() for pe in records]})
 
     def remove_by_id(self, request: Request, params: dict[str, str]) -> Response:
+        from repro.server.v1_write import WriteCommand, execute_write
+
         user = self.authenticated_user(request, params)
-        self.app.registry.remove_workflow(user, self.int_param(params, "id"))
+        execute_write(
+            self.app,
+            user,
+            WriteCommand(
+                action="delete",
+                kind="workflow",
+                target_id=self.int_param(params, "id"),
+            ),
+        )
         return Response(200, {"removed": True})
 
     def remove_by_name(self, request: Request, params: dict[str, str]) -> Response:
+        from repro.server.v1_write import WriteCommand, execute_write
+
         user = self.authenticated_user(request, params)
-        self.app.registry.remove_workflow_by_name(user, params["name"])
+        execute_write(
+            self.app,
+            user,
+            WriteCommand(
+                action="delete", kind="workflow", target_name=params["name"]
+            ),
+        )
         return Response(200, {"removed": True})
 
     def link_pe(self, request: Request, params: dict[str, str]) -> Response:
         user = self.authenticated_user(request, params)
-        record = self.app.registry.link_pe_to_workflow(
-            user,
-            self.int_param(params, "workflowId"),
-            self.int_param(params, "peId"),
-        )
+        # a registry write like any other: linking bumps the workflow's
+        # revision and the mutation counter, so it must serialize with
+        # the v1 write core or it would race every ifVersion CAS
+        with self.app.write_lock:
+            record = self.app.registry.link_pe_to_workflow(
+                user,
+                self.int_param(params, "workflowId"),
+                self.int_param(params, "peId"),
+            )
         return Response(200, record.to_json())
 
 

@@ -11,7 +11,10 @@ a real socket and a client connect to it over HTTP:
 
 Wire protocol: request bodies are JSON (also for GET/DELETE, matching
 the in-process transport); the auth token travels as a Bearer header;
-responses are JSON with the dispatch status code.
+an ``Idempotency-Key`` header rides along as request metadata (the v1
+write handlers read it, an explicit ``idempotencyKey`` body field
+wins); responses are JSON with the dispatch status code plus any
+response headers the handler attached (e.g. ``Allow`` on a 405).
 """
 
 from __future__ import annotations
@@ -84,11 +87,18 @@ class _LaminarHTTPHandler(BaseHTTPRequestHandler):
             return header[len("Bearer "):].strip()
         return None
 
-    def _send_json(self, status: int, body: dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        body: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         payload = json.dumps(body).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             # advertise the teardown (e.g. an unreadable chunked body)
             self.send_header("Connection", "close")
@@ -106,9 +116,16 @@ class _LaminarHTTPHandler(BaseHTTPRequestHandler):
                 {"error": "BadRequest", "code": 400, "message": str(exc)},
             )
             return
-        request = Request(method, self.path, body, self._token())
+        headers = {}
+        idempotency_key = self.headers.get("Idempotency-Key")
+        if idempotency_key is not None:
+            # standard retry-safety header; carried as request metadata
+            # (NOT folded into the body — strict v1 read envelopes
+            # would reject the extra field), body field wins downstream
+            headers["Idempotency-Key"] = idempotency_key
+        request = Request(method, self.path, body, self._token(), headers)
         response = self.laminar.dispatch(request)
-        self._send_json(response.status, response.body)
+        self._send_json(response.status, response.body, response.headers)
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         self._handle("GET")

@@ -46,6 +46,10 @@ MAX_LIMIT = 1000
 SEARCH_KINDS = ("pe", "workflow", "both")
 QUERY_TYPES = ("text", "semantic", "code")
 
+#: write-surface bounds
+MAX_BULK_ITEMS = 1000
+MAX_IDEMPOTENCY_KEY_LEN = 200
+
 
 # ---------------------------------------------------------------------------
 # Opaque cursors
@@ -219,25 +223,9 @@ class SearchRequest:
                 f"cursor must be a string, got {type(cursor).__name__}",
                 params={"cursor": cursor},
             )
-        query_embedding = body.get("queryEmbedding")
-        if query_embedding is not None:
-            # edge validation: malformed embeddings must 400 here, not
-            # 500 when np.asarray/the shard product chokes downstream
-            if (
-                not isinstance(query_embedding, (list, tuple))
-                or not query_embedding
-                or not all(
-                    isinstance(value, (int, float))
-                    and not isinstance(value, bool)
-                    for value in query_embedding
-                )
-            ):
-                raise ValidationError(
-                    "queryEmbedding must be a non-empty array of numbers",
-                    params={
-                        "queryEmbedding": type(query_embedding).__name__
-                    },
-                )
+        # edge validation: malformed embeddings must 400 here, not 500
+        # when np.asarray/the shard product chokes downstream
+        query_embedding = parse_embedding_field(body, "queryEmbedding")
         return cls(
             query=query,
             kind=kind,
@@ -293,6 +281,366 @@ class Page:
             "limit": self.limit,
             "items": self.items,
             "nextCursor": self.next_cursor,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Write envelopes (the v1 write surface)
+# ---------------------------------------------------------------------------
+def parse_embedding_field(body: dict[str, Any], key: str) -> list | None:
+    """A client-side embedding field: ``None`` or a non-empty number array."""
+    value = body.get(key)
+    if value is None:
+        return None
+    if (
+        not isinstance(value, (list, tuple))
+        or not value
+        or not all(
+            isinstance(item, (int, float)) and not isinstance(item, bool)
+            for item in value
+        )
+    ):
+        raise ValidationError(
+            f"{key} must be a non-empty array of numbers",
+            params={key: type(value).__name__},
+        )
+    return list(value)
+
+
+def parse_if_version(body: dict[str, Any]) -> int | None:
+    """``ifVersion``: a non-negative integer or absent.
+
+    0 means "the target must not exist yet" (create-only); n > 0 pins
+    the target's current revision.  Anything else is a 400.
+    """
+    value = body.get("ifVersion")
+    if value is None:
+        return None
+    if isinstance(value, str) and value.isdigit():
+        value = int(value)  # CLI/query-string friendliness, like limit
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise ValidationError(
+            f"ifVersion must be a non-negative integer, got {value!r}",
+            params={"ifVersion": value},
+        )
+    return int(value)
+
+
+def parse_idempotency_key(body: dict[str, Any]) -> str | None:
+    """``idempotencyKey``: a short, non-empty opaque string or absent."""
+    value = body.get("idempotencyKey")
+    if value is None:
+        return None
+    if (
+        not isinstance(value, str)
+        or not value.strip()
+        or len(value) > MAX_IDEMPOTENCY_KEY_LEN
+    ):
+        raise ValidationError(
+            "idempotencyKey must be a non-empty string of at most "
+            f"{MAX_IDEMPOTENCY_KEY_LEN} characters",
+            params={"idempotencyKey": value},
+        )
+    return value
+
+
+def _parse_required_str(body: dict[str, Any], key: str, *, where: str) -> str:
+    value = body.get(key)
+    if not isinstance(value, str) or not value.strip():
+        raise ValidationError(
+            f"{key} is required and must be a non-empty string in {where}",
+            params={key: value},
+        )
+    return value
+
+
+def _parse_optional_str(body: dict[str, Any], key: str, default: str = "") -> str:
+    value = body.get(key, default)
+    if not isinstance(value, str):
+        raise ValidationError(
+            f"{key} must be a string, got {type(value).__name__}",
+            params={key: value},
+        )
+    return value
+
+
+def _check_path_name(body: dict[str, Any], key: str, name: str) -> None:
+    """A body identity field, when present, must agree with the path."""
+    value = body.get(key)
+    if value is not None and value != name:
+        raise ValidationError(
+            f"{key} in the body ({value!r}) disagrees with the path "
+            f"segment ({name!r})",
+            params={key: value, "path": name},
+        )
+
+
+@dataclass
+class RegisterPERequest:
+    """The validated body of ``PUT /v1/registry/{user}/pes/{name}``.
+
+    The PE's name comes from the *path*; a ``peName`` body field is
+    allowed only when it agrees.  ``ifVersion`` pins the caller's
+    current record of that name (0 = create-only) and
+    ``idempotencyKey`` makes the write safely retryable.
+    """
+
+    name: str
+    code: str
+    description: str = ""
+    description_origin: str = "user"
+    source: str = ""
+    imports: list[str] = field(default_factory=list)
+    desc_embedding: list | None = None
+    code_embedding: list | None = None
+    if_version: int | None = None
+    idempotency_key: str | None = None
+
+    FIELDS = (
+        "peName",
+        "peCode",
+        "description",
+        "descriptionOrigin",
+        "peSource",
+        "peImports",
+        "descEmbedding",
+        "codeEmbedding",
+        "ifVersion",
+        "idempotencyKey",
+    )
+    #: fields rejected inside bulk items (they are request-level knobs)
+    META_FIELDS = ("ifVersion", "idempotencyKey")
+
+    @classmethod
+    def from_json(
+        cls,
+        body: dict[str, Any] | None,
+        *,
+        name: str | None = None,
+        where: str = "register request",
+        allow_meta: bool = True,
+    ) -> "RegisterPERequest":
+        body = body or {}
+        if not isinstance(body, dict):
+            raise ValidationError(
+                f"{where} must be a JSON object, got {type(body).__name__}"
+            )
+        allowed = cls.FIELDS if allow_meta else tuple(
+            f for f in cls.FIELDS if f not in cls.META_FIELDS
+        )
+        reject_unknown_fields(body, allowed, where=where)
+        if name is None:
+            name = _parse_required_str(body, "peName", where=where)
+        else:
+            _check_path_name(body, "peName", name)
+        code = _parse_required_str(body, "peCode", where=where)
+        imports = body.get("peImports", [])
+        if not isinstance(imports, list) or not all(
+            isinstance(item, str) for item in imports
+        ):
+            raise ValidationError(
+                "peImports must be an array of strings",
+                params={"peImports": imports},
+            )
+        return cls(
+            name=name,
+            code=code,
+            description=_parse_optional_str(body, "description"),
+            description_origin=_parse_optional_str(
+                body, "descriptionOrigin", "user"
+            ),
+            source=_parse_optional_str(body, "peSource"),
+            imports=list(imports),
+            desc_embedding=parse_embedding_field(body, "descEmbedding"),
+            code_embedding=parse_embedding_field(body, "codeEmbedding"),
+            if_version=parse_if_version(body) if allow_meta else None,
+            idempotency_key=(
+                parse_idempotency_key(body) if allow_meta else None
+            ),
+        )
+
+
+@dataclass
+class RegisterWorkflowRequest:
+    """The validated body of ``PUT /v1/registry/{user}/workflows/{name}``.
+
+    The path ``{name}`` is the workflow's *entry point* (the identifier
+    users retrieve/run by); an ``entryPoint`` body field is allowed
+    only when it agrees.
+    """
+
+    entry_point: str
+    code: str
+    workflow_name: str = ""
+    description: str = ""
+    source: str = ""
+    pe_ids: list[int] = field(default_factory=list)
+    desc_embedding: list | None = None
+    if_version: int | None = None
+    idempotency_key: str | None = None
+
+    FIELDS = (
+        "entryPoint",
+        "workflowName",
+        "description",
+        "workflowCode",
+        "workflowSource",
+        "peIds",
+        "descEmbedding",
+        "ifVersion",
+        "idempotencyKey",
+    )
+
+    @classmethod
+    def from_json(
+        cls,
+        body: dict[str, Any] | None,
+        *,
+        name: str,
+        where: str = "register request",
+    ) -> "RegisterWorkflowRequest":
+        body = body or {}
+        if not isinstance(body, dict):
+            raise ValidationError(
+                f"{where} must be a JSON object, got {type(body).__name__}"
+            )
+        reject_unknown_fields(body, cls.FIELDS, where=where)
+        _check_path_name(body, "entryPoint", name)
+        code = _parse_required_str(body, "workflowCode", where=where)
+        pe_ids = body.get("peIds", [])
+        if not isinstance(pe_ids, list) or not all(
+            isinstance(item, int) and not isinstance(item, bool)
+            for item in pe_ids
+        ):
+            raise ValidationError(
+                "peIds must be an array of integers", params={"peIds": pe_ids}
+            )
+        return cls(
+            entry_point=name,
+            code=code,
+            workflow_name=_parse_optional_str(body, "workflowName", name),
+            description=_parse_optional_str(body, "description"),
+            source=_parse_optional_str(body, "workflowSource"),
+            pe_ids=[int(item) for item in pe_ids],
+            desc_embedding=parse_embedding_field(body, "descEmbedding"),
+            if_version=parse_if_version(body),
+            idempotency_key=parse_idempotency_key(body),
+        )
+
+
+@dataclass
+class BulkRegisterRequest:
+    """The validated body of ``POST /v1/registry/{user}/pes:bulk``.
+
+    ``items`` are complete PE registrations (``peName`` required per
+    item; ``ifVersion``/``idempotencyKey`` are request-level only).
+    ``ifVersion`` here pins the *registry mutation counter* — the batch
+    is all-or-nothing against a known registry state.
+    """
+
+    items: list[RegisterPERequest]
+    if_version: int | None = None
+    idempotency_key: str | None = None
+
+    FIELDS = ("items", "ifVersion", "idempotencyKey")
+
+    @classmethod
+    def from_json(
+        cls, body: dict[str, Any] | None
+    ) -> "BulkRegisterRequest":
+        body = body or {}
+        if not isinstance(body, dict):
+            raise ValidationError(
+                f"bulk register request must be a JSON object, got "
+                f"{type(body).__name__}"
+            )
+        reject_unknown_fields(body, cls.FIELDS, where="bulk register request")
+        items = body.get("items")
+        if not isinstance(items, list) or not items:
+            raise ValidationError(
+                "items is required and must be a non-empty array",
+                params={"items": type(items).__name__},
+            )
+        if len(items) > MAX_BULK_ITEMS:
+            raise ValidationError(
+                f"items must contain at most {MAX_BULK_ITEMS} entries, "
+                f"got {len(items)}",
+                params={"items": len(items)},
+            )
+        parsed = []
+        for position, item in enumerate(items):
+            if not isinstance(item, dict):
+                raise ValidationError(
+                    f"items[{position}] must be a JSON object, got "
+                    f"{type(item).__name__}",
+                    params={"position": position},
+                )
+            parsed.append(
+                RegisterPERequest.from_json(
+                    item, where=f"items[{position}]", allow_meta=False
+                )
+            )
+        return cls(
+            items=parsed,
+            if_version=parse_if_version(body),
+            idempotency_key=parse_idempotency_key(body),
+        )
+
+
+@dataclass
+class DeleteRequest:
+    """The (optional) body of the v1 DELETE routes."""
+
+    if_version: int | None = None
+    idempotency_key: str | None = None
+
+    FIELDS = ("ifVersion", "idempotencyKey")
+
+    @classmethod
+    def from_json(cls, body: dict[str, Any] | None) -> "DeleteRequest":
+        body = body or {}
+        if not isinstance(body, dict):
+            raise ValidationError(
+                f"delete request must be a JSON object, got "
+                f"{type(body).__name__}"
+            )
+        reject_unknown_fields(body, cls.FIELDS, where="delete request")
+        return cls(
+            if_version=parse_if_version(body),
+            idempotency_key=parse_idempotency_key(body),
+        )
+
+
+@dataclass
+class WriteResponse:
+    """The typed result envelope of every v1 write.
+
+    ``items`` carry the stored record JSON extended with ``revision``
+    (the per-record conditional-write version) and ``created`` (False =
+    the §3.1 dedup resolved onto an existing record).
+    ``registryVersion`` is the registry mutation counter *after* the
+    write — a replayed idempotent request returns the stored envelope,
+    so equal ``registryVersion`` values are the observable no-op proof.
+    """
+
+    op: str  # register | delete | bulk-register
+    kind: str  # pe | workflow
+    status: int  # HTTP status served alongside (201 created / 200 ok)
+    items: list[dict] = field(default_factory=list)
+    removed: bool = False
+    registry_version: int = 0
+    idempotency_key: str | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "apiVersion": "v1",
+            "op": self.op,
+            "kind": self.kind,
+            "count": len(self.items),
+            "items": self.items,
+            "removed": self.removed,
+            "registryVersion": self.registry_version,
+            "idempotencyKey": self.idempotency_key,
         }
 
 

@@ -38,9 +38,13 @@ class TestResolution:
         handler, _ = router.resolve("POST", "/registry/zz46/pe/add")
         assert handler(None, {}).body["handler"] == "add"
 
-    def test_wrong_method_not_found(self, router):
-        with pytest.raises(NotFoundError, match="no route"):
+    def test_wrong_method_is_405_with_allowed_set(self, router):
+        from repro.errors import MethodNotAllowedError
+
+        with pytest.raises(MethodNotAllowedError, match="not allowed") as exc:
             router.resolve("DELETE", "/registry/zz46/pe/all")
+        assert exc.value.code == 405
+        assert exc.value.allowed == ["GET"]
 
     def test_unknown_path_not_found(self, router):
         with pytest.raises(NotFoundError):

@@ -65,6 +65,14 @@ V1_ENDPOINTS = [
     ("GET", "/v1/registry/{user}/workflows"),
     ("GET", "/v1/registry/{user}/workflows/{id}/pes"),
     ("POST", "/v1/registry/{user}/search"),
+    # the v1 write surface (typed envelopes, idempotency keys,
+    # conditional writes); legacy register/remove routes stay as thin
+    # adapters over the same execute_write core
+    ("PUT", "/v1/registry/{user}/pes/{name}"),
+    ("PUT", "/v1/registry/{user}/workflows/{name}"),
+    ("POST", "/v1/registry/{user}/pes:bulk"),
+    ("DELETE", "/v1/registry/{user}/pes/{name}"),
+    ("DELETE", "/v1/registry/{user}/workflows/{name}"),
 ]
 
 

@@ -39,6 +39,26 @@ class TestParser:
         assert args.query_type == "code" and args.search_type == "pe"
         assert args.k == 3 and args.no_fit
 
+    def test_register_options(self):
+        args = build_parser().parse_args(
+            ["register", "adder", "--code", "def adder(): pass",
+             "--if-version", "0", "--idempotency-key", "k1", "--json"]
+        )
+        assert args.name == "adder" and args.kind == "pe"
+        assert args.if_version == 0 and args.idempotency_key == "k1"
+        assert args.json and args.bulk is None
+
+    def test_register_bulk_allows_missing_name(self):
+        args = build_parser().parse_args(["register", "--bulk", "items.json"])
+        assert args.name is None and args.bulk == "items.json"
+
+    def test_delete_options(self):
+        args = build_parser().parse_args(
+            ["delete", "adder", "--kind", "workflow", "--if-version", "2"]
+        )
+        assert args.name == "adder" and args.kind == "workflow"
+        assert args.if_version == 2
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
@@ -110,6 +130,68 @@ class TestCommands:
         code = main(["search", "prime", "--db", str(db), "--no-fit", "-k", "1"])
         assert code == 0
         assert "PrimeChecker" in capsys.readouterr().out
+
+    def test_register_requires_name_or_bulk(self, capsys):
+        assert main(["register", "--no-fit"]) == 1
+        assert "name is required" in capsys.readouterr().out
+
+    def test_register_search_delete_roundtrip(self, capsys, tmp_path):
+        """The write commands drive the v1 endpoints against a real
+        SQLite registry; search then serves what register stored."""
+        import json
+
+        db = str(tmp_path / "reg.db")
+        code = main(
+            ["register", "PrimeChecker", "--code", "def is_prime(n): pass",
+             "--description", "checks whether a number is prime",
+             "--db", db, "--no-fit", "--json"]
+        )
+        assert code == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["op"] == "register" and envelope["count"] == 1
+        assert envelope["items"][0]["created"] is True
+
+        assert main(["search", "prime", "--db", db, "--no-fit", "-k", "1"]) == 0
+        assert "PrimeChecker" in capsys.readouterr().out
+
+        # conditional delete with the wrong revision refuses
+        assert main(
+            ["delete", "PrimeChecker", "--db", db, "--no-fit",
+             "--if-version", "9"]
+        ) == 1
+        assert "delete failed" in capsys.readouterr().out
+        assert main(["delete", "PrimeChecker", "--db", db, "--no-fit"]) == 0
+        assert "removed pe" in capsys.readouterr().out
+
+    def test_register_idempotent_replay(self, capsys, tmp_path):
+        import json
+
+        db = str(tmp_path / "reg.db")
+        argv = ["register", "stable", "--code", "def stable(): pass",
+                "--db", db, "--no-fit", "--idempotency-key", "cli-key",
+                "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        replay = json.loads(capsys.readouterr().out)
+        assert replay == first  # stored envelope verbatim
+
+    def test_register_bulk_file(self, capsys, tmp_path):
+        import json
+
+        db = str(tmp_path / "reg.db")
+        bulk = tmp_path / "items.json"
+        bulk.write_text(json.dumps([
+            {"peName": f"batch{i}", "peCode": f"def batch{i}(): pass"}
+            for i in range(4)
+        ]))
+        code = main(
+            ["register", "--bulk", str(bulk), "--db", db, "--no-fit",
+             "--json"]
+        )
+        assert code == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["op"] == "bulk-register" and envelope["count"] == 4
 
     def test_endpoints_prints_table3(self, capsys):
         assert main(["endpoints"]) == 0
