@@ -5,6 +5,13 @@ path, JSON body, bearer token).  :class:`InProcessTransport` dispatches
 directly into a server object while still enforcing the JSON wire format
 and charging a latency model per direction — the mechanism behind the
 local-vs-remote comparison of Table 5.
+
+Header parity: every transport must carry ``Request.headers`` to the
+server and surface the server's response headers on
+``Response.headers`` — the in-process transport passes both through
+verbatim, and :class:`repro.server.http.HttpTransport` maps them onto
+real HTTP headers (``Idempotency-Key`` out, ``Idempotent-Replay`` /
+``Allow`` back), so retry-safety behaves identically over either wire.
 """
 
 from __future__ import annotations

@@ -44,6 +44,11 @@ import numpy as np
 from repro.errors import NotFoundError
 from repro.registry.entities import PERecord, UserRecord, WorkflowRecord
 
+#: status stored while a write's idempotency key is *claimed* but its
+#: outcome not yet recorded — the cross-process serialization marker.
+#: Losers of a claim race poll until the status leaves this sentinel.
+RECEIPT_PENDING = -1
+
 
 class RegistryDAO(ABC):
     """Abstract CRUD interface over users, PEs and workflows."""
@@ -238,7 +243,13 @@ class RegistryDAO(ABC):
         return None
 
     def save_write_receipt(
-        self, user_id: int, key: str, fingerprint: str, status: int, body: dict
+        self,
+        user_id: int,
+        key: str,
+        fingerprint: str,
+        status: int,
+        body: dict,
+        created_at: float = 0.0,
     ) -> None:
         """Record one write's response under ``(user_id, key)``.
 
@@ -246,6 +257,55 @@ class RegistryDAO(ABC):
         bump :meth:`mutation_counter` (a replay leaves the counter
         untouched, which is the observable no-op guarantee).
         """
+
+    def claim_write_receipt(
+        self, user_id: int, key: str, fingerprint: str, created_at: float = 0.0
+    ) -> bool:
+        """Atomically claim ``(user_id, key)`` for one writer.
+
+        Returns ``True`` if this caller won the claim (a
+        :data:`RECEIPT_PENDING` placeholder row now exists) and must
+        execute the write, ``False`` if another writer — possibly in
+        another *process* — holds or completed it.  Backends without
+        receipt storage return ``True`` (no serialization, the safe
+        single-process default).
+        """
+        return True
+
+    def finalize_write_receipt(
+        self,
+        user_id: int,
+        key: str,
+        fingerprint: str,
+        status: int,
+        body: dict,
+        created_at: float = 0.0,
+    ) -> None:
+        """Replace a pending claim with the write's recorded outcome."""
+        self.save_write_receipt(
+            user_id, key, fingerprint, status, body, created_at
+        )
+
+    def release_write_receipt(self, user_id: int, key: str) -> None:
+        """Drop a *pending* claim (the write failed), so the key is
+        retryable; a finalized receipt is never released."""
+
+    def prune_write_receipts(
+        self,
+        now: float,
+        ttl: float | None = None,
+        cap: int | None = None,
+    ) -> int:
+        """Bound idempotency storage; returns the number of rows dropped.
+
+        ``ttl`` drops finalized receipts with ``created_at <= now - ttl``
+        (replay works inside the window, re-executes outside it — the
+        documented idempotency contract is time-bounded, as every
+        production idempotency store's is); ``cap`` keeps only the
+        newest ``cap`` finalized receipts.  Pending claims are never
+        pruned — an in-flight writer still owns them.
+        """
+        return 0
 
     # -- persisted IVF training state --------------------------------------
     def save_ivf_states(
@@ -301,8 +361,9 @@ class InMemoryDAO(RegistryDAO):
         self._mutations = 0
         self._saved_shards: tuple[int, dict] | None = None
         self._saved_ivf: tuple[int, dict] | None = None
-        # idempotency receipts: (user_id, key) -> (fingerprint, status, body)
-        self._receipts: dict[tuple[int, str], tuple[str, int, dict]] = {}
+        # idempotency receipts:
+        # (user_id, key) -> (fingerprint, status, body, created_at)
+        self._receipts: dict[tuple[int, str], tuple[str, int, dict, float]] = {}
 
     # -- index maintenance -------------------------------------------------
     def _reindex_pe_owners(self, record: PERecord) -> None:
@@ -566,11 +627,17 @@ class InMemoryDAO(RegistryDAO):
             receipt = self._receipts.get((int(user_id), str(key)))
             if receipt is None:
                 return None
-            fingerprint, status, body = receipt
+            fingerprint, status, body, _created = receipt
             return fingerprint, status, json.loads(json.dumps(body))
 
     def save_write_receipt(
-        self, user_id: int, key: str, fingerprint: str, status: int, body: dict
+        self,
+        user_id: int,
+        key: str,
+        fingerprint: str,
+        status: int,
+        body: dict,
+        created_at: float = 0.0,
     ) -> None:
         with self._lock:
             # receipts are not registry mutations: no counter bump
@@ -578,7 +645,75 @@ class InMemoryDAO(RegistryDAO):
                 str(fingerprint),
                 int(status),
                 json.loads(json.dumps(body)),
+                float(created_at),
             )
+
+    def claim_write_receipt(
+        self, user_id: int, key: str, fingerprint: str, created_at: float = 0.0
+    ) -> bool:
+        with self._lock:
+            slot = (int(user_id), str(key))
+            if slot in self._receipts:
+                return False
+            self._receipts[slot] = (
+                str(fingerprint),
+                RECEIPT_PENDING,
+                {},
+                float(created_at),
+            )
+            return True
+
+    def finalize_write_receipt(
+        self,
+        user_id: int,
+        key: str,
+        fingerprint: str,
+        status: int,
+        body: dict,
+        created_at: float = 0.0,
+    ) -> None:
+        self.save_write_receipt(
+            user_id, key, fingerprint, status, body, created_at
+        )
+
+    def release_write_receipt(self, user_id: int, key: str) -> None:
+        with self._lock:
+            slot = (int(user_id), str(key))
+            receipt = self._receipts.get(slot)
+            if receipt is not None and receipt[1] == RECEIPT_PENDING:
+                del self._receipts[slot]
+
+    def prune_write_receipts(
+        self,
+        now: float,
+        ttl: float | None = None,
+        cap: int | None = None,
+    ) -> int:
+        with self._lock:
+            doomed: set[tuple[int, str]] = set()
+            if ttl is not None:
+                cutoff = float(now) - float(ttl)
+                doomed.update(
+                    slot
+                    for slot, receipt in self._receipts.items()
+                    if receipt[1] != RECEIPT_PENDING and receipt[3] <= cutoff
+                )
+            if cap is not None:
+                survivors = sorted(
+                    (
+                        slot
+                        for slot, receipt in self._receipts.items()
+                        if receipt[1] != RECEIPT_PENDING
+                        and slot not in doomed
+                    ),
+                    key=lambda slot: (self._receipts[slot][3], slot),
+                )
+                overflow = len(survivors) - int(cap)
+                if overflow > 0:
+                    doomed.update(survivors[:overflow])
+            for slot in doomed:
+                del self._receipts[slot]
+            return len(doomed)
 
     # -- persisted IVF training state -------------------------------------
     def save_ivf_states(self, states, counter) -> None:
@@ -687,12 +822,16 @@ CREATE TABLE IF NOT EXISTS index_shards (
 -- (trained centroids + inverted lists stamped with the same mutation
 -- counter as the slab snapshot, so approximate cold starts skip the
 -- lazy k-means retrain)
+-- schema v4 adds created_at: receipts are claimed (INSERT OR IGNORE of
+-- a pending row — the cross-process write-serialization point) and
+-- garbage-collected by TTL/cap, both keyed on this stamp
 CREATE TABLE IF NOT EXISTS write_receipts (
     user_id INTEGER NOT NULL,
     idem_key TEXT NOT NULL,
     fingerprint TEXT NOT NULL,
     status INTEGER NOT NULL,
     body TEXT NOT NULL,
+    created_at REAL NOT NULL DEFAULT 0,
     PRIMARY KEY (user_id, idem_key)
 ) WITHOUT ROWID;
 CREATE TABLE IF NOT EXISTS ivf_states (
@@ -713,8 +852,9 @@ CREATE TABLE IF NOT EXISTS ivf_states (
 #: backfilled from the JSON columns on open); v2 added the mutation
 #: counter and the persisted index-shard slabs; v3 added per-record
 #: revisions (conditional writes), idempotency receipts and persisted
-#: IVF training state
-_SCHEMA_VERSION = 3
+#: IVF training state; v4 added ``write_receipts.created_at`` for
+#: receipt claiming and TTL/cap garbage collection
+_SCHEMA_VERSION = 4
 
 #: SQLite caps host parameters per statement (999 before 3.32); chunk
 #: IN(...) lists well below that
@@ -771,7 +911,10 @@ class SqliteDAO(RegistryDAO):
         ``index_shards`` table simply means the first attach rebuilds
         and persists; v2 -> v3 adds the ``revision`` columns (existing
         rows start at revision 1) plus the ``write_receipts`` /
-        ``ivf_states`` tables from the schema script.
+        ``ivf_states`` tables from the schema script; v3 -> v4 adds the
+        ``created_at`` receipt column (existing receipts stamp 0 — the
+        epoch — so a TTL sweep retires them first, the conservative
+        choice for rows of unknown age).
         """
         version = self._conn.execute("PRAGMA user_version").fetchone()[0]
         if version >= _SCHEMA_VERSION:
@@ -818,6 +961,17 @@ class SqliteDAO(RegistryDAO):
                     f"ALTER TABLE {table} ADD COLUMN revision INTEGER"
                     " NOT NULL DEFAULT 1"
                 )
+        # v4 created_at: same probe-don't-trust pattern as the revision
+        # columns above
+        receipt_columns = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(write_receipts)")
+        }
+        if "created_at" not in receipt_columns:
+            self._conn.execute(
+                "ALTER TABLE write_receipts ADD COLUMN created_at REAL"
+                " NOT NULL DEFAULT 0"
+            )
         self._conn.execute(f"PRAGMA user_version = {_SCHEMA_VERSION}")
 
     def close(self) -> None:
@@ -1426,7 +1580,13 @@ class SqliteDAO(RegistryDAO):
         return row["fingerprint"], int(row["status"]), json.loads(row["body"])
 
     def save_write_receipt(
-        self, user_id: int, key: str, fingerprint: str, status: int, body: dict
+        self,
+        user_id: int,
+        key: str,
+        fingerprint: str,
+        status: int,
+        body: dict,
+        created_at: float = 0.0,
     ) -> None:
         # deliberately NOT a registry mutation: no _bump_mutation(),
         # so a replayed write leaves the counter (and any persisted
@@ -1434,16 +1594,93 @@ class SqliteDAO(RegistryDAO):
         with self._lock, self._conn:
             self._conn.execute(
                 "INSERT OR REPLACE INTO write_receipts"
-                " (user_id, idem_key, fingerprint, status, body)"
-                " VALUES (?, ?, ?, ?, ?)",
+                " (user_id, idem_key, fingerprint, status, body, created_at)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
                 (
                     int(user_id),
                     str(key),
                     str(fingerprint),
                     int(status),
                     json.dumps(body),
+                    float(created_at),
                 ),
             )
+
+    def claim_write_receipt(
+        self, user_id: int, key: str, fingerprint: str, created_at: float = 0.0
+    ) -> bool:
+        """``INSERT OR IGNORE`` of a pending row — SQLite serializes the
+        insert across *processes* sharing the file, so exactly one
+        writer in a fleet wins the key; everyone else sees the row."""
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "INSERT OR IGNORE INTO write_receipts"
+                " (user_id, idem_key, fingerprint, status, body, created_at)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    int(user_id),
+                    str(key),
+                    str(fingerprint),
+                    RECEIPT_PENDING,
+                    "{}",
+                    float(created_at),
+                ),
+            )
+            return cursor.rowcount == 1
+
+    def finalize_write_receipt(
+        self,
+        user_id: int,
+        key: str,
+        fingerprint: str,
+        status: int,
+        body: dict,
+        created_at: float = 0.0,
+    ) -> None:
+        self.save_write_receipt(
+            user_id, key, fingerprint, status, body, created_at
+        )
+
+    def release_write_receipt(self, user_id: int, key: str) -> None:
+        with self._lock, self._conn:
+            self._conn.execute(
+                "DELETE FROM write_receipts WHERE user_id=? AND idem_key=?"
+                " AND status=?",
+                (int(user_id), str(key), RECEIPT_PENDING),
+            )
+
+    def prune_write_receipts(
+        self,
+        now: float,
+        ttl: float | None = None,
+        cap: int | None = None,
+    ) -> int:
+        dropped = 0
+        with self._lock, self._conn:
+            if ttl is not None:
+                cursor = self._conn.execute(
+                    "DELETE FROM write_receipts WHERE status != ?"
+                    " AND created_at <= ?",
+                    (RECEIPT_PENDING, float(now) - float(ttl)),
+                )
+                dropped += cursor.rowcount
+            if cap is not None:
+                total = self._conn.execute(
+                    "SELECT COUNT(*) FROM write_receipts WHERE status != ?",
+                    (RECEIPT_PENDING,),
+                ).fetchone()[0]
+                overflow = int(total) - int(cap)
+                if overflow > 0:
+                    cursor = self._conn.execute(
+                        "DELETE FROM write_receipts WHERE (user_id, idem_key)"
+                        " IN (SELECT user_id, idem_key FROM write_receipts"
+                        "     WHERE status != ?"
+                        "     ORDER BY created_at ASC, user_id ASC,"
+                        "     idem_key ASC LIMIT ?)",
+                        (RECEIPT_PENDING, overflow),
+                    )
+                    dropped += cursor.rowcount
+        return dropped
 
     # -- persisted IVF training state -------------------------------------
     def save_ivf_states(

@@ -59,6 +59,11 @@ class RegistryService:
         #: attach_approx_backend; their training state persists and
         #: restores alongside the slab snapshot
         self._companions: list = []
+        #: mirror backends (e.g. the scatter/gather fan-out) that keep
+        #: their *own* copies of every shard: every index mutation fans
+        #: out to them, so their results stay bitwise identical to the
+        #: authoritative exact index
+        self._mirrors: list = []
         if index is not None:
             self.attach_index(index)
 
@@ -222,40 +227,57 @@ class RegistryService:
             "fresh": stored is not None and stored == current,
         }
 
-    def _index_pe(self, user_id: int, record: PERecord) -> None:
-        if self.index is None:
+    def attach_mirror(self, backend) -> None:
+        """Adopt a mirror backend: bulk-load the current shards into it
+        and fan every future index mutation out to it.
+
+        Mirrors (the scatter/gather fan-out above all) hold their own
+        slab copies — possibly across worker processes — so the initial
+        load replays the authoritative index's snapshot verbatim
+        (bitwise: slabs are copied, never recomputed).
+        """
+        if backend in self._mirrors:
             return
+        if self.index is not None:
+            for (user_id, kind), (ids, matrix) in self.index.snapshot().items():
+                backend.add_many(user_id, kind, [int(i) for i in ids], matrix)
+        self._mirrors.append(backend)
+
+    def _index_targets(self) -> list:
+        if self.index is None:
+            return []
+        return [self.index, *self._mirrors]
+
+    def _index_pe(self, user_id: int, record: PERecord) -> None:
         from repro.search.index import KIND_CODE, KIND_DESC
 
-        if record.desc_embedding is not None:
-            self.index.add(user_id, KIND_DESC, record.pe_id, record.desc_embedding)
-        if record.code_embedding is not None:
-            self.index.add(user_id, KIND_CODE, record.pe_id, record.code_embedding)
+        for index in self._index_targets():
+            if record.desc_embedding is not None:
+                index.add(user_id, KIND_DESC, record.pe_id, record.desc_embedding)
+            if record.code_embedding is not None:
+                index.add(user_id, KIND_CODE, record.pe_id, record.code_embedding)
 
     def _unindex_pe(self, user_id: int, pe_id: int) -> None:
-        if self.index is None:
-            return
         from repro.search.index import KIND_CODE, KIND_DESC
 
-        self.index.remove(user_id, KIND_DESC, pe_id)
-        self.index.remove(user_id, KIND_CODE, pe_id)
+        for index in self._index_targets():
+            index.remove(user_id, KIND_DESC, pe_id)
+            index.remove(user_id, KIND_CODE, pe_id)
 
     def _index_workflow(self, user_id: int, record: WorkflowRecord) -> None:
-        if self.index is None:
-            return
         from repro.search.index import KIND_WORKFLOW
 
-        if record.desc_embedding is not None:
-            self.index.add(
-                user_id, KIND_WORKFLOW, record.workflow_id, record.desc_embedding
-            )
+        for index in self._index_targets():
+            if record.desc_embedding is not None:
+                index.add(
+                    user_id, KIND_WORKFLOW, record.workflow_id, record.desc_embedding
+                )
 
     def _unindex_workflow(self, user_id: int, workflow_id: int) -> None:
-        if self.index is None:
-            return
         from repro.search.index import KIND_WORKFLOW
 
-        self.index.remove(user_id, KIND_WORKFLOW, workflow_id)
+        for index in self._index_targets():
+            index.remove(user_id, KIND_WORKFLOW, workflow_id)
 
     # ------------------------------------------------------------------
     # Users / auth
@@ -418,26 +440,26 @@ class RegistryService:
             self.dao.insert_pes(fresh)
             # both DAOs treat a bulk insert as ONE mutation event
             self._note_write()
-            if self.index is not None:
-                desc = [
-                    (r.pe_id, r.desc_embedding)
-                    for r in fresh
-                    if r.desc_embedding is not None
-                ]
-                code = [
-                    (r.pe_id, r.code_embedding)
-                    for r in fresh
-                    if r.code_embedding is not None
-                ]
+            desc = [
+                (r.pe_id, r.desc_embedding)
+                for r in fresh
+                if r.desc_embedding is not None
+            ]
+            code = [
+                (r.pe_id, r.code_embedding)
+                for r in fresh
+                if r.code_embedding is not None
+            ]
+            for index in self._index_targets():
                 if desc:
-                    self.index.add_many(
+                    index.add_many(
                         user.user_id,
                         KIND_DESC,
                         [rid for rid, _ in desc],
                         [vec for _, vec in desc],
                     )
                 if code:
-                    self.index.add_many(
+                    index.add_many(
                         user.user_id,
                         KIND_CODE,
                         [rid for rid, _ in code],

@@ -20,8 +20,13 @@ API* from the *index implementation* behind it:
   maintains one copy of the vectors and both backends serve from it.
 * a **backend registry** — backends are selected by name (``"exact"``,
   ``"ivf"``); :func:`create_backend` / :func:`build_backends` construct
-  them, and new engines (HNSW, PQ, remote scatter/gather) plug in via
-  :func:`register_backend` without touching the serving layer.
+  them, and new engines (HNSW, PQ) plug in via :func:`register_backend`
+  without touching the serving layer.  The scatter/gather engine
+  (:mod:`repro.search.scatter`) implements this same protocol but is
+  wired *per server* (``LaminarServer(scatter_shards=N)`` mirrors it
+  from that server's registry service) rather than through the global
+  registry — a shard fleet only makes sense bound to the registry whose
+  mutations it mirrors.
 
 Safety properties shared by every backend:
 

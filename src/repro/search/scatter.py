@@ -1,0 +1,607 @@
+"""Scatter/gather serving over partitioned index shards (ROADMAP item 1).
+
+The single-process serving stack holds every (user, kind) slab inside
+one :class:`~repro.search.index.VectorIndex` guarded by one lock — all
+queries serialize on that lock, and the whole corpus must fit one
+process.  This module partitions the slabs across N *shard workers*
+(in-process or remote) behind the same
+:class:`~repro.search.backend.IndexBackend` protocol, in the spirit of
+Serverless Lucene's per-shard query executors:
+
+* :func:`assign_worker` — deterministic placement: each ``(user, kind)``
+  shard lives **whole** on exactly one worker, chosen by a stable
+  content hash (``sha1``, never Python's per-process salted ``hash``),
+  so every process in a fleet computes the same placement;
+* :class:`LocalShardWorker` — an in-process worker owning its own
+  :class:`~repro.search.index.VectorIndex` (own slabs, own lock:
+  queries against different workers rank concurrently, the BLAS product
+  releasing the GIL);
+* :class:`RemoteShardWorker` — the same worker surface over a
+  :class:`~repro.net.transport.Transport` to a
+  :class:`~repro.server.shardnode.ShardNode` (in-process or real HTTP),
+  with bounded retry/backoff and failure accounting;
+* :func:`merge_ranked` — the gather step: merge per-shard top-k lists
+  into one ranking with the exact backend's stable ordering (descending
+  score, ascending-id tie-break);
+* :class:`ScatterGatherBackend` — the backend: mutations route to the
+  owning worker, ``search_among``/``search_among_many`` fan to the
+  owning worker(s) and gather through :func:`merge_ranked`, and any
+  unreachable shard degrades to ``None`` — the serving layer's
+  brute-force fallback path — instead of failing the request.
+
+Why whole-shard placement (a measured result)
+=============================================
+
+Bitwise parity with the single-process exact backend is this repo's
+correctness bar, and it *forbids* splitting one slab's rows across
+workers: float32 BLAS GEMV results depend on the slab shape (kernel
+blocking and tail handling change the accumulation order), so scoring a
+row subset ``M[part] @ q`` does not reproduce the rows' scores from the
+full-slab product ``M @ q``.  Measured on this container: partitioning
+an ``N=5003, D=2048`` slab into 2..8 row groups changes at least one
+score for every grouping tried, and per-row ``np.dot(M[i], q)`` differs
+from the GEMV element for 4435 of 5003 rows.  (Same family of effect as
+the measured joint-GEMM note in ``VectorIndex.search_among_many``.)
+Placing each (user, kind) slab whole on one worker sidesteps this: the
+owning worker computes the identical ``(1, D) @ (D, N)`` product over
+the identical slab, so scatter/gather results are bitwise identical to
+the single-process backend, and throughput scales by spreading distinct
+serving keys — the registry's unit of tenant isolation — across
+workers.  :func:`merge_ranked` is still the gather step for every query
+(and is itself bitwise-exact: merging any disjoint partition of a
+ranking's (id, score) pairs reproduces the global ranking, because the
+scores being merged are position-independent *outputs*).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import TransportError, ValidationError
+from repro.net.transport import Request, Transport
+from repro.search.index import EmbeddingLRU, VectorIndex, _as_vector
+
+
+def assign_worker(user: Hashable, kind: str, n_workers: int) -> int:
+    """Deterministic owner of the ``(user, kind)`` shard among N workers.
+
+    Stable across processes and Python invocations (``sha1`` of the
+    repr-serialized key, not the salted builtin ``hash``), so a client,
+    a router and every node in a fleet agree on placement without
+    coordination.
+    """
+    if n_workers <= 0:
+        raise ValidationError(f"n_workers must be positive, got {n_workers}")
+    digest = hashlib.sha1(f"{user!r}/{kind}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % n_workers
+
+
+def merge_ranked(
+    parts: Sequence[tuple[Sequence[int], np.ndarray]],
+    k: int | None = None,
+) -> tuple[list[int], np.ndarray]:
+    """Merge per-shard top-k ``(ids, scores)`` lists into one ranking.
+
+    The gather step of the scatter protocol: descending score with the
+    exact backend's stable **ascending-id tie-break**.  Merging any
+    disjoint partition of a ranking's (id, score) pairs reproduces the
+    global ranking bitwise — scores are outputs, carried through
+    unchanged — which is what makes the gather exact whenever the
+    per-shard scores themselves are exact.
+    """
+    live = [
+        (ids, scores)
+        for ids, scores in parts
+        if len(ids) > 0
+    ]
+    if not live:
+        return [], np.empty(0, dtype=np.float32)
+    all_ids = np.concatenate(
+        [np.asarray(ids, dtype=np.int64) for ids, _ in live]
+    )
+    all_scores = np.concatenate(
+        [np.asarray(scores, dtype=np.float32) for _, scores in live]
+    )
+    # primary key last in lexsort: descending score (float32 negation is
+    # exact), secondary ascending id — the exact backend's tie-break
+    order = np.lexsort((all_ids, -all_scores))
+    if k is not None:
+        order = order[:k]
+    return (
+        [int(i) for i in all_ids[order]],
+        all_scores[order].astype(np.float32, copy=False),
+    )
+
+
+class ShardUnavailable(RuntimeError):
+    """A shard worker could not serve (node down / transport exhausted)."""
+
+
+class LocalShardWorker:
+    """In-process shard worker: owns its slabs, its lock, its stats.
+
+    Each worker's :class:`VectorIndex` has its *own* reentrant lock, so
+    queries routed to different workers rank concurrently (the BLAS
+    product drops the GIL) instead of serializing on one process-wide
+    index lock — that is where the 1 → N QPS scaling comes from.
+    """
+
+    transport_kind = "local"
+
+    def __init__(self, worker_id: int, index: VectorIndex | None = None) -> None:
+        self.worker_id = int(worker_id)
+        self.index = index if index is not None else VectorIndex()
+
+    # -- mutation -------------------------------------------------------
+    def add(self, user, kind, rid, vector) -> None:
+        self.index.add(user, kind, rid, vector)
+
+    def add_many(self, user, kind, rids, vectors) -> None:
+        self.index.add_many(user, kind, rids, vectors)
+
+    def remove(self, user, kind, rid) -> bool:
+        return self.index.remove(user, kind, rid)
+
+    def remove_everywhere(self, user, rid) -> None:
+        self.index.remove_everywhere(user, rid)
+
+    def clear(self, user=None) -> None:
+        self.index.clear(user)
+
+    # -- retrieval ------------------------------------------------------
+    def search_among_many(self, user, kind, rids, queries, ks):
+        return self.index.search_among_many(user, kind, rids, queries, ks)
+
+    # -- introspection --------------------------------------------------
+    def snapshot(self, user=None):
+        return self.index.snapshot(user)
+
+    def ping(self) -> dict:
+        stats = self.index.stats()
+        return {
+            "ok": True,
+            "shards": len(stats),
+            "rows": sum(info["live"] for info in stats.values()),
+        }
+
+    def describe(self) -> dict:
+        return {"kind": self.transport_kind, "workerId": self.worker_id}
+
+
+def _wire_vector(vector) -> list[float]:
+    """float32 row -> JSON floats, losslessly.
+
+    float32 → float64 is exact, ``json`` round-trips float64 exactly
+    (shortest-repr), and converting back to float32 restores the value
+    bit for bit — so remote scoring inputs and outputs survive the wire
+    unchanged and HTTP-reached shards stay bitwise identical.
+    """
+    return [float(x) for x in np.asarray(vector, dtype=np.float32).reshape(-1)]
+
+
+class RemoteShardWorker:
+    """Shard worker behind a :class:`Transport` (shard-node protocol).
+
+    Speaks the JSON protocol of :class:`repro.server.shardnode.ShardNode`
+    — usable over :class:`~repro.net.transport.InProcessTransport` or
+    real HTTP via :class:`~repro.server.http.HttpTransport`.  Transport
+    failures retry with bounded backoff (``retries`` attempts beyond the
+    first, sleeping ``backoff * 2**attempt`` capped at ``backoff_cap``);
+    exhausted retries raise :class:`ShardUnavailable`, which the backend
+    converts into the brute-force fallback path.
+    """
+
+    transport_kind = "remote"
+
+    def __init__(
+        self,
+        worker_id: int,
+        transport: Transport,
+        *,
+        retries: int = 2,
+        backoff: float = 0.02,
+        backoff_cap: float = 0.25,
+    ) -> None:
+        self.worker_id = int(worker_id)
+        self.transport = transport
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
+        self.backoff_cap = max(self.backoff, float(backoff_cap))
+        self.calls = 0
+        self.retried = 0
+
+    def _call(self, path: str, payload: dict) -> dict:
+        last: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.retried += 1
+                time.sleep(min(self.backoff * (2 ** (attempt - 1)),
+                               self.backoff_cap))
+            try:
+                self.calls += 1
+                response = self.transport.request(
+                    Request("POST", path, payload)
+                )
+            except TransportError as exc:
+                last = exc
+                continue
+            if response.status != 200:
+                raise ShardUnavailable(
+                    f"shard worker {self.worker_id} rejected {path}: "
+                    f"{response.status} {response.body}"
+                )
+            return response.body
+        raise ShardUnavailable(
+            f"shard worker {self.worker_id} unreachable after "
+            f"{self.retries + 1} attempts: {last}"
+        ) from last
+
+    # -- mutation -------------------------------------------------------
+    def add(self, user, kind, rid, vector) -> None:
+        self._call(
+            "/shard/add",
+            {
+                "user": user,
+                "kind": kind,
+                "rid": int(rid),
+                "vector": _wire_vector(vector),
+            },
+        )
+
+    def add_many(self, user, kind, rids, vectors) -> None:
+        matrix = np.asarray(vectors, dtype=np.float32)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        self._call(
+            "/shard/add_many",
+            {
+                "user": user,
+                "kind": kind,
+                "rids": [int(rid) for rid in rids],
+                "vectors": [_wire_vector(row) for row in matrix],
+            },
+        )
+
+    def remove(self, user, kind, rid) -> bool:
+        body = self._call(
+            "/shard/remove", {"user": user, "kind": kind, "rid": int(rid)}
+        )
+        return bool(body.get("removed"))
+
+    def remove_everywhere(self, user, rid) -> None:
+        self._call("/shard/remove_everywhere", {"user": user, "rid": int(rid)})
+
+    def clear(self, user=None) -> None:
+        self._call("/shard/clear", {"user": user})
+
+    # -- retrieval ------------------------------------------------------
+    def search_among_many(self, user, kind, rids, queries, ks):
+        body = self._call(
+            "/shard/search",
+            {
+                "user": user,
+                "kind": kind,
+                "rids": [int(rid) for rid in rids],
+                "queries": [_wire_vector(q) for q in queries],
+                "ks": [None if k is None else int(k) for k in ks],
+            },
+        )
+        if not body.get("match", False):
+            return None
+        return [
+            (
+                [int(i) for i in entry["ids"]],
+                np.asarray(entry["scores"], dtype=np.float32),
+            )
+            for entry in body["results"]
+        ]
+
+    # -- introspection --------------------------------------------------
+    def snapshot(self, user=None):
+        body = self._call("/shard/export", {"user": user})
+        out = {}
+        for entry in body.get("shards", []):
+            key = (entry["user"], str(entry["kind"]))
+            out[key] = (
+                np.asarray(entry["ids"], dtype=np.int64),
+                np.asarray(entry["vectors"], dtype=np.float32),
+            )
+        return out
+
+    def ping(self) -> dict:
+        return self._call("/shard/health", {})
+
+    def describe(self) -> dict:
+        return {"kind": self.transport_kind, "workerId": self.worker_id}
+
+
+class _WorkerHealth:
+    """Batcher-style per-worker counters + a small circuit breaker."""
+
+    __slots__ = (
+        "searches",
+        "mutations",
+        "failures",
+        "consecutive_failures",
+        "blocked_until",
+    )
+
+    def __init__(self) -> None:
+        self.searches = 0
+        self.mutations = 0
+        self.failures = 0
+        self.consecutive_failures = 0
+        self.blocked_until = 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "searches": self.searches,
+            "mutations": self.mutations,
+            "failures": self.failures,
+            "consecutiveFailures": self.consecutive_failures,
+            "down": self.blocked_until > time.monotonic(),
+        }
+
+
+class ScatterGatherBackend:
+    """Fan-out :class:`IndexBackend` over N shard workers.
+
+    Placement is :func:`assign_worker` — each (user, kind) slab lives
+    whole on one worker (see the module docstring for the measured
+    reason row-splitting is not bitwise-safe).  Mutations route to the
+    owning worker; retrieval fans the query out to the shard's worker
+    set and gathers through :func:`merge_ranked`.  The contract the
+    serving layer relies on is unchanged:
+
+    * results are **bitwise identical** to the single-process exact
+      backend (same slab contents, same ``(1, D)`` product, same stable
+      ascending-id tie-break, lossless JSON wire format for remote
+      workers);
+    * a membership mismatch — *or an unreachable worker, or a shard
+      marked dirty by a failed remote mutation* — returns ``None``, so
+      the caller serves brute force: a downed shard node degrades, it
+      never fails the request;
+    * per-worker health (searches, mutations, failures, circuit-breaker
+      state) is tracked batcher-style and exposed via :meth:`stats`.
+
+    After ``fail_threshold`` consecutive failures a worker is skipped
+    for ``cooldown`` seconds (queries degrade immediately instead of
+    re-paying the retry timeout per request); the first probe after the
+    cooldown re-opens it.
+    """
+
+    name = "scatter"
+
+    #: truncated top-k is a prefix of the full ranking — identical to
+    #: the exact backend, because results are bitwise identical to it
+    prefix_stable_topk = True
+
+    def __init__(
+        self,
+        workers: Sequence[LocalShardWorker | RemoteShardWorker] | None = None,
+        *,
+        shards: int | None = None,
+        query_cache_size: int = 256,
+        fail_threshold: int = 3,
+        cooldown: float = 1.0,
+    ) -> None:
+        if workers is None:
+            workers = [LocalShardWorker(i) for i in range(int(shards or 2))]
+        if not workers:
+            raise ValidationError("scatter backend needs at least one worker")
+        self.workers = list(workers)
+        self.query_cache = EmbeddingLRU(query_cache_size)
+        self.fail_threshold = max(1, int(fail_threshold))
+        self.cooldown = max(0.0, float(cooldown))
+        self._lock = threading.Lock()
+        self._health = [_WorkerHealth() for _ in self.workers]
+        #: (user, kind) shards whose owning worker missed a mutation —
+        #: they must not serve until resynced (None -> exact fallback)
+        self._dirty: set[tuple[Hashable, str]] = set()
+        # gather-path counters (batcher-style, for `stats`)
+        self.scatter_queries = 0
+        self.gather_merges = 0
+        self.degraded_queries = 0
+
+    # ------------------------------------------------------------------
+    # Placement + health
+    # ------------------------------------------------------------------
+    def worker_of(self, user: Hashable, kind: str) -> int:
+        return assign_worker(user, kind, len(self.workers))
+
+    def _blocked(self, worker_id: int) -> bool:
+        with self._lock:
+            return self._health[worker_id].blocked_until > time.monotonic()
+
+    def _note_failure(self, worker_id: int) -> None:
+        with self._lock:
+            health = self._health[worker_id]
+            health.failures += 1
+            health.consecutive_failures += 1
+            if health.consecutive_failures >= self.fail_threshold:
+                health.blocked_until = time.monotonic() + self.cooldown
+
+    def _note_success(self, worker_id: int, *, search: bool) -> None:
+        with self._lock:
+            health = self._health[worker_id]
+            health.consecutive_failures = 0
+            health.blocked_until = 0.0
+            if search:
+                health.searches += 1
+            else:
+                health.mutations += 1
+
+    # ------------------------------------------------------------------
+    # Mutation: route to the owning worker
+    # ------------------------------------------------------------------
+    def _mutate(
+        self, user: Hashable, kind: str, op: Callable[..., object], *args
+    ):
+        worker_id = self.worker_of(user, kind)
+        try:
+            result = op(self.workers[worker_id], *args)
+        except ShardUnavailable:
+            # never lose a write silently: the shard is marked dirty and
+            # stops serving (None -> exact fallback) until resynced
+            self._note_failure(worker_id)
+            with self._lock:
+                self._dirty.add((user, kind))
+            return None
+        self._note_success(worker_id, search=False)
+        return result
+
+    def add(self, user, kind, rid, vector) -> None:
+        self._mutate(
+            user, kind, lambda w: w.add(user, kind, rid, vector)
+        )
+
+    def add_many(self, user, kind, rids, vectors) -> None:
+        self._mutate(
+            user, kind, lambda w: w.add_many(user, kind, rids, vectors)
+        )
+
+    def remove(self, user, kind, rid) -> bool:
+        removed = self._mutate(
+            user, kind, lambda w: w.remove(user, kind, rid)
+        )
+        return bool(removed)
+
+    def remove_everywhere(self, user, rid) -> None:
+        # the id may live in any of the user's kinds — every worker that
+        # owns one of them gets the removal (kind set is small and fixed)
+        from repro.search.index import KIND_CODE, KIND_DESC, KIND_WORKFLOW
+
+        for kind in (KIND_DESC, KIND_CODE, KIND_WORKFLOW):
+            self._mutate(user, kind, lambda w, k=kind: w.remove(user, k, rid))
+
+    def clear(self, user=None) -> None:
+        for worker_id, worker in enumerate(self.workers):
+            try:
+                worker.clear(user)
+            except ShardUnavailable:
+                self._note_failure(worker_id)
+                continue
+            self._note_success(worker_id, search=False)
+        with self._lock:
+            if user is None:
+                self._dirty.clear()
+            else:
+                self._dirty = {
+                    key for key in self._dirty if key[0] != user
+                }
+        self.query_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Retrieval: scatter to the owning worker set, gather + merge
+    # ------------------------------------------------------------------
+    def search_among(
+        self,
+        user: Hashable,
+        kind: str,
+        rids: Sequence[int],
+        query: np.ndarray,
+        k: int | None = None,
+    ) -> tuple[list[int], np.ndarray] | None:
+        results = self.search_among_many(user, kind, rids, [query], [k])
+        return None if results is None else results[0]
+
+    def search_among_many(
+        self,
+        user: Hashable,
+        kind: str,
+        rids: Sequence[int],
+        queries: Sequence[np.ndarray],
+        ks: Sequence[int | None],
+    ) -> list[tuple[list[int], np.ndarray]] | None:
+        for k in ks:
+            if k is not None and k <= 0:
+                raise ValidationError(f"k must be positive, got {k}")
+        if len(queries) != len(ks):
+            raise ValidationError(
+                f"got {len(queries)} queries for {len(ks)} k values"
+            )
+        qvecs = [_as_vector(query) for query in queries]
+        with self._lock:
+            self.scatter_queries += 1
+            dirty = (user, kind) in self._dirty
+        if dirty:
+            with self._lock:
+                self.degraded_queries += 1
+            return None
+        worker_id = self.worker_of(user, kind)
+        if self._blocked(worker_id):
+            # circuit open: degrade immediately instead of re-paying the
+            # retry timeout on every request while the node is down
+            with self._lock:
+                self.degraded_queries += 1
+            return None
+        try:
+            per_shard = self.workers[worker_id].search_among_many(
+                user, kind, rids, qvecs, ks
+            )
+        except ShardUnavailable:
+            self._note_failure(worker_id)
+            with self._lock:
+                self.degraded_queries += 1
+            return None
+        self._note_success(worker_id, search=True)
+        if per_shard is None:  # membership mismatch on the worker
+            return None
+        # gather: whole-shard placement means one ranked list per query,
+        # but every result flows through the same merge the multi-source
+        # protocol defines — (descending score, ascending id), stable
+        with self._lock:
+            self.gather_merges += len(per_shard)
+        return [
+            merge_ranked([(ids, scores)], k)
+            for (ids, scores), k in zip(per_shard, ks)
+        ]
+
+    # ------------------------------------------------------------------
+    # Persistence / introspection
+    # ------------------------------------------------------------------
+    def snapshot(
+        self, user: Hashable | None = None
+    ) -> dict[tuple[Hashable, str], tuple[np.ndarray, np.ndarray]]:
+        """Union of every reachable worker's slabs (placement is
+        disjoint, so the dict union is exact); unreachable workers are
+        skipped — persistence of the authoritative copy lives with the
+        registry's exact index, not here."""
+        out: dict = {}
+        for worker_id, worker in enumerate(self.workers):
+            try:
+                out.update(worker.snapshot(user))
+            except ShardUnavailable:
+                self._note_failure(worker_id)
+        return out
+
+    def stats(self) -> dict:
+        with self._lock:
+            health = [h.to_json() for h in self._health]
+            dirty = sorted(f"{user}/{kind}" for user, kind in self._dirty)
+            counters = {
+                "scatterQueries": self.scatter_queries,
+                "gatherMerges": self.gather_merges,
+                "degradedQueries": self.degraded_queries,
+            }
+        workers = []
+        for worker, info in zip(self.workers, health):
+            entry = dict(worker.describe())
+            entry.update(info)
+            workers.append(entry)
+        return {
+            "backend": self.name,
+            "workers": workers,
+            "dirtyShards": dirty,
+            **counters,
+        }
+
+    def cached_query_vector(
+        self, key: Hashable, compute: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        return self.query_cache.get_or_compute(key, compute)

@@ -1,76 +1,297 @@
-"""Real HTTP deployment adapter (stdlib-only).
+"""Real HTTP deployment adapter (stdlib-only) on an asyncio server core.
 
 The in-process transport is the default (and the only option exercised
 by the offline benchmarks), but Laminar's architecture is a genuine
 server-client split; this module lets a :class:`LaminarServer` listen on
 a real socket and a client connect to it over HTTP:
 
-* :func:`serve_http` — mount a server on a ``ThreadingHTTPServer``.
+* :func:`serve_http` — mount a server on an asyncio event loop running
+  on a background thread.  One coroutine per connection replaces the
+  previous thread-per-connection ``ThreadingHTTPServer``, so thousands
+  of idle keep-alive sockets cost one task each instead of one OS
+  thread each.  Dispatch itself is synchronous (SQLite, BLAS), so each
+  parsed request hops to a bounded thread pool — that pool is what
+  feeds concurrent searches into the server's
+  :class:`~repro.search.serving.SearchBatcher` coalescing window, same
+  as the threaded front end did.
 * :class:`HttpTransport` — a :class:`~repro.net.transport.Transport`
-  speaking the same JSON protocol over ``urllib``.
+  speaking the same JSON protocol over ``urllib``.  It forwards *all*
+  request metadata headers (``Idempotency-Key`` included — previously
+  dropped, which silently disabled idempotent replay over real HTTP)
+  and surfaces response headers (``Idempotent-Replay``, ``Allow``) on
+  the returned :class:`~repro.net.transport.Response`.
 
 Wire protocol: request bodies are JSON (also for GET/DELETE, matching
 the in-process transport); the auth token travels as a Bearer header;
 an ``Idempotency-Key`` header rides along as request metadata (the v1
 write handlers read it, an explicit ``idempotencyKey`` body field
 wins); responses are JSON with the dispatch status code plus any
-response headers the handler attached (e.g. ``Allow`` on a 405).
+response headers the handler attached.  Response bytes (status line,
+header set and order, JSON body) match what the previous
+``BaseHTTPRequestHandler`` front end emitted, so clients and recorded
+traces see no difference.
+
+Peer disconnects are a fact of life, not an error: a client that drops
+the socket mid-request or mid-response used to surface as a spurious
+``BrokenPipeError`` traceback from the handler thread; the async core
+counts it (``handle.stats()["peerDisconnects"]``) and closes quietly.
 """
 
 from __future__ import annotations
 
+import asyncio
+import email.utils
 import json
+import socket
+import sys
 import threading
 import urllib.error
 import urllib.request
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from concurrent.futures import ThreadPoolExecutor
+from http.client import responses as _HTTP_PHRASES
 from typing import Any
 
 from repro.errors import TransportError
 from repro.net.transport import Request, Response, Transport
+
+#: mirrors ``BaseHTTPRequestHandler.version_string()`` so the Server
+#: header is byte-identical to the previous threaded front end
+_SERVER_STRING = "LaminarRepro/1.0 Python/" + sys.version.split()[0]
+
+_SUPPORTED_METHODS = frozenset({"GET", "POST", "PUT", "DELETE"})
+
+#: network errors that mean "the peer went away", never a server fault
+_PEER_DISCONNECT = (
+    ConnectionResetError,
+    BrokenPipeError,
+    ConnectionAbortedError,
+    asyncio.IncompleteReadError,
+)
 
 
 class _BadBody(ValueError):
     """Raised when the request body is not a JSON object."""
 
 
-class _LaminarHTTPHandler(BaseHTTPRequestHandler):
-    """Translates HTTP requests into server.dispatch calls.
+def _client_url(host: str, port: int) -> str:
+    """Normalize a bound address into a URL a client can connect to.
 
-    Speaks HTTP/1.1 so connections persist across requests (every
-    response carries an explicit ``Content-Length``) — benchmark and
-    high-throughput clients reuse one socket instead of paying a TCP
-    handshake per call.  The handler itself never serializes dispatch:
-    each connection runs on its own ``ThreadingHTTPServer`` thread, and
-    concurrent search requests coalesce in the server's micro-batcher.
+    Binding to all interfaces reports ``0.0.0.0`` (or ``::``), which is
+    not a connectable destination — map it to loopback.  IPv6 literals
+    must be bracketed inside a URL.
+    """
+    if host in ("", "0.0.0.0"):
+        host = "127.0.0.1"
+    elif host == "::":
+        host = "::1"
+    if ":" in host and not host.startswith("["):
+        host = f"[{host}]"
+    return f"http://{host}:{port}"
+
+
+class _ConnectionStats:
+    """Shared front-end counters, exposed via ``HttpServerHandle.stats``."""
+
+    __slots__ = ("connections", "requests", "peer_disconnects", "_lock")
+
+    def __init__(self) -> None:
+        self.connections = 0
+        self.requests = 0
+        self.peer_disconnects = 0
+        self._lock = threading.Lock()
+
+    def bump(self, field: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + by)
+
+    def to_json(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "connections": self.connections,
+                "requests": self.requests,
+                "peerDisconnects": self.peer_disconnects,
+            }
+
+
+class _AsyncHttpCore:
+    """Per-connection HTTP/1.1 state machine feeding ``laminar.dispatch``.
+
+    Parsing happens on the event loop; the blocking dispatch (SQLite,
+    BLAS scoring) runs in ``executor`` so many in-flight requests land
+    inside the same ``SearchBatcher`` window.
     """
 
-    server_version = "LaminarRepro/1.0"
-    protocol_version = "HTTP/1.1"
-    #: headers and body leave in separate writes; without TCP_NODELAY
-    #: Nagle holds the second segment for the peer's delayed ACK, adding
-    #: ~40ms to every keep-alive round trip
-    disable_nagle_algorithm = True
-    #: injected by serve_http
-    laminar = None
+    def __init__(
+        self,
+        laminar: Any,
+        executor: ThreadPoolExecutor,
+        stats: _ConnectionStats,
+    ) -> None:
+        self.laminar = laminar
+        self.executor = executor
+        self.stats = stats
 
-    def _read_body(self) -> dict[str, Any]:
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.bump("connections")
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            # headers and body leave in separate writes; without
+            # TCP_NODELAY Nagle holds the second segment for the peer's
+            # delayed ACK, adding ~40ms to every keep-alive round trip
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+        try:
+            while True:
+                keep_open = await self._handle_one(reader, writer)
+                if not keep_open:
+                    break
+        except _PEER_DISCONNECT:
+            # client dropped the socket mid-request or mid-response:
+            # count it and close quietly — never a traceback
+            self.stats.bump("peer_disconnects")
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            pass  # defensive: a broken connection never kills the loop
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    async def _handle_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Serve one request; return True to keep the connection open."""
+        try:
+            raw_line = await reader.readline()
+        except ValueError:  # request line over the stream limit
+            await self._send_json(
+                writer,
+                414,
+                {"error": "BadRequest", "code": 414, "message": "request line too long"},
+                close=True,
+            )
+            return False
+        if not raw_line or not raw_line.strip():
+            return False  # clean close between keep-alive requests
+        parts = raw_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            await self._send_json(
+                writer,
+                400,
+                {"error": "BadRequest", "code": 400, "message": "malformed request line"},
+                close=True,
+            )
+            return False
+        method, path, version = parts
+        headers = await self._read_headers(reader)
+        if headers is None:
+            await self._send_json(
+                writer,
+                400,
+                {"error": "BadRequest", "code": 400, "message": "malformed headers"},
+                close=True,
+            )
+            return False
+        # HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close
+        connection = headers.get("connection", "").lower()
+        keep_alive = version != "HTTP/1.0"
+        if connection == "close":
+            keep_alive = False
+        elif version == "HTTP/1.0" and connection == "keep-alive":
+            keep_alive = True
+        if method not in _SUPPORTED_METHODS:
+            await self._send_json(
+                writer,
+                501,
+                {
+                    "error": "NotImplemented",
+                    "code": 501,
+                    "message": f"unsupported method {method!r}",
+                },
+                close=True,
+            )
+            return False
+        try:
+            body = await self._read_body(reader, headers)
+        except _BadBody as exc:
+            # standardized envelope (paper §3.2.5) for transport-level
+            # rejects; chunked bodies close (framing would desync), a
+            # fully-read malformed body keeps the connection alive
+            close = bool(headers.get("transfer-encoding"))
+            await self._send_json(
+                writer,
+                400,
+                {"error": "BadRequest", "code": 400, "message": str(exc)},
+                close=close,
+            )
+            return keep_alive and not close
+        metadata: dict[str, str] = {}
+        idempotency_key = headers.get("idempotency-key")
+        if idempotency_key is not None:
+            # standard retry-safety header; carried as request metadata
+            # (NOT folded into the body — strict v1 read envelopes
+            # would reject the extra field), body field wins downstream
+            metadata["Idempotency-Key"] = idempotency_key
+        token = None
+        auth = headers.get("authorization", "")
+        if auth.startswith("Bearer "):
+            token = auth[len("Bearer "):].strip()
+        request = Request(method, path, body, token, metadata)
+        self.stats.bump("requests")
+        loop = asyncio.get_running_loop()
+        response = await loop.run_in_executor(
+            self.executor, self.laminar.dispatch, request
+        )
+        await self._send_json(
+            writer,
+            response.status,
+            response.body,
+            extra=response.headers,
+            close=not keep_alive,
+        )
+        return keep_alive
+
+    @staticmethod
+    async def _read_headers(
+        reader: asyncio.StreamReader,
+    ) -> dict[str, str] | None:
+        headers: dict[str, str] = {}
+        for _ in range(128):  # bounded header count
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                return headers
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                return None
+            headers[name.strip().lower()] = value.strip()
+        return None
+
+    @staticmethod
+    async def _read_body(
+        reader: asyncio.StreamReader, headers: dict[str, str]
+    ) -> dict[str, Any]:
         """Parse the JSON request body; malformed input is a 400, never
         silently coerced to ``{}``."""
-        if self.headers.get("Transfer-Encoding"):
+        if headers.get("transfer-encoding"):
             # only Content-Length framing is implemented; silently
             # ignoring a chunked body would desynchronize the
             # kept-alive connection (the unread chunks would be parsed
             # as the next request line)
-            self.close_connection = True
             raise _BadBody(
                 "Transfer-Encoding is not supported; send a"
                 " Content-Length-framed body"
             )
-        length = int(self.headers.get("Content-Length") or 0)
+        length = int(headers.get("content-length") or 0)
         if length == 0:
             return {}
-        raw = self.rfile.read(length)
+        raw = await reader.readexactly(length)
         try:
             body = json.loads(raw.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
@@ -81,84 +302,87 @@ class _LaminarHTTPHandler(BaseHTTPRequestHandler):
             )
         return body
 
-    def _token(self) -> str | None:
-        header = self.headers.get("Authorization", "")
-        if header.startswith("Bearer "):
-            return header[len("Bearer "):].strip()
-        return None
-
-    def _send_json(
-        self,
+    @staticmethod
+    async def _send_json(
+        writer: asyncio.StreamWriter,
         status: int,
         body: dict[str, Any],
-        headers: dict[str, str] | None = None,
+        extra: dict[str, str] | None = None,
+        close: bool = False,
     ) -> None:
         payload = json.dumps(body).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(payload)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        if self.close_connection:
-            # advertise the teardown (e.g. an unreadable chunked body)
-            self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(payload)
-
-    def _handle(self, method: str) -> None:
-        try:
-            body = self._read_body()
-        except _BadBody as exc:
-            # standardized envelope (paper §3.2.5) for transport-level
-            # rejects; the body was fully read, so keep-alive survives
-            self._send_json(
-                400,
-                {"error": "BadRequest", "code": 400, "message": str(exc)},
-            )
-            return
-        headers = {}
-        idempotency_key = self.headers.get("Idempotency-Key")
-        if idempotency_key is not None:
-            # standard retry-safety header; carried as request metadata
-            # (NOT folded into the body — strict v1 read envelopes
-            # would reject the extra field), body field wins downstream
-            headers["Idempotency-Key"] = idempotency_key
-        request = Request(method, self.path, body, self._token(), headers)
-        response = self.laminar.dispatch(request)
-        self._send_json(response.status, response.body, response.headers)
-
-    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        self._handle("GET")
-
-    def do_POST(self) -> None:  # noqa: N802
-        self._handle("POST")
-
-    def do_PUT(self) -> None:  # noqa: N802
-        self._handle("PUT")
-
-    def do_DELETE(self) -> None:  # noqa: N802
-        self._handle("DELETE")
-
-    def log_message(self, format: str, *args: Any) -> None:
-        """Silence per-request logging (tests run many requests)."""
+        phrase = _HTTP_PHRASES.get(status, "")
+        # header names, values and order mirror the BaseHTTPRequestHandler
+        # front end this core replaced — response bytes stay identical
+        lines = [
+            f"HTTP/1.1 {status} {phrase}",
+            f"Server: {_SERVER_STRING}",
+            f"Date: {email.utils.formatdate(usegmt=True)}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(payload)}",
+        ]
+        for name, value in (extra or {}).items():
+            lines.append(f"{name}: {value}")
+        if close:
+            lines.append("Connection: close")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head)
+        writer.write(payload)
+        await writer.drain()
 
 
 class HttpServerHandle:
-    """A running HTTP deployment; use as a context manager."""
+    """A running HTTP deployment; use as a context manager.
 
-    def __init__(self, httpd: ThreadingHTTPServer, thread: threading.Thread) -> None:
-        self._httpd = httpd
+    ``host``/``port`` are the bound address; :attr:`url` is normalized
+    to something a client can actually connect to (``0.0.0.0`` → the
+    loopback address, IPv6 literals bracketed).
+    """
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+        server: asyncio.base_events.Server,
+        executor: ThreadPoolExecutor,
+        stats: _ConnectionStats,
+    ) -> None:
+        self._loop = loop
         self._thread = thread
-        self.host, self.port = httpd.server_address[0], httpd.server_address[1]
+        self._server = server
+        self._executor = executor
+        self._stats = stats
+        sockname = server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
 
     @property
     def url(self) -> str:
-        return f"http://{self.host}:{self.port}"
+        return _client_url(self.host, self.port)
+
+    def stats(self) -> dict[str, int]:
+        """Front-end counters (connections, requests, peer disconnects)."""
+        return self._stats.to_json()
 
     def shutdown(self) -> None:
-        self._httpd.shutdown()
+        loop = self._loop
+
+        async def _stop() -> None:
+            self._server.close()
+            await self._server.wait_closed()
+            # open keep-alive connections hold one task each; cancel
+            # them so the loop can drain instead of waiting forever
+            current = asyncio.current_task()
+            for task in asyncio.all_tasks():
+                if task is not current:
+                    task.cancel()
+
+        if loop.is_running():
+            asyncio.run_coroutine_threadsafe(_stop(), loop).result(timeout=5.0)
+            loop.call_soon_threadsafe(loop.stop)
         self._thread.join(timeout=5.0)
-        self._httpd.server_close()
+        if not loop.is_closed():
+            loop.close()
+        self._executor.shutdown(wait=False)
 
     def __enter__(self) -> "HttpServerHandle":
         return self
@@ -168,23 +392,76 @@ class HttpServerHandle:
 
 
 def serve_http(
-    laminar_server: Any, host: str = "127.0.0.1", port: int = 0
+    laminar_server: Any,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    workers: int = 32,
 ) -> HttpServerHandle:
-    """Serve ``laminar_server`` over HTTP on a background thread.
+    """Serve ``laminar_server`` over HTTP on a background event loop.
 
-    ``port=0`` picks a free port; the handle exposes the bound URL.
+    ``port=0`` picks a free port; the handle exposes the bound, client-
+    usable URL.  ``workers`` bounds the dispatch thread pool — the
+    number of requests that may block in SQLite/BLAS at once; parsing
+    and socket I/O stay on the event loop regardless, so idle keep-alive
+    connections are effectively free.
     """
-    handler = type(
-        "_BoundHandler", (_LaminarHTTPHandler,), {"laminar": laminar_server}
+    stats = _ConnectionStats()
+    executor = ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="laminar-http"
     )
-    httpd = ThreadingHTTPServer((host, port), handler)
-    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    core = _AsyncHttpCore(laminar_server, executor, stats)
+    loop = asyncio.new_event_loop()
+    started: list[asyncio.base_events.Server] = []
+    ready = threading.Event()
+    failure: list[BaseException] = []
+
+    async def _start() -> None:
+        try:
+            server = await asyncio.start_server(
+                core.handle_connection, host, port
+            )
+            started.append(server)
+        except BaseException as exc:  # bind failures propagate to caller
+            failure.append(exc)
+        finally:
+            ready.set()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.create_task(_start())
+        loop.run_forever()
+        # drain cancelled connection tasks after stop()
+        pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+        for task in pending:
+            task.cancel()
+        if pending:
+            loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True)
+            )
+
+    thread = threading.Thread(
+        target=_run, name="laminar-http-loop", daemon=True
+    )
     thread.start()
-    return HttpServerHandle(httpd, thread)
+    ready.wait(timeout=10.0)
+    if failure:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5.0)
+        raise failure[0]
+    return HttpServerHandle(loop, thread, started[0], executor, stats)
 
 
 class HttpTransport(Transport):
-    """Client-side transport speaking the Laminar JSON protocol over HTTP."""
+    """Client-side transport speaking the Laminar JSON protocol over HTTP.
+
+    Every entry in ``request.headers`` is forwarded as a real HTTP
+    header (the in-process transport always passed them through; the
+    HTTP path used to drop them, so an ``Idempotency-Key`` never reached
+    the server and idempotent replay silently did not work over real
+    sockets).  Response headers come back on ``Response.headers`` so
+    callers can observe e.g. ``Idempotent-Replay: true``.
+    """
 
     def __init__(self, base_url: str, timeout: float = 30.0) -> None:
         self.base_url = base_url.rstrip("/")
@@ -198,19 +475,25 @@ class HttpTransport(Transport):
             method=request.method,
             headers={"Content-Type": "application/json"},
         )
+        for name, value in request.headers.items():
+            http_request.add_header(name, value)
         if request.token:
             http_request.add_header("Authorization", f"Bearer {request.token}")
         try:
             with urllib.request.urlopen(
                 http_request, timeout=self.timeout
             ) as reply:
-                return Response(reply.status, json.loads(reply.read().decode()))
+                return Response(
+                    reply.status,
+                    json.loads(reply.read().decode()),
+                    dict(reply.headers.items()),
+                )
         except urllib.error.HTTPError as exc:
             try:
                 body = json.loads(exc.read().decode())
             except Exception:
                 body = {"error": "InternalError", "message": str(exc)}
-            return Response(exc.code, body)
+            return Response(exc.code, body, dict(exc.headers.items()))
         except urllib.error.URLError as exc:
             raise TransportError(
                 f"cannot reach Laminar server at {self.base_url}",

@@ -1,0 +1,159 @@
+"""Shard node: one index partition served over the JSON wire protocol.
+
+A :class:`ShardNode` owns a single :class:`~repro.search.index.VectorIndex`
+holding the (user, kind) slabs that :func:`~repro.search.scatter.assign_worker`
+placed on it, and exposes the shard-worker surface as ``dispatch(Request)
+-> Response`` — the same server shape :class:`~repro.net.transport.InProcessTransport`
+and :func:`~repro.server.http.serve_http` already mount.  A
+:class:`~repro.search.scatter.RemoteShardWorker` is the matching client.
+
+Routes (all POST, JSON bodies):
+
+=========================  =============================================
+``/shard/add``             ``{user, kind, rid, vector}``
+``/shard/add_many``        ``{user, kind, rids, vectors}``
+``/shard/remove``          ``{user, kind, rid}`` → ``{removed}``
+``/shard/remove_everywhere``  ``{user, rid}``
+``/shard/clear``           ``{user|null}``
+``/shard/search``          ``{user, kind, rids, queries, ks}`` →
+                           ``{match, results: [{ids, scores}]}``
+``/shard/health``          ``{}`` → ``{ok, workerId, shards, rows}``
+``/shard/export``          ``{user|null}`` →
+                           ``{shards: [{user, kind, ids, vectors}]}``
+=========================  =============================================
+
+Vectors and scores travel as JSON floats, which is lossless for float32
+(exact widening to float64, shortest-repr round trip), so a query served
+through a shard node is bitwise identical to serving it in process.
+Errors use the repo's standard envelope (``{error, code, message}``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ReproError, ValidationError
+from repro.net.transport import Request, Response
+from repro.search.index import VectorIndex
+
+
+def _floats(matrix: np.ndarray) -> list[list[float]]:
+    return [[float(x) for x in row] for row in np.asarray(matrix, dtype=np.float32)]
+
+
+class ShardNode:
+    """Serves one index partition; mount in process or behind HTTP."""
+
+    def __init__(self, index: VectorIndex | None = None, worker_id: int = 0) -> None:
+        self.index = index if index is not None else VectorIndex()
+        self.worker_id = int(worker_id)
+        self.requests = 0
+
+    # ------------------------------------------------------------------
+    def dispatch(self, request: Request) -> Response:
+        self.requests += 1
+        handler = getattr(
+            self, "_op_" + request.path.removeprefix("/shard/"), None
+        )
+        if request.method != "POST" or not request.path.startswith("/shard/") or handler is None:
+            return Response(
+                404,
+                {
+                    "error": "NotFound",
+                    "code": 404,
+                    "message": f"unknown shard route {request.method} {request.path}",
+                },
+            )
+        try:
+            return Response(200, handler(request.body))
+        except ReproError as exc:
+            return Response(
+                exc.code,
+                {"error": type(exc).__name__, "code": exc.code, "message": str(exc)},
+            )
+        except Exception as exc:  # defensive: never leak a traceback as HTML
+            return Response(
+                500,
+                {"error": "InternalError", "code": 500, "message": str(exc)},
+            )
+
+    # ------------------------------------------------------------------
+    def _op_add(self, body: dict[str, Any]) -> dict[str, Any]:
+        self.index.add(
+            body["user"],
+            body["kind"],
+            int(body["rid"]),
+            np.asarray(body["vector"], dtype=np.float32),
+        )
+        return {"ok": True}
+
+    def _op_add_many(self, body: dict[str, Any]) -> dict[str, Any]:
+        rids = [int(rid) for rid in body["rids"]]
+        vectors = np.asarray(body["vectors"], dtype=np.float32)
+        if len(rids) != len(vectors):
+            raise ValidationError(
+                f"got {len(rids)} rids for {len(vectors)} vectors"
+            )
+        self.index.add_many(body["user"], body["kind"], rids, vectors)
+        return {"ok": True, "added": len(rids)}
+
+    def _op_remove(self, body: dict[str, Any]) -> dict[str, Any]:
+        removed = self.index.remove(body["user"], body["kind"], int(body["rid"]))
+        return {"removed": bool(removed)}
+
+    def _op_remove_everywhere(self, body: dict[str, Any]) -> dict[str, Any]:
+        self.index.remove_everywhere(body["user"], int(body["rid"]))
+        return {"ok": True}
+
+    def _op_clear(self, body: dict[str, Any]) -> dict[str, Any]:
+        self.index.clear(body.get("user"))
+        return {"ok": True}
+
+    def _op_search(self, body: dict[str, Any]) -> dict[str, Any]:
+        queries = [np.asarray(q, dtype=np.float32) for q in body["queries"]]
+        ks = [None if k is None else int(k) for k in body["ks"]]
+        results = self.index.search_among_many(
+            body["user"],
+            body["kind"],
+            [int(rid) for rid in body["rids"]],
+            queries,
+            ks,
+        )
+        if results is None:
+            # membership mismatch: tell the gatherer to brute-force
+            return {"match": False, "results": []}
+        return {
+            "match": True,
+            "results": [
+                {
+                    "ids": [int(i) for i in ids],
+                    "scores": [float(s) for s in scores],
+                }
+                for ids, scores in results
+            ],
+        }
+
+    def _op_health(self, body: dict[str, Any]) -> dict[str, Any]:
+        stats = self.index.stats()
+        return {
+            "ok": True,
+            "workerId": self.worker_id,
+            "shards": len(stats),
+            "rows": sum(info["live"] for info in stats.values()),
+            "requests": self.requests,
+        }
+
+    def _op_export(self, body: dict[str, Any]) -> dict[str, Any]:
+        shards = []
+        for (user, kind), (ids, matrix) in self.index.snapshot(body.get("user")).items():
+            shards.append(
+                {
+                    "user": user,
+                    "kind": kind,
+                    "ids": [int(i) for i in ids],
+                    "vectors": _floats(matrix),
+                }
+            )
+        return {"shards": shards}

@@ -39,7 +39,6 @@ from repro.errors import ValidationError
 from repro.net.transport import Request, Response
 from repro.registry.entities import UserRecord
 from repro.search import text_search_pes, text_search_workflows
-from repro.search.backend import backend_names
 from repro.server.controllers import BaseController
 from repro.server.schema import (
     DEFAULT_LIMIT,
@@ -345,12 +344,18 @@ class V1Controller(BaseController):
     def list_backends(
         self, request: Request, params: dict[str, str]
     ) -> Response:
-        """Registered index backends (harmless metadata, no auth)."""
+        """This server's index backends (harmless metadata, no auth).
+
+        Reflects ``app.backends`` — the globally registered set plus any
+        per-server additions (the scatter fan-out when shards are
+        configured) — with the exact reference backend listed first.
+        """
+        names = sorted(self.app.backends, key=lambda n: (n != "exact", n))
         return Response(
             200,
             {
                 "apiVersion": "v1",
-                "backends": backend_names(),
+                "backends": names,
                 "default": "exact",
             },
         )

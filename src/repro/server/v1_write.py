@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -52,6 +53,7 @@ from repro.errors import (
     ValidationError,
 )
 from repro.net.transport import Request, Response
+from repro.registry.dao import RECEIPT_PENDING
 from repro.registry.entities import PERecord, UserRecord, WorkflowRecord
 from repro.server.controllers import BaseController
 from repro.server.schema import (
@@ -426,6 +428,14 @@ def _receipt_outcome(
 ) -> WriteOutcome:
     """Resolve a stored receipt: replay on a match, 409 on a mismatch."""
     stored_fingerprint, status, body = receipt
+    if status == RECEIPT_PENDING:
+        # another writer (possibly another process) holds the key right
+        # now; the caller should retry once its write lands
+        raise IdempotencyError(
+            f"a write with idempotency key {key!r} is still in progress",
+            params={"idempotencyKey": key},
+            details="retry after the in-flight write completes",
+        )
     if stored_fingerprint != fingerprint:
         raise IdempotencyError(
             f"idempotency key {key!r} was already used by a different request",
@@ -455,6 +465,10 @@ def _try_replay(
     receipt = app.registry.dao.get_write_receipt(user.user_id, key)
     if receipt is None:
         return None
+    if receipt[1] == RECEIPT_PENDING:
+        # another writer holds the key: fall through to execute_write,
+        # which waits for the outcome instead of erroring eagerly
+        return None
     return _receipt_outcome(receipt, fingerprint, key)
 
 
@@ -471,6 +485,28 @@ def _effective_idempotency_key(
     return parse_idempotency_key({"idempotencyKey": header})
 
 
+def _dispatch_write(
+    app: "LaminarServer", user: UserRecord, cmd: WriteCommand
+) -> WriteOutcome:
+    if cmd.action == "register":
+        return _register_single(app, user, cmd)
+    if cmd.action == "bulk-register":
+        return _register_bulk(app, user, cmd)
+    if cmd.action == "delete":
+        return _delete(app, user, cmd)
+    # defensive: commands are built by this module's callers
+    raise ValidationError(
+        f"unknown write action {cmd.action!r}",
+        params={"action": cmd.action},
+    )
+
+
+#: how long a claim loser waits for the in-flight winner's outcome, and
+#: how often it re-reads the receipt while waiting
+_CLAIM_WAIT = 2.0
+_CLAIM_POLL = 0.005
+
+
 def execute_write(
     app: "LaminarServer", user: UserRecord, cmd: WriteCommand
 ) -> WriteOutcome:
@@ -478,46 +514,65 @@ def execute_write(
 
     Order matters and is atomic under ``app.write_lock``:
 
-    1. **receipt check** — a stored ``(user, idempotencyKey)`` receipt
-       short-circuits before any registry access: matching fingerprint
-       returns the recorded response verbatim (replay = no-op), a
-       different fingerprint is a 409;
+    1. **key claim** — a keyed write first claims ``(user,
+       idempotencyKey)`` via the DAO's ``INSERT OR IGNORE``.  The claim
+       is the *cross-process* serialization point: SQLite arbitrates
+       the insert across every process sharing the file, so exactly one
+       writer in a fleet wins a key.  A lost claim resolves to the
+       stored receipt — matching fingerprint returns the recorded
+       response verbatim (replay = no-op), a different fingerprint is a
+       409; a still-pending claim is polled briefly (the winner is
+       mid-write in another process) before giving up with a 409;
     2. **conditional check + write** — ``ifVersion`` verified against
        the live revision (or the mutation counter for bulk) in the same
        critical section as the service write, so concurrent CAS races
        resolve to exactly one winner;
-    3. **receipt store** — only *successful* responses are recorded
-       (errors are retryable by design: a 412/409/404 must re-evaluate
-       on the next attempt, not replay).
+    3. **receipt finalize** — only *successful* responses are recorded;
+       a write that raises releases its claim so the key stays
+       retryable (errors are retryable by design: a 412/409/404 must
+       re-evaluate on the next attempt, not replay).
+
+    Keyed writes also drive receipt garbage collection: when the app
+    sets ``receipt_ttl``/``receipt_cap``, each keyed write prunes
+    expired/overflow receipts, so idempotency storage stays bounded
+    without a background sweeper.
     """
     registry = app.registry
     with app.write_lock:
-        if cmd.idempotency_key is not None:
-            receipt = registry.dao.get_write_receipt(
-                user.user_id, cmd.idempotency_key
-            )
-            if receipt is not None:
-                return _receipt_outcome(
-                    receipt, cmd.fingerprint, cmd.idempotency_key
-                )
-        if cmd.action == "register":
-            outcome = _register_single(app, user, cmd)
-        elif cmd.action == "bulk-register":
-            outcome = _register_bulk(app, user, cmd)
-        elif cmd.action == "delete":
-            outcome = _delete(app, user, cmd)
-        else:  # defensive: commands are built by this module's callers
-            raise ValidationError(
-                f"unknown write action {cmd.action!r}",
-                params={"action": cmd.action},
-            )
-        if cmd.idempotency_key is not None:
-            registry.dao.save_write_receipt(
-                user.user_id,
-                cmd.idempotency_key,
-                cmd.fingerprint,
-                outcome.status,
-                outcome.body,
+        if cmd.idempotency_key is None:
+            return _dispatch_write(app, user, cmd)
+        dao = registry.dao
+        key = cmd.idempotency_key
+        deadline = time.monotonic() + _CLAIM_WAIT
+        while not dao.claim_write_receipt(
+            user.user_id, key, cmd.fingerprint, time.time()
+        ):
+            receipt = dao.get_write_receipt(user.user_id, key)
+            if receipt is None:
+                continue  # claim released between our attempt and read
+            if receipt[1] != RECEIPT_PENDING:
+                return _receipt_outcome(receipt, cmd.fingerprint, key)
+            if time.monotonic() >= deadline:
+                # the winner (another process) is still mid-write;
+                # _receipt_outcome turns a pending receipt into a 409
+                return _receipt_outcome(receipt, cmd.fingerprint, key)
+            time.sleep(_CLAIM_POLL)
+        try:
+            outcome = _dispatch_write(app, user, cmd)
+        except BaseException:
+            dao.release_write_receipt(user.user_id, key)
+            raise
+        dao.finalize_write_receipt(
+            user.user_id,
+            key,
+            cmd.fingerprint,
+            outcome.status,
+            outcome.body,
+            time.time(),
+        )
+        if app.receipt_ttl is not None or app.receipt_cap is not None:
+            dao.prune_write_receipts(
+                time.time(), ttl=app.receipt_ttl, cap=app.receipt_cap
             )
         return outcome
 

@@ -10,7 +10,12 @@ import sqlite3
 import numpy as np
 import pytest
 
-from repro.registry.dao import InMemoryDAO, SqliteDAO
+from repro.registry.dao import (
+    RECEIPT_PENDING,
+    _SCHEMA_VERSION,
+    InMemoryDAO,
+    SqliteDAO,
+)
 from repro.registry.entities import PERecord, WorkflowRecord
 
 
@@ -92,6 +97,91 @@ class TestReceipts:
         before = dao.mutation_counter()
         dao.save_write_receipt(1, "k", "fp", 200, {"removed": True})
         assert dao.mutation_counter() == before
+
+
+class TestReceiptClaims:
+    """The INSERT OR IGNORE claim protocol serializing multi-process writers."""
+
+    def test_first_claim_wins(self, dao):
+        assert dao.claim_write_receipt(1, "k", "fp", 10.0) is True
+        assert dao.claim_write_receipt(1, "k", "fp", 11.0) is False
+
+    def test_claim_leaves_a_pending_receipt(self, dao):
+        dao.claim_write_receipt(1, "k", "fp", 10.0)
+        fingerprint, status, body = dao.get_write_receipt(1, "k")
+        assert fingerprint == "fp"
+        assert status == RECEIPT_PENDING
+        assert body == {}
+
+    def test_release_frees_only_pending_claims(self, dao):
+        dao.claim_write_receipt(1, "k", "fp", 10.0)
+        dao.release_write_receipt(1, "k")
+        assert dao.get_write_receipt(1, "k") is None
+        assert dao.claim_write_receipt(1, "k", "fp", 12.0) is True
+        # once finalized, release is a no-op — the receipt is durable
+        dao.finalize_write_receipt(1, "k", "fp", 201, {"done": True}, 13.0)
+        dao.release_write_receipt(1, "k")
+        assert dao.get_write_receipt(1, "k")[1] == 201
+
+    def test_finalize_overwrites_the_pending_row(self, dao):
+        dao.claim_write_receipt(1, "k", "fp", 10.0)
+        dao.finalize_write_receipt(1, "k", "fp", 201, {"peId": 9}, 11.0)
+        fingerprint, status, body = dao.get_write_receipt(1, "k")
+        assert (fingerprint, status, body) == ("fp", 201, {"peId": 9})
+
+    def test_claims_scoped_per_user(self, dao):
+        assert dao.claim_write_receipt(1, "k", "fp", 10.0) is True
+        assert dao.claim_write_receipt(2, "k", "fp", 10.0) is True
+
+
+class TestReceiptPruning:
+    def _finalized(self, dao, key, created_at, user=1):
+        dao.save_write_receipt(user, key, f"fp-{key}", 201, {"k": key}, created_at)
+
+    def test_ttl_expires_old_receipts(self, dao):
+        self._finalized(dao, "old", created_at=100.0)
+        self._finalized(dao, "new", created_at=180.0)
+        removed = dao.prune_write_receipts(200.0, ttl=50.0)
+        assert removed == 1
+        assert dao.get_write_receipt(1, "old") is None
+        assert dao.get_write_receipt(1, "new") is not None
+
+    def test_receipt_inside_window_survives(self, dao):
+        self._finalized(dao, "fresh", created_at=199.0)
+        assert dao.prune_write_receipts(200.0, ttl=50.0) == 0
+        assert dao.get_write_receipt(1, "fresh") is not None
+
+    def test_cap_keeps_the_newest(self, dao):
+        for n in range(5):
+            self._finalized(dao, f"k{n}", created_at=float(n))
+        removed = dao.prune_write_receipts(100.0, cap=2)
+        assert removed == 3
+        assert dao.get_write_receipt(1, "k0") is None
+        assert dao.get_write_receipt(1, "k2") is None
+        assert dao.get_write_receipt(1, "k3") is not None
+        assert dao.get_write_receipt(1, "k4") is not None
+
+    def test_pending_claims_are_never_pruned(self, dao):
+        dao.claim_write_receipt(1, "inflight", "fp", 0.0)
+        self._finalized(dao, "done", created_at=0.0)
+        dao.prune_write_receipts(1_000_000.0, ttl=1.0, cap=0)
+        # the finalized receipt is gone, the in-flight claim survives
+        assert dao.get_write_receipt(1, "done") is None
+        assert dao.get_write_receipt(1, "inflight")[1] == RECEIPT_PENDING
+
+    def test_no_limits_means_no_pruning(self, dao):
+        self._finalized(dao, "ancient", created_at=0.0)
+        assert dao.prune_write_receipts(1_000_000.0) == 0
+        assert dao.get_write_receipt(1, "ancient") is not None
+
+    def test_pre_v4_receipts_expire_first(self, dao):
+        # receipts saved without a timestamp (migrated rows) stamp 0 —
+        # the epoch — so any TTL retires them ahead of stamped ones
+        dao.save_write_receipt(1, "legacy", "fp", 200, {"old": True})
+        self._finalized(dao, "stamped", created_at=500.0)
+        dao.prune_write_receipts(501.0, ttl=100.0)
+        assert dao.get_write_receipt(1, "legacy") is None
+        assert dao.get_write_receipt(1, "stamped") is not None
 
 
 class TestMigrationToV3:
@@ -180,7 +270,7 @@ class TestMigrationToV3:
         assert dao.get_write_receipt(1, "k")[2] == {"ok": True}
         assert dao.load_ivf_states() is None
         version = dao._conn.execute("PRAGMA user_version").fetchone()[0]
-        assert version == 3
+        assert version == _SCHEMA_VERSION
 
     def test_migration_is_idempotent_across_reopens(self, v2_file):
         SqliteDAO(v2_file).close()

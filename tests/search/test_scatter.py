@@ -1,0 +1,352 @@
+"""Scatter/gather shard serving: placement, merge, parity, degradation."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import TransportError, ValidationError
+from repro.net.transport import InProcessTransport
+from repro.search.index import KIND_CODE, KIND_DESC, KIND_WORKFLOW, VectorIndex
+from repro.search.scatter import (
+    LocalShardWorker,
+    RemoteShardWorker,
+    ScatterGatherBackend,
+    ShardUnavailable,
+    assign_worker,
+    merge_ranked,
+)
+from repro.server.shardnode import ShardNode
+
+DIM = 16
+KINDS = (KIND_DESC, KIND_CODE, KIND_WORKFLOW)
+
+
+def _vectors(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, DIM)).astype(np.float32)
+
+
+def _populate(indexes, users=(1, 2, 3, 7), per_shard=23):
+    """Feed identical (user, kind) slabs into every index-like target."""
+    seed = 0
+    for user in users:
+        for kind in KINDS:
+            seed += 1
+            vectors = _vectors(per_shard, seed=seed)
+            rids = list(range(1, per_shard + 1))
+            for target in indexes:
+                target.add_many(user, kind, rids, vectors)
+    return list(users)
+
+
+class TestAssignment:
+    def test_deterministic_and_in_range(self):
+        for n in (1, 2, 5, 16):
+            for user in (1, 42, "alice"):
+                for kind in KINDS:
+                    first = assign_worker(user, kind, n)
+                    assert first == assign_worker(user, kind, n)
+                    assert 0 <= first < n
+
+    def test_spreads_keys_across_workers(self):
+        owners = {
+            assign_worker(user, kind, 4)
+            for user in range(40)
+            for kind in KINDS
+        }
+        assert owners == {0, 1, 2, 3}  # 120 keys hit every worker
+
+    def test_rejects_nonpositive_worker_count(self):
+        with pytest.raises(ValidationError):
+            assign_worker(1, KIND_DESC, 0)
+
+
+class TestMergeRanked:
+    def test_merging_a_partition_reproduces_the_global_ranking(self):
+        """Bitwise: split a ranking's (id, score) pairs any way, merge,
+        and the global exact top-k comes back identical."""
+        index = VectorIndex()
+        vectors = _vectors(57, seed=9)
+        rids = list(range(1, 58))
+        index.add_many(1, KIND_DESC, rids, vectors)
+        query = _vectors(1, seed=99)[0]
+        for k in (1, 3, 10, None):
+            ids, scores = index.search_among(1, KIND_DESC, rids, query, None)
+            # partition the full ranking's pairs into 3 interleaved groups
+            parts = [
+                ([i for n, i in enumerate(ids) if n % 3 == g],
+                 np.asarray(
+                     [s for n, s in enumerate(scores) if n % 3 == g],
+                     dtype=np.float32,
+                 ))
+                for g in range(3)
+            ]
+            merged_ids, merged_scores = merge_ranked(parts, k)
+            want_ids, want_scores = index.search_among(
+                1, KIND_DESC, rids, query, k
+            )
+            assert merged_ids == want_ids
+            assert merged_scores.tobytes() == want_scores.tobytes()
+
+    def test_tie_break_is_ascending_id(self):
+        parts = [
+            ([5, 9], np.asarray([1.0, 0.5], dtype=np.float32)),
+            ([2, 7], np.asarray([1.0, 1.0], dtype=np.float32)),
+        ]
+        ids, scores = merge_ranked(parts, None)
+        assert ids == [2, 5, 7, 9]
+        assert scores.tolist() == [1.0, 1.0, 1.0, 0.5]
+
+    def test_empty(self):
+        ids, scores = merge_ranked([], 5)
+        assert ids == [] and scores.size == 0
+
+
+def _parity_pairs():
+    """(reference VectorIndex, scatter backend) fed identical slabs."""
+    reference = VectorIndex()
+    scatter = ScatterGatherBackend(shards=3)
+    users = _populate([reference, scatter])
+    return reference, scatter, users
+
+
+class TestLocalParity:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("k", [1, 5, 23, None])
+    def test_search_among_bitwise_identical(self, kind, k):
+        reference, scatter, users = _parity_pairs()
+        rids = list(range(1, 24))
+        for user in users:
+            query = _vectors(1, seed=1000 + user)[0]
+            want = reference.search_among(user, kind, rids, query, k)
+            got = scatter.search_among(user, kind, rids, query, k)
+            assert want is not None and got is not None
+            assert got[0] == want[0]
+            assert got[1].tobytes() == want[1].tobytes()
+
+    def test_search_among_many_bitwise_identical(self):
+        reference, scatter, users = _parity_pairs()
+        rids = list(range(1, 24))
+        queries = [_vectors(1, seed=2000 + i)[0] for i in range(4)]
+        ks = [1, 5, None, 23]
+        for user in users:
+            want = reference.search_among_many(
+                user, KIND_DESC, rids, queries, ks
+            )
+            got = scatter.search_among_many(user, KIND_DESC, rids, queries, ks)
+            for (want_ids, want_scores), (got_ids, got_scores) in zip(want, got):
+                assert got_ids == want_ids
+                assert got_scores.tobytes() == want_scores.tobytes()
+
+    def test_membership_mismatch_returns_none(self):
+        _, scatter, users = _parity_pairs()
+        query = _vectors(1, seed=5)[0]
+        assert (
+            scatter.search_among(users[0], KIND_DESC, [1, 2, 999], query, 3)
+            is None
+        )
+
+    def test_mutations_route_and_parity_survives_removals(self):
+        reference, scatter, users = _parity_pairs()
+        user = users[0]
+        for rid in (3, 11, 20):
+            assert reference.remove(user, KIND_DESC, rid)
+            assert scatter.remove(user, KIND_DESC, rid)
+        reference.add(user, KIND_DESC, 99, _vectors(1, seed=77)[0])
+        scatter.add(user, KIND_DESC, 99, _vectors(1, seed=77)[0])
+        rids = [r for r in range(1, 24) if r not in (3, 11, 20)] + [99]
+        query = _vectors(1, seed=6)[0]
+        want = reference.search_among(user, KIND_DESC, rids, query, 7)
+        got = scatter.search_among(user, KIND_DESC, rids, query, 7)
+        assert got[0] == want[0]
+        assert got[1].tobytes() == want[1].tobytes()
+
+    def test_remove_everywhere_drops_id_from_all_kinds(self):
+        _, scatter, users = _parity_pairs()
+        user = users[0]
+        scatter.remove_everywhere(user, 5)
+        for kind in KINDS:
+            rids = [r for r in range(1, 24) if r != 5]
+            got = scatter.search_among(
+                user, kind, rids, _vectors(1, seed=8)[0], 3
+            )
+            assert got is not None  # shard now holds exactly rids
+
+    def test_snapshot_unions_disjoint_worker_slabs(self):
+        reference, scatter, users = _parity_pairs()
+        want = reference.snapshot()
+        got = scatter.snapshot()
+        assert set(got) == set(want)
+        for key in want:
+            assert got[key][0].tolist() == want[key][0].tolist()
+            assert got[key][1].tobytes() == want[key][1].tobytes()
+
+    def test_concurrent_queries_across_workers(self):
+        reference, scatter, users = _parity_pairs()
+        rids = list(range(1, 24))
+        failures = []
+
+        def worker(user, seed):
+            query = _vectors(1, seed=seed)[0]
+            want = reference.search_among(user, KIND_DESC, rids, query, 5)
+            got = scatter.search_among(user, KIND_DESC, rids, query, 5)
+            if got is None or got[0] != want[0] or (
+                got[1].tobytes() != want[1].tobytes()
+            ):
+                failures.append(user)
+
+        threads = [
+            threading.Thread(target=worker, args=(user, 3000 + n))
+            for n, user in enumerate(users * 5)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+
+
+class TestRemoteParity:
+    def _remote_backend(self, n=2):
+        nodes = [ShardNode(worker_id=i) for i in range(n)]
+        workers = [
+            RemoteShardWorker(i, InProcessTransport(node), retries=0)
+            for i, node in enumerate(nodes)
+        ]
+        return ScatterGatherBackend(workers), nodes
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_http_wire_format_is_lossless(self, kind):
+        """Queries served through shard nodes (JSON wire round trip via
+        InProcessTransport) stay bitwise identical to local serving."""
+        reference = VectorIndex()
+        scatter, _ = self._remote_backend()
+        users = _populate([reference, scatter], per_shard=13)
+        rids = list(range(1, 14))
+        for k in (1, 4, None):
+            for user in users:
+                query = _vectors(1, seed=4000 + user)[0]
+                want = reference.search_among(user, kind, rids, query, k)
+                got = scatter.search_among(user, kind, rids, query, k)
+                assert got[0] == want[0]
+                assert got[1].tobytes() == want[1].tobytes()
+
+    def test_health_endpoint_reports_rows(self):
+        scatter, nodes = self._remote_backend()
+        _populate([scatter], users=(1,), per_shard=5)
+        total_rows = sum(
+            worker.ping()["rows"] for worker in scatter.workers
+        )
+        assert total_rows == 5 * len(KINDS)
+        assert all(node.requests > 0 for node in nodes)
+
+    def test_snapshot_round_trips_through_export(self):
+        reference = VectorIndex()
+        scatter, _ = self._remote_backend()
+        _populate([reference, scatter], users=(1, 2), per_shard=6)
+        want = reference.snapshot()
+        got = scatter.snapshot()
+        assert set(got) == set(want)
+        for key in want:
+            assert got[key][1].tobytes() == want[key][1].tobytes()
+
+
+class _DeadTransport:
+    """A transport to a node that is down: every request fails."""
+
+    def __init__(self):
+        self.attempts = 0
+
+    def request(self, request):
+        self.attempts += 1
+        raise TransportError("cannot reach shard node")
+
+
+class TestDegradation:
+    def _backend_with_dead_worker(self):
+        dead = _DeadTransport()
+        worker = RemoteShardWorker(0, dead, retries=1, backoff=0.001)
+        return ScatterGatherBackend([worker], fail_threshold=2, cooldown=30.0), dead
+
+    def test_unreachable_shard_degrades_to_none_not_an_error(self):
+        scatter, dead = self._backend_with_dead_worker()
+        query = _vectors(1, seed=1)[0]
+        assert scatter.search_among(1, KIND_DESC, [1, 2], query, 2) is None
+        assert dead.attempts == 2  # first try + one bounded retry
+        assert scatter.stats()["degradedQueries"] == 1
+
+    def test_circuit_breaker_stops_hammering_a_down_node(self):
+        scatter, dead = self._backend_with_dead_worker()
+        query = _vectors(1, seed=2)[0]
+        for _ in range(5):
+            assert scatter.search_among(1, KIND_DESC, [1], query, 1) is None
+        # after fail_threshold=2 consecutive failures the circuit opens:
+        # later queries degrade instantly without touching the transport
+        assert dead.attempts == 2 * 2
+        health = scatter.stats()["workers"][0]
+        assert health["down"] is True
+        assert health["failures"] == 2
+
+    def test_failed_mutation_marks_shard_dirty(self):
+        scatter, _ = self._backend_with_dead_worker()
+        scatter.add(1, KIND_DESC, 7, _vectors(1, seed=3)[0])
+        stats = scatter.stats()
+        assert stats["dirtyShards"]  # the write could not be applied
+        # a dirty shard must not serve (it would be missing the write)
+        assert (
+            scatter.search_among(1, KIND_DESC, [7], _vectors(1, seed=4)[0], 1)
+            is None
+        )
+
+    def test_shard_unavailable_after_retries(self):
+        dead = _DeadTransport()
+        worker = RemoteShardWorker(3, dead, retries=2, backoff=0.001)
+        with pytest.raises(ShardUnavailable, match="unreachable after 3"):
+            worker.ping()
+        assert dead.attempts == 3
+
+    def test_healthy_traffic_keeps_circuit_closed(self):
+        scatter = ScatterGatherBackend(shards=2)
+        _populate([scatter], users=(1,), per_shard=4)
+        query = _vectors(1, seed=5)[0]
+        got = scatter.search_among(1, KIND_DESC, [1, 2, 3, 4], query, 2)
+        assert got is not None
+        stats = scatter.stats()
+        assert stats["degradedQueries"] == 0
+        assert all(not w["down"] for w in stats["workers"])
+        assert sum(w["searches"] for w in stats["workers"]) == 1
+
+
+class TestBackendSurface:
+    def test_protocol_attributes(self):
+        scatter = ScatterGatherBackend(shards=2)
+        assert scatter.name == "scatter"
+        assert scatter.prefix_stable_topk is True
+        assert scatter.query_cache is not None
+
+    def test_cached_query_vector(self):
+        scatter = ScatterGatherBackend(shards=2)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return _vectors(1, seed=6)[0]
+
+        first = scatter.cached_query_vector("q", compute)
+        second = scatter.cached_query_vector("q", compute)
+        assert len(calls) == 1
+        assert first.tobytes() == second.tobytes()
+
+    def test_clear_resets_everything(self):
+        scatter = ScatterGatherBackend(shards=2)
+        _populate([scatter], users=(1, 2), per_shard=3)
+        scatter.clear(1)
+        assert all(key[0] != 1 for key in scatter.snapshot())
+        assert any(key[0] == 2 for key in scatter.snapshot())
+        scatter.clear()
+        assert scatter.snapshot() == {}
+
+    def test_needs_at_least_one_worker(self):
+        with pytest.raises(ValidationError):
+            ScatterGatherBackend([])

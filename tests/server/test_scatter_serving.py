@@ -1,0 +1,181 @@
+"""Scatter/gather wired into a serving LaminarServer.
+
+The scatter backend is per-server (mirrored from its registry service),
+selectable by name through the v1 search envelope like any other
+backend, and bitwise-identical to the exact reference — including when
+its shard workers sit behind a transport, and degrading (never failing)
+when they are unreachable.
+"""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net.transport import InProcessTransport, Request
+from repro.server import LaminarServer
+from repro.server.shardnode import ShardNode
+
+
+class _DeadTransport:
+    def request(self, request):
+        raise TransportError("shard node is down")
+
+
+def _login(server, user="sg"):
+    server.dispatch(
+        Request("POST", "/auth/register", {"userName": user, "password": "pw"})
+    )
+    reply = server.dispatch(
+        Request("POST", "/auth/login", {"userName": user, "password": "pw"})
+    )
+    return reply.body["token"]
+
+
+def _seed_pes(server, token, user="sg", n=8):
+    for i in range(n):
+        reply = server.dispatch(
+            Request(
+                "POST",
+                f"/registry/{user}/pe/add",
+                {
+                    "peName": f"worker{i}",
+                    "peCode": f"def worker{i}(data): return data + {i}",
+                    "description": f"adds {i} to every incoming value",
+                },
+                token=token,
+            )
+        )
+        assert reply.status in (200, 201), reply.body
+
+
+def _search(server, token, backend, user="sg", **extra):
+    reply = server.dispatch(
+        Request(
+            "POST",
+            f"/v1/registry/{user}/search",
+            {
+                "query": "add a number to the stream",
+                "kind": "pe",
+                "backend": backend,
+                **extra,
+            },
+            token=token,
+        )
+    )
+    assert reply.status == 200, reply.body
+    return reply.body
+
+
+@pytest.fixture()
+def scatter_server(fast_bundle):
+    server = LaminarServer(models=fast_bundle, scatter_shards=3)
+    token = _login(server)
+    _seed_pes(server, token)
+    return server, token
+
+
+class TestScatterBackendSelection:
+    def test_backends_listing_includes_scatter(self, scatter_server):
+        server, token = scatter_server
+        reply = server.dispatch(Request("GET", "/v1/backends", {}, token=token))
+        names = reply.body["backends"]
+        assert "exact" in names and "scatter" in names
+        assert names[0] == "exact"  # the reference backend leads
+        assert reply.body["default"] == "exact"
+
+    def test_plain_server_has_no_scatter(self, fast_bundle):
+        server = LaminarServer(models=fast_bundle)
+        assert "scatter" not in server.backends
+
+    def test_scatter_results_identical_to_exact(self, scatter_server):
+        server, token = scatter_server
+        for k in (1, 3, None):
+            exact = _search(server, token, "exact", k=k)
+            scatter = _search(server, token, "scatter", k=k)
+            assert scatter["hits"] == exact["hits"]
+            assert scatter["backend"] == "scatter"
+
+    def test_mirror_tracks_removals(self, scatter_server):
+        server, token = scatter_server
+        server.dispatch(
+            Request(
+                "DELETE", "/registry/sg/pe/remove/name/worker0", {}, token=token
+            )
+        )
+        exact = _search(server, token, "exact")
+        scatter = _search(server, token, "scatter")
+        assert scatter["hits"] == exact["hits"]
+        assert all(i["peName"] != "worker0" for i in scatter["hits"])
+
+    def test_mirror_bulk_loads_preexisting_records(self, fast_bundle):
+        # records registered BEFORE the scatter server starts must be
+        # searchable: attach_mirror bulk-loads from the index snapshot
+        plain = LaminarServer(models=fast_bundle)
+        token = _login(plain)
+        _seed_pes(plain, token, n=4)
+        sharded = LaminarServer(
+            dao=plain.registry.dao, models=fast_bundle, scatter_shards=2
+        )
+        token2 = _login(sharded)
+        exact = _search(sharded, token2, "exact")
+        scatter = _search(sharded, token2, "scatter")
+        assert scatter["hits"] == exact["hits"]
+        assert scatter["hits"]  # non-empty: the bulk load happened
+
+
+class TestRemoteShards:
+    def test_remote_shard_nodes_serve_identically(self, fast_bundle):
+        transports = [
+            InProcessTransport(ShardNode(worker_id=i)) for i in range(2)
+        ]
+        server = LaminarServer(
+            models=fast_bundle, shard_transports=transports
+        )
+        token = _login(server)
+        _seed_pes(server, token)
+        exact = _search(server, token, "exact")
+        scatter = _search(server, token, "scatter")
+        assert scatter["hits"] == exact["hits"]
+
+    def test_downed_shard_degrades_to_fallback_not_failure(self, fast_bundle):
+        server = LaminarServer(
+            models=fast_bundle, shard_transports=[_DeadTransport()]
+        )
+        token = _login(server)
+        _seed_pes(server, token)  # mutations to the dead shard mark dirty
+        exact = _search(server, token, "exact")
+        degraded = _search(server, token, "scatter")
+        # the REQUEST succeeds — the backend degrades to the exact
+        # brute-force fallback and returns the same (correct) results
+        assert degraded["hits"] == exact["hits"]
+        stats = server.backends["scatter"].stats()
+        assert stats["degradedQueries"] >= 1
+
+    def test_mixed_local_and_remote_workers(self, fast_bundle):
+        server = LaminarServer(
+            models=fast_bundle,
+            scatter_shards=2,
+            shard_transports=[InProcessTransport(ShardNode(worker_id=9))],
+        )
+        token = _login(server)
+        _seed_pes(server, token)
+        assert len(server.backends["scatter"].workers) == 3
+        exact = _search(server, token, "exact")
+        scatter = _search(server, token, "scatter")
+        assert scatter["hits"] == exact["hits"]
+
+
+class TestCliWiring:
+    def test_serve_parser_accepts_shards(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--shards", "4"])
+        assert args.shards == 4
+        assert build_parser().parse_args(["serve"]).shards == 0
+
+    def test_build_server_wires_scatter(self, tmp_path):
+        from repro.cli import _build_server
+
+        server = _build_server(str(tmp_path / "cli.db"), fit=False, shards=2)
+        assert "scatter" in server.backends
+        assert len(server.backends["scatter"].workers) == 2
+        server.registry.dao.close()
