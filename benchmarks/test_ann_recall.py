@@ -18,6 +18,11 @@ Gates (the v1 API's acceptance bar for ``backend="ivf"``):
 recall@10 >= 0.95 and IVF QPS >= 2x exact at the benchmarked nprobe,
 while nprobe=nlist stays *bitwise identical* to the exact backend.
 
+The second test adds the HNSW graph backend's row: recall@10 at the
+shipped (m, m0, ef) configuration plus batched serving-path QPS against
+IVF (best-of interleaved rounds), gating recall >= 0.95 and HNSW QPS >=
+IVF QPS.
+
 Emits ``BENCH_ann_recall.json``.
 """
 
@@ -28,7 +33,7 @@ import time
 
 import numpy as np
 
-from repro.search import IVFFlatBackend, KIND_DESC, VectorIndex
+from repro.search import HNSWBackend, IVFFlatBackend, KIND_DESC, VectorIndex
 
 N = 6000  # corpus rows (acceptance: N >= 5000)
 DIM = 512  # high-dimensional enough to be GEMV-bound, fast to build
@@ -140,3 +145,107 @@ def test_ivf_recall_and_qps_vs_exact(record, out_dir):
 
     assert recall >= 0.95, f"recall@{K} {recall:.4f} below the 0.95 gate"
     assert speedup >= 2.0, f"IVF speedup {speedup:.2f}x below the 2x gate"
+
+
+# --- HNSW row ------------------------------------------------------------
+
+HNSW_M = 16  # entry-layer density ~1/16 of the corpus
+HNSW_M0 = 96  # base-layer degree: candidates per routed entry
+HNSW_EF = 4  # routed entries expanded per query
+BATCH = 32  # serving-path batch width (the SearchBatcher shape)
+ROUNDS = 5  # interleaved best-of rounds (single-core QPS is noisy)
+
+
+def _batched_qps(backend, owned, queries: np.ndarray) -> float:
+    ks = [K] * BATCH
+    start = time.perf_counter()
+    for lo in range(0, queries.shape[0], BATCH):
+        chunk = list(queries[lo : lo + BATCH])
+        got = backend.search_among_many(
+            USER, KIND_DESC, owned, chunk, ks[: len(chunk)]
+        )
+        assert got is not None
+    return queries.shape[0] / (time.perf_counter() - start)
+
+
+def test_hnsw_recall_and_batched_qps_vs_ivf(record, out_dir):
+    """The graph backend must beat IVF on the production serving path.
+
+    Both backends are measured through ``search_among_many`` at the
+    micro-batcher's batch width — the shape deployed traffic actually
+    takes — with the rounds interleaved in one process and the best of
+    ``ROUNDS`` kept per backend (single-core QPS jitters ±30%, and
+    best-of-N compares the backends' attainable throughput rather than
+    whichever round the scheduler disliked).  Gates (the v1 acceptance
+    bar for ``backend="hnsw"``): recall@10 >= 0.95 and HNSW QPS >= IVF
+    QPS at the benchmarked configurations.
+    """
+    rng = np.random.default_rng(2026)
+    corpus = _clustered_rows(rng, N)
+    ids = list(range(1, N + 1))
+    exact = VectorIndex()
+    exact.add_many(USER, KIND_DESC, ids, corpus)
+    ivf = IVFFlatBackend(exact, nlist=NLIST, nprobe=NPROBE)
+    hnsw = HNSWBackend(exact, m=HNSW_M, m0=HNSW_M0, ef_search=HNSW_EF)
+    queries = _queries(rng, corpus)
+
+    # --- recall@10 (also amortizes the lazy build/training) ---------------
+    build_start = time.perf_counter()
+    overlap_hnsw = overlap_ivf = 0
+    for q in queries:
+        want, _ = exact.search(USER, KIND_DESC, q, K)
+        got_hnsw, _ = hnsw.search(USER, KIND_DESC, q, K)
+        got_ivf, _ = ivf.search(USER, KIND_DESC, q, K)
+        overlap_hnsw += len(set(want) & set(got_hnsw))
+        overlap_ivf += len(set(want) & set(got_ivf))
+    recall_hnsw = overlap_hnsw / (K * N_QUERIES)
+    recall_ivf = overlap_ivf / (K * N_QUERIES)
+    warm_seconds = time.perf_counter() - build_start
+    assert hnsw.builds == 1  # one graph build serves the whole run
+
+    # --- batched serving QPS, interleaved best-of rounds ------------------
+    ivf_qps = hnsw_qps = 0.0
+    for _ in range(ROUNDS):
+        ivf_qps = max(ivf_qps, _batched_qps(ivf, ids, queries))
+        hnsw_qps = max(hnsw_qps, _batched_qps(hnsw, ids, queries))
+    ratio = hnsw_qps / ivf_qps
+
+    text = "\n".join(
+        [
+            "ANN backend: HNSW graph vs IVF-flat, batched serving path "
+            f"(N={N}, d={DIM}, {CENTERS} latent clusters, batch={BATCH})",
+            f"  hnsw m={HNSW_M} m0={HNSW_M0} ef={HNSW_EF}   "
+            f"ivf nlist={NLIST} nprobe={NPROBE}",
+            f"  recall@{K}: hnsw {recall_hnsw:.4f}  ivf {recall_ivf:.4f}"
+            "   (gate: hnsw >= 0.95)",
+            f"  best-of-{ROUNDS} QPS: hnsw {hnsw_qps:,.0f}  "
+            f"ivf {ivf_qps:,.0f}   ({ratio:.2f}x, gate: >= 1x)",
+            f"  graph builds: {hnsw.builds} "
+            f"(warm pass incl. build: {warm_seconds:.2f}s)",
+        ]
+    )
+    record("BENCH_ann_recall_hnsw", text)
+    path = out_dir / "BENCH_ann_recall.json"
+    payload = json.loads(path.read_text()) if path.exists() else {
+        "benchmark": "ann_recall"
+    }
+    payload["hnsw"] = {
+        "m": HNSW_M,
+        "m0": HNSW_M0,
+        "ef_search": HNSW_EF,
+        "batch": BATCH,
+        "rounds": ROUNDS,
+        "recall_at_10": round(recall_hnsw, 4),
+        "ivf_recall_at_10": round(recall_ivf, 4),
+        "hnsw_qps": round(hnsw_qps, 1),
+        "ivf_qps": round(ivf_qps, 1),
+        "qps_ratio": round(ratio, 2),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert recall_hnsw >= 0.95, (
+        f"hnsw recall@{K} {recall_hnsw:.4f} below the 0.95 gate"
+    )
+    assert ratio >= 1.0, (
+        f"hnsw batched QPS {hnsw_qps:,.0f} below ivf {ivf_qps:,.0f}"
+    )

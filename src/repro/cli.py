@@ -76,7 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument(
         "--query-type", dest="query_type", default="semantic",
-        choices=["text", "semantic", "code"],
+        choices=["text", "semantic", "code", "hybrid"],
     )
     search.add_argument(
         "-k", "--k", dest="k", type=int, default=None, help="max results"
@@ -84,7 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--backend", default="exact",
         help="index backend name (see `repro endpoints` /v1/backends; "
-        "'exact' is the reference, 'ivf' the approximate IVF-flat engine)",
+        "'exact' is the reference, 'ivf' the approximate IVF-flat "
+        "engine, 'hnsw' the graph-navigation engine)",
     )
     search.add_argument(
         "--limit", type=int, default=None,

@@ -43,9 +43,28 @@ def render_search_hits(kind: str, hits: Sequence[dict[str, Any]]) -> str:
     * ``text`` — Figure 6-style: kind/id/name/description/matched-on
     * ``semantic`` — Figure 7-style: peId/peName/description/score
     * ``code`` — Figure 8-style: peId/peName/score/description
+    * ``hybrid`` — fused: kind/id/name/RRF score/per-leg ranks
     """
     if not hits:
         return "(no results)"
+    if kind == "hybrid":
+        return render_table(
+            ["kind", "id", "name", "description", "rrf", "text#", "sem#"],
+            [
+                [
+                    h.get("kind", "?"),
+                    h.get("id"),
+                    h.get("name"),
+                    _clip(h.get("description", "")),
+                    f"{h['score']:.6f}",
+                    h.get("textRank") if h.get("textRank") is not None else "-",
+                    h.get("semanticRank")
+                    if h.get("semanticRank") is not None
+                    else "-",
+                ]
+                for h in hits
+            ],
+        )
     if kind == "semantic":
         # hits may mix PEs and workflows (the §8 workflow-search extension)
         return render_table(

@@ -33,9 +33,12 @@ id sets.
 from __future__ import annotations
 
 import json
+import math
+import re
 import sqlite3
 import threading
 from abc import ABC, abstractmethod
+from collections import Counter
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
@@ -48,6 +51,36 @@ from repro.registry.entities import PERecord, UserRecord, WorkflowRecord
 #: outcome not yet recorded — the cross-process serialization marker.
 #: Losers of a claim race poll until the status leaves this sentinel.
 RECEIPT_PENDING = -1
+
+
+def _text_documents():
+    """Deferred import of the normalized text-document builders.
+
+    ``repro.search``'s package ``__init__`` imports
+    ``repro.registry.entities``, so a module-level import here would be
+    circular whenever ``repro.search`` happens to load first.
+    """
+    from repro.search import text_search
+
+    return text_search
+
+
+#: replica of the FTS5 ``unicode61`` tokenizer over the (already
+#: lowercased) normalized documents: maximal runs of unicode
+#: alphanumerics.  ``\w`` minus underscore matches unicode61's
+#: token-character classes (L*, N*) for everything the normalizer
+#: emits; combining marks are out of scope either way because
+#: :func:`repro.search.text_search.normalize` lowercases composed text.
+_FTS_TOKEN = re.compile(r"[^\W_]+", re.UNICODE)
+
+#: SQLite FTS5 ``bm25()`` constants — fixed in fts5_aux.c, not tunable
+_BM25_K1 = 1.2
+_BM25_B = 0.75
+
+#: score bonus when the stripped lowercase query occurs as a substring
+#: of the normalized name — the indexed analogue of the legacy scorer's
+#: dominant whole-query arm
+_NAME_SUBSTRING_BONUS = 2.0
 
 
 class RegistryDAO(ABC):
@@ -148,6 +181,31 @@ class RegistryDAO(ABC):
     @abstractmethod
     def workflow_ids_owned_by(self, user_id: int) -> list[int]:
         """Ascending owned workflow ids; never materializes rows."""
+
+    # -- indexed text ranking (BM25 + substring arm) -----------------------
+    @abstractmethod
+    def text_topk_pes(
+        self, user_id: int, query: str, k: int | None = None
+    ) -> list[tuple[int, float]]:
+        """Top-k owned ``(pe_id, score)`` pairs by combined text relevance.
+
+        ``score`` is the BM25 goodness (``-bm25()`` over the normalized
+        name/description documents, SQLite's exact arithmetic on both
+        backends) plus :data:`_NAME_SUBSTRING_BONUS` when the stripped
+        lowercase query occurs as a substring of the normalized name.
+        Ordered by ``(-score, id)``; empty for blank queries; returns
+        ids only so the caller hydrates at most ``k`` records.
+        """
+
+    @abstractmethod
+    def text_topk_workflows(
+        self, user_id: int, query: str, k: int | None = None
+    ) -> list[tuple[int, float]]:
+        """Top-k owned ``(workflow_id, score)`` by combined text relevance.
+
+        Same scoring as :meth:`text_topk_pes` over the workflow
+        documents (entry point + workflow name arms, description).
+        """
 
     # -- text-search candidate filtering ----------------------------------
     def pes_owned_by_matching(
@@ -327,6 +385,112 @@ class RegistryDAO(ABC):
         """The persisted ``(counter, states)``, or ``None`` (absent/torn)."""
         return None
 
+    # -- persisted HNSW graph state ----------------------------------------
+    def save_hnsw_states(
+        self,
+        states: Mapping[tuple[int, str], tuple[np.ndarray, np.ndarray]],
+        counter: int,
+    ) -> None:
+        """Persist ``{(user_id, kind): (levels, neighbors)}`` at ``counter``.
+
+        ``levels`` assigns one graph level per slab row and
+        ``neighbors`` is the level-0 adjacency (rows × m0 row indices,
+        ``-1``-padded); both refer to the slab persisted at the *same*
+        counter.  Replaces any previous state wholesale.  No-op by
+        default.
+        """
+
+    def load_hnsw_states(
+        self,
+    ) -> tuple[int, dict[tuple[int, str], tuple[np.ndarray, np.ndarray]]] | None:
+        """The persisted ``(counter, states)``, or ``None`` (absent/torn)."""
+        return None
+
+
+class _TextMirror:
+    """In-memory analogue of the SQLite FTS5 index for one record type.
+
+    A token→ids postings map (candidate discovery *and* document
+    frequencies) plus per-document term counts, scored with SQLite's
+    exact ``bm25()`` arithmetic — same constants, same clamped-idf
+    formula, same sorted-term summation order — so both DAOs rank
+    identically.
+    """
+
+    def __init__(self) -> None:
+        self._docs: dict[int, tuple[str, Counter, int]] = {}
+        self._postings: dict[str, set[int]] = {}
+        self._total_tokens = 0
+
+    def put(self, entity_id: int, name_norm: str, desc_doc: str) -> None:
+        self.drop(entity_id)
+        tokens = _FTS_TOKEN.findall(name_norm) + _FTS_TOKEN.findall(desc_doc)
+        term_counts = Counter(tokens)
+        self._docs[entity_id] = (name_norm, term_counts, len(tokens))
+        self._total_tokens += len(tokens)
+        for token in term_counts:
+            self._postings.setdefault(token, set()).add(entity_id)
+
+    def drop(self, entity_id: int) -> None:
+        doc = self._docs.pop(entity_id, None)
+        if doc is None:
+            return
+        _, term_counts, doc_len = doc
+        self._total_tokens -= doc_len
+        for token in term_counts:
+            bucket = self._postings.get(token)
+            if bucket is not None:
+                bucket.discard(entity_id)
+                if not bucket:
+                    del self._postings[token]
+
+    def topk(
+        self, owned_ids: Sequence[int], query: str, k: int | None
+    ) -> list[tuple[int, float]]:
+        needle = query.lower().strip()
+        if not needle:
+            return []
+        terms = _text_documents().match_terms(query)
+        nrow = len(self._docs)
+        avgdl = self._total_tokens / nrow if nrow else 0.0
+        # idf per term, over the *global* document set (FTS5 computes
+        # document frequencies on the whole table, not the owner join)
+        idf: dict[str, float] = {}
+        candidates: set[int] = set()
+        for term in terms:
+            hits = self._postings.get(term)
+            if not hits:
+                continue
+            nhit = len(hits)
+            value = math.log((0.5 + nrow - nhit) / (0.5 + nhit))
+            idf[term] = value if value > 0.0 else 1e-6
+            candidates.update(hits)
+        candidates.intersection_update(owned_ids)
+        scored: list[tuple[int, float]] = []
+        for entity_id in owned_ids:
+            doc = self._docs.get(entity_id)
+            if doc is None:
+                continue
+            name_norm, term_counts, doc_len = doc
+            score = 0.0
+            if entity_id in candidates:
+                norm = _BM25_K1 * (
+                    (1.0 - _BM25_B) + (_BM25_B * doc_len) / avgdl
+                )
+                for term in terms:
+                    freq = term_counts.get(term)
+                    if not freq or term not in idf:
+                        continue
+                    score += idf[term] * (
+                        (freq * (_BM25_K1 + 1.0)) / (freq + norm)
+                    )
+            if needle in name_norm:
+                score += _NAME_SUBSTRING_BONUS
+            if score > 0.0:
+                scored.append((entity_id, score))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored if k is None else scored[:k]
+
 
 class InMemoryDAO(RegistryDAO):
     """Dict-backed DAO; thread-safe for the in-process server.
@@ -361,9 +525,31 @@ class InMemoryDAO(RegistryDAO):
         self._mutations = 0
         self._saved_shards: tuple[int, dict] | None = None
         self._saved_ivf: tuple[int, dict] | None = None
+        self._saved_hnsw: tuple[int, dict] | None = None
+        # text-search mirror of SqliteDAO's FTS5 tables, kept in sync
+        # at the same mutation points the triggers fire
+        self._pe_text = _TextMirror()
+        self._wf_text = _TextMirror()
         # idempotency receipts:
         # (user_id, key) -> (fingerprint, status, body, created_at)
         self._receipts: dict[tuple[int, str], tuple[str, int, dict, float]] = {}
+
+    # -- text-index maintenance -------------------------------------------
+    def _index_pe_text(self, record: PERecord) -> None:
+        docs = _text_documents()
+        self._pe_text.put(
+            record.pe_id,
+            *docs.fts_pe_document(record.pe_name, record.description),
+        )
+
+    def _index_wf_text(self, record: WorkflowRecord) -> None:
+        docs = _text_documents()
+        self._wf_text.put(
+            record.workflow_id,
+            *docs.fts_workflow_document(
+                record.entry_point, record.workflow_name, record.description
+            ),
+        )
 
     # -- index maintenance -------------------------------------------------
     def _reindex_pe_owners(self, record: PERecord) -> None:
@@ -433,6 +619,7 @@ class InMemoryDAO(RegistryDAO):
             self._next_pe += 1
             self._pes[record.pe_id] = record
             self._reindex_pe_owners(record)
+            self._index_pe_text(record)
             return record
 
     def insert_pes(self, records: Sequence[PERecord]) -> list[PERecord]:
@@ -452,6 +639,7 @@ class InMemoryDAO(RegistryDAO):
                 self._next_pe += 1
                 self._pes[record.pe_id] = record
                 self._reindex_pe_owners(record)
+                self._index_pe_text(record)
             return list(records)
 
     def update_pe(self, record: PERecord) -> None:
@@ -464,6 +652,7 @@ class InMemoryDAO(RegistryDAO):
             record.revision += 1
             self._pes[record.pe_id] = record
             self._reindex_pe_owners(record)
+            self._index_pe_text(record)
 
     def get_pe(self, pe_id: int) -> PERecord | None:
         with self._lock:
@@ -495,6 +684,7 @@ class InMemoryDAO(RegistryDAO):
                 raise NotFoundError(f"PE id {pe_id} not found", params={"peId": pe_id})
             del self._pes[pe_id]
             self._drop_pe_owners(pe_id)
+            self._pe_text.drop(pe_id)
             # back-reference walk: only the workflows that link this PE
             for workflow_id in sorted(self._pe_backrefs.pop(pe_id, set())):
                 workflow = self._workflows[workflow_id]
@@ -512,6 +702,7 @@ class InMemoryDAO(RegistryDAO):
             self._workflows[record.workflow_id] = record
             self._reindex_wf_owners(record)
             self._reindex_wf_links(record)
+            self._index_wf_text(record)
             return record
 
     def insert_workflows(
@@ -529,6 +720,7 @@ class InMemoryDAO(RegistryDAO):
                 self._workflows[record.workflow_id] = record
                 self._reindex_wf_owners(record)
                 self._reindex_wf_links(record)
+                self._index_wf_text(record)
             return list(records)
 
     def update_workflow(self, record: WorkflowRecord) -> None:
@@ -543,6 +735,7 @@ class InMemoryDAO(RegistryDAO):
             self._workflows[record.workflow_id] = record
             self._reindex_wf_owners(record)
             self._reindex_wf_links(record)
+            self._index_wf_text(record)
 
     def get_workflow(self, workflow_id: int) -> WorkflowRecord | None:
         with self._lock:
@@ -571,6 +764,21 @@ class InMemoryDAO(RegistryDAO):
         with self._lock:
             return sorted(self._owner_workflows.get(user_id, ()))
 
+    # -- indexed text ranking ---------------------------------------------
+    def text_topk_pes(
+        self, user_id: int, query: str, k: int | None = None
+    ) -> list[tuple[int, float]]:
+        with self._lock:
+            owned = sorted(self._owner_pes.get(user_id, ()))
+            return self._pe_text.topk(owned, query, k)
+
+    def text_topk_workflows(
+        self, user_id: int, query: str, k: int | None = None
+    ) -> list[tuple[int, float]]:
+        with self._lock:
+            owned = sorted(self._owner_workflows.get(user_id, ()))
+            return self._wf_text.topk(owned, query, k)
+
     def delete_workflow(self, workflow_id: int) -> None:
         with self._lock:
             self._mutations += 1
@@ -582,6 +790,7 @@ class InMemoryDAO(RegistryDAO):
             del self._workflows[workflow_id]
             self._drop_wf_owners(workflow_id)
             self._drop_wf_links(workflow_id)
+            self._wf_text.drop(workflow_id)
 
     # -- index-shard persistence ------------------------------------------
     def mutation_counter(self) -> int:
@@ -742,6 +951,30 @@ class InMemoryDAO(RegistryDAO):
                 for key, (centroids, lists) in states.items()
             }
 
+    # -- persisted HNSW graph state ---------------------------------------
+    def save_hnsw_states(self, states, counter) -> None:
+        with self._lock:
+            self._saved_hnsw = (
+                int(counter),
+                {
+                    (int(user_id), str(kind)): (
+                        np.asarray(levels, dtype=np.int64).copy(),
+                        np.asarray(neighbors, dtype=np.int64).copy(),
+                    )
+                    for (user_id, kind), (levels, neighbors) in states.items()
+                },
+            )
+
+    def load_hnsw_states(self):
+        with self._lock:
+            if self._saved_hnsw is None:
+                return None
+            counter, states = self._saved_hnsw
+            return counter, {
+                key: (levels.copy(), neighbors.copy())
+                for key, (levels, neighbors) in states.items()
+            }
+
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS users (
@@ -846,6 +1079,71 @@ CREATE TABLE IF NOT EXISTS ivf_states (
     members BLOB NOT NULL,
     PRIMARY KEY (user_id, kind)
 );
+-- schema v5: indexed text ranking + HNSW graph persistence.  pe_text /
+-- wf_text hold the normalized match documents (name_norm doubles as
+-- the whole-query substring arm and the FTS name document); the
+-- external-content FTS5 tables index them, kept in sync by triggers
+-- that fire inside the same DAO mutation transactions.  unicode61
+-- with remove_diacritics 0 so documents match the Python-lowercased
+-- text byte-for-byte (queries are pure-ASCII scorer words).
+CREATE TABLE IF NOT EXISTS pe_text (
+    pe_id INTEGER PRIMARY KEY,
+    name_norm TEXT NOT NULL,
+    desc_doc TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS wf_text (
+    workflow_id INTEGER PRIMARY KEY,
+    name_norm TEXT NOT NULL,
+    desc_doc TEXT NOT NULL
+);
+CREATE VIRTUAL TABLE IF NOT EXISTS pe_fts USING fts5(
+    name_norm, desc_doc,
+    content='pe_text', content_rowid='pe_id',
+    tokenize='unicode61 remove_diacritics 0'
+);
+CREATE VIRTUAL TABLE IF NOT EXISTS wf_fts USING fts5(
+    name_norm, desc_doc,
+    content='wf_text', content_rowid='workflow_id',
+    tokenize='unicode61 remove_diacritics 0'
+);
+CREATE TRIGGER IF NOT EXISTS pe_text_ai AFTER INSERT ON pe_text BEGIN
+    INSERT INTO pe_fts(rowid, name_norm, desc_doc)
+    VALUES (new.pe_id, new.name_norm, new.desc_doc);
+END;
+CREATE TRIGGER IF NOT EXISTS pe_text_ad AFTER DELETE ON pe_text BEGIN
+    INSERT INTO pe_fts(pe_fts, rowid, name_norm, desc_doc)
+    VALUES ('delete', old.pe_id, old.name_norm, old.desc_doc);
+END;
+CREATE TRIGGER IF NOT EXISTS pe_text_au AFTER UPDATE ON pe_text BEGIN
+    INSERT INTO pe_fts(pe_fts, rowid, name_norm, desc_doc)
+    VALUES ('delete', old.pe_id, old.name_norm, old.desc_doc);
+    INSERT INTO pe_fts(rowid, name_norm, desc_doc)
+    VALUES (new.pe_id, new.name_norm, new.desc_doc);
+END;
+CREATE TRIGGER IF NOT EXISTS wf_text_ai AFTER INSERT ON wf_text BEGIN
+    INSERT INTO wf_fts(rowid, name_norm, desc_doc)
+    VALUES (new.workflow_id, new.name_norm, new.desc_doc);
+END;
+CREATE TRIGGER IF NOT EXISTS wf_text_ad AFTER DELETE ON wf_text BEGIN
+    INSERT INTO wf_fts(wf_fts, rowid, name_norm, desc_doc)
+    VALUES ('delete', old.workflow_id, old.name_norm, old.desc_doc);
+END;
+CREATE TRIGGER IF NOT EXISTS wf_text_au AFTER UPDATE ON wf_text BEGIN
+    INSERT INTO wf_fts(wf_fts, rowid, name_norm, desc_doc)
+    VALUES ('delete', old.workflow_id, old.name_norm, old.desc_doc);
+    INSERT INTO wf_fts(rowid, name_norm, desc_doc)
+    VALUES (new.workflow_id, new.name_norm, new.desc_doc);
+END;
+CREATE TABLE IF NOT EXISTS hnsw_states (
+    user_id INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    mutation_counter INTEGER NOT NULL,
+    rows INTEGER NOT NULL,
+    m0 INTEGER NOT NULL,
+    levels BLOB NOT NULL,
+    neighbors BLOB NOT NULL,
+    PRIMARY KEY (user_id, kind)
+);
 """
 
 #: v1 introduced the normalized join tables (files at version 0 are
@@ -853,8 +1151,10 @@ CREATE TABLE IF NOT EXISTS ivf_states (
 #: counter and the persisted index-shard slabs; v3 added per-record
 #: revisions (conditional writes), idempotency receipts and persisted
 #: IVF training state; v4 added ``write_receipts.created_at`` for
-#: receipt claiming and TTL/cap garbage collection
-_SCHEMA_VERSION = 4
+#: receipt claiming and TTL/cap garbage collection; v5 added the
+#: FTS5 text side tables (one-time backfill from the record tables)
+#: and persisted HNSW graph state
+_SCHEMA_VERSION = 5
 
 #: SQLite caps host parameters per statement (999 before 3.32); chunk
 #: IN(...) lists well below that
@@ -914,10 +1214,17 @@ class SqliteDAO(RegistryDAO):
         ``ivf_states`` tables from the schema script; v3 -> v4 adds the
         ``created_at`` receipt column (existing receipts stamp 0 — the
         epoch — so a TTL sweep retires them first, the conservative
-        choice for rows of unknown age).
+        choice for rows of unknown age); v4 -> v5 backfills the FTS5
+        text side tables from the record tables (afterwards the
+        mutation-path triggers keep them in sync).
         """
         version = self._conn.execute("PRAGMA user_version").fetchone()[0]
         if version >= _SCHEMA_VERSION:
+            # row-count drift means a pre-v5 writer touched the file
+            # after the side tables were created (it bumps neither the
+            # side tables nor user_version) — re-backfill defensively
+            if self._text_index_stale():
+                self._backfill_text_index()
             return
         if version < 1:
             for row in self._conn.execute("SELECT pe_id, owners FROM pes"):
@@ -972,7 +1279,66 @@ class SqliteDAO(RegistryDAO):
                 "ALTER TABLE write_receipts ADD COLUMN created_at REAL"
                 " NOT NULL DEFAULT 0"
             )
+        # v5 text side tables: one-time backfill from the record tables
+        self._backfill_text_index()
         self._conn.execute(f"PRAGMA user_version = {_SCHEMA_VERSION}")
+
+    def _text_index_stale(self) -> bool:
+        """Best-effort drift check: side-table row counts must match the
+        record tables (content drift at equal counts is undetectable
+        without hashing every document — accepted, since only a pre-v5
+        writer can cause drift at all)."""
+        for table, side in (("pes", "pe_text"), ("workflows", "wf_text")):
+            rows = self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            docs = self._conn.execute(f"SELECT COUNT(*) FROM {side}").fetchone()[0]
+            if rows != docs:
+                return True
+        return False
+
+    def _backfill_text_index(self) -> None:
+        """(Re)build the text side tables and the FTS index from the
+        record tables.
+
+        The DELETEs fire the FTS delete triggers for whatever documents
+        the side tables currently hold; the trailing ``'rebuild'``
+        commands then reset the FTS indexes from the content tables
+        regardless, which also covers index/content divergence the
+        row-count check cannot see.
+        """
+        docs = _text_documents()
+        self._conn.execute("DELETE FROM pe_text")
+        self._conn.execute("DELETE FROM wf_text")
+        pe_rows = self._conn.execute(
+            "SELECT pe_id, pe_name, description FROM pes"
+        ).fetchall()
+        self._conn.executemany(
+            "INSERT INTO pe_text (pe_id, name_norm, desc_doc) VALUES (?, ?, ?)",
+            [
+                (row["pe_id"], *docs.fts_pe_document(row["pe_name"], row["description"]))
+                for row in pe_rows
+            ],
+        )
+        wf_rows = self._conn.execute(
+            "SELECT workflow_id, entry_point, workflow_name, description"
+            " FROM workflows"
+        ).fetchall()
+        self._conn.executemany(
+            "INSERT INTO wf_text (workflow_id, name_norm, desc_doc)"
+            " VALUES (?, ?, ?)",
+            [
+                (
+                    row["workflow_id"],
+                    *docs.fts_workflow_document(
+                        row["entry_point"],
+                        row["workflow_name"],
+                        row["description"],
+                    ),
+                )
+                for row in wf_rows
+            ],
+        )
+        self._conn.execute("INSERT INTO pe_fts(pe_fts) VALUES('rebuild')")
+        self._conn.execute("INSERT INTO wf_fts(wf_fts) VALUES('rebuild')")
 
     def close(self) -> None:
         self._conn.close()
@@ -1011,6 +1377,34 @@ class SqliteDAO(RegistryDAO):
             "INSERT OR IGNORE INTO workflow_pes (workflow_id, pe_id)"
             " VALUES (?, ?)",
             [(workflow_id, int(pe_id)) for pe_id in pe_ids],
+        )
+
+    # -- text side tables (FTS5 content) -----------------------------------
+    # explicit DELETE + INSERT rather than INSERT OR REPLACE: REPLACE's
+    # implicit delete skips the FTS delete trigger unless
+    # recursive_triggers is on, which would corrupt the external-content
+    # index
+    def _sync_pe_text(self, record: PERecord) -> None:
+        name_norm, desc_doc = _text_documents().fts_pe_document(
+            record.pe_name, record.description
+        )
+        self._conn.execute("DELETE FROM pe_text WHERE pe_id=?", (record.pe_id,))
+        self._conn.execute(
+            "INSERT INTO pe_text (pe_id, name_norm, desc_doc) VALUES (?, ?, ?)",
+            (record.pe_id, name_norm, desc_doc),
+        )
+
+    def _sync_wf_text(self, record: WorkflowRecord) -> None:
+        name_norm, desc_doc = _text_documents().fts_workflow_document(
+            record.entry_point, record.workflow_name, record.description
+        )
+        self._conn.execute(
+            "DELETE FROM wf_text WHERE workflow_id=?", (record.workflow_id,)
+        )
+        self._conn.execute(
+            "INSERT INTO wf_text (workflow_id, name_norm, desc_doc)"
+            " VALUES (?, ?, ?)",
+            (record.workflow_id, name_norm, desc_doc),
         )
 
     # -- users ------------------------------------------------------------
@@ -1085,6 +1479,7 @@ class SqliteDAO(RegistryDAO):
             )
             record.pe_id = int(cursor.lastrowid)
             self._sync_pe_owners(record.pe_id, record.owners)
+            self._sync_pe_text(record)
             return record
 
     def insert_pes(self, records: Sequence[PERecord]) -> list[PERecord]:
@@ -1114,6 +1509,15 @@ class SqliteDAO(RegistryDAO):
                     for uid in r.owners
                 ],
             )
+            docs = _text_documents()
+            self._conn.executemany(
+                "INSERT INTO pe_text (pe_id, name_norm, desc_doc)"
+                " VALUES (?, ?, ?)",
+                [
+                    (r.pe_id, *docs.fts_pe_document(r.pe_name, r.description))
+                    for r in records
+                ],
+            )
             return list(records)
 
     def update_pe(self, record: PERecord) -> None:
@@ -1132,6 +1536,7 @@ class SqliteDAO(RegistryDAO):
                 )
             record.revision += 1
             self._sync_pe_owners(record.pe_id, record.owners)
+            self._sync_pe_text(record)
 
     def get_pe(self, pe_id: int) -> PERecord | None:
         with self._lock:
@@ -1184,9 +1589,11 @@ class SqliteDAO(RegistryDAO):
             ).fetchall()
         return [row["pe_id"] for row in rows]
 
-    #: LIKE-pattern cap — a wider OR chain stops being cheaper than the
-    #: plain owned listing and risks the host-parameter limit
-    _MAX_LIKE_PATTERNS = 64
+    #: OR-chain chunk size for the legacy candidate filter — wide
+    #: pattern sets run as multiple fixed-size queries unioned by id,
+    #: so one statement never approaches SQLite's host-parameter limit
+    #: (there is no pattern-count cap or full-listing fallback anymore)
+    _LIKE_CHUNK = 32
 
     @staticmethod
     def _like(pattern: str) -> str:
@@ -1196,40 +1603,134 @@ class SqliteDAO(RegistryDAO):
         )
         return f"%{escaped}%"
 
+    # -- indexed text ranking (FTS5/BM25 + substring arm) ------------------
+    def _text_topk(
+        self,
+        user_id: int,
+        query: str,
+        k: int | None,
+        *,
+        fts: str,
+        side: str,
+        owners: str,
+        id_col: str,
+    ) -> list[tuple[int, float]]:
+        """One owner-joined SQL query: BM25 goodness (``-bm25()``) from
+        the FTS index plus the whole-query substring bonus on
+        ``name_norm``, ranked ``(-score, id)`` and LIMITed to ``k`` —
+        no record rows are ever materialized here."""
+        needle = query.lower().strip()
+        if not needle:
+            return []
+        terms = _text_documents().match_terms(query)
+        params: dict = {"uid": int(user_id), "like": self._like(needle)}
+        limit = ""
+        if k is not None:
+            params["k"] = int(k)
+            limit = " LIMIT :k"
+        if terms:
+            params["match"] = " OR ".join(f'"{term}"' for term in terms)
+            sql = f"""
+                SELECT {id_col} AS entity_id, score FROM (
+                    SELECT o.{id_col} AS {id_col},
+                           COALESCE(f.goodness, 0.0)
+                           + (CASE WHEN t.name_norm LIKE :like ESCAPE '\\'
+                              THEN {_NAME_SUBSTRING_BONUS} ELSE 0.0 END)
+                           AS score
+                    FROM {owners} o
+                    JOIN {side} t ON t.{id_col} = o.{id_col}
+                    LEFT JOIN (
+                        SELECT rowid AS rid, -bm25({fts}) AS goodness
+                        FROM {fts} WHERE {fts} MATCH :match
+                    ) f ON f.rid = o.{id_col}
+                    WHERE o.user_id = :uid
+                )
+                WHERE score > 0.0
+                ORDER BY score DESC, {id_col} ASC{limit}
+            """
+        else:
+            # no scorer words (digits/punctuation query): substring arm
+            # only, every hit carries the flat bonus, ids break the tie
+            sql = f"""
+                SELECT o.{id_col} AS entity_id,
+                       {_NAME_SUBSTRING_BONUS} AS score
+                FROM {owners} o
+                JOIN {side} t ON t.{id_col} = o.{id_col}
+                WHERE o.user_id = :uid
+                  AND t.name_norm LIKE :like ESCAPE '\\'
+                ORDER BY o.{id_col} ASC{limit}
+            """
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        return [(int(row["entity_id"]), float(row["score"])) for row in rows]
+
+    def text_topk_pes(
+        self, user_id: int, query: str, k: int | None = None
+    ) -> list[tuple[int, float]]:
+        return self._text_topk(
+            user_id,
+            query,
+            k,
+            fts="pe_fts",
+            side="pe_text",
+            owners="pe_owners",
+            id_col="pe_id",
+        )
+
+    def text_topk_workflows(
+        self, user_id: int, query: str, k: int | None = None
+    ) -> list[tuple[int, float]]:
+        return self._text_topk(
+            user_id,
+            query,
+            k,
+            fts="wf_fts",
+            side="wf_text",
+            owners="workflow_owners",
+            id_col="workflow_id",
+        )
+
     def pes_owned_by_matching(
         self, user_id: int, patterns: Sequence[str] | None
     ) -> list[PERecord]:
-        """Owner-joined SQL candidate filter for the text search path.
+        """Owner-joined SQL candidate filter for the *legacy* text route.
 
-        The name/description matching runs as an ``OR`` chain of
-        case-insensitive ``LIKE`` predicates against the owner-joined
-        rows, so the text path materializes only candidate records
-        instead of the user's full listing.  Patterns are produced by
-        :func:`repro.search.text_search.candidate_patterns`, which
-        guarantees every scorer match contains at least one pattern as a
-        substring — the filter is a strict superset of the final result.
+        Only the byte-identical Table-3 parity adapter still calls this
+        — the v1 text path ranks inside the FTS index via
+        :meth:`text_topk_pes` and never builds patterns.  It survives
+        because the legacy contract is the exact Python-scorer output,
+        which wants the exact candidate superset from
+        :func:`repro.search.text_search.candidate_patterns` (every
+        scorer match contains at least one pattern as a substring).
+        The escaped case-insensitive LIKE OR-chain runs in fixed-size
+        chunks with the chunk results unioned by id, then hydrates once
+        ascending.
         """
-        if patterns is None or not (
-            0 < len(patterns) <= self._MAX_LIKE_PATTERNS
-        ):
+        if not patterns:  # None or empty: cannot filter
             return self.pes_owned_by(user_id)
-        clause = " OR ".join(
-            ["p.pe_name LIKE ? ESCAPE '\\' OR p.description LIKE ? ESCAPE '\\'"]
-            * len(patterns)
-        )
-        params = [int(user_id)]
-        for pattern in patterns:
-            like = self._like(pattern)
-            params.extend((like, like))
+        ids: set[int] = set()
         with self._lock:
-            rows = self._conn.execute(
-                f"""SELECT p.* FROM pes p
-                    JOIN pe_owners o ON o.pe_id = p.pe_id
-                    WHERE o.user_id = ? AND ({clause})
-                    ORDER BY p.pe_id""",
-                params,
-            ).fetchall()
-        return [self._pe_from_row(r) for r in rows]
+            for start in range(0, len(patterns), self._LIKE_CHUNK):
+                chunk = patterns[start : start + self._LIKE_CHUNK]
+                clause = " OR ".join(
+                    [
+                        "p.pe_name LIKE ? ESCAPE '\\'"
+                        " OR p.description LIKE ? ESCAPE '\\'"
+                    ]
+                    * len(chunk)
+                )
+                params: list = [int(user_id)]
+                for pattern in chunk:
+                    like = self._like(pattern)
+                    params.extend((like, like))
+                rows = self._conn.execute(
+                    f"""SELECT p.pe_id FROM pes p
+                        JOIN pe_owners o ON o.pe_id = p.pe_id
+                        WHERE o.user_id = ? AND ({clause})""",
+                    params,
+                ).fetchall()
+                ids.update(row["pe_id"] for row in rows)
+        return self.get_pes(sorted(ids))
 
     def delete_pe(self, pe_id: int) -> None:
         with self._lock, self._conn:
@@ -1238,6 +1739,7 @@ class SqliteDAO(RegistryDAO):
             if cursor.rowcount == 0:
                 raise NotFoundError(f"PE id {pe_id} not found", params={"peId": pe_id})
             self._conn.execute("DELETE FROM pe_owners WHERE pe_id=?", (pe_id,))
+            self._conn.execute("DELETE FROM pe_text WHERE pe_id=?", (pe_id,))
             # back-reference from the link table: touch only the
             # workflows that actually reference this PE, not all rows
             backrefs = self._conn.execute(
@@ -1302,6 +1804,7 @@ class SqliteDAO(RegistryDAO):
             record.workflow_id = int(cursor.lastrowid)
             self._sync_wf_owners(record.workflow_id, record.owners)
             self._sync_wf_links(record.workflow_id, record.pe_ids)
+            self._sync_wf_text(record)
             return record
 
     def insert_workflows(
@@ -1343,6 +1846,20 @@ class SqliteDAO(RegistryDAO):
                     for pe_id in r.pe_ids
                 ],
             )
+            docs = _text_documents()
+            self._conn.executemany(
+                "INSERT INTO wf_text (workflow_id, name_norm, desc_doc)"
+                " VALUES (?, ?, ?)",
+                [
+                    (
+                        r.workflow_id,
+                        *docs.fts_workflow_document(
+                            r.entry_point, r.workflow_name, r.description
+                        ),
+                    )
+                    for r in records
+                ],
+            )
             return list(records)
 
     def update_workflow(self, record: WorkflowRecord) -> None:
@@ -1367,6 +1884,7 @@ class SqliteDAO(RegistryDAO):
             record.revision += 1
             self._sync_wf_owners(record.workflow_id, record.owners)
             self._sync_wf_links(record.workflow_id, record.pe_ids)
+            self._sync_wf_text(record)
 
     def get_workflow(self, workflow_id: int) -> WorkflowRecord | None:
         with self._lock:
@@ -1427,32 +1945,35 @@ class SqliteDAO(RegistryDAO):
     def workflows_owned_by_matching(
         self, user_id: int, patterns: Sequence[str] | None
     ) -> list[WorkflowRecord]:
-        """SQL candidate filter over entry point, name and description."""
-        if patterns is None or not (
-            0 < len(patterns) <= self._MAX_LIKE_PATTERNS
-        ):
+        """Legacy-route candidate filter over entry/name/description;
+        chunked like :meth:`pes_owned_by_matching`."""
+        if not patterns:  # None or empty: cannot filter
             return self.workflows_owned_by(user_id)
-        clause = " OR ".join(
-            [
-                "w.entry_point LIKE ? ESCAPE '\\'"
-                " OR w.workflow_name LIKE ? ESCAPE '\\'"
-                " OR w.description LIKE ? ESCAPE '\\'"
-            ]
-            * len(patterns)
-        )
-        params = [int(user_id)]
-        for pattern in patterns:
-            like = self._like(pattern)
-            params.extend((like, like, like))
+        ids: set[int] = set()
         with self._lock:
-            rows = self._conn.execute(
-                f"""SELECT w.* FROM workflows w
-                    JOIN workflow_owners o ON o.workflow_id = w.workflow_id
-                    WHERE o.user_id = ? AND ({clause})
-                    ORDER BY w.workflow_id""",
-                params,
-            ).fetchall()
-        return [self._wf_from_row(r) for r in rows]
+            for start in range(0, len(patterns), self._LIKE_CHUNK):
+                chunk = patterns[start : start + self._LIKE_CHUNK]
+                clause = " OR ".join(
+                    [
+                        "w.entry_point LIKE ? ESCAPE '\\'"
+                        " OR w.workflow_name LIKE ? ESCAPE '\\'"
+                        " OR w.description LIKE ? ESCAPE '\\'"
+                    ]
+                    * len(chunk)
+                )
+                params: list = [int(user_id)]
+                for pattern in chunk:
+                    like = self._like(pattern)
+                    params.extend((like, like, like))
+                rows = self._conn.execute(
+                    f"""SELECT w.workflow_id FROM workflows w
+                        JOIN workflow_owners o
+                          ON o.workflow_id = w.workflow_id
+                        WHERE o.user_id = ? AND ({clause})""",
+                    params,
+                ).fetchall()
+                ids.update(row["workflow_id"] for row in rows)
+        return self.get_workflows(sorted(ids))
 
     def delete_workflow(self, workflow_id: int) -> None:
         with self._lock, self._conn:
@@ -1470,6 +1991,9 @@ class SqliteDAO(RegistryDAO):
             )
             self._conn.execute(
                 "DELETE FROM workflow_pes WHERE workflow_id=?", (workflow_id,)
+            )
+            self._conn.execute(
+                "DELETE FROM wf_text WHERE workflow_id=?", (workflow_id,)
             )
 
     # -- index-shard persistence ------------------------------------------
@@ -1769,4 +2293,76 @@ class SqliteDAO(RegistryDAO):
                 lists.append(members[start : start + int(size)].copy())
                 start += int(size)
             states[(int(row["user_id"]), str(row["kind"]))] = (centroids, lists)
+        return counters.pop(), states
+
+    # -- persisted HNSW graph state ----------------------------------------
+    def save_hnsw_states(
+        self,
+        states: Mapping[tuple[int, str], tuple[np.ndarray, np.ndarray]],
+        counter: int,
+    ) -> None:
+        """Replace the HNSW snapshot wholesale, stamped at ``counter``.
+
+        Per (user, kind): the int64 level assignment (one entry per
+        slab row) and the flattened int64 level-0 adjacency (rows × m0,
+        ``-1``-padded); row indices refer to the slab snapshot
+        persisted at the *same* counter.
+        """
+        payload = []
+        for (user_id, kind), (levels, neighbors) in states.items():
+            levels = np.asarray(levels, dtype=np.int64)
+            neighbors = np.asarray(neighbors, dtype=np.int64)
+            payload.append(
+                (
+                    int(user_id),
+                    str(kind),
+                    int(counter),
+                    int(levels.shape[0]),
+                    int(neighbors.shape[1]) if neighbors.ndim == 2 else 0,
+                    levels.tobytes(),
+                    neighbors.tobytes(),
+                )
+            )
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM hnsw_states")
+            self._conn.executemany(
+                """INSERT INTO hnsw_states
+                   (user_id, kind, mutation_counter, rows, m0, levels,
+                    neighbors)
+                   VALUES (?, ?, ?, ?, ?, ?, ?)""",
+                payload,
+            )
+
+    def load_hnsw_states(
+        self,
+    ) -> tuple[int, dict[tuple[int, str], tuple[np.ndarray, np.ndarray]]] | None:
+        """Read back the HNSW snapshot; ``None`` if absent, torn or
+        corrupt — the same freshness protocol as the IVF snapshot."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT user_id, kind, mutation_counter, rows, m0, levels,"
+                " neighbors FROM hnsw_states"
+            ).fetchall()
+        if not rows:
+            return None
+        counters = {row["mutation_counter"] for row in rows}
+        if len(counters) != 1:
+            return None
+        states: dict[tuple[int, str], tuple[np.ndarray, np.ndarray]] = {}
+        for row in rows:
+            try:
+                levels = np.frombuffer(row["levels"], dtype=np.int64).copy()
+                neighbors = (
+                    np.frombuffer(row["neighbors"], dtype=np.int64)
+                    .reshape(row["rows"], row["m0"])
+                    .copy()
+                )
+            except ValueError:
+                return None  # truncated/corrupt blob — force a rebuild
+            if levels.shape[0] != row["rows"]:
+                return None  # torn blob — force a rebuild
+            states[(int(row["user_id"]), str(row["kind"]))] = (
+                levels,
+                neighbors,
+            )
         return counters.pop(), states

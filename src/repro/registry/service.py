@@ -164,23 +164,43 @@ class RegistryService:
         self.persist_approx_states()
         return True
 
-    def attach_approx_backend(self, backend) -> str:
-        """Adopt an approximate companion backend (e.g. the IVF engine)
-        and restore its persisted training state when still fresh.
+    @staticmethod
+    def _state_store(backend) -> str:
+        """Which DAO store a companion's state lives in (``"ivf"`` or
+        ``"hnsw"``); backends declare it via a ``state_store``
+        attribute, defaulting to the historical IVF store."""
+        return str(getattr(backend, "state_store", "ivf"))
 
-        The stored centroids + inverted lists are only meaningful
-        against the slab contents at the counter they were stamped with
-        — exactly what the in-memory shards hold when the stamp equals
+    def _load_states(self, store: str):
+        if store == "hnsw":
+            return self.dao.load_hnsw_states()
+        return self.dao.load_ivf_states()
+
+    def _save_states(self, store: str, states: dict, stamp: int) -> None:
+        if store == "hnsw":
+            self.dao.save_hnsw_states(states, stamp)
+        else:
+            self.dao.save_ivf_states(states, stamp)
+
+    def attach_approx_backend(self, backend) -> str:
+        """Adopt an approximate companion backend (the IVF or HNSW
+        engine) and restore its persisted training state when still
+        fresh.
+
+        The stored per-(user, kind) state (centroids + inverted lists,
+        or graph levels + adjacency) is only meaningful against the
+        slab contents at the counter it was stamped with — exactly what
+        the in-memory shards hold when the stamp equals
         ``_index_counter`` (a fresh slab load *or* a rebuild both leave
-        ascending-id-ordered rows, which is the layout training row
+        ascending-id-ordered rows, which is the layout stored row
         indices refer to).  Any mismatch (stale, torn, absent) simply
-        leaves the backend untrained: it retrains lazily, which is
+        leaves the backend untrained: it rebuilds lazily, which is
         always correct.  Returns ``"restored"``, ``"stale"`` or
         ``"untrained"``.
         """
         if backend not in self._companions:
             self._companions.append(backend)
-        stored = self.dao.load_ivf_states()
+        stored = self._load_states(self._state_store(backend))
         if stored is None:
             return "untrained"
         counter, states = stored
@@ -196,22 +216,29 @@ class RegistryService:
         is stamped with the counter the index is known to reflect and
         skipped whenever the DAO's counter disagrees before or after
         (state must never claim freshness it does not have).  Stale
-        trained shards are excluded by the export itself.  Returns
-        whether a snapshot was written.
+        trained shards are excluded by the export itself.  Exports are
+        grouped per state store, so IVF and HNSW companions persist
+        side by side without clobbering each other.  Returns whether
+        any snapshot was written.
         """
         if self.index is None or not self._companions:
             return False
         stamp = self._index_counter
         if self.dao.mutation_counter() != stamp:
             return False
-        states: dict = {}
+        by_store: dict[str, dict] = {}
         for backend in self._companions:
-            states.update(backend.export_states())
-        if not states:
+            exported = backend.export_states()
+            if exported:
+                by_store.setdefault(self._state_store(backend), {}).update(
+                    exported
+                )
+        if not by_store:
             return False
         if self.dao.mutation_counter() != stamp:
             return False
-        self.dao.save_ivf_states(states, stamp)
+        for store, states in by_store.items():
+            self._save_states(store, states, stamp)
         return True
 
     def shard_persistence(self) -> dict:
@@ -514,20 +541,42 @@ class RegistryService:
         ]
 
     def text_candidate_pes(self, user: UserRecord, query: str) -> list[PERecord]:
-        """Candidate PEs for the text scorer, filtered in the DAO.
+        """Candidate PEs for the **legacy** Python text scorer.
 
-        The name/description matching runs as SQL ``LIKE`` predicates
-        over the owner-joined rows (see
-        ``RegistryDAO.pes_owned_by_matching``), so the text path no
-        longer materializes the user's full record list in Python.  The
-        filter is a strict superset of the scorer's matches — scoring
-        the candidates yields exactly the historical results.
+        Serves only the legacy Table-3 parity adapter, whose contract
+        is the byte-identical historical scorer output.  The SQL
+        ``LIKE`` filter (``RegistryDAO.pes_owned_by_matching``) is a
+        strict superset of the scorer's matches, so scoring the
+        candidates yields exactly the historical results.  The v1
+        ``queryType=text`` path ranks in the FTS5 index instead — see
+        :meth:`text_topk_pes`.
         """
         from repro.search.text_search import candidate_patterns
 
         return self.dao.pes_owned_by_matching(
             user.user_id, candidate_patterns(query)
         )
+
+    def text_topk_pes(
+        self, user: UserRecord, query: str, k: int | None = None
+    ) -> list[tuple[PERecord, float]]:
+        """Indexed BM25+substring text ranking — O(k) hydration.
+
+        The DAO ranks owned PE ids inside its inverted index
+        (``RegistryDAO.text_topk_pes``); only the winners are
+        materialized, mirroring the semantic top-k serving shape.
+        Returns ``(record, score)`` pairs in rank order; ids that
+        vanished or changed hands since ranking are skipped.
+        """
+        ranked = self.dao.text_topk_pes(user.user_id, query, k)
+        by_id = {
+            record.pe_id: record
+            for record in self.dao.get_pes([i for i, _ in ranked])
+            if user.user_id in record.owners
+        }
+        return [
+            (by_id[i], score) for i, score in ranked if i in by_id
+        ]
 
     def remove_pe(self, user: UserRecord, pe_id: int) -> None:
         """Dissociate the user; delete the PE once ownerless."""
@@ -646,12 +695,29 @@ class RegistryService:
     def text_candidate_workflows(
         self, user: UserRecord, query: str
     ) -> list[WorkflowRecord]:
-        """Candidate workflows for the text scorer (SQL-side filtering)."""
+        """Candidate workflows for the **legacy** Python text scorer
+        (legacy Table-3 parity adapter only; see
+        :meth:`text_candidate_pes`)."""
         from repro.search.text_search import candidate_patterns
 
         return self.dao.workflows_owned_by_matching(
             user.user_id, candidate_patterns(query)
         )
+
+    def text_topk_workflows(
+        self, user: UserRecord, query: str, k: int | None = None
+    ) -> list[tuple[WorkflowRecord, float]]:
+        """Indexed BM25+substring workflow ranking (see
+        :meth:`text_topk_pes`)."""
+        ranked = self.dao.text_topk_workflows(user.user_id, query, k)
+        by_id = {
+            record.workflow_id: record
+            for record in self.dao.get_workflows([i for i, _ in ranked])
+            if user.user_id in record.owners
+        }
+        return [
+            (by_id[i], score) for i, score in ranked if i in by_id
+        ]
 
     def remove_workflow(self, user: UserRecord, workflow_id: int) -> None:
         self.remove_workflow_record(

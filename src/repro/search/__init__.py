@@ -78,12 +78,40 @@ dot product.  Engines are selected **by name** via
 :func:`~repro.search.backend.build_backends` (the v1 API exposes the
 choice per request as ``SearchRequest.backend``), and
 ``benchmarks/test_ann_recall.py`` tracks the recall-vs-QPS trade.
+:class:`~repro.search.backend.HNSWBackend` (name ``"hnsw"``) is the
+second approximate engine — a deterministically built small-world
+graph over the same shards: an entry layer (a hashed ~1/m row sample)
+routes each query, the entries' precomputed exact ``m0``-NN adjacency
+expands it, and every candidate is scored with a true dot product, so
+results stay a subset of the exact ranking in the exact order.
+
+Indexed text ranking and hybrid fusion
+======================================
+
+``queryType=text`` on the v1 API no longer scans owned records in
+Python: the DAOs maintain an inverted text index (SQLite FTS5 external
+content tables on one side, an in-memory postings mirror computing the
+same BM25 arithmetic on the other) and
+``RegistryService.text_topk_pes`` / ``text_topk_workflows`` return the
+owner-scoped BM25 top-k directly, so only the ``k`` winning records
+are hydrated.  The legacy Table-3 route keeps its historical
+byte-identical output through the ``candidate_patterns`` parity
+adapter in :mod:`repro.search.text_search`.
+
+``queryType=hybrid`` fuses that BM25 text ranking with the semantic
+ranking via reciprocal-rank fusion
+(:func:`~repro.search.fusion.rrf_fuse`): each leg is ranked
+independently to a fused depth, fused scores are ``sum(1/(60+rank))``
+accumulated in fixed leg order, and ties break on the ``(kind, id)``
+key — the fused ordering is a pure function of the leg orders, so
+hybrid pages are bitwise stable across repeats.
 """
 
 from repro.search.text_search import TextMatch, text_search_pes, text_search_workflows
 from repro.search.semantic import SemanticHit, SemanticSearcher, WorkflowSemanticHit
 from repro.search.code_search import CodeHit, CodeSearcher
 from repro.search.backend import (
+    HNSWBackend,
     IVFFlatBackend,
     IndexBackend,
     backend_names,
@@ -91,6 +119,7 @@ from repro.search.backend import (
     create_backend,
     register_backend,
 )
+from repro.search.fusion import RRF_K, rrf_fuse
 from repro.search.index import (
     KIND_CODE,
     KIND_DESC,
@@ -102,7 +131,10 @@ from repro.search.serving import SearchBatcher, serve_topk
 
 __all__ = [
     "IndexBackend",
+    "HNSWBackend",
     "IVFFlatBackend",
+    "RRF_K",
+    "rrf_fuse",
     "backend_names",
     "build_backends",
     "create_backend",

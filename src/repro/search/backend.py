@@ -18,9 +18,15 @@ API* from the *index implementation* behind it:
   full-precision dot product the exact scan uses.  It *wraps* the exact
   index — sharing its slabs, lock and LRU — so the registry service
   maintains one copy of the vectors and both backends serve from it.
+* :class:`HNSWBackend` — a graph-navigation backend over the same
+  shards: each shard lazily builds a deterministic two-layer small-world
+  graph (hash-assigned entry levels, exact ``m0``-NN base adjacency),
+  queries beam-search it from the entry layer and exactly re-rank every
+  visited row.  A second QPS point for corpora where IVF's cluster
+  assumption is weak.
 * a **backend registry** — backends are selected by name (``"exact"``,
-  ``"ivf"``); :func:`create_backend` / :func:`build_backends` construct
-  them, and new engines (HNSW, PQ) plug in via :func:`register_backend`
+  ``"ivf"``, ``"hnsw"``); :func:`create_backend` / :func:`build_backends`
+  construct them, and new engines plug in via :func:`register_backend`
   without touching the serving layer.  The scatter/gather engine
   (:mod:`repro.search.scatter`) implements this same protocol but is
   wired *per server* (``LaminarServer(scatter_shards=N)`` mirrors it
@@ -570,6 +576,523 @@ class IVFFlatBackend:
             return results
 
 
+class _HNSWState:
+    """Built navigation graph for one shard at one version.
+
+    Same validity contract as :class:`_IVFState`: object identity plus
+    the shard's mutation version.  ``levels`` assigns each slab row its
+    entry layer (rows with ``level >= 1`` form the global entry set);
+    ``neighbors`` is the base-layer adjacency — each row's exact
+    ``m0``-nearest slab rows, ``-1``-padded.  Only those two arrays are
+    persisted; the rest are query-time accelerators derived on
+    construction:
+
+    * ``entries`` / ``entry_matrix`` — the entry rows and a contiguous
+      copy of their vectors, so the routing scan is one dense product
+      instead of a strided gather per query;
+    * ``entry_mask`` — membership mask used to drop entry rows from the
+      gathered neighbor candidates (they are already scored);
+    * ``neigh32`` — ``int32`` adjacency copy (half the gather traffic);
+    * ``has_pad`` — whether any ``-1`` padding exists, so full shards
+      skip the validity filter entirely.
+    """
+
+    __slots__ = (
+        "shard",
+        "version",
+        "levels",
+        "neighbors",
+        "stale_serves",
+        "entries",
+        "entry_matrix",
+        "entry_mask",
+        "neigh32",
+        "has_pad",
+    )
+
+    def __init__(
+        self,
+        shard: _Shard,
+        version: int,
+        levels: np.ndarray,
+        neighbors: np.ndarray,
+    ) -> None:
+        self.shard = shard
+        self.version = version
+        self.levels = levels
+        self.neighbors = neighbors
+        self.stale_serves = 0
+        size = shard.size
+        self.entries = np.flatnonzero(levels >= 1)
+        self.entry_matrix = np.ascontiguousarray(
+            shard.matrix[self.entries]
+        )
+        self.entry_mask = np.zeros(size, dtype=bool)
+        self.entry_mask[self.entries] = True
+        self.neigh32 = np.ascontiguousarray(neighbors.astype(np.int32))
+        self.has_pad = bool(neighbors.size > 0 and neighbors.min() < 0)
+
+
+def _build_hnsw(shard: _Shard, m: int, m0: int) -> _HNSWState:
+    """Deterministic graph build over the live slab.
+
+    No RNG: each row's level comes from a Knuth multiplicative hash of
+    its slab position mapped through the standard HNSW exponential
+    (``floor(-ln(u) / ln(m))``), so two processes over the same registry
+    build identical graphs.  The base layer is the *exact* ``m0``-NN
+    adjacency, computed as blocked BLAS products — an O(N²) build paid
+    once per (amortized) rebuild, the price of beam searches that then
+    touch only a candidate neighborhood.
+    """
+    size = shard.size
+    matrix = shard.matrix[:size]
+    rows = np.arange(size, dtype=np.uint64)
+    hashed = (rows * np.uint64(2654435761)) % np.uint64(2**32)
+    uniform = (hashed.astype(np.float64) + 1.0) / float(2**32)
+    levels = np.floor(-np.log(uniform) / np.log(float(m))).astype(np.int64)
+    k_neigh = min(m0, size - 1)
+    neighbors = np.full((size, m0), -1, dtype=np.int64)
+    if k_neigh > 0:
+        block = 512
+        for start in range(0, size, block):
+            stop = min(size, start + block)
+            sims = matrix[start:stop] @ matrix.T
+            sims[np.arange(stop - start), np.arange(start, stop)] = -np.inf
+            part = np.argpartition(-sims, k_neigh - 1, axis=1)[:, :k_neigh]
+            row_idx = np.arange(stop - start)[:, None]
+            order = np.argsort(-sims[row_idx, part], kind="stable", axis=1)
+            neighbors[start:stop, :k_neigh] = part[row_idx, order]
+    return _HNSWState(shard, shard.version, levels, neighbors)
+
+
+class HNSWBackend:
+    """Graph-navigation approximate retrieval over the exact index's shards.
+
+    Like :class:`IVFFlatBackend`, a *view* over the base
+    :class:`VectorIndex` — mutation, persistence and the query LRU
+    delegate to it.  Retrieval navigates a lazily built small-world
+    graph, flattened into the two dense steps that vectorize well:
+
+    1. **route** — score the entry layer (rows hashed to
+       ``level >= 1``, an ~1/m sample of the shard) and keep the ``ef``
+       best entries;
+    2. **expand** — gather those entries' exact ``m0``-nearest
+       neighbors from the precomputed base-layer adjacency and score
+       them; the candidate set is the entry layer plus that expansion,
+       every member scored with a true dot product, ranked with the
+       same descending-score / ascending-id order the exact scan uses.
+
+    The same safety net as IVF: membership mismatch returns ``None``,
+    ``k=None`` / tiny shards / a graph awaiting its amortized rebuild
+    serve through the exact scan, and exact scoring keeps approximate
+    results a subset of the exact ranking in the exact order.
+    """
+
+    name = "hnsw"
+
+    #: the beam's candidate set depends on k (via the default ef), so a
+    #: truncated ranking is NOT a prefix of the k=None ranking
+    prefix_stable_topk = False
+
+    #: persisted graph state lives in the DAO's HNSW store, not the IVF
+    #: one (see RegistryService.persist_approx_states)
+    state_store = "hnsw"
+
+    def __init__(
+        self,
+        base: VectorIndex | None = None,
+        *,
+        m: int = 16,
+        m0: int | None = None,
+        ef_search: int | None = None,
+        min_build_rows: int = _MIN_TRAIN_ROWS,
+        rebuild_fraction: float = 0.02,
+    ) -> None:
+        self.base = base if base is not None else VectorIndex()
+        if m < 2:
+            raise ValidationError(f"m must be at least 2, got {m}")
+        self.m = int(m)
+        #: base-layer degree; None -> 2m (the classic HNSW M0=2M choice)
+        self.m0 = int(m0) if m0 is not None else 2 * int(m)
+        #: routed entries to expand; None -> max(8, k) per query
+        self.ef_search = ef_search
+        self.min_build_rows = max(2, int(min_build_rows))
+        #: graph rebuilds amortize exactly like IVF retraining — but a
+        #: build is O(N) exact scans, so the stale-query deferral window
+        #: scales with the shard size rather than the list count
+        self.rebuild_fraction = max(0.0, float(rebuild_fraction))
+        self._states: dict[tuple[Hashable, str], _HNSWState] = {}
+        self._states_lock = threading.Lock()
+        self.builds = 0
+        self.approx_queries = 0
+        self.exact_queries = 0
+
+    # ------------------------------------------------------------------
+    # Mutation / persistence / introspection: delegate to the base index
+    # ------------------------------------------------------------------
+    def add(self, user, kind, rid, vector) -> None:
+        self.base.add(user, kind, rid, vector)
+
+    def add_many(self, user, kind, rids, vectors) -> None:
+        self.base.add_many(user, kind, rids, vectors)
+
+    def remove(self, user, kind, rid) -> bool:
+        return self.base.remove(user, kind, rid)
+
+    def remove_everywhere(self, user, rid) -> None:
+        self.base.remove_everywhere(user, rid)
+
+    def clear(self, user=None) -> None:
+        self.base.clear(user)
+        with self._states_lock:
+            if user is None:
+                self._states.clear()
+            else:
+                for key in [k for k in self._states if k[0] == user]:
+                    del self._states[key]
+
+    def snapshot(self, user=None):
+        return self.base.snapshot(user)
+
+    def export_shards(self, user=None):
+        return self.base.export_shards(user)
+
+    def contains(self, user, kind, rid) -> bool:
+        return self.base.contains(user, kind, rid)
+
+    def missing_ids(self, user, kind, rids):
+        return self.base.missing_ids(user, kind, rids)
+
+    def size(self, user, kind) -> int:
+        return self.base.size(user, kind)
+
+    def ids(self, user, kind):
+        return self.base.ids(user, kind)
+
+    @property
+    def query_cache(self):
+        return self.base.query_cache
+
+    def cached_query_vector(self, key, compute):
+        return self.base.cached_query_vector(key, compute)
+
+    def stats(self) -> dict:
+        out = self.base.stats()
+        with self._states_lock:
+            built = {
+                f"{user}/{kind}": int(state.entries.size)
+                for (user, kind), state in self._states.items()
+            }
+        for name, info in out.items():
+            info["hnswEntries"] = built.get(name, 0)
+        return out
+
+    # ------------------------------------------------------------------
+    # Graph-state persistence (cold starts skip the O(N²) build)
+    # ------------------------------------------------------------------
+    def export_states(
+        self,
+    ) -> dict[tuple[Hashable, str], tuple[np.ndarray, np.ndarray]]:
+        """Snapshot ``{(user, kind): (levels, neighbors)}`` for every
+        graph still valid against its live shard (see
+        :meth:`IVFFlatBackend.export_states` for the protocol)."""
+        out: dict[tuple[Hashable, str], tuple[np.ndarray, np.ndarray]] = {}
+        base = self.base
+        with base._lock:
+            with self._states_lock:
+                items = list(self._states.items())
+            for key, state in items:
+                shard = base._shards.get(key)
+                if (
+                    shard is None
+                    or state.shard is not shard
+                    or state.version != shard.version
+                ):
+                    continue
+                out[key] = (state.levels.copy(), state.neighbors.copy())
+        return out
+
+    def adopt_states(
+        self,
+        states: dict[tuple[Hashable, str], tuple[np.ndarray, np.ndarray]],
+    ) -> int:
+        """Install pre-built graphs for the *current* shards.
+
+        Freshness is vouched by the caller (same protocol as IVF); shape
+        is still sanity-checked — levels must cover the slab exactly and
+        neighbor rows must reference live slab positions — and anything
+        inconsistent is skipped (that shard rebuilds lazily).  Returns
+        the number of shards adopted.
+        """
+        adopted = 0
+        base = self.base
+        with base._lock:
+            for key, (levels, neighbors) in states.items():
+                shard = base._shards.get(key)
+                if shard is None:
+                    continue
+                levels = np.asarray(levels, dtype=np.int64).reshape(-1)
+                neighbors = np.asarray(neighbors, dtype=np.int64)
+                if (
+                    levels.shape[0] != shard.size
+                    or neighbors.ndim != 2
+                    or neighbors.shape[0] != shard.size
+                    or (
+                        neighbors.size > 0
+                        and (
+                            neighbors.min() < -1
+                            or neighbors.max() >= shard.size
+                        )
+                    )
+                ):
+                    continue
+                state = _HNSWState(shard, shard.version, levels, neighbors)
+                with self._states_lock:
+                    self._states[key] = state
+                adopted += 1
+        return adopted
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def _state_for(
+        self, key: tuple[Hashable, str], shard: _Shard
+    ) -> _HNSWState | None:
+        """Built graph for ``shard``; rebuilds lazily when stale.
+
+        The same amortization contract as ``IVFFlatBackend._state_for``,
+        with the stale-query deferral window sized to the build cost: a
+        graph build is ~``size`` exact scans' worth of BLAS, so one
+        rebuild per ``size`` stale-served queries bounds the amortized
+        overhead at a constant factor.  Caller holds the base lock.
+        """
+        with self._states_lock:
+            state = self._states.get(key)
+        if state is not None and state.shard is shard:
+            if state.version == shard.version:
+                return state
+            write_threshold = max(
+                1, int(self.rebuild_fraction * shard.size)
+            )
+            state.stale_serves += 1
+            if (
+                shard.version - state.version < write_threshold
+                and state.stale_serves <= shard.size
+            ):
+                return None  # amortize: serve exact, rebuild later
+        state = _build_hnsw(shard, self.m, self.m0)
+        with self._states_lock:
+            self._states[key] = state
+            self.builds += 1
+        return state
+
+    def _effective_ef(self, k: int) -> int:
+        if self.ef_search is not None:
+            return max(1, int(self.ef_search))
+        return max(8, k)
+
+    def _hnsw_topk(
+        self,
+        key: tuple[Hashable, str],
+        shard: _Shard,
+        qvec: np.ndarray,
+        k: int | None,
+        state: _HNSWState | None = None,
+        entry_sims: np.ndarray | None = None,
+        frontier: np.ndarray | None = None,
+    ) -> tuple[list[int], np.ndarray]:
+        """Route-expand-rank top-k; exact scan when the graph cannot help.
+
+        Exact degenerations (tiny shard, ``k=None`` full listing, a
+        mutated shard awaiting rebuild, an under-filled candidate set)
+        call the same ``_shard_topk`` the exact backend uses.
+
+        ``entry_sims`` lets the batched path score the entry layer for
+        many queries in one GEMM; matrix-matrix accumulation can round
+        differently than the per-query product, so batched scores for
+        *entry-layer* hits may differ from the single-query path in the
+        last ulp (candidate sets and, away from exact score ties, the
+        ranking are unaffected).
+        """
+        if k is None or shard.size < self.min_build_rows or k >= shard.size:
+            self.exact_queries += 1
+            return VectorIndex._shard_topk(shard, qvec, k)
+        if state is None:
+            state = self._state_for(key, shard)
+        if state is None:  # recently mutated: exact until rebuild amortizes
+            self.exact_queries += 1
+            return VectorIndex._shard_topk(shard, qvec, k)
+        entries = state.entries
+        if entries.size == 0:
+            self.exact_queries += 1
+            return VectorIndex._shard_topk(shard, qvec, k)
+        if entry_sims is None:
+            entry_sims = state.entry_matrix @ qvec
+        if frontier is None:
+            ef = self._effective_ef(k)
+            if ef < entries.size:
+                frontier = entries[
+                    np.argpartition(-entry_sims, ef - 1)[:ef]
+                ]
+            else:
+                frontier = entries
+        neigh = state.neigh32[frontier].ravel()
+        if state.has_pad:
+            neigh = neigh[neigh >= 0]
+        cand = np.unique(neigh)
+        cand = cand[~state.entry_mask[cand]]
+        rows = np.concatenate((entries, cand))
+        if rows.size < k:
+            # the expansion cannot fill k — widen to the exact scan
+            # rather than return an under-filled page
+            self.exact_queries += 1
+            return VectorIndex._shard_topk(shard, qvec, k)
+        self.approx_queries += 1
+        sims = np.concatenate((entry_sims, shard.matrix[cand] @ qvec))
+        # rows is NOT ascending (entries precede their expansion), so the
+        # exact tie-break — equal scores rank by ascending row == id —
+        # needs the explicit two-key sort; the argpartition prefilter
+        # keeps it O(candidates) + O(k log k) like _Shard.topk_rows
+        part = np.argpartition(-sims, k - 1)[:k]
+        threshold = sims[part].min()
+        take = np.flatnonzero(sims >= threshold)
+        order = take[np.lexsort((rows[take], -sims[take]))[:k]]
+        winners = rows[order]
+        return (
+            [int(i) for i in shard.ids[winners]],
+            sims[order].astype(np.float32, copy=False),
+        )
+
+    def search(
+        self,
+        user: Hashable,
+        kind: str,
+        query: np.ndarray,
+        k: int | None = None,
+    ) -> tuple[list[int], np.ndarray]:
+        if k is not None and k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        qvec = _as_vector(query)
+        base = self.base
+        with base._lock:
+            shard = base._shards.get((user, kind))
+            if shard is None or shard.size == 0:
+                return [], np.empty(0, dtype=np.float32)
+            return self._hnsw_topk((user, kind), shard, qvec, k)
+
+    def search_among(
+        self,
+        user: Hashable,
+        kind: str,
+        rids: Sequence[int],
+        query: np.ndarray,
+        k: int | None = None,
+    ) -> tuple[list[int], np.ndarray] | None:
+        if k is not None and k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        qvec = _as_vector(query)
+        base = self.base
+        with base._lock:
+            shard = base._verified_shard(user, kind, rids)
+            if shard is None:
+                return None
+            if shard.size == 0:
+                return [], np.empty(0, dtype=np.float32)
+            return self._hnsw_topk((user, kind), shard, qvec, k)
+
+    def search_among_many(
+        self,
+        user: Hashable,
+        kind: str,
+        rids: Sequence[int],
+        queries: Sequence[np.ndarray],
+        ks: Sequence[int | None],
+    ) -> list[tuple[list[int], np.ndarray]] | None:
+        for k in ks:
+            if k is not None and k <= 0:
+                raise ValidationError(f"k must be positive, got {k}")
+        if len(queries) != len(ks):
+            raise ValidationError(
+                f"got {len(queries)} queries for {len(ks)} k values"
+            )
+        qvecs = [_as_vector(query) for query in queries]
+        base = self.base
+        with base._lock:
+            shard = base._verified_shard(user, kind, rids)
+            if shard is None:
+                return None
+            if shard.size == 0:
+                empty = ([], np.empty(0, dtype=np.float32))
+                return [empty for _ in qvecs]
+            # batched routing scan: the dominant per-query cost is
+            # scoring the entry layer, so score it for all of the
+            # batch's distinct graph-eligible queries in one GEMM
+            state: _HNSWState | None = None
+            entry_sims_by_query: dict[bytes, np.ndarray] = {}
+            eligible = [
+                (qvec, k)
+                for qvec, k in zip(qvecs, ks)
+                if k is not None
+                and shard.size >= self.min_build_rows
+                and k < shard.size
+            ]
+            frontier_by_query: dict[tuple[bytes, int], np.ndarray] = {}
+            if eligible:
+                state = self._state_for((user, kind), shard)
+                if state is not None and state.entries.size > 0:
+                    distinct: dict[bytes, np.ndarray] = {}
+                    for qvec, k in eligible:
+                        distinct.setdefault(qvec.tobytes(), qvec)
+                    qmat = np.stack(list(distinct.values()))
+                    # row-major result: each query's entry sims land
+                    # contiguous for the routing partition below
+                    sims = qmat @ state.entry_matrix.T
+                    for row, key_bytes in enumerate(distinct):
+                        entry_sims_by_query[key_bytes] = sims[row]
+                    # batched routing: one axis-wise partition per
+                    # distinct ef instead of one call per query
+                    n_entries = state.entries.size
+                    for ef in {self._effective_ef(k) for _, k in eligible}:
+                        if ef < n_entries:
+                            part = np.argpartition(
+                                -sims, ef - 1, axis=1
+                            )[:, :ef]
+                            picked = state.entries[part]
+                        else:
+                            picked = None
+                        for row, key_bytes in enumerate(distinct):
+                            frontier_by_query[(key_bytes, ef)] = (
+                                state.entries
+                                if picked is None
+                                else picked[row]
+                            )
+            # same duplicate-query coalescing as the exact batch path
+            cache: dict[tuple[bytes, int | None], tuple] = {}
+            results = []
+            for qvec, k in zip(qvecs, ks):
+                cache_key = (qvec.tobytes(), k)
+                hit = cache.get(cache_key)
+                if hit is None:
+                    hit = self._hnsw_topk(
+                        (user, kind),
+                        shard,
+                        qvec,
+                        k,
+                        state=state,
+                        entry_sims=entry_sims_by_query.get(qvec.tobytes()),
+                        frontier=(
+                            None
+                            if k is None
+                            else frontier_by_query.get(
+                                (qvec.tobytes(), self._effective_ef(k))
+                            )
+                        ),
+                    )
+                    cache[cache_key] = hit
+                results.append(hit)
+            return results
+
+
 # ---------------------------------------------------------------------------
 # Backend registry: engines are selected by name, never constructed
 # directly by the serving layer
@@ -657,4 +1180,7 @@ def _exact_factory(
 register_backend("exact", _exact_factory)
 register_backend(
     "ivf", lambda base=None, **options: IVFFlatBackend(base, **options)
+)
+register_backend(
+    "hnsw", lambda base=None, **options: HNSWBackend(base, **options)
 )

@@ -1,0 +1,61 @@
+"""Reciprocal-rank fusion (RRF) for hybrid search.
+
+``queryType=hybrid`` fuses two independent rankings of the same corpus
+— the indexed BM25 text ranking and the semantic embedding ranking —
+with the classic RRF formula (Cormack, Clarke & Büttcher, SIGIR 2009):
+
+    fused(key) = Σ_legs 1 / (K + rank_leg(key))        (1-based ranks)
+
+with the standard ``K = 60``.  Keys absent from a leg simply contribute
+nothing for it, so partial overlap fuses gracefully.
+
+Determinism matters here: the repo's parity tests pin *bitwise* result
+stability.  ``rrf_fuse`` guarantees it by construction —
+
+* each key's score is accumulated in fixed leg order, so the float sum
+  is evaluated in one deterministic order;
+* the final ordering sorts on ``(-score, key)``: score ties (e.g. two
+  keys holding the same ranks in swapped legs) break on the key itself,
+  never on dict iteration order.
+
+Given the same input rankings the fused output is therefore identical
+across runs, platforms and repetitions.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+#: the standard RRF smoothing constant (Cormack et al. 2009)
+RRF_K = 60
+
+
+def rrf_fuse(
+    rankings: Sequence[Sequence[Hashable]], *, k: int = RRF_K
+) -> list[tuple[Hashable, float, tuple[int | None, ...]]]:
+    """Fuse ``rankings`` (best-first key sequences) into one ranking.
+
+    Returns ``(key, fused_score, per_leg_ranks)`` tuples, best first;
+    ``per_leg_ranks[i]`` is the key's 1-based rank in ``rankings[i]``
+    or ``None`` when that leg did not return it.  Keys must be unique
+    within each leg (a ranking listing an item twice is a caller bug
+    and raises ``ValueError``) and orderable across legs, since the
+    deterministic tie-break sorts on the key.
+    """
+    if k <= 0:
+        raise ValueError(f"RRF constant must be positive, got {k}")
+    legs = len(rankings)
+    scores: dict[Hashable, float] = {}
+    ranks: dict[Hashable, list[int | None]] = {}
+    for leg, ranking in enumerate(rankings):
+        seen: set[Hashable] = set()
+        for position, key in enumerate(ranking, start=1):
+            if key in seen:
+                raise ValueError(
+                    f"ranking {leg} lists key {key!r} more than once"
+                )
+            seen.add(key)
+            scores[key] = scores.get(key, 0.0) + 1.0 / (k + position)
+            ranks.setdefault(key, [None] * legs)[leg] = position
+    ordered = sorted(scores, key=lambda key: (-scores[key], key))
+    return [(key, scores[key], tuple(ranks[key])) for key in ordered]

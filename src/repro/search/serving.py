@@ -186,7 +186,22 @@ class SearchBatcher:
     * the shard membership verification and lock acquisition;
     * top-k hydration — the union of all winners is materialized in a
       single batched ``resolve`` call instead of Q round trips.
+
+    The coalescing window **adapts to the observed queue depth**:
+    sustained deep flushes (the window keeps filling half the size cap
+    or more) double the effective window up to 4x the configured base —
+    deeper batches amortize more per pass; a sustained run of
+    single-request flushes collapses it to 0 (pure passthrough), and
+    the first concurrent arrival after a collapse restores the base
+    window.  ``stats()["effectiveWindow"]`` surfaces the current value.
     """
+
+    #: consecutive deep flushes before the window widens
+    _DEEP_STREAK = 3
+    #: consecutive single-request flushes before it collapses to 0
+    _SPARSE_STREAK = 8
+    #: widening cap, as a multiple of the configured base window
+    _MAX_WIDEN = 4
 
     def __init__(self, window: float = 0.003, max_batch: int = 16) -> None:
         self.window = float(window)
@@ -194,6 +209,10 @@ class SearchBatcher:
         self._lock = threading.Lock()
         self._pending: dict[tuple[Hashable, str], _Batch] = {}
         self._inflight = 0
+        # adaptive-window state (guarded by _lock)
+        self._effective_window = self.window
+        self._deep_streak = 0
+        self._sparse_streak = 0
         # counters for `repro stats` and the benchmarks
         self.requests_total = 0
         self.batches_total = 0
@@ -202,6 +221,8 @@ class SearchBatcher:
         self.fallbacks = 0
         self.batch_embeds = 0
         self.batch_embedded_queries = 0
+        self.window_widenings = 0
+        self.window_collapses = 0
 
     # ------------------------------------------------------------------
     def submit(
@@ -269,8 +290,13 @@ class SearchBatcher:
                 if self._pending.get(key) is batch:
                     del self._pending[key]
                 batch.full.set()
-            # only worth waiting when another search is in flight
-            wait = self.window if self._inflight > 1 else 0.0
+            # only worth waiting when another search is in flight; a
+            # collapsed (passthrough) window un-collapses on the first
+            # concurrent arrival, so a traffic burst after a quiet spell
+            # starts coalescing again immediately
+            if self._inflight > 1 and self._effective_window == 0.0:
+                self._effective_window = self.window
+            wait = self._effective_window if self._inflight > 1 else 0.0
         try:
             if not is_leader:
                 batch.done.wait()
@@ -388,6 +414,7 @@ class SearchBatcher:
             self.largest_batch = max(self.largest_batch, len(requests))
             if len(requests) > 1:
                 self.batched_requests += len(requests)
+            self._adapt_window(len(requests))
         lead = requests[0]
         try:
             owned = _materialize_owned(lead.owned_ids)
@@ -458,11 +485,51 @@ class SearchBatcher:
                 request.error = exc
 
     # ------------------------------------------------------------------
+    def _adapt_window(self, flushed: int) -> None:
+        """Adjust the effective window from one flush's batch size.
+
+        Caller holds ``self._lock``.  Deep flushes (>= half the size
+        cap) signal sustained queue depth: after ``_DEEP_STREAK`` in a
+        row the window doubles, capped at ``_MAX_WIDEN`` x the base.
+        Single-request flushes signal sparse traffic: after
+        ``_SPARSE_STREAK`` in a row the window collapses to 0 and every
+        lone request skips the wait entirely (``submit`` restores the
+        base window on the next concurrent arrival).  In-between sizes
+        reset both streaks — the current window is evidently adequate.
+        """
+        if flushed >= max(2, self.max_batch // 2):
+            self._deep_streak += 1
+            self._sparse_streak = 0
+            if self._deep_streak >= self._DEEP_STREAK:
+                self._deep_streak = 0
+                widened = min(
+                    self._MAX_WIDEN * self.window,
+                    (self._effective_window * 2) or self.window,
+                )
+                if widened > self._effective_window:
+                    self._effective_window = widened
+                    self.window_widenings += 1
+        elif flushed == 1:
+            self._sparse_streak += 1
+            self._deep_streak = 0
+            if self._sparse_streak >= self._SPARSE_STREAK:
+                self._sparse_streak = 0
+                if self._effective_window > 0.0:
+                    self._effective_window = 0.0
+                    self.window_collapses += 1
+        else:
+            self._deep_streak = 0
+            self._sparse_streak = 0
+
+    # ------------------------------------------------------------------
     def stats(self) -> dict[str, int | float]:
         """Dispatcher counters (requests, batches, coalescing, fallbacks)."""
         with self._lock:
             return {
                 "window": self.window,
+                "effectiveWindow": self._effective_window,
+                "windowWidenings": self.window_widenings,
+                "windowCollapses": self.window_collapses,
                 "maxBatch": self.max_batch,
                 "requests": self.requests_total,
                 "batches": self.batches_total,

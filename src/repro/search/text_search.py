@@ -54,21 +54,84 @@ def normalize(text: str) -> str:
     return " ".join([raw, *words])
 
 
+def fts_pe_document(name: str, description: str) -> tuple[str, str]:
+    """``(name_norm, desc_doc)`` columns for the PE text side table.
+
+    ``name_norm`` is the :func:`normalize` view of the name — it doubles
+    as the whole-query substring arm (LIKE / ``in``) and as the FTS5
+    name document; ``desc_doc`` is the normalized description.
+    """
+    return normalize(name), normalize(description or "")
+
+
+def fts_workflow_document(
+    entry_point: str, workflow_name: str, description: str
+) -> tuple[str, str]:
+    """``(name_norm, desc_doc)`` columns for the workflow side table.
+
+    The two name arms are joined with a newline: ``\\n`` is a tokenizer
+    separator (so BM25 sees both arms' tokens) and cannot occur inside
+    a stripped query needle, so the substring arm never matches across
+    the arm boundary.
+    """
+    name_norm = normalize(entry_point) + "\n" + normalize(workflow_name)
+    return name_norm, normalize(description or "")
+
+
+def match_terms(query: str) -> list[str]:
+    """Sorted distinct scorer words — the BM25 ``MATCH`` vocabulary.
+
+    Exactly the words :func:`_match_score` tests for per-word hits
+    (pure ASCII ``[a-z]+``, no synonyms/stemming), so a term-level FTS5
+    match agrees with the legacy scorer's word-hit conditions.
+    """
+    return sorted(
+        {w for w in tokenize_text(query, synonyms=False, stemming=False) if w}
+    )
+
+
+def pe_match_label(query: str, record: PERecord) -> str:
+    """``matchedOn`` label for an FTS-ranked PE hit.
+
+    Falls back to ``name+description`` for the rare hits the indexed
+    path finds but the legacy scorer would miss (punctuation-embedded
+    camelCase, where unicode61 runs differ from subtoken splits).
+    """
+    return (
+        _match_score(query, record.pe_name, record.description)[1]
+        or "name+description"
+    )
+
+
+def workflow_match_label(query: str, record: WorkflowRecord) -> str:
+    """``matchedOn`` label for an FTS-ranked workflow hit (best arm)."""
+    best, label = 0.0, ""
+    for name in (record.entry_point, record.workflow_name):
+        score, matched = _match_score(query, name, record.description)
+        if score > best:
+            best, label = score, matched
+    return label or "name+description"
+
+
 def candidate_patterns(query: str) -> list[str] | None:
     """Substring patterns whose LIKE union over-approximates the scorer.
 
-    Used by the owner-scoped SQL candidate filter
-    (``RegistryDAO.pes_owned_by_matching``): a record can only score
-    above zero in :func:`_match_score` if at least one of these patterns
-    occurs as a case-insensitive substring of its raw name or
-    description.  That holds because every token :func:`normalize`
-    produces (the raw lowercase words and all identifier subtokens) is a
-    contiguous lowercase substring of the stored text, and every scorer
-    condition — whole-query containment, per-word name hits, per-word
-    description hits — requires one of the query's words or alphanumeric
-    runs to land inside such a token.  Patterns are pure ASCII (both
-    tokenizers are), matching SQLite's ASCII-only case folding for
-    ``LIKE``.
+    Only the **legacy Table-3 parity adapter** still consumes these
+    (``RegistryDAO.pes_owned_by_matching`` feeding the byte-identical
+    legacy text route).  The v1 ``queryType=text`` path ranks directly
+    in the FTS5 index (``RegistryDAO.text_topk_pes``) and never builds
+    patterns.  Kept because the legacy route's contract is the *exact*
+    Python scorer output, which wants the exact candidate superset: a
+    record can only score above zero in :func:`_match_score` if at
+    least one of these patterns occurs as a case-insensitive substring
+    of its raw name or description.  That holds because every token
+    :func:`normalize` produces (the raw lowercase words and all
+    identifier subtokens) is a contiguous lowercase substring of the
+    stored text, and every scorer condition — whole-query containment,
+    per-word name hits, per-word description hits — requires one of the
+    query's words or alphanumeric runs to land inside such a token.
+    Patterns are pure ASCII (both tokenizers are), matching SQLite's
+    ASCII-only case folding for ``LIKE``.
 
     Returns ``None`` when the query yields no usable pattern (e.g. pure
     punctuation); the caller must then scan the full owned listing.

@@ -38,9 +38,15 @@ The owned-id projection the membership check needs is fetched lazily,
 once per batch.  Any shard/owned-set disagreement (unindexed records,
 concurrent mutation) drops that batch to the exact brute-force scan —
 results are then still bitwise identical to the historical behaviour.
-Text queries (``queryType=text``) skip the index and score only the
-SQL-filtered candidate rows (owner-joined ``LIKE``), never the user's
-full record list.
+Text queries (``queryType=text``) skip the vector index entirely and
+rank in the DAO's inverted text index (SQLite FTS5 / the in-memory
+postings mirror): an owner-joined BM25 top-k returns ``k`` ids and the
+service hydrates only those records.  Hybrid queries
+(``queryType=hybrid``) run the text and semantic legs to a fused depth
+and merge them with deterministic reciprocal-rank fusion
+(:mod:`repro.search.fusion`).  Only the legacy Table-3 route still
+scores candidates in Python — through the owner-joined ``LIKE``
+parity adapter that keeps its output byte-identical.
 
 Cold start: :meth:`~repro.registry.service.RegistryService.attach_index`
 loads persisted float32 slabs straight from the DAO when their stamped
@@ -127,14 +133,17 @@ DELETE   ``/v1/registry/{user}/workflows/{name}``   ``ifVersion``,
 Items order by **ascending record id** and ``cursor`` is an opaque,
 *scoped* resume token: replaying it against a different listing is a
 400, and because concurrent inserts only ever receive higher ids a
-cursor walk never skips or duplicates a pre-existing record.
+cursor walk never skips or duplicates a pre-existing record.  PE and
+workflow listing items carry the record's current ``revision`` (the
+same counter ``ifVersion`` pins on writes), so readers can hand a
+fresh precondition straight back to a conditional update.
 
 **Search** (``POST /v1/registry/{user}/search``) accepts the
 ``SearchRequest`` envelope — defaults shown::
 
     {"query":  <required str>,
      "kind":   "both",        # pe | workflow | both
-     "queryType": "text",     # text | semantic | code
+     "queryType": "text",     # text | semantic | code | hybrid
      "backend": "exact",      # any name from GET /v1/backends
      "k": null,               # top-k cap at ranking time
      "limit": null,           # page size over the ranked hits
@@ -144,17 +153,37 @@ cursor walk never skips or duplicates a pre-existing record.
 and returns the ``SearchResponse`` envelope::
 
     {"apiVersion": "v1", "query": …, "kind": …, "queryType": …,
-     "backend": …, "searchKind": "text"|"semantic"|"code",
+     "backend": …, "searchKind": "text"|"semantic"|"code"|"hybrid",
      "k": …, "count": N, "hits": [...], "nextCursor": …}
+
+The ``queryType`` × ``backend`` matrix:
+
+=============  ======================================================
+``queryType``  ranking path
+=============  ======================================================
+``text``       BM25 top-k in the DAO's inverted text index (FTS5 /
+               postings mirror); ``backend`` is irrelevant — no
+               vector shard is touched.  ``kind=pe`` preserves the
+               historical quirk of serving through semantic search.
+``semantic``   description embeddings ranked by the selected
+               ``backend`` through the micro-batcher.
+``code``       code embeddings, PEs only, same backend plumbing.
+``hybrid``     BM25 text leg (above) + semantic leg (ranked by the
+               selected ``backend``), fused with deterministic RRF;
+               hits carry the fused score plus per-leg ranks/scores.
+=============  ======================================================
 
 ``backend`` selects the ranking engine by name behind the
 :class:`~repro.search.backend.IndexBackend` protocol: ``"exact"`` is
-the reference BLAS scan, ``"ivf"`` the IVF-flat approximate engine
+the reference BLAS scan; ``"ivf"`` the IVF-flat approximate engine
 (probe ``nprobe`` inverted lists, exact re-rank; degenerates to the
 exact scan bitwise when the shard is small, ``k`` is unbounded or
-``nprobe >= nlist``).  Both serve through the same micro-batcher,
-membership checks and brute-force fallback — an approximate backend can
-lose recall, never correctness or tenant isolation.
+``nprobe >= nlist``); ``"hnsw"`` the small-world graph engine (entry
+layer routes, precomputed exact ``m0``-NN adjacency expands, every
+candidate exactly scored — same degenerate-to-exact safety net).  All
+serve through the same micro-batcher, membership checks and
+brute-force fallback — an approximate backend can lose recall, never
+correctness or tenant isolation.
 
 **Writes** complete the versioned surface.  ``PUT`` registers under the
 path name (the PE name / the workflow entry point) with true *upsert*

@@ -415,5 +415,9 @@ class RegistryController(BaseController):
             k=k,
             query_embedding=query_embedding,
         )
-        search_kind, hits = execute_search(self.app, user, req)
+        # legacy_text pins the historical LIKE+Python-scorer text
+        # pipeline — this route's contract is byte-identical output
+        search_kind, hits = execute_search(
+            self.app, user, req, legacy_text=True
+        )
         return Response(200, {"searchKind": search_kind, "hits": hits})

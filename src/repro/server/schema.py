@@ -44,7 +44,7 @@ MAX_LIMIT = 1000
 
 #: search-parameter enums (shared with the legacy adapter)
 SEARCH_KINDS = ("pe", "workflow", "both")
-QUERY_TYPES = ("text", "semantic", "code")
+QUERY_TYPES = ("text", "semantic", "code", "hybrid")
 
 #: write-surface bounds
 MAX_BULK_ITEMS = 1000

@@ -39,6 +39,12 @@ from repro.errors import ValidationError
 from repro.net.transport import Request, Response
 from repro.registry.entities import UserRecord
 from repro.search import text_search_pes, text_search_workflows
+from repro.search.fusion import rrf_fuse
+from repro.search.text_search import (
+    TextMatch,
+    pe_match_label,
+    workflow_match_label,
+)
 from repro.server.controllers import BaseController
 from repro.server.schema import (
     DEFAULT_LIMIT,
@@ -57,7 +63,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def execute_search(
-    app: "LaminarServer", user: UserRecord, req: SearchRequest
+    app: "LaminarServer",
+    user: UserRecord,
+    req: SearchRequest,
+    *,
+    legacy_text: bool = False,
 ) -> tuple[str, list[dict]]:
     """Run one registry search; returns ``(search_kind, hits_json)``.
 
@@ -65,11 +75,16 @@ def execute_search(
     against the backend ``req.backend`` names: rank on the shard, check
     membership against the lazily fetched owned-id projection, and
     materialize only the top-k union through the DAO (a shard mismatch
-    falls back to the exact brute-force scan).  Text branches score only
-    the SQL-filtered candidate rows.  This is the legacy controller's
-    exact decision tree — including the historical quirk that
-    ``queryType=text`` over ``kind=pe`` serves *semantic* ranking — now
-    shared by both API generations.
+    falls back to the exact brute-force scan).  ``queryType=text`` ranks
+    in the DAO's FTS5/BM25 inverted index and hydrates only the top-k
+    winners; ``queryType=hybrid`` RRF-fuses that ranking with the
+    semantic one.  Both API generations share this decision tree —
+    including the historical quirk that ``queryType=text`` over
+    ``kind=pe`` serves *semantic* ranking.
+
+    ``legacy_text=True`` (the Table-3 adapter) swaps the indexed text
+    ranking for the historical LIKE-superset + Python-scorer pipeline,
+    keeping the legacy route's responses byte-identical to the seed.
     """
     index = app.backends[req.backend]
     registry = app.registry
@@ -128,13 +143,12 @@ def execute_search(
         if k is not None:
             hits = hits[:k]
         return "semantic", hits
+    if req.query_type == "hybrid":
+        return "hybrid", _hybrid_hits(app, user, req, query_embedding)
     # query_type == "text" (validated upstream)
-    if req.kind == "workflow":
-        matches = text_search_workflows(
-            query, registry.text_candidate_workflows(user, query)
-        )
-        return "text", [m.to_json() for m in matches]
     if req.kind == "pe":
+        # historical quirk: text search over kind=pe serves *semantic*
+        # ranking (identical on both API generations)
         hits = app.semantic.search_topk(
             query,
             index=index,
@@ -146,14 +160,171 @@ def execute_search(
             batcher=batcher,
         )
         return "semantic", [h.to_json() for h in hits]
-    # both: plain text match across the whole registry (Figure 6)
-    matches = text_search_pes(
-        query, registry.text_candidate_pes(user, query)
-    ) + text_search_workflows(
-        query, registry.text_candidate_workflows(user, query)
-    )
+    if legacy_text:
+        # Table-3 parity adapter: LIKE-superset candidates scored by the
+        # historical Python scorer, byte-identical to the seed
+        if req.kind == "workflow":
+            matches = text_search_workflows(
+                query, registry.text_candidate_workflows(user, query)
+            )
+            return "text", [m.to_json() for m in matches]
+        # both: plain text match across the whole registry (Figure 6)
+        matches = text_search_pes(
+            query, registry.text_candidate_pes(user, query)
+        ) + text_search_workflows(
+            query, registry.text_candidate_workflows(user, query)
+        )
+        matches.sort(key=lambda m: (-m.score, m.kind, m.entity_id))
+        return "text", [m.to_json() for m in matches]
+    # v1 indexed text: ranked inside the DAO's inverted index
+    # (BM25 + whole-query name-substring bonus), O(k) hydration
+    matches = _indexed_text_matches(registry, user, req.kind, query, k)
     matches.sort(key=lambda m: (-m.score, m.kind, m.entity_id))
+    if k is not None:
+        matches = matches[:k]
     return "text", [m.to_json() for m in matches]
+
+
+def _indexed_text_matches(
+    registry, user: UserRecord, kind: str, query: str, k: int | None
+) -> list[TextMatch]:
+    """FTS-ranked :class:`TextMatch` rows for ``kind`` (already scored
+    by the DAO; ``matchedOn`` labels recomputed from the records)."""
+    matches: list[TextMatch] = []
+    if kind in ("pe", "both"):
+        matches.extend(
+            TextMatch(
+                kind="pe",
+                entity_id=record.pe_id,
+                name=record.pe_name,
+                description=record.description,
+                matched_on=pe_match_label(query, record),
+                score=score,
+            )
+            for record, score in registry.text_topk_pes(user, query, k)
+        )
+    if kind in ("workflow", "both"):
+        matches.extend(
+            TextMatch(
+                kind="workflow",
+                entity_id=record.workflow_id,
+                name=record.entry_point,
+                description=record.description,
+                matched_on=workflow_match_label(query, record),
+                score=score,
+            )
+            for record, score in registry.text_topk_workflows(user, query, k)
+        )
+    return matches
+
+
+def _hybrid_hits(
+    app: "LaminarServer",
+    user: UserRecord,
+    req: SearchRequest,
+    query_embedding,
+) -> list[dict]:
+    """``queryType=hybrid``: RRF-fuse the text and semantic rankings.
+
+    Both legs rank to depth ``max(2k, k+50)`` (unbounded when ``k`` is
+    ``None``) so the fusion sees well past the final cut, then
+    :func:`~repro.search.fusion.rrf_fuse` merges them deterministically
+    — given the two leg rankings the fused ordering is bitwise-stable.
+    The text leg is the *real* BM25 ranking even for ``kind=pe`` (the
+    text-route quirk is a ``queryType=text`` compatibility artifact;
+    hybrid is new surface and fuses what it says it fuses).
+    """
+    registry = app.registry
+    index = app.backends[req.backend]
+    batcher = app.batcher
+    k = req.k
+    query = req.query
+    depth = None if k is None else max(2 * k, k + 50)
+
+    text_matches = _indexed_text_matches(registry, user, req.kind, query, depth)
+    text_matches.sort(key=lambda m: (-m.score, m.kind, m.entity_id))
+    if depth is not None:
+        text_matches = text_matches[:depth]
+
+    sem_rows: list[tuple[float, str, int, object]] = []
+    if req.kind in ("pe", "both"):
+        sem_rows.extend(
+            (float(h.score), "pe", h.pe_id, h)
+            for h in app.semantic.search_topk(
+                query,
+                index=index,
+                user=user.user_id,
+                owned_ids=lambda: registry.owned_pe_ids(user),
+                resolve=lambda ids: registry.resolve_pes(user, ids),
+                k=depth,
+                query_embedding=query_embedding,
+                batcher=batcher,
+            )
+        )
+    if req.kind in ("workflow", "both"):
+        sem_rows.extend(
+            (float(h.score), "workflow", h.workflow_id, h)
+            for h in app.semantic.search_workflows_topk(
+                query,
+                index=index,
+                user=user.user_id,
+                owned_ids=lambda: registry.owned_workflow_ids(user),
+                resolve=lambda ids: registry.resolve_workflows(user, ids),
+                k=depth,
+                query_embedding=query_embedding,
+                batcher=batcher,
+            )
+        )
+    sem_rows.sort(key=lambda row: (-row[0], row[1], row[2]))
+    if depth is not None:
+        sem_rows = sem_rows[:depth]
+
+    by_key: dict[tuple[str, int], dict] = {}
+    text_leg: list[tuple[str, int]] = []
+    for m in text_matches:
+        key = (m.kind, m.entity_id)
+        text_leg.append(key)
+        by_key.setdefault(key, {})["text"] = m
+    semantic_leg: list[tuple[str, int]] = []
+    for score, kind_, rid, hit in sem_rows:
+        key = (kind_, rid)
+        semantic_leg.append(key)
+        by_key.setdefault(key, {})["semantic"] = hit
+
+    fused = rrf_fuse([text_leg, semantic_leg])
+    if k is not None:
+        fused = fused[:k]
+    hits = []
+    for key, score, (text_rank, semantic_rank) in fused:
+        kind_, rid = key
+        text_hit = by_key[key].get("text")
+        sem_hit = by_key[key].get("semantic")
+        if text_hit is not None:
+            name, description = text_hit.name, text_hit.description
+        elif kind_ == "pe":
+            name, description = sem_hit.pe_name, sem_hit.description
+        else:
+            name, description = sem_hit.entry_point, sem_hit.description
+        hits.append(
+            {
+                "kind": kind_,
+                "id": rid,
+                "name": name,
+                "description": description,
+                "score": round(score, 6),
+                "textRank": text_rank,
+                "semanticRank": semantic_rank,
+                "textScore": (
+                    round(text_hit.score, 4) if text_hit is not None else None
+                ),
+                "semanticScore": (
+                    round(float(sem_hit.score), 4)
+                    if sem_hit is not None
+                    else None
+                ),
+            }
+        )
+    return hits
 
 
 class V1Controller(BaseController):
@@ -202,9 +373,14 @@ class V1Controller(BaseController):
             limit=limit,
             cursor=cursor,
         )
-        # O(page) hydration: only this page's rows are materialized
+        # O(page) hydration: only this page's rows are materialized;
+        # `revision` rides along so clients can poll for changes cheaply
+        # (conditional reads — the legacy wire shapes stay untouched)
         records = self.app.registry.resolve_pes(user, page_ids)
-        items = [record.to_json() for record in records]
+        items = [
+            {**record.to_json(), "revision": record.revision}
+            for record in records
+        ]
         return Response(200, Page(items, limit, next_cursor).to_json())
 
     def list_workflows(
@@ -219,7 +395,10 @@ class V1Controller(BaseController):
             cursor=cursor,
         )
         records = self.app.registry.resolve_workflows(user, page_ids)
-        items = [record.to_json() for record in records]
+        items = [
+            {**record.to_json(), "revision": record.revision}
+            for record in records
+        ]
         return Response(200, Page(items, limit, next_cursor).to_json())
 
     def workflow_pes(
@@ -239,7 +418,10 @@ class V1Controller(BaseController):
             limit=limit,
             cursor=cursor,
         )
-        items = [by_id[pe_id].to_json() for pe_id in page_ids]
+        items = [
+            {**by_id[pe_id].to_json(), "revision": by_id[pe_id].revision}
+            for pe_id in page_ids
+        ]
         return Response(200, Page(items, limit, next_cursor).to_json())
 
     # ------------------------------------------------------------------
@@ -295,6 +477,7 @@ class V1Controller(BaseController):
         if (
             paged
             and req.k is None
+            and req.query_type != "hybrid"
             and getattr(
                 self.app.backends[req.backend], "prefix_stable_topk", False
             )
@@ -308,6 +491,9 @@ class V1Controller(BaseController):
             # (whose candidate set depends on k) rank unbounded instead
             # — their k=None path degenerates to the exact full
             # ordering, keeping pages consistent at O(corpus) cost.
+            # Hybrid is excluded for the same reason: its RRF leg depth
+            # derives from k, so a capped ranking is not a prefix of the
+            # uncapped one.
             ranking_req = replace(req, k=offset + limit)
         search_kind, hits = execute_search(self.app, user, ranking_req)
         next_cursor = None

@@ -122,16 +122,30 @@ class TestCandidateSuperset:
 
 
 class TestPatternCap:
-    def test_oversized_pattern_set_falls_back(self, backend):
+    """The 64-pattern LIKE cap is gone: oversized pattern sets now
+    filter through chunked OR groups (``SqliteDAO._LIKE_CHUNK``)
+    instead of silently degrading to the full owned listing."""
+
+    def test_oversized_pattern_set_still_filters(self, backend):
         service, alice, _ = backend
         query = " ".join(f"word{i}" for i in range(100))
         patterns = candidate_patterns(query)
         assert patterns is not None and len(patterns) > 64
         got = service.dao.pes_owned_by_matching(alice.user_id, patterns)
-        if isinstance(service.dao, SqliteDAO):
-            # over the LIKE cap the sqlite backend serves the plain
-            # owned listing rather than a monster OR chain
-            assert len(got) == len(service.dao.pes_owned_by(alice.user_id))
+        # none of the junk tokens occur in the corpus: the chunked
+        # filter must prove that, not hand back everything
+        assert got == []
+
+    def test_oversized_pattern_set_keeps_matches(self, backend):
+        service, alice, _ = backend
+        query = " ".join(f"word{i}" for i in range(100)) + " prime"
+        patterns = candidate_patterns(query)
+        assert patterns is not None and len(patterns) > 64
+        got = service.dao.pes_owned_by_matching(alice.user_id, patterns)
+        names = {pe.pe_name for pe in got}
+        # the one real token must survive whichever chunk it lands in
+        assert names >= {"isPrime", "primality"}
+        assert len(got) < len(service.dao.pes_owned_by(alice.user_id))
 
 
 class TestEndpointParity:

@@ -8,6 +8,7 @@ import pytest
 from repro.errors import ValidationError
 from repro.search import (
     KIND_DESC,
+    HNSWBackend,
     IVFFlatBackend,
     IndexBackend,
     SearchBatcher,
@@ -42,14 +43,15 @@ def populated():
 
 
 class TestRegistry:
-    def test_exact_and_ivf_registered(self):
+    def test_exact_ivf_and_hnsw_registered(self):
         names = backend_names()
         assert names[0] == "exact"
         assert "ivf" in names
+        assert "hnsw" in names
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValidationError, match="unknown index backend"):
-            create_backend("hnsw-when")
+            create_backend("annoy-when")
 
     def test_create_by_name(self):
         exact = create_backend("exact")
@@ -57,18 +59,30 @@ class TestRegistry:
         ivf = create_backend("ivf", exact, nprobe=2)
         assert isinstance(ivf, IVFFlatBackend)
         assert ivf.base is exact
+        hnsw = create_backend("hnsw", exact, m=4)
+        assert isinstance(hnsw, HNSWBackend)
+        assert hnsw.base is exact and hnsw.m == 4
 
     def test_build_backends_share_one_exact_index(self):
         backends = build_backends()
         assert set(backends) == set(backend_names())
         assert backends["ivf"].base is backends["exact"]
+        assert backends["hnsw"].base is backends["exact"]
         # a mutation through the exact index is visible to the wrapper
         backends["exact"].add("u", KIND_DESC, 1, np.ones(4, np.float32))
         assert backends["ivf"].size("u", KIND_DESC) == 1
+        assert backends["hnsw"].size("u", KIND_DESC) == 1
 
-    def test_both_satisfy_the_protocol(self):
+    def test_all_satisfy_the_protocol(self):
         assert isinstance(VectorIndex(), IndexBackend)
         assert isinstance(IVFFlatBackend(), IndexBackend)
+        assert isinstance(HNSWBackend(), IndexBackend)
+
+    def test_state_store_routing_attribute(self):
+        # the service persists graph state next to (not inside) the IVF
+        # store — keyed off this attribute
+        assert HNSWBackend().state_store == "hnsw"
+        assert getattr(IVFFlatBackend(), "state_store", "ivf") == "ivf"
 
 
 class TestIVFParity:
@@ -300,6 +314,218 @@ class TestIVFBatchServing:
             t.join()
         for q, got in zip(queries, results):
             assert got == serve(q)
+
+
+class TestHNSWParity:
+    def test_k_none_serves_exact_full_ordering(self, populated):
+        base, ids, _rows, rng = populated
+        hnsw = HNSWBackend(base, m=8, ef_search=4)
+        q = rng.standard_normal(32).astype(np.float32)
+        got = hnsw.search_among("u", KIND_DESC, ids, q, None)
+        want = base.search_among("u", KIND_DESC, ids, q, None)
+        assert got[0] == want[0]
+        assert np.array_equal(got[1], want[1])
+
+    def test_small_shards_serve_exact(self):
+        base = VectorIndex()
+        rng = np.random.default_rng(3)
+        rows = clustered_rows(rng, 20)
+        base.add_many("u", KIND_DESC, list(range(20)), rows)
+        hnsw = HNSWBackend(base)  # min_build_rows default 64
+        q = rows[0]
+        got = hnsw.search_among("u", KIND_DESC, list(range(20)), q, 5)
+        want = base.search_among("u", KIND_DESC, list(range(20)), q, 5)
+        assert got[0] == want[0] and np.array_equal(got[1], want[1])
+        assert hnsw.builds == 0  # the graph was never built
+
+    def test_results_are_exact_rerank(self, populated):
+        """HNSW never approximates *scores* — only the candidate set.
+
+        Every returned score is a true float32 dot product, matching
+        the exact backend's score for the same id to accumulation
+        (last-ulp) precision — BLAS may reduce a subset product in a
+        different order than the full-shard scan — and the returned
+        order is descending score with ascending-id tie-breaking.
+        """
+        base, ids, _rows, rng = populated
+        hnsw = HNSWBackend(base, m=8, m0=16, ef_search=4)
+        for _ in range(5):
+            q = rng.standard_normal(32).astype(np.float32)
+            q /= np.linalg.norm(q)
+            exact_ids, exact_scores = base.search_among(
+                "u", KIND_DESC, ids, q, None
+            )
+            by_id = dict(zip(exact_ids, exact_scores.tolist()))
+            got_ids, got_scores = hnsw.search_among("u", KIND_DESC, ids, q, 10)
+            for rid, score in zip(got_ids, got_scores.tolist()):
+                assert score == pytest.approx(by_id[rid], abs=1e-6)
+            ranked = list(zip(got_scores.tolist(), got_ids))
+            for (s_a, id_a), (s_b, id_b) in zip(ranked, ranked[1:]):
+                assert s_a > s_b or (s_a == s_b and id_a < id_b)
+
+    def test_high_recall_on_clustered_data(self, populated):
+        base, ids, rows, rng = populated
+        hnsw = HNSWBackend(base, m=8, m0=32, ef_search=6)
+        hits = 0
+        trials = 20
+        for i in range(trials):
+            q = rows[i * 7] + 0.05 * rng.standard_normal(32).astype(np.float32)
+            q /= np.linalg.norm(q)
+            exact_ids, _ = base.search_among("u", KIND_DESC, ids, q, 10)
+            got_ids, _ = hnsw.search_among("u", KIND_DESC, ids, q, 10)
+            hits += len(set(exact_ids) & set(got_ids))
+        assert hits / (10 * trials) >= 0.9
+
+    def test_deterministic_across_instances(self, populated):
+        """Same shard, same options -> identical graph and results (the
+        level hash and the exact adjacency build use no RNG)."""
+        base, ids, rows, _rng = populated
+        a = HNSWBackend(base, m=8, m0=16, ef_search=4)
+        b = HNSWBackend(base, m=8, m0=16, ef_search=4)
+        for i in range(5):
+            q = rows[i * 31] / np.linalg.norm(rows[i * 31])
+            got_a = a.search_among("u", KIND_DESC, ids, q, 10)
+            got_b = b.search_among("u", KIND_DESC, ids, q, 10)
+            assert got_a[0] == got_b[0]
+            assert np.array_equal(got_a[1], got_b[1])
+
+
+class TestHNSWMaintenance:
+    def test_mutation_invalidates_graph(self, populated):
+        base, ids, rows, rng = populated
+        # rebuild_fraction=0: eager rebuild on any mutation
+        hnsw = HNSWBackend(base, m=8, m0=32, ef_search=6, rebuild_fraction=0)
+        q = rng.standard_normal(32).astype(np.float32)
+        hnsw.search_among("u", KIND_DESC, ids, q, 5)
+        assert hnsw.builds == 1
+        # a duplicate of an existing row lands inside its cluster, so
+        # the rebuilt adjacency must reach it
+        new_vec = rows[0].copy()
+        base.add("u", KIND_DESC, 999, new_vec)
+        got = hnsw.search_among("u", KIND_DESC, ids + [999], new_vec, 5)
+        assert hnsw.builds == 2  # rebuilt after the add
+        assert got is not None and 999 in got[0]  # the new row is found
+
+    def test_recent_mutations_serve_exact_until_rebuild_amortizes(
+        self, populated
+    ):
+        base, ids, _rows, rng = populated
+        hnsw = HNSWBackend(base, m=8, ef_search=4, rebuild_fraction=0.02)
+        q = rng.standard_normal(32).astype(np.float32)
+        hnsw.search_among("u", KIND_DESC, ids, q, 5)
+        assert hnsw.builds == 1
+        new_vec = np.ones(32, dtype=np.float32) / np.sqrt(32.0)
+        base.add("u", KIND_DESC, 999, new_vec)
+        got = hnsw.search_among("u", KIND_DESC, ids + [999], new_vec, 5)
+        # one mutation is below the threshold: no rebuild, but the
+        # query still finds the new row through the exact scan
+        assert hnsw.builds == 1
+        assert got is not None and got[0][0] == 999
+        want = base.search_among("u", KIND_DESC, ids + [999], new_vec, 5)
+        assert got[0] == want[0] and np.array_equal(got[1], want[1])
+
+    def test_removed_id_never_returned(self, populated):
+        base, ids, rows, _rng = populated
+        hnsw = HNSWBackend(base, m=8, m0=32, ef_search=8)
+        base.remove("u", KIND_DESC, ids[0])
+        remaining = ids[1:]
+        got = hnsw.search_among("u", KIND_DESC, remaining, rows[0], 10)
+        assert got is not None and ids[0] not in got[0]
+
+    def test_membership_mismatch_returns_none(self, populated):
+        base, ids, rows, _rng = populated
+        hnsw = HNSWBackend(base, m=8, ef_search=4)
+        assert hnsw.search_among("u", KIND_DESC, ids[:10], rows[0], 5) is None
+        assert (
+            hnsw.search_among("u", KIND_DESC, ids + [12345], rows[0], 5)
+            is None
+        )
+
+    def test_invalid_k_rejected(self, populated):
+        base, ids, rows, _rng = populated
+        hnsw = HNSWBackend(base)
+        with pytest.raises(ValidationError, match="k must be positive"):
+            hnsw.search_among("u", KIND_DESC, ids, rows[0], 0)
+
+    def test_invalid_m_rejected(self):
+        with pytest.raises(ValidationError, match="m must be at least 2"):
+            HNSWBackend(m=1)
+
+    def test_clear_drops_graph_state(self, populated):
+        base, ids, rows, _rng = populated
+        hnsw = HNSWBackend(base, m=8, ef_search=4)
+        hnsw.search_among("u", KIND_DESC, ids, rows[0], 5)
+        hnsw.clear("u")
+        assert hnsw.size("u", KIND_DESC) == 0
+        with hnsw._states_lock:
+            assert not hnsw._states
+
+    def test_stats_surface_entry_count(self, populated):
+        base, ids, rows, _rng = populated
+        hnsw = HNSWBackend(base, m=8, ef_search=4)
+        hnsw.search_among("u", KIND_DESC, ids, rows[0], 5)
+        info = hnsw.stats()["u/desc"]
+        assert 0 < info["hnswEntries"] < 400
+
+
+class TestHNSWStateRoundTrip:
+    def test_export_adopt_round_trip(self, populated):
+        base, ids, rows, _rng = populated
+        hnsw = HNSWBackend(base, m=8, m0=16, ef_search=4)
+        hnsw.search_among("u", KIND_DESC, ids, rows[0], 5)
+        assert hnsw.builds == 1
+        states = hnsw.export_states()
+        assert ("u", KIND_DESC) in states
+        fresh = HNSWBackend(base, m=8, m0=16, ef_search=4)
+        assert fresh.adopt_states(states) == 1
+        got = fresh.search_among("u", KIND_DESC, ids, rows[0], 5)
+        want = hnsw.search_among("u", KIND_DESC, ids, rows[0], 5)
+        assert got[0] == want[0] and np.array_equal(got[1], want[1])
+        assert fresh.builds == 0  # the adopted graph served directly
+
+    def test_adopt_rejects_malformed_state(self, populated):
+        base, ids, rows, _rng = populated
+        hnsw = HNSWBackend(base, m=8, m0=16, ef_search=4)
+        hnsw.search_among("u", KIND_DESC, ids, rows[0], 5)
+        (levels, neighbors), = hnsw.export_states().values()
+        fresh = HNSWBackend(base, m=8, m0=16)
+        bad_rows = neighbors.copy()
+        bad_rows[0, 0] = 400  # out of range for the 400-row slab
+        assert (
+            fresh.adopt_states({("u", KIND_DESC): (levels[:-1], neighbors)})
+            == 0
+        )
+        assert (
+            fresh.adopt_states({("u", KIND_DESC): (levels, bad_rows)}) == 0
+        )
+
+    def test_stale_export_omitted_after_mutation(self, populated):
+        base, ids, rows, _rng = populated
+        hnsw = HNSWBackend(base, m=8, ef_search=4)
+        hnsw.search_among("u", KIND_DESC, ids, rows[0], 5)
+        base.add("u", KIND_DESC, 999, np.ones(32, np.float32))
+        assert hnsw.export_states() == {}
+
+
+class TestHNSWBatchServing:
+    def test_search_among_many_matches_single_shot(self, populated):
+        base, ids, rows, rng = populated
+        hnsw = HNSWBackend(base, m=8, m0=32, ef_search=6)
+        queries = []
+        for i in range(6):
+            q = rows[i * 13] + 0.05 * rng.standard_normal(32).astype(
+                np.float32
+            )
+            queries.append(q / np.linalg.norm(q))
+        ks = [5, 10, 3, None, 5, 7]
+        batched = hnsw.search_among_many("u", KIND_DESC, ids, queries, ks)
+        assert batched is not None
+        for (got_ids, got_scores), q, k in zip(batched, queries, ks):
+            want_ids, want_scores = hnsw.search_among(
+                "u", KIND_DESC, ids, q, k
+            )
+            assert got_ids == want_ids
+            assert np.allclose(got_scores, want_scores, atol=1e-6)
 
 
 class TestEmbedMany:

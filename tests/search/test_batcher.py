@@ -249,3 +249,96 @@ class TestSearchAmongMany:
             index.search_among_many(
                 "u", KIND_DESC, corpus.owned_ids(), [unit(rng)], [0]
             )
+
+
+class TestAdaptiveWindow:
+    """The coalescing window tracks observed queue depth (deep flushes
+    widen it, sparse runs collapse it; in-between sizes hold steady)."""
+
+    def make(self):
+        return SearchBatcher(window=0.004, max_batch=16)
+
+    def test_deep_streak_widens_up_to_the_cap(self):
+        batcher = self.make()
+        deep = batcher.max_batch  # >= max_batch // 2 counts as deep
+        for _ in range(batcher._DEEP_STREAK):
+            with batcher._lock:
+                batcher._adapt_window(deep)
+        assert batcher.stats()["effectiveWindow"] == 2 * batcher.window
+        assert batcher.stats()["windowWidenings"] == 1
+        # keep the pressure on: the window doubles again, then pins at
+        # the _MAX_WIDEN cap no matter how long the streak runs
+        for _ in range(6 * batcher._DEEP_STREAK):
+            with batcher._lock:
+                batcher._adapt_window(deep)
+        stats = batcher.stats()
+        assert stats["effectiveWindow"] == batcher._MAX_WIDEN * batcher.window
+        assert stats["windowWidenings"] == 2
+
+    def test_sparse_streak_collapses_to_passthrough(self):
+        batcher = self.make()
+        for _ in range(batcher._SPARSE_STREAK - 1):
+            with batcher._lock:
+                batcher._adapt_window(1)
+        assert batcher.stats()["effectiveWindow"] == batcher.window
+        with batcher._lock:
+            batcher._adapt_window(1)
+        stats = batcher.stats()
+        assert stats["effectiveWindow"] == 0.0
+        assert stats["windowCollapses"] == 1
+
+    def test_intermediate_sizes_reset_both_streaks(self):
+        batcher = self.make()
+        mid = max(2, batcher.max_batch // 2) - 1  # neither deep nor lone
+        for _ in range(50):
+            with batcher._lock:
+                batcher._adapt_window(1)
+                batcher._adapt_window(mid)
+        stats = batcher.stats()
+        assert stats["effectiveWindow"] == batcher.window
+        assert stats["windowWidenings"] == 0
+        assert stats["windowCollapses"] == 0
+
+    def test_concurrent_arrival_restores_base_window(self, stack):
+        index, corpus, rng = stack
+        batcher = self.make()
+        # drive the window to a collapse with lone submits
+        for _ in range(batcher._SPARSE_STREAK):
+            submit(batcher, index, corpus, unit(rng))
+        assert batcher.stats()["effectiveWindow"] == 0.0
+        # a second arrival while one request is in flight restores the
+        # base window.  Deterministic overlap: gate the first request's
+        # flush inside owned_ids until the overlapping submit lands.
+        first_in_flush = threading.Event()
+        release = threading.Event()
+        original = corpus.owned_ids
+        state = {"gated": True}
+
+        def gated_owned_ids():
+            if state["gated"]:
+                state["gated"] = False
+                first_in_flush.set()
+                assert release.wait(5)
+            return original()
+
+        corpus.owned_ids = gated_owned_ids
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(
+                submit(batcher, index, corpus, unit(rng))
+            )
+        )
+        thread.start()
+        assert first_in_flush.wait(5)
+        try:
+            results.append(submit(batcher, index, corpus, unit(rng)))
+        finally:
+            release.set()
+            thread.join()
+        assert len(results) == 2 and all(results)
+        assert batcher.stats()["effectiveWindow"] == batcher.window
+
+    def test_stats_surface_window_state(self):
+        stats = self.make().stats()
+        for key in ("effectiveWindow", "windowWidenings", "windowCollapses"):
+            assert key in stats

@@ -1,0 +1,208 @@
+"""Hybrid search: RRF fusion properties and the v1 endpoint behaviour.
+
+``rrf_fuse`` is the deterministic core — a pure function of the leg
+orders — and the endpoint half pins what the serving layer builds on
+top: bitwise-stable responses, cursor pagination that tiles the fused
+ranking, scoped cursors and the legacy route's rejection of the new
+query type.
+"""
+
+import random
+
+import pytest
+
+from repro.net.transport import Request
+from repro.search.fusion import RRF_K, rrf_fuse
+from repro.server import LaminarServer
+
+
+class TestRRFFuse:
+    def test_formula_and_order(self):
+        fused = rrf_fuse([["a", "b", "c"], ["b", "a"]])
+        by_key = {key: (score, ranks) for key, score, ranks in fused}
+        assert by_key["a"] == (1 / (RRF_K + 1) + 1 / (RRF_K + 2), (1, 2))
+        assert by_key["b"] == (1 / (RRF_K + 2) + 1 / (RRF_K + 1), (2, 1))
+        assert by_key["c"] == (1 / (RRF_K + 3), (3, None))
+        # a and b tie exactly (same ranks, swapped legs): key breaks it
+        assert [key for key, _, _ in fused] == ["a", "b", "c"]
+
+    def test_single_leg_preserves_order(self):
+        keys = ["x", "m", "a", "z"]
+        fused = rrf_fuse([keys])
+        assert [key for key, _, _ in fused] == keys
+
+    def test_absent_leg_contributes_nothing(self):
+        fused = rrf_fuse([["a"], []])
+        assert fused == [("a", 1 / (RRF_K + 1), (1, None))]
+
+    def test_duplicate_key_in_one_leg_raises(self):
+        with pytest.raises(ValueError, match="more than once"):
+            rrf_fuse([["a", "b", "a"], ["c"]])
+
+    def test_nonpositive_k_raises(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            rrf_fuse([["a"]], k=0)
+
+    def test_deterministic_across_repeats(self):
+        rng = random.Random(2026)
+        keys = [("pe", i) for i in range(40)] + [
+            ("workflow", i) for i in range(40)
+        ]
+        for _ in range(25):
+            leg_a = rng.sample(keys, rng.randrange(0, len(keys)))
+            leg_b = rng.sample(keys, rng.randrange(0, len(keys)))
+            first = rrf_fuse([leg_a, leg_b])
+            second = rrf_fuse([list(leg_a), list(leg_b)])
+            assert first == second  # bitwise: floats compare equal
+            scores = [score for _, score, _ in first]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_ties_always_break_on_key(self):
+        # every key holds rank 1 in exactly one leg: all scores equal
+        fused = rrf_fuse([["c"], ["a"], ["b"]])
+        assert [key for key, _, _ in fused] == ["a", "b", "c"]
+        assert len({score for _, score, _ in fused}) == 1
+
+
+DESCRIPTIONS = [
+    ("primes", "find prime numbers in a stream"),
+    ("sieve", "prime sieve of eratosthenes"),
+    ("sorter", "sort integers ascending"),
+    ("reverser", "reverse a list of strings"),
+    ("counter", "count prime occurrences"),
+    ("plotter", "plot the prime counting function"),
+]
+
+
+@pytest.fixture()
+def app(fast_bundle):
+    server = LaminarServer(models=fast_bundle)
+    server.dispatch(
+        Request("POST", "/auth/register", {"userName": "hy", "password": "pw"})
+    )
+    token = server.dispatch(
+        Request("POST", "/auth/login", {"userName": "hy", "password": "pw"})
+    ).body["token"]
+    for name, description in DESCRIPTIONS:
+        assert server.dispatch(
+            Request(
+                "POST",
+                "/registry/hy/pe/add",
+                {
+                    "peName": name,
+                    "peCode": f"def {name}(): pass",
+                    "description": description,
+                },
+                token=token,
+            )
+        ).status == 201
+        assert server.dispatch(
+            Request(
+                "POST",
+                "/registry/hy/workflow/add",
+                {
+                    "entryPoint": f"{name}_flow",
+                    "workflowCode": f"def {name}_flow(): pass",
+                    "description": description,
+                },
+                token=token,
+            )
+        ).status == 201
+    return server, token
+
+
+def search(server, token, body):
+    return server.dispatch(
+        Request("POST", "/v1/registry/hy/search", dict(body), token=token)
+    )
+
+
+class TestHybridEndpoint:
+    def test_envelope_and_hit_shape(self, app):
+        server, token = app
+        response = search(
+            server, token, {"query": "prime", "queryType": "hybrid", "k": 5}
+        )
+        assert response.status == 200
+        body = response.body
+        assert body["queryType"] == "hybrid"
+        assert body["searchKind"] == "hybrid"
+        assert 0 < body["count"] <= 5
+        for hit in body["hits"]:
+            assert hit["kind"] in ("pe", "workflow")
+            assert set(hit) >= {
+                "id", "name", "description", "score",
+                "textRank", "semanticRank", "textScore", "semanticScore",
+            }
+            # at least one leg ranked every fused hit
+            assert hit["textRank"] is not None or hit["semanticRank"] is not None
+        scores = [hit["score"] for hit in body["hits"]]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_fuses_both_legs(self, app):
+        server, token = app
+        body = search(
+            server, token, {"query": "prime", "queryType": "hybrid"}
+        ).body
+        text_ranked = [h for h in body["hits"] if h["textRank"] is not None]
+        sem_ranked = [h for h in body["hits"] if h["semanticRank"] is not None]
+        assert text_ranked and sem_ranked
+
+    def test_repeat_is_bitwise_identical(self, app):
+        server, token = app
+        request = {"query": "prime numbers", "queryType": "hybrid", "k": 8}
+        first = search(server, token, request).body
+        second = search(server, token, request).body
+        assert first == second
+
+    def test_pagination_tiles_the_ranking(self, app):
+        server, token = app
+        request = {"query": "prime", "queryType": "hybrid", "k": 6}
+        full = search(server, token, request).body["hits"]
+        assert len(full) == 6
+        paged, cursor = [], None
+        for _ in range(10):
+            body = search(
+                server, token, {**request, "limit": 2, "cursor": cursor}
+            ).body
+            paged.extend(body["hits"])
+            cursor = body["nextCursor"]
+            if cursor is None:
+                break
+        assert paged == full
+
+    def test_cursor_is_scoped_to_the_ranking(self, app):
+        server, token = app
+        request = {"query": "prime", "queryType": "hybrid", "k": 6, "limit": 2}
+        cursor = search(server, token, request).body["nextCursor"]
+        assert cursor is not None
+        replayed = search(
+            server,
+            token,
+            {"query": "prime", "queryType": "text", "k": 6,
+             "limit": 2, "cursor": cursor},
+        )
+        assert replayed.status == 400
+        assert "invalid cursor" in replayed.body["message"]
+
+    def test_kind_filter_applies_to_both_legs(self, app):
+        server, token = app
+        body = search(
+            server, token,
+            {"query": "prime", "queryType": "hybrid", "kind": "workflow"},
+        ).body
+        assert body["hits"]
+        assert all(hit["kind"] == "workflow" for hit in body["hits"])
+
+    def test_legacy_route_rejects_hybrid(self, app):
+        server, token = app
+        response = server.dispatch(
+            Request(
+                "GET",
+                "/registry/hy/search/prime/type/both",
+                {"queryType": "hybrid"},
+                token=token,
+            )
+        )
+        assert response.status == 400
+        assert "unknown query type" in response.body["message"]

@@ -343,6 +343,45 @@ class TestListingPagination:
         ).body
         assert [item["peId"] for item in rest["items"]] == sorted(pe_ids)[3:]
 
+    def test_listing_items_carry_revision(self, server, token):
+        """PE/workflow listing items expose the conditional-write
+        counter, so a reader can feed ``ifVersion`` straight back."""
+        add_pe(server, token, "pinme", "initial description")
+        add_workflow(server, token, "wfpin", "workflow description")
+        pes = server.dispatch(
+            Request("GET", "/v1/registry/zz46/pes", {}, token=token)
+        ).body
+        assert [item["revision"] for item in pes["items"]] == [1]
+        wfs = server.dispatch(
+            Request("GET", "/v1/registry/zz46/workflows", {}, token=token)
+        ).body
+        assert [item["revision"] for item in wfs["items"]] == [1]
+        # a revision-bumping write (owner grant) shows up in the next
+        # listing, so readers can pin ``ifVersion`` from the page alone
+        server.dispatch(
+            Request(
+                "POST", "/auth/register", {"userName": "gr", "password": "pw"}
+            )
+        )
+        other = server.dispatch(
+            Request(
+                "POST", "/auth/login", {"userName": "gr", "password": "pw"}
+            )
+        ).body["token"]
+        grant = server.dispatch(
+            Request(
+                "PUT",
+                "/v1/registry/gr/pes/pinme",
+                {"peCode": "def pinme(): pass"},
+                token=other,
+            )
+        )
+        assert grant.status == 200, grant.body
+        after = server.dispatch(
+            Request("GET", "/v1/registry/zz46/pes", {}, token=token)
+        ).body
+        assert [item["revision"] for item in after["items"]] == [2]
+
 
 class TestSearchEnvelope:
     def test_search_pagination_over_ranked_hits(self, server, token):
@@ -481,6 +520,7 @@ class TestSearchEnvelope:
         assert response.status == 200
         assert response.body["backends"][0] == "exact"
         assert "ivf" in response.body["backends"]
+        assert "hnsw" in response.body["backends"]
         assert response.body["default"] == "exact"
 
 
@@ -495,9 +535,10 @@ class TestLegacyParity:
     @pytest.mark.parametrize(
         "query_type,kind",
         [
+            # (text, pe) serves semantic ranking on both generations
+            # (the historical quirk); (text, workflow/both) diverge by
+            # design now — see test_v1_text_is_bm25_legacy_unchanged
             ("text", "pe"),
-            ("text", "workflow"),
-            ("text", "both"),
             ("semantic", "pe"),
             ("semantic", "workflow"),
             ("semantic", "both"),
@@ -534,6 +575,56 @@ class TestLegacyParity:
         assert legacy.body["hits"] == v1.body["hits"]
         assert legacy.body["searchKind"] == v1.body["searchKind"]
         assert set(legacy.body) == {"searchKind", "hits"}
+
+    @pytest.mark.parametrize("kind", ["workflow", "both"])
+    def test_v1_text_is_bm25_legacy_unchanged(self, server, token, kind):
+        """The two text surfaces now rank differently on purpose: the
+        legacy route stays byte-identical to the historical Python
+        scorer (through the LIKE parity adapter) while v1 serves the
+        DAO's BM25 ranking — same matched records, indexed scores."""
+        from repro.search.text_search import (
+            text_search_pes,
+            text_search_workflows,
+        )
+
+        self.seed_registry(server, token)
+        user = server.registry.get_user("zz46")
+        expected = []
+        if kind == "both":
+            expected += text_search_pes(
+                "prime", server.registry.user_pes(user)
+            )
+        expected += text_search_workflows(
+            "prime", server.registry.user_workflows(user)
+        )
+        if kind == "both":
+            expected.sort(key=lambda m: (-m.score, m.kind, m.entity_id))
+        legacy = server.dispatch(
+            Request(
+                "GET",
+                f"/registry/zz46/search/prime/type/{kind}",
+                {"queryType": "text"},
+                token=token,
+            )
+        )
+        assert legacy.status == 200
+        assert legacy.body["hits"] == [m.to_json() for m in expected]
+
+        v1 = server.dispatch(
+            Request(
+                "POST",
+                "/v1/registry/zz46/search",
+                {"query": "prime", "queryType": "text", "kind": kind},
+                token=token,
+            )
+        )
+        assert v1.status == 200
+        # same match set, BM25 order/scores
+        legacy_keys = {(h["kind"], h["id"]) for h in legacy.body["hits"]}
+        v1_keys = {(h["kind"], h["id"]) for h in v1.body["hits"]}
+        assert v1_keys == legacy_keys
+        scores = [h["score"] for h in v1.body["hits"]]
+        assert scores == sorted(scores, reverse=True)
 
     def test_legacy_error_envelopes_unchanged(self, server, token):
         bad_type = server.dispatch(
