@@ -526,8 +526,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
     stays cheap even against a huge registry.  ``--shards`` additionally
     builds the vector index — from the persisted slab snapshot when it
     is still fresh, else the O(corpus) rebuild server startup does — and
-    reports per-shard occupancy plus persistence freshness (the stored
-    snapshot's mutation counter vs the registry's).  ``--persist`` opts
+    reports per-shard occupancy plus per-shard persistence freshness
+    (each slab's journaled chain tip vs its expected mutation stamp),
+    delta-chain lengths, and bytes written per journaled mutation.
+    ``--persist`` opts
     in to writing the built slabs back so the next cold start loads
     them directly.
     """
@@ -559,16 +561,35 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 f"(capacity {info['capacity']}, d={info['dim']})"
             )
         freshness = service.shard_persistence()
-        if freshness["storedCounter"] is None:
+        if not freshness["perShard"]:
             print("persistence: none (next cold start rebuilds)")
         else:
             state = "fresh" if freshness["fresh"] else "stale"
             print(
-                f"persistence: {state}  (stored counter "
-                f"{freshness['storedCounter']}, current "
-                f"{freshness['currentCounter']}; "
-                f"{freshness['shards']} shard(s), {freshness['rows']} row(s))"
+                f"persistence: {state}  "
+                f"({freshness['freshShards']} fresh / "
+                f"{freshness['staleShards']} stale shard(s), "
+                f"{freshness['rows']} base row(s), "
+                f"{freshness['deltas']} journaled delta(s), "
+                f"current counter {freshness['currentCounter']})"
             )
+            for name, shard in sorted(freshness["perShard"].items()):
+                shard_state = "fresh" if shard["fresh"] else "stale"
+                print(
+                    f"  {name:<20} {shard_state:<6} "
+                    f"stamp {str(shard['stamp']):>5}  "
+                    f"tip {str(shard['tip']):>5}  "
+                    f"chain {shard['chainLen']} delta(s) / "
+                    f"{shard['chainBytes']} B"
+                )
+            journal = freshness["journal"]
+            if journal["rows"]:
+                print(
+                    f"journal: {journal['rows']} append(s), "
+                    f"{journal['bytes']} B "
+                    f"({journal['bytesPerMutation']:.0f} B/mutation), "
+                    f"{journal['compactions']} compaction(s)"
+                )
         if args.persist:
             saved = service.persist_shards()
             print(f"persisted: {'yes' if saved else 'no (registry mutated)'}")

@@ -269,22 +269,94 @@ class RegistryDAO(ABC):
     ) -> None:
         """Persist ``{(user_id, kind): (ids, matrix)}`` slabs at ``counter``.
 
-        Replaces any previous snapshot wholesale.  No-op by default.
+        Wholesale truth assertion: replaces every base slab *and* every
+        journaled delta, and stamps each given shard at ``counter`` —
+        the caller vouches this is the complete index state at that
+        counter.  No-op by default.
         """
+
+    def shard_stamps(self) -> dict[tuple[int, str], int]:
+        """Per-``(user_id, kind)`` expected mutation stamps.
+
+        Every registry mutation stamps the shards whose *content* it
+        changed (owner gained/lost, embedding bytes changed) with the
+        bumped mutation counter, inside the same transaction.  A
+        persisted shard is fresh iff its replayed chain tip equals this
+        stamp.  Backends without stamp tracking return ``{}`` — every
+        persisted shard is then permanently stale (attach rebuilds).
+        """
+        return {}
+
+    def upsert_index_shards(
+        self,
+        shards: Mapping[tuple[int, str], tuple[np.ndarray, np.ndarray]],
+        stamp: int,
+    ) -> None:
+        """Upsert base slabs for just the given shards at ``stamp``.
+
+        For each shard this (atomically, per shard) replaces the base
+        slab row, deletes journaled deltas with counter ``<= stamp``
+        (they are folded into the new base — this is compaction), and
+        raises the shard's expected stamp to at least ``stamp`` (seeding
+        missing stamps, e.g. after a full rebuild of a pre-v6 file).
+        Untouched shards keep their rows — one tenant's flush never
+        rewrites another tenant's slab.  No-op by default.
+        """
+
+    def append_index_delta(
+        self,
+        user_id: int,
+        kind: str,
+        op: str,
+        rids: np.ndarray,
+        vectors: np.ndarray | None,
+        counter: int,
+    ) -> tuple[int, int]:
+        """Append one ``'add'``/``'remove'`` row batch to the shard's
+        delta journal, stamped ``counter``.
+
+        Returns the shard's post-append ``(chain_len, chain_bytes)`` so
+        the caller can trigger compaction past a threshold.  Backends
+        without a journal return ``(0, 0)``.
+        """
+        return (0, 0)
 
     def load_index_shards(
         self,
-    ) -> tuple[int, dict[tuple[int, str], tuple[np.ndarray, np.ndarray]]] | None:
-        """The persisted ``(counter, shards)`` snapshot, or ``None``."""
-        return None
+    ) -> tuple[
+        dict[tuple[int, str], tuple[np.ndarray, np.ndarray, int]], int
+    ]:
+        """Replayed per-shard slabs: ``({key: (ids, matrix, tip)}, discarded)``.
+
+        Each shard's base slab is replayed through its delta chain in
+        append order; ``tip`` is the counter of the last event folded in
+        (the shard is fresh iff ``tip == shard_stamps()[key]``).  A
+        corrupt, truncated or torn shard (bad blob, non-monotonic chain,
+        delta at or below the base stamp) discards *only that shard* and
+        increments ``discarded`` — never the whole snapshot.
+        """
+        return {}, 0
 
     def index_shards_meta(self) -> dict[str, int | None]:
-        """Cheap snapshot metadata: ``{counter, shards, rows}``.
+        """Cheap snapshot metadata:
+        ``{counter, shards, rows, deltas, deltaBytes}``.
 
-        Never deserializes slab blobs; ``counter`` is ``None`` when no
-        snapshot exists.
+        Never deserializes slab blobs; ``counter`` is the uniform base
+        stamp, or ``None`` when absent or (normal under per-shard
+        persistence) mixed.
         """
-        return {"counter": None, "shards": 0, "rows": 0}
+        return {
+            "counter": None,
+            "shards": 0,
+            "rows": 0,
+            "deltas": 0,
+            "deltaBytes": 0,
+        }
+
+    def shard_chain_meta(self) -> dict[tuple[int, str], dict[str, int]]:
+        """Per-shard chain statistics, no blob deserialization:
+        ``{key: {baseCounter, rows, chainLen, chainBytes, tip}}``."""
+        return {}
 
     # -- idempotency receipts (v1 write surface) ---------------------------
     def get_write_receipt(
@@ -369,42 +441,51 @@ class RegistryDAO(ABC):
     def save_ivf_states(
         self,
         states: Mapping[tuple[int, str], tuple[np.ndarray, list[np.ndarray]]],
-        counter: int,
+        stamps: Mapping[tuple[int, str], int] | int,
     ) -> None:
-        """Persist ``{(user_id, kind): (centroids, lists)}`` at ``counter``.
+        """Upsert ``{(user_id, kind): (centroids, lists)}`` training state.
 
         ``lists`` are row-index arrays into the (ascending-id ordered)
-        slab persisted at the *same* counter — the pair is only
-        meaningful together.  Replaces any previous state wholesale.
-        No-op by default.
+        slab content at the shard's stamp — the pair is only meaningful
+        together.  ``stamps`` is either one uniform counter or a
+        per-shard mapping; rows for shards not in ``states`` are left in
+        place (they go stale by stamp, never torn).  No-op by default.
         """
 
     def load_ivf_states(
         self,
-    ) -> tuple[int, dict[tuple[int, str], tuple[np.ndarray, list[np.ndarray]]]] | None:
-        """The persisted ``(counter, states)``, or ``None`` (absent/torn)."""
-        return None
+    ) -> tuple[
+        dict[tuple[int, str], int],
+        dict[tuple[int, str], tuple[np.ndarray, list[np.ndarray]]],
+    ]:
+        """The persisted per-shard ``(stamps, states)``; corrupt rows
+        are skipped individually.  ``({}, {})`` when nothing stored."""
+        return {}, {}
 
     # -- persisted HNSW graph state ----------------------------------------
     def save_hnsw_states(
         self,
         states: Mapping[tuple[int, str], tuple[np.ndarray, np.ndarray]],
-        counter: int,
+        stamps: Mapping[tuple[int, str], int] | int,
     ) -> None:
-        """Persist ``{(user_id, kind): (levels, neighbors)}`` at ``counter``.
+        """Upsert ``{(user_id, kind): (levels, neighbors)}`` graph state.
 
         ``levels`` assigns one graph level per slab row and
         ``neighbors`` is the level-0 adjacency (rows × m0 row indices,
-        ``-1``-padded); both refer to the slab persisted at the *same*
-        counter.  Replaces any previous state wholesale.  No-op by
-        default.
+        ``-1``-padded); both refer to the slab content at the shard's
+        stamp.  Same per-shard upsert semantics as
+        :meth:`save_ivf_states`.  No-op by default.
         """
 
     def load_hnsw_states(
         self,
-    ) -> tuple[int, dict[tuple[int, str], tuple[np.ndarray, np.ndarray]]] | None:
-        """The persisted ``(counter, states)``, or ``None`` (absent/torn)."""
-        return None
+    ) -> tuple[
+        dict[tuple[int, str], int],
+        dict[tuple[int, str], tuple[np.ndarray, np.ndarray]],
+    ]:
+        """The persisted per-shard ``(stamps, states)``; corrupt rows
+        are skipped individually.  ``({}, {})`` when nothing stored."""
+        return {}, {}
 
 
 class _TextMirror:
@@ -492,6 +573,149 @@ class _TextMirror:
         return scored if k is None else scored[:k]
 
 
+#: shard kinds, duplicated from repro.search.index (importing it here
+#: would be circular — the index imports nothing from the DAO, but the
+#: search package's __init__ pulls in modules that need DAO types)
+_KIND_DESC = "desc"
+_KIND_CODE = "code"
+_KIND_WORKFLOW = "wf-desc"
+
+#: delta-journal ops
+_OP_ADD = "add"
+_OP_REMOVE = "remove"
+
+
+def _embed_bytes(vec) -> bytes | None:
+    """Canonical float32 bytes of an embedding (``None`` stays None) —
+    the byte-change test both DAOs use to decide whether a mutation
+    stamps a shard."""
+    if vec is None:
+        return None
+    return np.asarray(vec, dtype=np.float32).tobytes()
+
+
+def _state_stamp(stamps: Mapping | int, key: tuple[int, str]) -> int:
+    """One approx-state stamp: per-shard mapping lookup, or a uniform
+    counter applied to every shard."""
+    if isinstance(stamps, Mapping):
+        return int(stamps[key])
+    return int(stamps)
+
+
+def _pe_stamp_keys(
+    old_owners: set[int],
+    new_owners: set[int],
+    old_desc: bytes | None,
+    new_desc: bytes | None,
+    old_code: bytes | None,
+    new_code: bytes | None,
+) -> set[tuple[int, str]]:
+    """The (user_id, kind) shards whose *content* a PE write changes.
+
+    A shard changes when its owner gains or loses the record
+    (membership) or when the embedding bytes themselves change (then
+    every owner's shard changes).  Pure metadata updates — description
+    text, imports, workflow pe_ids — stamp nothing, so they never stale
+    a persisted slab.
+    """
+    keys: set[tuple[int, str]] = set()
+    for kind, old_b, new_b in (
+        (_KIND_DESC, old_desc, new_desc),
+        (_KIND_CODE, old_code, new_code),
+    ):
+        if old_b != new_b:
+            for user_id in old_owners | new_owners:
+                keys.add((user_id, kind))
+        elif new_b is not None:
+            for user_id in old_owners ^ new_owners:
+                keys.add((user_id, kind))
+    return keys
+
+
+def _wf_stamp_keys(
+    old_owners: set[int],
+    new_owners: set[int],
+    old_desc: bytes | None,
+    new_desc: bytes | None,
+) -> set[tuple[int, str]]:
+    """Workflow analogue of :func:`_pe_stamp_keys` (one kind)."""
+    keys: set[tuple[int, str]] = set()
+    if old_desc != new_desc:
+        for user_id in old_owners | new_owners:
+            keys.add((user_id, _KIND_WORKFLOW))
+    elif new_desc is not None:
+        for user_id in old_owners ^ new_owners:
+            keys.add((user_id, _KIND_WORKFLOW))
+    return keys
+
+
+def _replay_shard(
+    base: tuple[int, np.ndarray, np.ndarray] | None,
+    deltas: list[tuple[int, str, np.ndarray, np.ndarray | None]],
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Fold a shard's delta chain into its base slab.
+
+    ``base`` is ``(counter, ids, matrix)`` or ``None``; ``deltas`` are
+    ``(counter, op, ids, vectors)`` in journal append order.  Returns
+    the replayed ``(ids, matrix, tip)`` with ascending int64 ids and a
+    C-contiguous float32 matrix — byte-for-byte the layout a live
+    :class:`~repro.search.index.VectorIndex` shard holds, so replayed
+    slabs score bitwise-identically.
+
+    Raises ``ValueError`` on a torn chain: a delta stamped at or below
+    the base (a crash left compaction half-applied), a non-increasing
+    chain (two writers raced the journal), or a dimension mismatch.
+    ``'remove'`` of an absent id is tolerated — a rebuilt base may
+    already reflect a delta appended concurrently with the rebuild.
+    """
+    rows: dict[int, np.ndarray] = {}
+    dim: int | None = None
+    tip: int | None = None
+    if base is not None:
+        tip, ids, matrix = base
+        if matrix.ndim != 2 or ids.shape[0] != matrix.shape[0]:
+            raise ValueError("base slab shape mismatch")
+        dim = int(matrix.shape[1]) if matrix.shape[0] else None
+        for row, rid in enumerate(ids.tolist()):
+            rows[int(rid)] = matrix[row]
+    for counter, op, rids, vectors in deltas:
+        if tip is not None and counter <= tip:
+            # a delta at or below the base stamp means a crash left
+            # compaction half-applied; a non-increasing chain means two
+            # writers raced the journal — either way the chain is torn
+            raise ValueError("non-increasing delta chain")
+        tip = counter
+        if op == _OP_REMOVE:
+            for rid in rids.tolist():
+                rows.pop(int(rid), None)
+        elif op == _OP_ADD:
+            if vectors is None or vectors.ndim != 2:
+                raise ValueError("add delta without vectors")
+            if rids.shape[0] != vectors.shape[0]:
+                raise ValueError("add delta shape mismatch")
+            if dim is not None and vectors.shape[1] != dim:
+                raise ValueError("delta dimension mismatch")
+            dim = int(vectors.shape[1])
+            for row, rid in enumerate(rids.tolist()):
+                rows[int(rid)] = vectors[row]
+        else:
+            raise ValueError(f"unknown delta op {op!r}")
+    if tip is None:
+        raise ValueError("empty shard chain")
+    if not rows:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty((0, dim or 0), dtype=np.float32),
+            int(tip),
+        )
+    ordered = sorted(rows)
+    ids_out = np.asarray(ordered, dtype=np.int64)
+    matrix_out = np.ascontiguousarray(
+        np.stack([rows[rid] for rid in ordered]), dtype=np.float32
+    )
+    return ids_out, matrix_out, int(tip)
+
+
 class InMemoryDAO(RegistryDAO):
     """Dict-backed DAO; thread-safe for the in-process server.
 
@@ -521,11 +745,26 @@ class InMemoryDAO(RegistryDAO):
         self._wf_link_snapshot: dict[int, frozenset[int]] = {}
         # shard-persistence bookkeeping (process-local: an in-memory
         # registry has no cold start, but tracking the counter keeps the
-        # freshness protocol uniform and testable across backends)
+        # freshness protocol uniform and testable across backends).
+        # Per-shard: base slabs, append-only delta chains and expected
+        # stamps mirror SqliteDAO's index_shards / index_deltas /
+        # shard_stamps tables exactly.
         self._mutations = 0
-        self._saved_shards: tuple[int, dict] | None = None
-        self._saved_ivf: tuple[int, dict] | None = None
-        self._saved_hnsw: tuple[int, dict] | None = None
+        self._shard_stamps: dict[tuple[int, str], int] = {}
+        self._base_shards: dict[
+            tuple[int, str], tuple[int, np.ndarray, np.ndarray]
+        ] = {}
+        self._shard_deltas: dict[
+            tuple[int, str],
+            list[tuple[int, str, np.ndarray, np.ndarray | None]],
+        ] = {}
+        # last-committed embedding bytes, so updates can diff against
+        # record objects the service mutates in place (same reason the
+        # owner snapshots above exist)
+        self._pe_embed_snapshot: dict[int, tuple[bytes | None, bytes | None]] = {}
+        self._wf_embed_snapshot: dict[int, bytes | None] = {}
+        self._saved_ivf: dict[tuple[int, str], tuple[int, tuple]] = {}
+        self._saved_hnsw: dict[tuple[int, str], tuple[int, tuple]] = {}
         # text-search mirror of SqliteDAO's FTS5 tables, kept in sync
         # at the same mutation points the triggers fire
         self._pe_text = _TextMirror()
@@ -610,6 +849,57 @@ class InMemoryDAO(RegistryDAO):
         with self._lock:
             return sorted(self._users.values(), key=lambda u: u.user_id)
 
+    # -- per-shard stamping ------------------------------------------------
+    def _stamp_shards(self, keys: Iterable[tuple[int, str]]) -> None:
+        """Stamp the shards a mutation changed with the bumped counter
+        (caller holds the lock and has already bumped)."""
+        for key in keys:
+            self._shard_stamps[key] = self._mutations
+
+    def _snapshot_pe_embeds(self, record: PERecord) -> None:
+        self._pe_embed_snapshot[record.pe_id] = (
+            _embed_bytes(record.desc_embedding),
+            _embed_bytes(record.code_embedding),
+        )
+
+    def _pe_write_keys(
+        self, record: PERecord, *, inserted: bool
+    ) -> set[tuple[int, str]]:
+        """Shards this PE write changes; diffs against the owner and
+        embedding snapshots (the service mutates records in place)."""
+        new_desc = _embed_bytes(record.desc_embedding)
+        new_code = _embed_bytes(record.code_embedding)
+        if inserted:
+            old_owners: set[int] = set()
+            old_desc = old_code = None
+        else:
+            old_owners = set(
+                self._pe_owner_snapshot.get(record.pe_id, frozenset())
+            )
+            old_desc, old_code = self._pe_embed_snapshot.get(
+                record.pe_id, (None, None)
+            )
+        return _pe_stamp_keys(
+            old_owners, set(record.owners),
+            old_desc, new_desc, old_code, new_code,
+        )
+
+    def _wf_write_keys(
+        self, record: WorkflowRecord, *, inserted: bool
+    ) -> set[tuple[int, str]]:
+        new_desc = _embed_bytes(record.desc_embedding)
+        if inserted:
+            old_owners: set[int] = set()
+            old_desc = None
+        else:
+            old_owners = set(
+                self._wf_owner_snapshot.get(record.workflow_id, frozenset())
+            )
+            old_desc = self._wf_embed_snapshot.get(record.workflow_id)
+        return _wf_stamp_keys(
+            old_owners, set(record.owners), old_desc, new_desc
+        )
+
     # -- PEs ---------------------------------------------------------------
     def insert_pe(self, record: PERecord) -> PERecord:
         with self._lock:
@@ -618,7 +908,9 @@ class InMemoryDAO(RegistryDAO):
             record.revision = 1
             self._next_pe += 1
             self._pes[record.pe_id] = record
+            self._stamp_shards(self._pe_write_keys(record, inserted=True))
             self._reindex_pe_owners(record)
+            self._snapshot_pe_embeds(record)
             self._index_pe_text(record)
             return record
 
@@ -638,7 +930,11 @@ class InMemoryDAO(RegistryDAO):
                 record.revision = 1
                 self._next_pe += 1
                 self._pes[record.pe_id] = record
+                self._stamp_shards(
+                    self._pe_write_keys(record, inserted=True)
+                )
                 self._reindex_pe_owners(record)
+                self._snapshot_pe_embeds(record)
                 self._index_pe_text(record)
             return list(records)
 
@@ -651,7 +947,9 @@ class InMemoryDAO(RegistryDAO):
                 )
             record.revision += 1
             self._pes[record.pe_id] = record
+            self._stamp_shards(self._pe_write_keys(record, inserted=False))
             self._reindex_pe_owners(record)
+            self._snapshot_pe_embeds(record)
             self._index_pe_text(record)
 
     def get_pe(self, pe_id: int) -> PERecord | None:
@@ -682,6 +980,15 @@ class InMemoryDAO(RegistryDAO):
             self._mutations += 1
             if pe_id not in self._pes:
                 raise NotFoundError(f"PE id {pe_id} not found", params={"peId": pe_id})
+            old_owners = set(self._pe_owner_snapshot.get(pe_id, frozenset()))
+            old_desc, old_code = self._pe_embed_snapshot.pop(
+                pe_id, (None, None)
+            )
+            self._stamp_shards(
+                _pe_stamp_keys(
+                    old_owners, set(), old_desc, None, old_code, None
+                )
+            )
             del self._pes[pe_id]
             self._drop_pe_owners(pe_id)
             self._pe_text.drop(pe_id)
@@ -700,7 +1007,11 @@ class InMemoryDAO(RegistryDAO):
             record.revision = 1
             self._next_workflow += 1
             self._workflows[record.workflow_id] = record
+            self._stamp_shards(self._wf_write_keys(record, inserted=True))
             self._reindex_wf_owners(record)
+            self._wf_embed_snapshot[record.workflow_id] = _embed_bytes(
+                record.desc_embedding
+            )
             self._reindex_wf_links(record)
             self._index_wf_text(record)
             return record
@@ -718,7 +1029,13 @@ class InMemoryDAO(RegistryDAO):
                 record.revision = 1
                 self._next_workflow += 1
                 self._workflows[record.workflow_id] = record
+                self._stamp_shards(
+                    self._wf_write_keys(record, inserted=True)
+                )
                 self._reindex_wf_owners(record)
+                self._wf_embed_snapshot[record.workflow_id] = _embed_bytes(
+                    record.desc_embedding
+                )
                 self._reindex_wf_links(record)
                 self._index_wf_text(record)
             return list(records)
@@ -733,7 +1050,11 @@ class InMemoryDAO(RegistryDAO):
                 )
             record.revision += 1
             self._workflows[record.workflow_id] = record
+            self._stamp_shards(self._wf_write_keys(record, inserted=False))
             self._reindex_wf_owners(record)
+            self._wf_embed_snapshot[record.workflow_id] = _embed_bytes(
+                record.desc_embedding
+            )
             self._reindex_wf_links(record)
             self._index_wf_text(record)
 
@@ -787,6 +1108,13 @@ class InMemoryDAO(RegistryDAO):
                     f"workflow id {workflow_id} not found",
                     params={"workflowId": workflow_id},
                 )
+            old_owners = set(
+                self._wf_owner_snapshot.get(workflow_id, frozenset())
+            )
+            old_desc = self._wf_embed_snapshot.pop(workflow_id, None)
+            self._stamp_shards(
+                _wf_stamp_keys(old_owners, set(), old_desc, None)
+            )
             del self._workflows[workflow_id]
             self._drop_wf_owners(workflow_id)
             self._drop_wf_links(workflow_id)
@@ -799,34 +1127,119 @@ class InMemoryDAO(RegistryDAO):
 
     def save_index_shards(self, shards, counter) -> None:
         with self._lock:
-            self._saved_shards = (
-                int(counter),
-                {
-                    (int(user_id), str(kind)): (
-                        np.asarray(ids, dtype=np.int64).copy(),
-                        np.asarray(matrix, dtype=np.float32).copy(),
-                    )
-                    for (user_id, kind), (ids, matrix) in shards.items()
-                },
+            counter = int(counter)
+            self._base_shards = {
+                (int(user_id), str(kind)): (
+                    counter,
+                    np.asarray(ids, dtype=np.int64).copy(),
+                    np.asarray(matrix, dtype=np.float32).copy(),
+                )
+                for (user_id, kind), (ids, matrix) in shards.items()
+            }
+            self._shard_deltas = {}
+            for key in self._base_shards:
+                self._shard_stamps[key] = max(
+                    self._shard_stamps.get(key, counter), counter
+                )
+
+    def shard_stamps(self) -> dict[tuple[int, str], int]:
+        with self._lock:
+            return dict(self._shard_stamps)
+
+    def upsert_index_shards(self, shards, stamp: int) -> None:
+        with self._lock:
+            stamp = int(stamp)
+            for (user_id, kind), (ids, matrix) in shards.items():
+                key = (int(user_id), str(kind))
+                self._base_shards[key] = (
+                    stamp,
+                    np.asarray(ids, dtype=np.int64).copy(),
+                    np.asarray(matrix, dtype=np.float32).copy(),
+                )
+                chain = [
+                    delta
+                    for delta in self._shard_deltas.get(key, [])
+                    if delta[0] > stamp
+                ]
+                if chain:
+                    self._shard_deltas[key] = chain
+                else:
+                    self._shard_deltas.pop(key, None)
+                self._shard_stamps[key] = max(
+                    self._shard_stamps.get(key, stamp), stamp
+                )
+
+    def append_index_delta(
+        self, user_id, kind, op, rids, vectors, counter
+    ) -> tuple[int, int]:
+        with self._lock:
+            key = (int(user_id), str(kind))
+            ids = np.asarray(rids, dtype=np.int64).reshape(-1).copy()
+            vecs = None
+            if vectors is not None:
+                vecs = np.asarray(vectors, dtype=np.float32)
+                if vecs.ndim == 1:
+                    vecs = vecs.reshape(1, -1)
+                vecs = vecs.copy()
+            chain = self._shard_deltas.setdefault(key, [])
+            chain.append((int(counter), str(op), ids, vecs))
+            nbytes = sum(
+                d[2].nbytes + (0 if d[3] is None else d[3].nbytes)
+                for d in chain
             )
+            return len(chain), nbytes
 
     def load_index_shards(self):
         with self._lock:
-            if self._saved_shards is None:
-                return None
-            counter, shards = self._saved_shards
-            return counter, dict(shards)
+            shards: dict[tuple[int, str], tuple] = {}
+            discarded = 0
+            for key in sorted(set(self._base_shards) | set(self._shard_deltas)):
+                try:
+                    shards[key] = _replay_shard(
+                        self._base_shards.get(key),
+                        self._shard_deltas.get(key, []),
+                    )
+                except ValueError:
+                    discarded += 1
+            return shards, discarded
 
     def index_shards_meta(self) -> dict:
         with self._lock:
-            if self._saved_shards is None:
-                return {"counter": None, "shards": 0, "rows": 0}
-            counter, shards = self._saved_shards
+            counters = {counter for counter, _, _ in self._base_shards.values()}
+            deltas = sum(len(c) for c in self._shard_deltas.values())
+            delta_bytes = sum(
+                d[2].nbytes + (0 if d[3] is None else d[3].nbytes)
+                for chain in self._shard_deltas.values()
+                for d in chain
+            )
             return {
-                "counter": counter,
-                "shards": len(shards),
-                "rows": sum(len(ids) for ids, _ in shards.values()),
+                "counter": counters.pop() if len(counters) == 1 else None,
+                "shards": len(self._base_shards),
+                "rows": sum(
+                    len(ids) for _, ids, _ in self._base_shards.values()
+                ),
+                "deltas": deltas,
+                "deltaBytes": delta_bytes,
             }
+
+    def shard_chain_meta(self) -> dict[tuple[int, str], dict[str, int]]:
+        with self._lock:
+            meta: dict[tuple[int, str], dict[str, int]] = {}
+            for key in set(self._base_shards) | set(self._shard_deltas):
+                base = self._base_shards.get(key)
+                chain = self._shard_deltas.get(key, [])
+                tip = chain[-1][0] if chain else (base[0] if base else None)
+                meta[key] = {
+                    "baseCounter": base[0] if base else None,
+                    "rows": len(base[1]) if base else 0,
+                    "chainLen": len(chain),
+                    "chainBytes": sum(
+                        d[2].nbytes + (0 if d[3] is None else d[3].nbytes)
+                        for d in chain
+                    ),
+                    "tip": tip,
+                }
+            return meta
 
     # -- idempotency receipts ---------------------------------------------
     def get_write_receipt(
@@ -925,55 +1338,53 @@ class InMemoryDAO(RegistryDAO):
             return len(doomed)
 
     # -- persisted IVF training state -------------------------------------
-    def save_ivf_states(self, states, counter) -> None:
+    def save_ivf_states(self, states, stamps) -> None:
         with self._lock:
-            self._saved_ivf = (
-                int(counter),
-                {
-                    (int(user_id), str(kind)): (
+            for (user_id, kind), (centroids, lists) in states.items():
+                key = (int(user_id), str(kind))
+                self._saved_ivf[key] = (
+                    _state_stamp(stamps, key),
+                    (
                         np.asarray(centroids, dtype=np.float32).copy(),
                         [
                             np.asarray(members, dtype=np.int64).copy()
                             for members in lists
                         ],
-                    )
-                    for (user_id, kind), (centroids, lists) in states.items()
-                },
-            )
+                    ),
+                )
 
     def load_ivf_states(self):
         with self._lock:
-            if self._saved_ivf is None:
-                return None
-            counter, states = self._saved_ivf
-            return counter, {
+            stamps = {key: stamp for key, (stamp, _) in self._saved_ivf.items()}
+            states = {
                 key: (centroids.copy(), [members.copy() for members in lists])
-                for key, (centroids, lists) in states.items()
+                for key, (_, (centroids, lists)) in self._saved_ivf.items()
             }
+            return stamps, states
 
     # -- persisted HNSW graph state ---------------------------------------
-    def save_hnsw_states(self, states, counter) -> None:
+    def save_hnsw_states(self, states, stamps) -> None:
         with self._lock:
-            self._saved_hnsw = (
-                int(counter),
-                {
-                    (int(user_id), str(kind)): (
+            for (user_id, kind), (levels, neighbors) in states.items():
+                key = (int(user_id), str(kind))
+                self._saved_hnsw[key] = (
+                    _state_stamp(stamps, key),
+                    (
                         np.asarray(levels, dtype=np.int64).copy(),
                         np.asarray(neighbors, dtype=np.int64).copy(),
-                    )
-                    for (user_id, kind), (levels, neighbors) in states.items()
-                },
-            )
+                    ),
+                )
 
     def load_hnsw_states(self):
         with self._lock:
-            if self._saved_hnsw is None:
-                return None
-            counter, states = self._saved_hnsw
-            return counter, {
-                key: (levels.copy(), neighbors.copy())
-                for key, (levels, neighbors) in states.items()
+            stamps = {
+                key: stamp for key, (stamp, _) in self._saved_hnsw.items()
             }
+            states = {
+                key: (levels.copy(), neighbors.copy())
+                for key, (_, (levels, neighbors)) in self._saved_hnsw.items()
+            }
+            return stamps, states
 
 
 _SCHEMA = """
@@ -1144,6 +1555,26 @@ CREATE TABLE IF NOT EXISTS hnsw_states (
     neighbors BLOB NOT NULL,
     PRIMARY KEY (user_id, kind)
 );
+-- schema v6: per-shard freshness stamps + the append-only delta journal
+CREATE TABLE IF NOT EXISTS shard_stamps (
+    user_id INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    mutation_counter INTEGER NOT NULL,
+    PRIMARY KEY (user_id, kind)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS index_deltas (
+    delta_id INTEGER PRIMARY KEY,
+    user_id INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    op TEXT NOT NULL,
+    mutation_counter INTEGER NOT NULL,
+    dim INTEGER NOT NULL,
+    rows INTEGER NOT NULL,
+    ids BLOB NOT NULL,
+    vectors BLOB NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_index_deltas_shard
+    ON index_deltas (user_id, kind, delta_id);
 """
 
 #: v1 introduced the normalized join tables (files at version 0 are
@@ -1153,8 +1584,11 @@ CREATE TABLE IF NOT EXISTS hnsw_states (
 #: IVF training state; v4 added ``write_receipts.created_at`` for
 #: receipt claiming and TTL/cap garbage collection; v5 added the
 #: FTS5 text side tables (one-time backfill from the record tables)
-#: and persisted HNSW graph state
-_SCHEMA_VERSION = 5
+#: and persisted HNSW graph state; v6 added per-shard freshness
+#: stamps (``shard_stamps``, maintained inside every mutation
+#: transaction) and the append-only ``index_deltas`` journal, with
+#: ``index_shards`` rows now stamped independently per shard
+_SCHEMA_VERSION = 6
 
 #: SQLite caps host parameters per statement (999 before 3.32); chunk
 #: IN(...) lists well below that
@@ -1216,7 +1650,12 @@ class SqliteDAO(RegistryDAO):
         epoch — so a TTL sweep retires them first, the conservative
         choice for rows of unknown age); v4 -> v5 backfills the FTS5
         text side tables from the record tables (afterwards the
-        mutation-path triggers keep them in sync).
+        mutation-path triggers keep them in sync); v5 -> v6 seeds the
+        per-shard ``shard_stamps`` from a pre-v6 snapshot *only* when
+        that snapshot's uniform counter equals the current mutation
+        counter — a stale pre-v6 snapshot must not be stamped fresh, so
+        it is left unstamped and the first attach pays one full rebuild
+        (which then seeds every stamp).
         """
         version = self._conn.execute("PRAGMA user_version").fetchone()[0]
         if version >= _SCHEMA_VERSION:
@@ -1281,6 +1720,33 @@ class SqliteDAO(RegistryDAO):
             )
         # v5 text side tables: one-time backfill from the record tables
         self._backfill_text_index()
+        # v6 per-shard stamps: trust a pre-v6 snapshot only when it is
+        # provably current (uniform stamp == the live mutation counter);
+        # anything else stays unstamped and rebuilds once on attach
+        if not self._conn.execute(
+            "SELECT 1 FROM shard_stamps LIMIT 1"
+        ).fetchone():
+            counters = [
+                int(row["mutation_counter"])
+                for row in self._conn.execute(
+                    "SELECT DISTINCT mutation_counter FROM index_shards"
+                )
+            ]
+            current = self._conn.execute(
+                "SELECT value FROM registry_meta WHERE key ="
+                " 'mutation_counter'"
+            ).fetchone()
+            if (
+                current is not None
+                and len(counters) == 1
+                and counters[0] == int(current[0])
+            ):
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO shard_stamps"
+                    " (user_id, kind, mutation_counter)"
+                    " SELECT user_id, kind, mutation_counter"
+                    " FROM index_shards"
+                )
         self._conn.execute(f"PRAGMA user_version = {_SCHEMA_VERSION}")
 
     def _text_index_stale(self) -> bool:
@@ -1343,12 +1809,63 @@ class SqliteDAO(RegistryDAO):
     def close(self) -> None:
         self._conn.close()
 
-    def _bump_mutation(self) -> None:
+    def _bump_mutation(self) -> int:
         """Advance the registry mutation counter (inside the caller's
-        transaction), invalidating any persisted shard snapshot."""
+        transaction) and return the bumped value — the stamp the
+        caller's :meth:`_stamp_shards` marks changed shards with."""
         self._conn.execute(
             "UPDATE registry_meta SET value = value + 1"
             " WHERE key = 'mutation_counter'"
+        )
+        return int(
+            self._conn.execute(
+                "SELECT value FROM registry_meta WHERE key ="
+                " 'mutation_counter'"
+            ).fetchone()[0]
+        )
+
+    def _stamp_shards(
+        self, keys: Iterable[tuple[int, str]], counter: int
+    ) -> None:
+        """Stamp the shards a mutation changed (same transaction), so
+        per-shard freshness survives foreign raw-DAO writers."""
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO shard_stamps"
+            " (user_id, kind, mutation_counter) VALUES (?, ?, ?)",
+            [(int(uid), str(kind), int(counter)) for uid, kind in keys],
+        )
+
+    def _pe_old_state(
+        self, pe_id: int
+    ) -> tuple[set[int], bytes | None, bytes | None] | None:
+        """The committed ``(owners, desc_bytes, code_bytes)`` of a PE —
+        what a mutation diffs against to decide which shards it stamps."""
+        row = self._conn.execute(
+            "SELECT owners, desc_embedding, code_embedding FROM pes"
+            " WHERE pe_id=?",
+            (int(pe_id),),
+        ).fetchone()
+        if row is None:
+            return None
+        return (
+            {int(uid) for uid in json.loads(row["owners"])},
+            row["desc_embedding"],
+            row["code_embedding"],
+        )
+
+    def _wf_old_state(
+        self, workflow_id: int
+    ) -> tuple[set[int], bytes | None] | None:
+        row = self._conn.execute(
+            "SELECT owners, desc_embedding FROM workflows"
+            " WHERE workflow_id=?",
+            (int(workflow_id),),
+        ).fetchone()
+        if row is None:
+            return None
+        return (
+            {int(uid) for uid in json.loads(row["owners"])},
+            row["desc_embedding"],
         )
 
     # -- join-table sync ---------------------------------------------------
@@ -1468,7 +1985,7 @@ class SqliteDAO(RegistryDAO):
 
     def insert_pe(self, record: PERecord) -> PERecord:
         with self._lock, self._conn:
-            self._bump_mutation()
+            counter = self._bump_mutation()
             record.revision = 1
             cursor = self._conn.execute(
                 """INSERT INTO pes (pe_name, description, description_origin,
@@ -1478,6 +1995,14 @@ class SqliteDAO(RegistryDAO):
                 self._pe_params(record),
             )
             record.pe_id = int(cursor.lastrowid)
+            self._stamp_shards(
+                _pe_stamp_keys(
+                    set(), set(record.owners),
+                    None, _embed_bytes(record.desc_embedding),
+                    None, _embed_bytes(record.code_embedding),
+                ),
+                counter,
+            )
             self._sync_pe_owners(record.pe_id, record.owners)
             self._sync_pe_text(record)
             return record
@@ -1487,7 +2012,15 @@ class SqliteDAO(RegistryDAO):
         if not records:
             return []
         with self._lock, self._conn:
-            self._bump_mutation()
+            counter = self._bump_mutation()
+            keys: set[tuple[int, str]] = set()
+            for record in records:
+                keys |= _pe_stamp_keys(
+                    set(), set(record.owners),
+                    None, _embed_bytes(record.desc_embedding),
+                    None, _embed_bytes(record.code_embedding),
+                )
+            self._stamp_shards(keys, counter)
             base = self._conn.execute(
                 "SELECT COALESCE(MAX(pe_id), 0) FROM pes"
             ).fetchone()[0]
@@ -1522,7 +2055,8 @@ class SqliteDAO(RegistryDAO):
 
     def update_pe(self, record: PERecord) -> None:
         with self._lock, self._conn:
-            self._bump_mutation()
+            counter = self._bump_mutation()
+            old = self._pe_old_state(record.pe_id)
             cursor = self._conn.execute(
                 """UPDATE pes SET pe_name=?, description=?,
                    description_origin=?, pe_code=?, pe_source=?,
@@ -1535,6 +2069,15 @@ class SqliteDAO(RegistryDAO):
                     f"PE id {record.pe_id} not found", params={"peId": record.pe_id}
                 )
             record.revision += 1
+            old_owners, old_desc, old_code = old
+            self._stamp_shards(
+                _pe_stamp_keys(
+                    old_owners, set(record.owners),
+                    old_desc, _embed_bytes(record.desc_embedding),
+                    old_code, _embed_bytes(record.code_embedding),
+                ),
+                counter,
+            )
             self._sync_pe_owners(record.pe_id, record.owners)
             self._sync_pe_text(record)
 
@@ -1734,7 +2277,16 @@ class SqliteDAO(RegistryDAO):
 
     def delete_pe(self, pe_id: int) -> None:
         with self._lock, self._conn:
-            self._bump_mutation()
+            counter = self._bump_mutation()
+            old = self._pe_old_state(pe_id)
+            if old is not None:
+                old_owners, old_desc, old_code = old
+                self._stamp_shards(
+                    _pe_stamp_keys(
+                        old_owners, set(), old_desc, None, old_code, None
+                    ),
+                    counter,
+                )
             cursor = self._conn.execute("DELETE FROM pes WHERE pe_id=?", (pe_id,))
             if cursor.rowcount == 0:
                 raise NotFoundError(f"PE id {pe_id} not found", params={"peId": pe_id})
@@ -1792,7 +2344,7 @@ class SqliteDAO(RegistryDAO):
 
     def insert_workflow(self, record: WorkflowRecord) -> WorkflowRecord:
         with self._lock, self._conn:
-            self._bump_mutation()
+            counter = self._bump_mutation()
             record.revision = 1
             cursor = self._conn.execute(
                 """INSERT INTO workflows (workflow_name, entry_point,
@@ -1802,6 +2354,13 @@ class SqliteDAO(RegistryDAO):
                 self._wf_params(record),
             )
             record.workflow_id = int(cursor.lastrowid)
+            self._stamp_shards(
+                _wf_stamp_keys(
+                    set(), set(record.owners),
+                    None, _embed_bytes(record.desc_embedding),
+                ),
+                counter,
+            )
             self._sync_wf_owners(record.workflow_id, record.owners)
             self._sync_wf_links(record.workflow_id, record.pe_ids)
             self._sync_wf_text(record)
@@ -1814,7 +2373,14 @@ class SqliteDAO(RegistryDAO):
         if not records:
             return []
         with self._lock, self._conn:
-            self._bump_mutation()
+            counter = self._bump_mutation()
+            keys: set[tuple[int, str]] = set()
+            for record in records:
+                keys |= _wf_stamp_keys(
+                    set(), set(record.owners),
+                    None, _embed_bytes(record.desc_embedding),
+                )
+            self._stamp_shards(keys, counter)
             base = self._conn.execute(
                 "SELECT COALESCE(MAX(workflow_id), 0) FROM workflows"
             ).fetchone()[0]
@@ -1864,7 +2430,8 @@ class SqliteDAO(RegistryDAO):
 
     def update_workflow(self, record: WorkflowRecord) -> None:
         with self._lock, self._conn:
-            self._bump_mutation()
+            counter = self._bump_mutation()
+            old = self._wf_old_state(record.workflow_id)
             cursor = self._conn.execute(
                 """UPDATE workflows SET workflow_name=?, entry_point=?,
                    description=?, workflow_code=?, workflow_source=?,
@@ -1882,6 +2449,14 @@ class SqliteDAO(RegistryDAO):
                     params={"workflowId": record.workflow_id},
                 )
             record.revision += 1
+            old_owners, old_desc = old
+            self._stamp_shards(
+                _wf_stamp_keys(
+                    old_owners, set(record.owners),
+                    old_desc, _embed_bytes(record.desc_embedding),
+                ),
+                counter,
+            )
             self._sync_wf_owners(record.workflow_id, record.owners)
             self._sync_wf_links(record.workflow_id, record.pe_ids)
             self._sync_wf_text(record)
@@ -1977,7 +2552,14 @@ class SqliteDAO(RegistryDAO):
 
     def delete_workflow(self, workflow_id: int) -> None:
         with self._lock, self._conn:
-            self._bump_mutation()
+            counter = self._bump_mutation()
+            old = self._wf_old_state(workflow_id)
+            if old is not None:
+                old_owners, old_desc = old
+                self._stamp_shards(
+                    _wf_stamp_keys(old_owners, set(), old_desc, None),
+                    counter,
+                )
             cursor = self._conn.execute(
                 "DELETE FROM workflows WHERE workflow_id=?", (workflow_id,)
             )
@@ -2004,6 +2586,20 @@ class SqliteDAO(RegistryDAO):
             ).fetchone()
         return 0 if row is None else int(row["value"])
 
+    @staticmethod
+    def _shard_payload_row(user_id, kind, counter, ids, matrix):
+        ids = np.asarray(ids, dtype=np.int64)
+        matrix = np.asarray(matrix, dtype=np.float32)
+        return (
+            int(user_id),
+            str(kind),
+            int(counter),
+            int(matrix.shape[1]) if matrix.ndim == 2 else 0,
+            int(ids.shape[0]),
+            ids.tobytes(),
+            matrix.tobytes(),
+        )
+
     def save_index_shards(
         self,
         shards: Mapping[tuple[int, str], tuple[np.ndarray, np.ndarray]],
@@ -2014,80 +2610,250 @@ class SqliteDAO(RegistryDAO):
         Slabs are the stacked float32 rows and int64 ids exactly as
         :meth:`~repro.search.index.VectorIndex.export_shards` emits them
         — one row per table entry per (user, kind), so a fresh attach
-        reads them back with zero record deserialization.
+        reads them back with zero record deserialization.  Being a
+        truth assertion for the *whole* index, it also drops every
+        journaled delta and stamps each written shard.
         """
-        payload = []
-        for (user_id, kind), (ids, matrix) in shards.items():
-            ids = np.asarray(ids, dtype=np.int64)
-            matrix = np.asarray(matrix, dtype=np.float32)
-            payload.append(
-                (
-                    int(user_id),
-                    str(kind),
-                    int(counter),
-                    int(matrix.shape[1]) if matrix.ndim == 2 else 0,
-                    int(ids.shape[0]),
-                    ids.tobytes(),
-                    matrix.tobytes(),
-                )
-            )
+        payload = [
+            self._shard_payload_row(user_id, kind, counter, ids, matrix)
+            for (user_id, kind), (ids, matrix) in shards.items()
+        ]
         with self._lock, self._conn:
             self._conn.execute("DELETE FROM index_shards")
+            self._conn.execute("DELETE FROM index_deltas")
             self._conn.executemany(
                 """INSERT INTO index_shards
                    (user_id, kind, mutation_counter, dim, rows, ids, vectors)
                    VALUES (?, ?, ?, ?, ?, ?, ?)""",
                 payload,
             )
+            self._conn.executemany(
+                "INSERT INTO shard_stamps (user_id, kind, mutation_counter)"
+                " VALUES (?, ?, ?)"
+                " ON CONFLICT(user_id, kind) DO UPDATE SET mutation_counter ="
+                " MAX(mutation_counter, excluded.mutation_counter)",
+                [(row[0], row[1], int(counter)) for row in payload],
+            )
+
+    def shard_stamps(self) -> dict[tuple[int, str], int]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT user_id, kind, mutation_counter FROM shard_stamps"
+            ).fetchall()
+        return {
+            (int(row["user_id"]), str(row["kind"])): int(
+                row["mutation_counter"]
+            )
+            for row in rows
+        }
+
+    def upsert_index_shards(
+        self,
+        shards: Mapping[tuple[int, str], tuple[np.ndarray, np.ndarray]],
+        stamp: int,
+    ) -> None:
+        """Per-shard base replace + compaction fold at ``stamp``.
+
+        Only the given shards are touched: each gets its base slab
+        replaced, its deltas with counter ``<= stamp`` dropped (folded
+        into the new base), and its expected stamp raised to at least
+        ``stamp`` — deltas above the stamp (a racing writer) survive
+        and correctly leave the shard stale.
+        """
+        stamp = int(stamp)
+        payload = [
+            self._shard_payload_row(user_id, kind, stamp, ids, matrix)
+            for (user_id, kind), (ids, matrix) in shards.items()
+        ]
+        with self._lock, self._conn:
+            self._conn.executemany(
+                """INSERT OR REPLACE INTO index_shards
+                   (user_id, kind, mutation_counter, dim, rows, ids, vectors)
+                   VALUES (?, ?, ?, ?, ?, ?, ?)""",
+                payload,
+            )
+            self._conn.executemany(
+                "DELETE FROM index_deltas WHERE user_id=? AND kind=?"
+                " AND mutation_counter<=?",
+                [(row[0], row[1], stamp) for row in payload],
+            )
+            self._conn.executemany(
+                "INSERT INTO shard_stamps (user_id, kind, mutation_counter)"
+                " VALUES (?, ?, ?)"
+                " ON CONFLICT(user_id, kind) DO UPDATE SET mutation_counter ="
+                " MAX(mutation_counter, excluded.mutation_counter)",
+                [(row[0], row[1], stamp) for row in payload],
+            )
+
+    def append_index_delta(
+        self,
+        user_id: int,
+        kind: str,
+        op: str,
+        rids: np.ndarray,
+        vectors: np.ndarray | None,
+        counter: int,
+    ) -> tuple[int, int]:
+        ids = np.asarray(rids, dtype=np.int64).reshape(-1)
+        if vectors is None:
+            vecs = np.empty((ids.shape[0], 0), dtype=np.float32)
+        else:
+            vecs = np.asarray(vectors, dtype=np.float32)
+            if vecs.ndim == 1:
+                vecs = vecs.reshape(1, -1)
+        with self._lock, self._conn:
+            self._conn.execute(
+                """INSERT INTO index_deltas
+                   (user_id, kind, op, mutation_counter, dim, rows, ids,
+                    vectors)
+                   VALUES (?, ?, ?, ?, ?, ?, ?, ?)""",
+                (
+                    int(user_id),
+                    str(kind),
+                    str(op),
+                    int(counter),
+                    int(vecs.shape[1]),
+                    int(ids.shape[0]),
+                    ids.tobytes(),
+                    vecs.tobytes(),
+                ),
+            )
+            row = self._conn.execute(
+                "SELECT COUNT(*) AS n,"
+                " COALESCE(SUM(LENGTH(ids) + LENGTH(vectors)), 0) AS b"
+                " FROM index_deltas WHERE user_id=? AND kind=?",
+                (int(user_id), str(kind)),
+            ).fetchone()
+        return int(row["n"]), int(row["b"])
 
     def load_index_shards(
         self,
-    ) -> tuple[int, dict[tuple[int, str], tuple[np.ndarray, np.ndarray]]] | None:
-        """Read back the slab snapshot; ``None`` if absent or torn.
+    ) -> tuple[
+        dict[tuple[int, str], tuple[np.ndarray, np.ndarray, int]], int
+    ]:
+        """Replay each base slab through its delta chain, per shard.
 
-        A snapshot is *torn* when its rows carry different mutation
-        counters (a crash mid-save); torn snapshots are ignored and the
-        caller rebuilds from the records.
+        A corrupt blob, torn row, or non-monotonic chain discards only
+        that shard (counted in ``discarded``) — never the whole
+        snapshot.
         """
         with self._lock:
-            rows = self._conn.execute(
+            base_rows = self._conn.execute(
                 "SELECT user_id, kind, mutation_counter, dim, rows, ids,"
                 " vectors FROM index_shards"
             ).fetchall()
-        if not rows:
-            return None
-        counters = {row["mutation_counter"] for row in rows}
-        if len(counters) != 1:
-            return None
-        shards: dict[tuple[int, str], tuple[np.ndarray, np.ndarray]] = {}
-        for row in rows:
+            delta_rows = self._conn.execute(
+                "SELECT user_id, kind, op, mutation_counter, dim, rows, ids,"
+                " vectors FROM index_deltas ORDER BY delta_id"
+            ).fetchall()
+        bases: dict[tuple[int, str], tuple] = {}
+        bad: set[tuple[int, str]] = set()
+        for row in base_rows:
+            key = (int(row["user_id"]), str(row["kind"]))
             try:
-                ids = np.frombuffer(row["ids"], dtype=np.int64).copy()
-                matrix = (
-                    np.frombuffer(row["vectors"], dtype=np.float32)
-                    .reshape(row["rows"], row["dim"])
-                    .copy()
+                ids, matrix = self._decode_slab_row(row)
+            except ValueError:
+                bad.add(key)
+                continue
+            bases[key] = (int(row["mutation_counter"]), ids, matrix)
+        chains: dict[tuple[int, str], list] = {}
+        for row in delta_rows:
+            key = (int(row["user_id"]), str(row["kind"]))
+            try:
+                ids, vecs = self._decode_slab_row(row)
+            except ValueError:
+                bad.add(key)
+                continue
+            chains.setdefault(key, []).append(
+                (
+                    int(row["mutation_counter"]),
+                    str(row["op"]),
+                    ids,
+                    vecs if str(row["op"]) == _OP_ADD else None,
+                )
+            )
+        shards: dict[tuple[int, str], tuple] = {}
+        discarded = 0
+        for key in sorted(set(bases) | set(chains) | bad):
+            if key in bad:
+                discarded += 1
+                continue
+            try:
+                shards[key] = _replay_shard(
+                    bases.get(key), chains.get(key, [])
                 )
             except ValueError:
-                return None  # truncated/corrupt blob — force a rebuild
-            if ids.shape[0] != row["rows"]:
-                return None  # torn blob — force a rebuild
-            shards[(int(row["user_id"]), str(row["kind"]))] = (ids, matrix)
-        return counters.pop(), shards
+                discarded += 1
+        return shards, discarded
+
+    @staticmethod
+    def _decode_slab_row(row) -> tuple[np.ndarray, np.ndarray]:
+        """ids + 2D float32 matrix from one base/delta row, validated
+        against the declared rows/dim; raises ``ValueError`` on any
+        truncated or inconsistent blob."""
+        rows, dim = int(row["rows"]), int(row["dim"])
+        if rows < 0 or dim < 0:
+            raise ValueError("negative shape")
+        ids_blob, vec_blob = row["ids"], row["vectors"]
+        if len(ids_blob) != rows * 8 or len(vec_blob) != rows * dim * 4:
+            raise ValueError("truncated blob")
+        ids = np.frombuffer(ids_blob, dtype=np.int64).copy()
+        matrix = (
+            np.frombuffer(vec_blob, dtype=np.float32)
+            .reshape(rows, dim)
+            .copy()
+        )
+        return ids, matrix
 
     def index_shards_meta(self) -> dict[str, int | None]:
         with self._lock:
             rows = self._conn.execute(
                 "SELECT mutation_counter, rows FROM index_shards"
             ).fetchall()
-        if not rows:
-            return {"counter": None, "shards": 0, "rows": 0}
+            delta = self._conn.execute(
+                "SELECT COUNT(*) AS n,"
+                " COALESCE(SUM(LENGTH(ids) + LENGTH(vectors)), 0) AS b"
+                " FROM index_deltas"
+            ).fetchone()
         counters = {row["mutation_counter"] for row in rows}
         return {
             "counter": counters.pop() if len(counters) == 1 else None,
             "shards": len(rows),
             "rows": sum(row["rows"] for row in rows),
+            "deltas": int(delta["n"]),
+            "deltaBytes": int(delta["b"]),
         }
+
+    def shard_chain_meta(self) -> dict[tuple[int, str], dict[str, int]]:
+        with self._lock:
+            base_rows = self._conn.execute(
+                "SELECT user_id, kind, mutation_counter, rows"
+                " FROM index_shards"
+            ).fetchall()
+            delta_rows = self._conn.execute(
+                "SELECT user_id, kind, COUNT(*) AS n,"
+                " COALESCE(SUM(LENGTH(ids) + LENGTH(vectors)), 0) AS b,"
+                " MAX(mutation_counter) AS tip"
+                " FROM index_deltas GROUP BY user_id, kind"
+            ).fetchall()
+        meta: dict[tuple[int, str], dict[str, int]] = {}
+        for row in base_rows:
+            meta[(int(row["user_id"]), str(row["kind"]))] = {
+                "baseCounter": int(row["mutation_counter"]),
+                "rows": int(row["rows"]),
+                "chainLen": 0,
+                "chainBytes": 0,
+                "tip": int(row["mutation_counter"]),
+            }
+        for row in delta_rows:
+            entry = meta.setdefault(
+                (int(row["user_id"]), str(row["kind"])),
+                {"baseCounter": None, "rows": 0},
+            )
+            entry["chainLen"] = int(row["n"])
+            entry["chainBytes"] = int(row["b"])
+            entry["tip"] = int(row["tip"])
+        return meta
 
     # -- idempotency receipts ---------------------------------------------
     def get_write_receipt(
@@ -2210,14 +2976,15 @@ class SqliteDAO(RegistryDAO):
     def save_ivf_states(
         self,
         states: Mapping[tuple[int, str], tuple[np.ndarray, list[np.ndarray]]],
-        counter: int,
+        stamps: Mapping[tuple[int, str], int] | int,
     ) -> None:
-        """Replace the IVF snapshot wholesale, stamped at ``counter``.
+        """Upsert per-shard IVF training state at its shard's stamp.
 
         Per (user, kind): the float32 centroid matrix, plus the
         inverted lists flattened to one int64 member vector with an
         int64 per-list size vector — the row indices refer to the slab
-        snapshot persisted at the *same* counter.
+        content at the *same* stamp.  Shards not in ``states`` keep
+        their rows (stale by stamp, never torn).
         """
         payload = []
         for (user_id, kind), (centroids, lists) in states.items():
@@ -2234,7 +3001,7 @@ class SqliteDAO(RegistryDAO):
                 (
                     int(user_id),
                     str(kind),
-                    int(counter),
+                    _state_stamp(stamps, (int(user_id), str(kind))),
                     int(centroids.shape[1]) if centroids.ndim == 2 else 0,
                     int(centroids.shape[0]),
                     int(members.shape[0]),
@@ -2244,9 +3011,8 @@ class SqliteDAO(RegistryDAO):
                 )
             )
         with self._lock, self._conn:
-            self._conn.execute("DELETE FROM ivf_states")
             self._conn.executemany(
-                """INSERT INTO ivf_states
+                """INSERT OR REPLACE INTO ivf_states
                    (user_id, kind, mutation_counter, dim, nlist, rows,
                     centroids, list_sizes, members)
                    VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)""",
@@ -2255,25 +3021,21 @@ class SqliteDAO(RegistryDAO):
 
     def load_ivf_states(
         self,
-    ) -> tuple[int, dict[tuple[int, str], tuple[np.ndarray, list[np.ndarray]]]] | None:
-        """Read back the IVF snapshot; ``None`` if absent, torn or corrupt.
-
-        Torn means mixed mutation counters (crash mid-save) — exactly
-        the slab snapshot's protocol; the caller then simply retrains
-        lazily.
-        """
+    ) -> tuple[
+        dict[tuple[int, str], int],
+        dict[tuple[int, str], tuple[np.ndarray, list[np.ndarray]]],
+    ]:
+        """Per-shard ``(stamps, states)``; a truncated or inconsistent
+        row is skipped individually (that shard simply retrains)."""
         with self._lock:
             rows = self._conn.execute(
                 "SELECT user_id, kind, mutation_counter, dim, nlist, rows,"
                 " centroids, list_sizes, members FROM ivf_states"
             ).fetchall()
-        if not rows:
-            return None
-        counters = {row["mutation_counter"] for row in rows}
-        if len(counters) != 1:
-            return None
+        stamps: dict[tuple[int, str], int] = {}
         states: dict[tuple[int, str], tuple[np.ndarray, list[np.ndarray]]] = {}
         for row in rows:
+            key = (int(row["user_id"]), str(row["kind"]))
             try:
                 centroids = (
                     np.frombuffer(row["centroids"], dtype=np.float32)
@@ -2283,30 +3045,32 @@ class SqliteDAO(RegistryDAO):
                 sizes = np.frombuffer(row["list_sizes"], dtype=np.int64)
                 members = np.frombuffer(row["members"], dtype=np.int64)
             except ValueError:
-                return None  # truncated/corrupt blob — force a retrain
+                continue  # truncated/corrupt row — this shard retrains
             if sizes.shape[0] != row["nlist"] or int(sizes.sum()) != int(
                 members.shape[0]
             ) or int(members.shape[0]) != row["rows"]:
-                return None  # torn blob — force a retrain
+                continue  # torn row — this shard retrains
             lists, start = [], 0
             for size in sizes:
                 lists.append(members[start : start + int(size)].copy())
                 start += int(size)
-            states[(int(row["user_id"]), str(row["kind"]))] = (centroids, lists)
-        return counters.pop(), states
+            stamps[key] = int(row["mutation_counter"])
+            states[key] = (centroids, lists)
+        return stamps, states
 
     # -- persisted HNSW graph state ----------------------------------------
     def save_hnsw_states(
         self,
         states: Mapping[tuple[int, str], tuple[np.ndarray, np.ndarray]],
-        counter: int,
+        stamps: Mapping[tuple[int, str], int] | int,
     ) -> None:
-        """Replace the HNSW snapshot wholesale, stamped at ``counter``.
+        """Upsert per-shard HNSW graph state at its shard's stamp.
 
         Per (user, kind): the int64 level assignment (one entry per
         slab row) and the flattened int64 level-0 adjacency (rows × m0,
-        ``-1``-padded); row indices refer to the slab snapshot
-        persisted at the *same* counter.
+        ``-1``-padded); row indices refer to the slab content at the
+        *same* stamp.  Same upsert semantics as
+        :meth:`save_ivf_states`.
         """
         payload = []
         for (user_id, kind), (levels, neighbors) in states.items():
@@ -2316,7 +3080,7 @@ class SqliteDAO(RegistryDAO):
                 (
                     int(user_id),
                     str(kind),
-                    int(counter),
+                    _state_stamp(stamps, (int(user_id), str(kind))),
                     int(levels.shape[0]),
                     int(neighbors.shape[1]) if neighbors.ndim == 2 else 0,
                     levels.tobytes(),
@@ -2324,9 +3088,8 @@ class SqliteDAO(RegistryDAO):
                 )
             )
         with self._lock, self._conn:
-            self._conn.execute("DELETE FROM hnsw_states")
             self._conn.executemany(
-                """INSERT INTO hnsw_states
+                """INSERT OR REPLACE INTO hnsw_states
                    (user_id, kind, mutation_counter, rows, m0, levels,
                     neighbors)
                    VALUES (?, ?, ?, ?, ?, ?, ?)""",
@@ -2335,21 +3098,21 @@ class SqliteDAO(RegistryDAO):
 
     def load_hnsw_states(
         self,
-    ) -> tuple[int, dict[tuple[int, str], tuple[np.ndarray, np.ndarray]]] | None:
-        """Read back the HNSW snapshot; ``None`` if absent, torn or
-        corrupt — the same freshness protocol as the IVF snapshot."""
+    ) -> tuple[
+        dict[tuple[int, str], int],
+        dict[tuple[int, str], tuple[np.ndarray, np.ndarray]],
+    ]:
+        """Per-shard ``(stamps, states)``; a truncated or inconsistent
+        row is skipped individually (that shard simply rebuilds)."""
         with self._lock:
             rows = self._conn.execute(
                 "SELECT user_id, kind, mutation_counter, rows, m0, levels,"
                 " neighbors FROM hnsw_states"
             ).fetchall()
-        if not rows:
-            return None
-        counters = {row["mutation_counter"] for row in rows}
-        if len(counters) != 1:
-            return None
+        stamps: dict[tuple[int, str], int] = {}
         states: dict[tuple[int, str], tuple[np.ndarray, np.ndarray]] = {}
         for row in rows:
+            key = (int(row["user_id"]), str(row["kind"]))
             try:
                 levels = np.frombuffer(row["levels"], dtype=np.int64).copy()
                 neighbors = (
@@ -2358,11 +3121,9 @@ class SqliteDAO(RegistryDAO):
                     .copy()
                 )
             except ValueError:
-                return None  # truncated/corrupt blob — force a rebuild
+                continue  # truncated/corrupt row — this shard rebuilds
             if levels.shape[0] != row["rows"]:
-                return None  # torn blob — force a rebuild
-            states[(int(row["user_id"]), str(row["kind"]))] = (
-                levels,
-                neighbors,
-            )
-        return counters.pop(), states
+                continue  # torn row — this shard rebuilds
+            stamps[key] = int(row["mutation_counter"])
+            states[key] = (levels, neighbors)
+        return stamps, states

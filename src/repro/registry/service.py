@@ -15,13 +15,15 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.errors import (
     AuthenticationError,
     DuplicateError,
     NotFoundError,
     ValidationError,
 )
-from repro.registry.dao import RegistryDAO
+from repro.registry.dao import RegistryDAO, _embed_bytes
 from repro.registry.entities import (
     PERecord,
     UserRecord,
@@ -64,6 +66,24 @@ class RegistryService:
         #: out to them, so their results stay bitwise identical to the
         #: authoritative exact index
         self._mirrors: list = []
+        #: journal index deltas inline with every write (enabled by
+        #: attach_index's ``persist`` flag): each mutation appends a
+        #: small add/remove row batch to the DAO's delta journal at the
+        #: counter the DAO stamped, so the persisted state tracks the
+        #: live index at O(delta) cost instead of whole-snapshot
+        #: rewrites
+        self._persist = False
+        #: compaction thresholds: once a shard's journal chain exceeds
+        #: either bound, the chain is folded back into its base slab
+        #: (one per-shard upsert) so replay cost stays bounded
+        self.compact_after_deltas = 64
+        self.compact_after_bytes = 4 * 1024 * 1024
+        #: journal telemetry for ``repro stats --shards``
+        self._journal_rows = 0
+        self._journal_bytes = 0
+        self._compactions = 0
+        #: shards the last attach had to discard (corrupt/torn rows)
+        self._attach_discarded = 0
         if index is not None:
             self.attach_index(index)
 
@@ -75,29 +95,128 @@ class RegistryService:
     ) -> str:
         """Adopt ``index`` (any registered backend — select by name via
         :func:`repro.search.backend.create_backend`) and populate it;
-        returns ``"fresh"`` or ``"rebuilt"``.
+        returns ``"fresh"``, ``"partial"`` or ``"rebuilt"``.
 
-        Cold-start fast path: when the DAO holds a persisted slab
-        snapshot stamped with the *current* registry mutation counter,
-        the stacked float32 slabs are loaded directly into the index —
-        zero record deserialization, no ``all_pes()`` pass.  Any counter
-        mismatch (the registry mutated since the snapshot) falls back to
-        the O(corpus) rebuild: one pass over the DAO accumulates each
-        (user, kind) shard's ids and vectors, every shard is stacked in
-        a single :meth:`~repro.search.index.VectorIndex.add_many` call,
-        and (with ``persist``) the rebuilt slabs are saved back so the
-        *next* cold start takes the fast path.
+        Cold start is O(delta), per shard: every persisted base slab is
+        replayed through its delta journal chain, and a shard whose
+        replayed chain tip equals its expected mutation stamp
+        (:meth:`~repro.registry.dao.RegistryDAO.shard_stamps`) loads
+        straight into the index — zero record deserialization.  Only
+        shards that are stale (a write this journal never saw — e.g. a
+        foreign process's), torn or corrupt are rebuilt, each from its
+        *own* owner's records (``pes_owned_by``/``workflows_owned_by``,
+        never an ``all_pes()`` pass), and (with ``persist``) upserted
+        back so the next cold start takes the fast path.  One tenant's
+        write therefore never invalidates anyone else's slab.
+
+        A registry with no per-shard stamps at all (pre-v6 file whose
+        stamps could not be provably seeded, or an empty DAO) falls
+        back to the legacy full O(corpus) rebuild.
+
+        ``persist`` also arms inline delta journaling: every subsequent
+        write through this service appends its row batch to the journal
+        at the counter the DAO stamped (see :meth:`_journal_delta`).
         """
         from repro.search.index import KIND_CODE, KIND_DESC, KIND_WORKFLOW
 
         self.index = index
+        self._persist = persist
         counter = self.dao.mutation_counter()
         self._index_counter = counter
-        stored = self.dao.load_index_shards()
-        if stored is not None and stored[0] == counter:
-            for (user_id, kind), (ids, matrix) in stored[1].items():
-                index.add_many(user_id, kind, [int(i) for i in ids], matrix)
+        stamps = self.dao.shard_stamps()
+        loaded, discarded = self.dao.load_index_shards()
+        self._attach_discarded = discarded
+
+        if not stamps:
+            # pre-v6 rows without provable stamps (or an empty DAO):
+            # rebuild wholesale — persisting re-seeds per-shard stamps
+            self._rebuild_full(index)
+            if persist:
+                self._save_full_snapshot()
+            return "rebuilt"
+
+        fresh = {
+            key
+            for key, (_ids, _matrix, tip) in loaded.items()
+            if stamps.get(key) == tip
+        }
+        for key in sorted(fresh):
+            ids, matrix, _tip = loaded[key]
+            if ids.shape[0]:
+                index.add_many(key[0], key[1], ids, matrix)
+
+        stale = sorted((set(stamps) | set(loaded)) - fresh)
+        rebuilt: dict[tuple[int, str], tuple[np.ndarray, np.ndarray]] = {}
+        pe_users = sorted(
+            {u for (u, kind) in stale if kind in (KIND_DESC, KIND_CODE)}
+        )
+        wf_users = sorted({u for (u, kind) in stale if kind == KIND_WORKFLOW})
+        stale_set = set(stale)
+        for user_id in pe_users:
+            want = {
+                kind
+                for kind in (KIND_DESC, KIND_CODE)
+                if (user_id, kind) in stale_set
+            }
+            rows: dict[str, list] = {kind: [] for kind in want}
+            for record in self.dao.pes_owned_by(user_id):
+                if KIND_DESC in want and record.desc_embedding is not None:
+                    rows[KIND_DESC].append(
+                        (record.pe_id, record.desc_embedding)
+                    )
+                if KIND_CODE in want and record.code_embedding is not None:
+                    rows[KIND_CODE].append(
+                        (record.pe_id, record.code_embedding)
+                    )
+            for kind in want:
+                rebuilt[(user_id, kind)] = self._stack_shard(rows[kind])
+        for user_id in wf_users:
+            rows = [
+                (record.workflow_id, record.desc_embedding)
+                for record in self.dao.workflows_owned_by(user_id)
+                if record.desc_embedding is not None
+            ]
+            rebuilt[(user_id, KIND_WORKFLOW)] = self._stack_shard(rows)
+        for (user_id, kind), (ids, matrix) in rebuilt.items():
+            if ids.shape[0]:
+                index.add_many(user_id, kind, ids, matrix)
+        if rebuilt and persist:
+            # stamped at the counter read above; upsert_index_shards
+            # max-seeds stamps, so a racing foreign write (which stamps
+            # higher) correctly leaves its shard stale
+            self.dao.upsert_index_shards(rebuilt, counter)
+        if persist:
+            consume = getattr(index, "consume_dirty", None)
+            if consume is not None:
+                consume()
+        if not stale:
             return "fresh"
+        return "partial" if fresh else "rebuilt"
+
+    @staticmethod
+    def _stack_shard(
+        rows: list[tuple[int, np.ndarray]],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(ids, matrix)`` slab layout from ascending ``(id, vector)``
+        rows — the empty shard keeps an explicit (0, 0) matrix so its
+        stamp stays satisfiable once persisted."""
+        if not rows:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty((0, 0), dtype=np.float32),
+            )
+        ids = np.asarray([rid for rid, _ in rows], dtype=np.int64)
+        matrix = np.ascontiguousarray(
+            np.stack(
+                [np.asarray(vec, dtype=np.float32) for _, vec in rows]
+            ),
+            dtype=np.float32,
+        )
+        return ids, matrix
+
+    def _rebuild_full(self, index: "IndexBackend") -> None:
+        """Legacy O(corpus) rebuild: one pass over every record."""
+        from repro.search.index import KIND_CODE, KIND_DESC, KIND_WORKFLOW
 
         shards: dict[tuple[int, str], tuple[list[int], list]] = {}
 
@@ -127,9 +246,6 @@ class RegistryService:
                     )
         for (user_id, kind), (ids, vectors) in shards.items():
             index.add_many(user_id, kind, ids, vectors)
-        if persist:
-            self.persist_shards()
-        return "rebuilt"
 
     def _note_write(self) -> None:
         """Record one DAO write performed *through this service* (the
@@ -137,20 +253,108 @@ class RegistryService:
         registry at the bumped counter)."""
         self._index_counter += 1
 
-    def persist_shards(self) -> bool:
-        """Save the index's slabs through the DAO for zero-rebuild restarts.
+    def _journal_delta(
+        self, user_id: int, kind: str, op: str, rids, vectors=None
+    ) -> None:
+        """Append one add/remove row batch to the shard's delta journal.
 
-        The snapshot is stamped with the counter the index is *known*
-        to reflect (attach time plus this service's own writes) — never
-        a fresh counter read, which could cover a foreign process's
-        write this index never saw.  If the DAO's counter disagrees
-        with that stamp before or after the export (someone else wrote,
-        or wrote mid-export), the save is skipped: a snapshot must
-        never claim freshness it does not have, and the next attach
-        simply rebuilds.  Returns whether a snapshot was written.
+        Called on every write path *after* the mutation has been applied
+        to the live index (a threshold-crossing append compacts the
+        chain inline from a live-index snapshot, so the snapshot must
+        already contain this batch), for
+        exactly the shards the DAO's stamping rule marked changed — the
+        journal row carries the counter the DAO stamped, so an honest
+        chain's tip equals the shard's expected stamp and the next
+        attach loads it without touching a single record.  If a foreign
+        process wrote between attach and now, the tracked counter lags
+        the DAO's and every later stamp exceeds the journaled tip —
+        conservatively stale, so those shards rebuild.  Appends are
+        intentionally unguarded: a crash *between* mutation and append
+        leaves stamp > tip, which is also just stale.
+
+        Past :attr:`compact_after_deltas` / :attr:`compact_after_bytes`
+        the chain is folded back into the base slab inline.
         """
-        if self.index is None:
+        if not self._persist or self.index is None:
+            return
+        ids = np.asarray(rids, dtype=np.int64).reshape(-1)
+        vecs = None
+        if vectors is not None:
+            vecs = np.asarray(vectors, dtype=np.float32)
+            if vecs.ndim == 1:
+                vecs = vecs.reshape(1, -1)
+        chain_len, chain_bytes = self.dao.append_index_delta(
+            user_id, kind, op, ids, vecs, self._index_counter
+        )
+        self._journal_rows += 1
+        self._journal_bytes += int(ids.nbytes) + (
+            0 if vecs is None else int(vecs.nbytes)
+        )
+        if (
+            chain_len >= self.compact_after_deltas
+            or chain_bytes >= self.compact_after_bytes
+        ):
+            self._compact_shard((int(user_id), str(kind)))
+
+    def _journal_pe(self, user_id: int, record: PERecord, op: str) -> None:
+        """Journal a PE's row under ``user_id`` for every kind it embeds
+        — the same kinds the DAO's stamping rule touches."""
+        from repro.search.index import KIND_CODE, KIND_DESC
+
+        for kind, vec in (
+            (KIND_DESC, record.desc_embedding),
+            (KIND_CODE, record.code_embedding),
+        ):
+            if vec is None:
+                continue
+            self._journal_delta(
+                user_id,
+                kind,
+                op,
+                [record.pe_id],
+                [vec] if op == "add" else None,
+            )
+
+    def _journal_workflow(
+        self, user_id: int, record: WorkflowRecord, op: str
+    ) -> None:
+        from repro.search.index import KIND_WORKFLOW
+
+        if record.desc_embedding is None:
+            return
+        self._journal_delta(
+            user_id,
+            KIND_WORKFLOW,
+            op,
+            [record.workflow_id],
+            [record.desc_embedding] if op == "add" else None,
+        )
+
+    def _compact_shard(self, key: tuple[int, str]) -> bool:
+        """Fold one shard's delta chain into its base slab.
+
+        Guarded by the usual counter check (a foreign write makes the
+        live slab unciteable as truth); the upsert deletes the folded
+        deltas and max-raises the stamp, so a post-check racing write
+        still leaves the shard stale rather than wrongly fresh.
+        """
+        if self.index is None or not hasattr(self.index, "consume_dirty"):
             return False
+        stamp = self._index_counter
+        if self.dao.mutation_counter() != stamp:
+            return False
+        shards = self.index.snapshot(keys={key})
+        if key not in shards:
+            shards[key] = self._stack_shard([])
+        if self.dao.mutation_counter() != stamp:
+            return False
+        self.dao.upsert_index_shards(shards, stamp)
+        self._compactions += 1
+        return True
+
+    def _save_full_snapshot(self) -> bool:
+        """Wholesale snapshot save — the truth assertion used after a
+        full rebuild and for backends without dirty-shard tracking."""
         stamp = self._index_counter
         if self.dao.mutation_counter() != stamp:
             return False
@@ -158,9 +362,55 @@ class RegistryService:
         if self.dao.mutation_counter() != stamp:
             return False
         self.dao.save_index_shards(shards, stamp)
-        # companion training state (e.g. IVF lists) rides along at the
-        # same stamp — persist_approx_states re-verifies freshness and
-        # simply skips when nothing valid is trained
+        consume = getattr(self.index, "consume_dirty", None)
+        if consume is not None:
+            consume()
+        self.persist_approx_states()
+        return True
+
+    def persist_shards(self) -> bool:
+        """Flush the index's unpersisted shards through the DAO.
+
+        With inline journaling armed, a dirty shard whose journal chain
+        tip already equals its expected stamp needs nothing — the
+        journal *is* its persistence — so this degenerates to a cheap
+        metadata check.  Shards the journal does not cover (mutated
+        while journaling was off) are upserted individually; backends
+        without dirty-shard tracking fall back to the wholesale
+        snapshot.  The export is stamped with the counter the index is
+        *known* to reflect — never a fresh counter read, which could
+        cover a foreign process's write this index never saw — and
+        skipped when the DAO's counter disagrees before or after the
+        export.  Returns whether the persisted state is consistent at
+        that stamp.
+        """
+        if self.index is None:
+            return False
+        if getattr(self.index, "dirty_keys", None) is None:
+            return self._save_full_snapshot()
+        stamp = self._index_counter
+        if self.dao.mutation_counter() != stamp:
+            return False
+        dirty = set(self.index.dirty_keys())
+        if dirty:
+            stamps = self.dao.shard_stamps()
+            chains = self.dao.shard_chain_meta()
+            pending = {
+                key
+                for key in dirty
+                if chains.get(key, {}).get("tip") is None
+                or chains.get(key, {}).get("tip") != stamps.get(key)
+            }
+            if pending:
+                shards = self.index.snapshot(keys=pending)
+                for key in pending - set(shards):
+                    # the shard emptied out: persist the explicit empty
+                    # slab so its stamp stays satisfiable
+                    shards[key] = self._stack_shard([])
+                if self.dao.mutation_counter() != stamp:
+                    return False
+                self.dao.upsert_index_shards(shards, stamp)
+        self.index.consume_dirty()
         self.persist_approx_states()
         return True
 
@@ -184,42 +434,50 @@ class RegistryService:
 
     def attach_approx_backend(self, backend) -> str:
         """Adopt an approximate companion backend (the IVF or HNSW
-        engine) and restore its persisted training state when still
-        fresh.
+        engine) and restore its persisted training state, per shard.
 
-        The stored per-(user, kind) state (centroids + inverted lists,
-        or graph levels + adjacency) is only meaningful against the
-        slab contents at the counter it was stamped with — exactly what
-        the in-memory shards hold when the stamp equals
-        ``_index_counter`` (a fresh slab load *or* a rebuild both leave
-        ascending-id-ordered rows, which is the layout stored row
-        indices refer to).  Any mismatch (stale, torn, absent) simply
-        leaves the backend untrained: it rebuilds lazily, which is
-        always correct.  Returns ``"restored"``, ``"stale"`` or
-        ``"untrained"``.
+        A stored per-(user, kind) state (centroids + inverted lists, or
+        graph levels + adjacency) is only meaningful against the slab
+        contents at the stamp it carries, so it is adopted iff its
+        stamp equals the shard's *current* expected stamp
+        (``shard_stamps``) — the live shard then holds exactly those
+        rows (fresh load and rebuild both leave ascending-id order,
+        which is the layout stored row indices refer to).  One stale
+        shard no longer discards every other shard's state.  Mismatched
+        shards rebuild lazily, which is always correct.  Returns
+        ``"restored"``, ``"stale"`` or ``"untrained"``.
         """
         if backend not in self._companions:
             self._companions.append(backend)
-        stored = self._load_states(self._state_store(backend))
-        if stored is None:
+        stored_stamps, states = self._load_states(self._state_store(backend))
+        if not states:
             return "untrained"
-        counter, states = stored
-        if self.index is None or counter != self._index_counter:
+        if self.index is None:
             return "stale"
-        adopted = backend.adopt_states(states)
+        shard_stamps = self.dao.shard_stamps()
+        fresh = {
+            key: state
+            for key, state in states.items()
+            if key in shard_stamps
+            and stored_stamps.get(key) == shard_stamps[key]
+        }
+        if not fresh:
+            return "stale"
+        adopted = backend.adopt_states(fresh)
         return "restored" if adopted else "untrained"
 
     def persist_approx_states(self) -> bool:
         """Save companion backends' trained state next to the slabs.
 
-        Same freshness protocol as :meth:`persist_shards`: the export
-        is stamped with the counter the index is known to reflect and
-        skipped whenever the DAO's counter disagrees before or after
-        (state must never claim freshness it does not have).  Stale
-        trained shards are excluded by the export itself.  Exports are
-        grouped per state store, so IVF and HNSW companions persist
-        side by side without clobbering each other.  Returns whether
-        any snapshot was written.
+        Same freshness protocol as :meth:`persist_shards`: exports are
+        skipped whenever the DAO's counter disagrees with the tracked
+        one before or after (state must never claim freshness it does
+        not have).  Each shard's state is stamped with that *shard's*
+        expected stamp — its slab content is unchanged since then, and
+        attach compares per shard — and the save is a per-shard upsert,
+        so IVF and HNSW companions persist side by side and untouched
+        shards keep their rows.  Stale trained shards are excluded by
+        the export itself.  Returns whether any snapshot was written.
         """
         if self.index is None or not self._companions:
             return False
@@ -235,23 +493,71 @@ class RegistryService:
                 )
         if not by_store:
             return False
+        shard_stamps = self.dao.shard_stamps()
         if self.dao.mutation_counter() != stamp:
             return False
         for store, states in by_store.items():
-            self._save_states(store, states, stamp)
+            per_key = {
+                key: shard_stamps.get(key, stamp) for key in states
+            }
+            self._save_states(store, states, per_key)
         return True
 
     def shard_persistence(self) -> dict:
-        """Freshness report for the persisted slab snapshot."""
+        """Freshness report for the persisted per-shard state.
+
+        ``perShard`` maps ``"user/kind"`` to that shard's expected
+        stamp, journaled chain tip, chain length/bytes and freshness
+        (``tip == stamp``); ``journal`` totals this service's inline
+        delta appends (the bytes written per mutation the stats CLI
+        reports).  The legacy top-level keys (``storedCounter``,
+        ``fresh``, ...) are kept for existing callers — ``fresh`` now
+        means *every* known shard replays to its expected stamp.
+        """
         meta = self.dao.index_shards_meta()
+        stamps = self.dao.shard_stamps()
+        chains = self.dao.shard_chain_meta()
         current = self.dao.mutation_counter()
+        per_shard: dict[str, dict] = {}
+        fresh_shards = 0
+        for key in sorted(set(stamps) | set(chains)):
+            chain = chains.get(key, {})
+            tip = chain.get("tip")
+            stamp = stamps.get(key)
+            fresh = tip is not None and tip == stamp
+            fresh_shards += int(fresh)
+            per_shard[f"{key[0]}/{key[1]}"] = {
+                "stamp": stamp,
+                "tip": tip,
+                "rows": chain.get("rows", 0),
+                "chainLen": chain.get("chainLen", 0),
+                "chainBytes": chain.get("chainBytes", 0),
+                "fresh": fresh,
+            }
+        total = len(per_shard)
         stored = meta.get("counter")
         return {
             "storedCounter": stored,
             "currentCounter": current,
             "shards": meta.get("shards", 0),
             "rows": meta.get("rows", 0),
-            "fresh": stored is not None and stored == current,
+            "deltas": meta.get("deltas", 0),
+            "deltaBytes": meta.get("deltaBytes", 0),
+            "fresh": total > 0 and fresh_shards == total,
+            "freshShards": fresh_shards,
+            "staleShards": total - fresh_shards,
+            "discardedShards": self._attach_discarded,
+            "perShard": per_shard,
+            "journal": {
+                "rows": self._journal_rows,
+                "bytes": self._journal_bytes,
+                "compactions": self._compactions,
+                "bytesPerMutation": (
+                    self._journal_bytes / self._journal_rows
+                    if self._journal_rows
+                    else 0.0
+                ),
+            },
         }
 
     def attach_mirror(self, backend) -> None:
@@ -267,7 +573,7 @@ class RegistryService:
             return
         if self.index is not None:
             for (user_id, kind), (ids, matrix) in self.index.snapshot().items():
-                backend.add_many(user_id, kind, [int(i) for i in ids], matrix)
+                backend.add_many(user_id, kind, ids, matrix)
         self._mirrors.append(backend)
 
     def _index_targets(self) -> list:
@@ -353,11 +659,14 @@ class RegistryService:
         identity = record.identity_key()
         for existing in self.dao.find_pe_by_name(record.pe_name):
             if existing.identity_key() == identity:
-                if user.user_id not in existing.owners:
+                granted = user.user_id not in existing.owners
+                if granted:
                     existing.owners.add(user.user_id)
                     self.dao.update_pe(existing)
                     self._note_write()
                 self._index_pe(user.user_id, existing)
+                if granted:
+                    self._journal_pe(user.user_id, existing, "add")
                 return existing
         return None
 
@@ -378,6 +687,7 @@ class RegistryService:
         stored = self.dao.insert_pe(record)
         self._note_write()
         self._index_pe(user.user_id, stored)
+        self._journal_pe(user.user_id, stored, "add")
         return stored, True
 
     def upsert_pe(
@@ -409,7 +719,21 @@ class RegistryService:
         so every owner sees the revision — shared identity is shared
         metadata by construction; a caller wanting private metadata
         must change the code payload (which forks via upsert).
+
+        Only kinds whose embedding *bytes* actually changed touch the
+        index and the journal (matching the DAO's stamping rule); an
+        embedding revised away entirely now also drops the stale row
+        from every owner's live shard.
         """
+        from repro.search.index import KIND_CODE, KIND_DESC
+
+        changed: dict[str, np.ndarray | None] = {}
+        for kind, old_vec, new_vec in (
+            (KIND_DESC, current.desc_embedding, record.desc_embedding),
+            (KIND_CODE, current.code_embedding, record.code_embedding),
+        ):
+            if _embed_bytes(old_vec) != _embed_bytes(new_vec):
+                changed[kind] = new_vec
         current.description = record.description
         current.description_origin = record.description_origin
         current.pe_source = record.pe_source
@@ -418,8 +742,20 @@ class RegistryService:
         current.code_embedding = record.code_embedding
         self.dao.update_pe(current)
         self._note_write()
-        for owner in current.owners:
-            self._index_pe(owner, current)
+        for kind, vec in changed.items():
+            for owner in current.owners:
+                if vec is not None:
+                    for index in self._index_targets():
+                        index.add(owner, kind, current.pe_id, vec)
+                    self._journal_delta(
+                        owner, kind, "add", [current.pe_id], [vec]
+                    )
+                else:
+                    for index in self._index_targets():
+                        index.remove(owner, kind, current.pe_id)
+                    self._journal_delta(
+                        owner, kind, "remove", [current.pe_id]
+                    )
         return current, False
 
     def register_pes_bulk(
@@ -492,6 +828,24 @@ class RegistryService:
                         [rid for rid, _ in code],
                         [vec for _, vec in code],
                     )
+            # one journal row per kind for the whole batch, at the one
+            # counter the DAO stamped it with
+            if desc:
+                self._journal_delta(
+                    user.user_id,
+                    KIND_DESC,
+                    "add",
+                    [rid for rid, _ in desc],
+                    [vec for _, vec in desc],
+                )
+            if code:
+                self._journal_delta(
+                    user.user_id,
+                    KIND_CODE,
+                    "add",
+                    [rid for rid, _ in code],
+                    [vec for _, vec in code],
+                )
         if persist:
             self.persist_shards()
         return stored, created
@@ -596,6 +950,7 @@ class RegistryService:
             self.dao.delete_pe(record.pe_id)
         self._note_write()
         self._unindex_pe(user.user_id, record.pe_id)
+        self._journal_pe(user.user_id, record, "remove")
 
     def remove_pe_by_name(self, user: UserRecord, name: str) -> None:
         record = self.get_pe_by_name(user, name)
@@ -615,16 +970,20 @@ class RegistryService:
         """Dedup-or-insert; returns ``(stored, created)`` (see register_pe)."""
         for existing in self.dao.find_workflow_by_entry_point(record.entry_point):
             if existing.identity_key() == record.identity_key():
-                if user.user_id not in existing.owners:
+                granted = user.user_id not in existing.owners
+                if granted:
                     existing.owners.add(user.user_id)
                     self.dao.update_workflow(existing)
                     self._note_write()
                 self._index_workflow(user.user_id, existing)
+                if granted:
+                    self._journal_workflow(user.user_id, existing, "add")
                 return existing, False
         record.owners = {user.user_id}
         stored = self.dao.insert_workflow(record)
         self._note_write()
         self._index_workflow(user.user_id, stored)
+        self._journal_workflow(user.user_id, stored, "add")
         return stored, True
 
     def upsert_workflow(
@@ -639,6 +998,11 @@ class RegistryService:
         self, user: UserRecord, current: WorkflowRecord, record: WorkflowRecord
     ) -> tuple[WorkflowRecord, bool]:
         """In-place metadata revision (see :meth:`revise_pe`)."""
+        from repro.search.index import KIND_WORKFLOW
+
+        desc_changed = _embed_bytes(current.desc_embedding) != _embed_bytes(
+            record.desc_embedding
+        )
         current.workflow_name = record.workflow_name
         current.description = record.description
         current.workflow_source = record.workflow_source
@@ -646,8 +1010,31 @@ class RegistryService:
         current.desc_embedding = record.desc_embedding
         self.dao.update_workflow(current)
         self._note_write()
-        for owner in current.owners:
-            self._index_workflow(owner, current)
+        if desc_changed:
+            for owner in current.owners:
+                if current.desc_embedding is not None:
+                    for index in self._index_targets():
+                        index.add(
+                            owner,
+                            KIND_WORKFLOW,
+                            current.workflow_id,
+                            current.desc_embedding,
+                        )
+                    self._journal_delta(
+                        owner,
+                        KIND_WORKFLOW,
+                        "add",
+                        [current.workflow_id],
+                        [current.desc_embedding],
+                    )
+                else:
+                    for index in self._index_targets():
+                        index.remove(
+                            owner, KIND_WORKFLOW, current.workflow_id
+                        )
+                    self._journal_delta(
+                        owner, KIND_WORKFLOW, "remove", [current.workflow_id]
+                    )
         return current, False
 
     def _owned_workflow(self, user: UserRecord, workflow_id: int) -> WorkflowRecord:
@@ -735,6 +1122,7 @@ class RegistryService:
             self.dao.delete_workflow(record.workflow_id)
         self._note_write()
         self._unindex_workflow(user.user_id, record.workflow_id)
+        self._journal_workflow(user.user_id, record, "remove")
 
     def remove_workflow_by_name(self, user: UserRecord, name: str) -> None:
         record = self.get_workflow_by_name(user, name)

@@ -52,8 +52,9 @@ Key properties:
 
 The index is maintained automatically by
 :class:`~repro.registry.service.RegistryService` (every PE/workflow
-add/remove updates the owner's shards — and persists slab snapshots so
-a warm restart attaches without the O(corpus) rebuild) and served by
+add/remove updates the owner's shards — and journals the same rows to
+the DAO so a warm restart attaches without the O(corpus) rebuild; see
+*Persistence architecture* below) and served by
 the HTTP layer's ``/registry/{user}/search`` endpoint and the ``repro
 search`` CLI command, with concurrent same-shard requests coalesced by
 :class:`~repro.search.serving.SearchBatcher` into one index pass (see
@@ -61,6 +62,48 @@ search`` CLI command, with concurrent same-shard requests coalesced by
 ``benchmarks/test_index_vs_scan.py`` records the speedup over the
 per-query matrix rebuild and ``benchmarks/test_http_batch.py`` the
 concurrent-serving and cold-start gains.
+
+Persistence architecture
+========================
+
+Shards persist **incrementally** (storage schema v6).  Every registry
+mutation stamps the ``(user, kind)`` shards whose content it changed
+with the bumped mutation counter (the DAO's ``shard_stamps``), and the
+service appends the same row batches to an append-only delta journal
+(``index_deltas``) at the same counters — a write costs one small
+journal row, not a whole-snapshot export.
+:meth:`~repro.registry.service.RegistryService.attach_index` replays
+each persisted base slab through its delta chain: a shard whose
+replayed chain tip equals its stamp loads straight into the index, so
+the warm path is O(delta) with zero record deserialization, while
+stale, torn, or corrupt shards rebuild individually from their own
+owner's records.  The invariants:
+
+* **Freshness is strict equality** — chain tip == shard stamp.  A
+  foreign process's write bumps stamps the journal never saw, so its
+  shards (and only its shards) rebuild; one tenant's write never
+  invalidates another tenant's slab.
+* **Chains are strictly increasing** — a delta at or below the current
+  tip is a crash-mid-compaction artifact; replay discards exactly that
+  shard (never the whole snapshot), and the attach rebuilds it.
+* **Compaction is bounded and crash-safe** — past
+  ``RegistryService.compact_after_deltas`` / ``compact_after_bytes``
+  the chain folds into its base slab at the same stamp, deleting only
+  the folded counters.  A crash at any point leaves tip <= stamp:
+  stale at worst, never wrongly fresh.
+* **Replay is bitwise** — a replayed slab is one C-contiguous float32
+  matrix in ascending id order, identical to the live index's layout,
+  so warm-started searches equal cold-rebuilt ones byte for byte.
+
+Approximate backends persist their trained state per shard at the same
+stamps (``ivf_states`` / ``hnsw_states``);
+``attach_approx_backend`` adopts exactly the states whose stored stamp
+matches the live shard's, and ``HNSWBackend`` extends its graph in
+place on pure appends — new rows route and link into the existing
+adjacency, provably identical to a full rebuild for untied
+similarities — instead of rebuilding per mutation.
+``benchmarks/test_incremental_persist.py`` records the
+bytes-written-per-mutation and warm-attach gains.
 
 Pluggable backends
 ==================

@@ -122,8 +122,14 @@ class IndexBackend(Protocol):
     ) -> list[tuple[list[int], np.ndarray]] | None: ...
 
     # -- persistence / introspection ------------------------------------
+    # ``keys`` restricts the export to specific shard keys — the
+    # persistence layer pairs it with ``consume_dirty()`` (an optional
+    # capability; backends wrapping a ``VectorIndex`` delegate both) to
+    # flush only the shards a write actually touched.
     def snapshot(
-        self, user: Hashable | None = None
+        self,
+        user: Hashable | None = None,
+        keys: set[tuple[Hashable, str]] | None = None,
     ) -> dict[tuple[Hashable, str], tuple[np.ndarray, np.ndarray]]: ...
 
     def stats(self) -> dict: ...
@@ -275,11 +281,17 @@ class IVFFlatBackend:
                 for key in [k for k in self._states if k[0] == user]:
                     del self._states[key]
 
-    def snapshot(self, user=None):
-        return self.base.snapshot(user)
+    def snapshot(self, user=None, keys=None):
+        return self.base.snapshot(user, keys)
 
-    def export_shards(self, user=None):
-        return self.base.export_shards(user)
+    def export_shards(self, user=None, keys=None):
+        return self.base.export_shards(user, keys)
+
+    def dirty_keys(self):
+        return self.base.dirty_keys()
+
+    def consume_dirty(self):
+        return self.base.consume_dirty()
 
     def contains(self, user, kind, rid) -> bool:
         return self.base.contains(user, kind, rid)
@@ -665,6 +677,80 @@ def _build_hnsw(shard: _Shard, m: int, m0: int) -> _HNSWState:
     return _HNSWState(shard, shard.version, levels, neighbors)
 
 
+def _extend_hnsw(
+    state: _HNSWState, shard: _Shard, m: int, m0: int
+) -> _HNSWState:
+    """Insert-time incremental build: extend an existing graph with the
+    rows appended since it was built, instead of rebuilding whole-graph.
+
+    Valid only when every mutation since ``state.version`` was a pure
+    tail append (``shard.last_nonappend_version <= state.version``) —
+    then every row the old graph indexed still sits at the same slab
+    position with the same bytes, so:
+
+    * **levels** — hashed from the slab *position*, so existing rows
+      keep theirs verbatim and only the new positions are hashed;
+    * **new rows' adjacency** — their exact ``m0``-NN over the whole
+      slab, one ``(n_new, N)`` GEMM instead of the rebuild's O(N²);
+    * **existing rows' adjacency** — unchanged unless some new row
+      scores above the row's current worst neighbor (the old list is
+      the exact top-k of the old rows, so only such rows can change);
+      the affected rows — and every row whose list was shorter than the
+      new ``k_neigh`` — are recomputed with the rebuild's own blocked
+      kernel, which keeps their ordering semantics identical.
+
+    The result matches :func:`_build_hnsw` over the grown slab (for
+    untied similarities — real-valued embeddings), so incremental and
+    rebuilt graphs serve the same candidates and, because every
+    candidate is exactly re-scored at query time, identical results.
+    """
+    size = shard.size
+    matrix = shard.matrix[:size]
+    old_size = int(state.levels.shape[0])
+    n_new = size - old_size
+    rows = np.arange(old_size, size, dtype=np.uint64)
+    hashed = (rows * np.uint64(2654435761)) % np.uint64(2**32)
+    uniform = (hashed.astype(np.float64) + 1.0) / float(2**32)
+    new_levels = np.floor(-np.log(uniform) / np.log(float(m))).astype(np.int64)
+    levels = np.concatenate((state.levels, new_levels))
+    k_neigh = min(m0, size - 1)
+    old_k = min(m0, old_size - 1)
+    neighbors = np.full((size, m0), -1, dtype=np.int64)
+    # new rows: exact m0-NN against the whole slab in one product
+    sims_new = matrix[old_size:size] @ matrix.T
+    sims_new[np.arange(n_new), np.arange(old_size, size)] = -np.inf
+    row_idx = np.arange(n_new)[:, None]
+    part = np.argpartition(-sims_new, k_neigh - 1, axis=1)[:, :k_neigh]
+    order = np.argsort(-sims_new[row_idx, part], kind="stable", axis=1)
+    neighbors[old_size:size, :k_neigh] = part[row_idx, order]
+    # existing rows: a new row enters a list only by beating its worst
+    # current neighbor; short lists (old shard smaller than m0+1) grow
+    # unconditionally
+    if old_k < k_neigh:
+        stale = np.arange(old_size, dtype=np.int64)
+    else:
+        worst_rows = state.neighbors[:, old_k - 1]
+        worst = np.einsum(
+            "ij,ij->i", matrix[:old_size], matrix[worst_rows]
+        )
+        best_new = sims_new[:, :old_size].max(axis=0)
+        stale = np.flatnonzero(best_new > worst)
+        fresh = np.ones(old_size, dtype=bool)
+        fresh[stale] = False
+        neighbors[:old_size][fresh] = state.neighbors[fresh]
+    if stale.size > 0:
+        block = 512
+        for start in range(0, stale.size, block):
+            rows_blk = stale[start : start + block]
+            sims = matrix[rows_blk] @ matrix.T
+            sims[np.arange(rows_blk.size), rows_blk] = -np.inf
+            part = np.argpartition(-sims, k_neigh - 1, axis=1)[:, :k_neigh]
+            blk_idx = np.arange(rows_blk.size)[:, None]
+            order = np.argsort(-sims[blk_idx, part], kind="stable", axis=1)
+            neighbors[rows_blk, :k_neigh] = part[blk_idx, order]
+    return _HNSWState(shard, shard.version, levels, neighbors)
+
+
 class HNSWBackend:
     """Graph-navigation approximate retrieval over the exact index's shards.
 
@@ -724,6 +810,9 @@ class HNSWBackend:
         self._states: dict[tuple[Hashable, str], _HNSWState] = {}
         self._states_lock = threading.Lock()
         self.builds = 0
+        #: insert-time incremental graph extensions (appends routed and
+        #: linked into the existing graph instead of a whole-graph build)
+        self.extends = 0
         self.approx_queries = 0
         self.exact_queries = 0
 
@@ -751,11 +840,17 @@ class HNSWBackend:
                 for key in [k for k in self._states if k[0] == user]:
                     del self._states[key]
 
-    def snapshot(self, user=None):
-        return self.base.snapshot(user)
+    def snapshot(self, user=None, keys=None):
+        return self.base.snapshot(user, keys)
 
-    def export_shards(self, user=None):
-        return self.base.export_shards(user)
+    def export_shards(self, user=None, keys=None):
+        return self.base.export_shards(user, keys)
+
+    def dirty_keys(self):
+        return self.base.dirty_keys()
+
+    def consume_dirty(self):
+        return self.base.consume_dirty()
 
     def contains(self, user, kind, rid) -> bool:
         return self.base.contains(user, kind, rid)
@@ -865,11 +960,28 @@ class HNSWBackend:
         graph build is ~``size`` exact scans' worth of BLAS, so one
         rebuild per ``size`` stale-served queries bounds the amortized
         overhead at a constant factor.  Caller holds the base lock.
+
+        When every mutation since the build was a pure tail append
+        (the registry's monotonic-id common case), the graph is instead
+        **extended in place** (:func:`_extend_hnsw`) — an O(delta · N)
+        insert-time build, cheap enough to run eagerly on the first
+        query after the appends rather than deferring behind the
+        amortization window.
         """
         with self._states_lock:
             state = self._states.get(key)
         if state is not None and state.shard is shard:
             if state.version == shard.version:
+                return state
+            old_size = int(state.levels.shape[0])
+            if (
+                shard.last_nonappend_version <= state.version
+                and 2 <= old_size < shard.size
+            ):
+                state = _extend_hnsw(state, shard, self.m, self.m0)
+                with self._states_lock:
+                    self._states[key] = state
+                    self.extends += 1
                 return state
             write_threshold = max(
                 1, int(self.rebuild_fraction * shard.size)

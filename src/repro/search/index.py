@@ -136,7 +136,15 @@ class _Shard:
     near-ties rank differently than the reference scan.
     """
 
-    __slots__ = ("matrix", "ids", "size", "row_of", "dim", "version")
+    __slots__ = (
+        "matrix",
+        "ids",
+        "size",
+        "row_of",
+        "dim",
+        "version",
+        "last_nonappend_version",
+    )
 
     def __init__(self, dim: int) -> None:
         self.dim = dim
@@ -147,6 +155,12 @@ class _Shard:
         #: bumped on every row mutation; approximate backends key their
         #: derived structures (e.g. IVF lists) off (shard, version)
         self.version = 0
+        #: version of the most recent mutation that was *not* a pure
+        #: tail append (in-place update, mid-insert, remove).  A derived
+        #: structure built at version V can be extended incrementally
+        #: iff ``last_nonappend_version <= V`` — every row it indexed
+        #: still sits at the same position with the same bytes.
+        self.last_nonappend_version = 0
 
     # -- mutation ---------------------------------------------------------
     def _grow(self) -> None:
@@ -161,12 +175,14 @@ class _Shard:
         self.version += 1
         row = self.row_of.get(rid)
         if row is not None:  # update in place, keeping the row position
+            self.last_nonappend_version = self.version
             self.matrix[row] = vector
             return
         if self.size == self.matrix.shape[0]:
             self._grow()
         pos = int(np.searchsorted(self.ids[: self.size], rid))
         if pos < self.size:  # mid-insert: shift the tail up one row
+            self.last_nonappend_version = self.version
             self.matrix[pos + 1 : self.size + 1] = self.matrix[
                 pos : self.size
             ].copy()
@@ -183,6 +199,7 @@ class _Shard:
         if row is None:
             return False
         self.version += 1
+        self.last_nonappend_version = self.version
         last = self.size - 1
         if row != last:
             self.matrix[row:last] = self.matrix[row + 1 : self.size]
@@ -250,6 +267,9 @@ class VectorIndex:
         self._lock = threading.RLock()
         self._shards: dict[tuple[Hashable, str], _Shard] = {}
         self.query_cache = EmbeddingLRU(query_cache_size)
+        #: shard keys mutated since the last :meth:`consume_dirty` —
+        #: the persistence layer flushes exactly these, never O(corpus)
+        self._dirty: set[tuple[Hashable, str]] = set()
 
     # ------------------------------------------------------------------
     # Mutation
@@ -270,6 +290,7 @@ class VectorIndex:
                     f"index d={shard.dim} vs vector d={vec.shape[0]}"
                 )
             shard.add(int(rid), vec)
+            self._dirty.add((user, kind))
 
     update = add
 
@@ -288,34 +309,38 @@ class VectorIndex:
         ``searchsorted``, shifting or geometric regrowth.  Any other
         case falls back to per-row :meth:`add`, which preserves the
         id-ordered layout invariant.
+
+        ``rids`` may be an int64 ndarray (the DAO hands slabs back that
+        way) — it is consumed vectorized, with no per-id Python
+        conversion loop on the fast path.
         """
-        ids = [int(rid) for rid in rids]
+        ids = np.asarray(rids, dtype=np.int64).reshape(-1)
         matrix = np.asarray(vectors, dtype=np.float32)
         if matrix.ndim == 1:
             matrix = matrix.reshape(1, -1)
-        if matrix.shape[0] != len(ids):
+        if matrix.shape[0] != ids.shape[0]:
             raise ValidationError(
-                f"got {len(ids)} ids for {matrix.shape[0]} vectors"
+                f"got {ids.shape[0]} ids for {matrix.shape[0]} vectors"
             )
-        if not ids:
+        count = int(ids.shape[0])
+        if count == 0:
             return
         with self._lock:
             shard = self._shards.get((user, kind))
-            ascending = all(a < b for a, b in zip(ids, ids[1:]))
+            ascending = bool(np.all(ids[:-1] < ids[1:]))
             if shard is None and ascending:
                 shard = _Shard(int(matrix.shape[1]))
-                capacity = max(
-                    _INITIAL_CAPACITY, 1 << (len(ids) - 1).bit_length()
-                )
+                capacity = max(_INITIAL_CAPACITY, 1 << (count - 1).bit_length())
                 shard.matrix = np.zeros((capacity, shard.dim), dtype=np.float32)
-                shard.matrix[: len(ids)] = matrix
+                shard.matrix[:count] = matrix
                 shard.ids = np.zeros(capacity, dtype=np.int64)
-                shard.ids[: len(ids)] = ids
-                shard.size = len(ids)
-                shard.row_of = {rid: row for row, rid in enumerate(ids)}
+                shard.ids[:count] = ids
+                shard.size = count
+                shard.row_of = {int(rid): row for row, rid in enumerate(ids)}
                 self._shards[(user, kind)] = shard
+                self._dirty.add((user, kind))
                 return
-            for rid, vector in zip(ids, matrix):
+            for rid, vector in zip(ids.tolist(), matrix):
                 self.add(user, kind, rid, vector)
 
     def remove(self, user: Hashable, kind: str, rid: int) -> bool:
@@ -324,23 +349,48 @@ class VectorIndex:
             shard = self._shards.get((user, kind))
             if shard is None:
                 return False
-            return shard.remove(int(rid))
+            removed = shard.remove(int(rid))
+            if removed:
+                self._dirty.add((user, kind))
+            return removed
 
     def remove_everywhere(self, user: Hashable, rid: int) -> None:
         """Drop a record id from every shard of one user."""
         with self._lock:
-            for (shard_user, _kind), shard in self._shards.items():
-                if shard_user == user:
-                    shard.remove(int(rid))
+            for (shard_user, kind), shard in self._shards.items():
+                if shard_user == user and shard.remove(int(rid)):
+                    self._dirty.add((shard_user, kind))
 
     def clear(self, user: Hashable | None = None) -> None:
         with self._lock:
             if user is None:
+                self._dirty.update(self._shards)
                 self._shards.clear()
             else:
                 for key in [k for k in self._shards if k[0] == user]:
                     del self._shards[key]
+                    self._dirty.add(key)
         self.query_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Dirty tracking (the persistence layer's O(delta) contract)
+    # ------------------------------------------------------------------
+    def dirty_keys(self) -> set[tuple[Hashable, str]]:
+        """Shard keys mutated since the last :meth:`consume_dirty`."""
+        with self._lock:
+            return set(self._dirty)
+
+    def consume_dirty(self) -> set[tuple[Hashable, str]]:
+        """Return and clear the dirty shard-key set.
+
+        The caller owns flushing exactly these keys; a key whose shard
+        no longer exists (or is empty) means the persisted slab should
+        be dropped, not rewritten.
+        """
+        with self._lock:
+            dirty = self._dirty
+            self._dirty = set()
+            return dirty
 
     # ------------------------------------------------------------------
     # Introspection
@@ -372,7 +422,9 @@ class VectorIndex:
             return [] if shard is None else shard.live_ids()
 
     def export_shards(
-        self, user: Hashable | None = None
+        self,
+        user: Hashable | None = None,
+        keys: set[tuple[Hashable, str]] | None = None,
     ) -> dict[tuple[Hashable, str], tuple[np.ndarray, np.ndarray]]:
         """Snapshot live slabs as ``{(user, kind): (ids, matrix)}``.
 
@@ -381,7 +433,9 @@ class VectorIndex:
         bulk-stacks on import, so a persisted slab round-trips into an
         identical shard (bitwise: vectors are copied verbatim).  Empty
         shards are omitted.  Copies are taken under the lock, so the
-        snapshot is never torn by concurrent mutation.
+        snapshot is never torn by concurrent mutation.  ``keys``
+        restricts the export to specific shard keys (the dirty-set
+        flush path), ``user`` to one tenant.
         """
         with self._lock:
             return {
@@ -390,15 +444,19 @@ class VectorIndex:
                     shard.matrix[: shard.size].copy(),
                 )
                 for key, shard in self._shards.items()
-                if shard.size > 0 and (user is None or key[0] == user)
+                if shard.size > 0
+                and (user is None or key[0] == user)
+                and (keys is None or key in keys)
             }
 
     def snapshot(
-        self, user: Hashable | None = None
+        self,
+        user: Hashable | None = None,
+        keys: set[tuple[Hashable, str]] | None = None,
     ) -> dict[tuple[Hashable, str], tuple[np.ndarray, np.ndarray]]:
         """Protocol name for :meth:`export_shards` (see
         :class:`repro.search.backend.IndexBackend`)."""
-        return self.export_shards(user)
+        return self.export_shards(user, keys)
 
     def stats(self) -> dict[str, dict[str, int]]:
         with self._lock:

@@ -49,11 +49,49 @@ scores candidates in Python — through the owner-joined ``LIKE``
 parity adapter that keeps its output byte-identical.
 
 Cold start: :meth:`~repro.registry.service.RegistryService.attach_index`
-loads persisted float32 slabs straight from the DAO when their stamped
-mutation counter still matches the registry, skipping the O(corpus)
-``all_pes()`` rebuild entirely; after any rebuild the fresh slabs are
-persisted back, so a restarted deployment pays the pass at most once
-per mutation epoch.
+replays each persisted base slab through its append-only delta journal
+and loads every shard whose replayed chain tip equals the per-shard
+mutation stamp the DAO keeps — O(delta) work, zero record
+deserialization.  Writes journal their row batches inline (folded back
+into the base slab past a chain-length/bytes bound), so a warm restart
+costs the replay of what actually changed; only shards that are stale
+(a write the journal never saw — e.g. a foreign process's), torn, or
+corrupt rebuild, each from its own owner's records.  One tenant's
+write never invalidates another tenant's slab.
+
+Storage schema versions
+=======================
+
+The SQLite DAO steps older files up on open (``PRAGMA user_version``;
+see ``SqliteDAO._migrate``):
+
+===  =================================================================
+v    Added
+===  =================================================================
+v1   Normalized ownership/association join tables (``pe_owners``,
+     ``workflow_owners``, ``workflow_pes``), backfilled from the
+     legacy JSON columns.
+v2   Slab snapshot persistence: ``index_shards`` plus
+     ``registry_meta`` (the global mutation counter).
+v3   Typed write envelope: per-record ``revision`` columns and the
+     ``write_receipts`` / ``ivf_states`` tables.
+v4   ``created_at`` on receipts (TTL sweeps; pre-v4 rows stamp 0, the
+     epoch, so an age sweep retires them first).
+v5   FTS5 text side tables backfilled from the record tables, and
+     ``hnsw_states`` for the HNSW graph snapshot.
+v6   Incremental persistence: per-shard ``shard_stamps`` and the
+     append-only ``index_deltas`` journal.  A shard is fresh iff its
+     replayed chain tip *equals* its stamp; chains must be strictly
+     counter-increasing (a non-increasing chain is a crash artifact
+     and discards only that shard); compaction folds a chain into its
+     base slab at the same stamp and deletes exactly the folded
+     counters, so a crash anywhere leaves tip <= stamp — stale at
+     worst, never wrongly fresh.  ``ivf_states`` / ``hnsw_states``
+     rows carry the same per-shard stamps.  A pre-v6 snapshot seeds
+     the stamps only when provably current (uniform counter equal to
+     the live mutation counter); otherwise the first attach pays one
+     full rebuild, which then stamps every shard.
+===  =================================================================
 
 Scatter/gather shard serving
 ============================

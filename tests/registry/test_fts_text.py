@@ -209,7 +209,7 @@ class TestSchemaV5Backfill:
 
         dao2 = SqliteDAO(path)
         version = dao2._conn.execute("PRAGMA user_version").fetchone()[0]
-        assert version == 5
+        assert version == 6
         assert (
             dao2.text_topk_pes(alice.user_id, "prime") == expected_pes
         )

@@ -2,13 +2,14 @@
 
 The HNSW backend's graph (per-row level assignment + base-layer
 adjacency) persists next to the slab snapshot in its own state store
-(``hnsw_states``), stamped with the same registry mutation counter the
-IVF snapshot uses (``RegistryService.persist_shards`` saves every
-companion; ``attach_approx_backend`` routes the restore by the
-backend's ``state_store``).  A warm cold start then skips the O(N²)
-lazy graph build entirely; any mismatch — registry mutated since the
-stamp (stale) or mixed counters from a crash mid-save (torn) — leaves
-the backend unbuilt, which is always correct (it rebuilds lazily).
+(``hnsw_states``), each shard stamped with the same per-shard
+mutation stamp its slab carries (``RegistryService.persist_shards``
+saves every companion; ``attach_approx_backend`` routes the restore by
+the backend's ``state_store``).  A warm cold start then skips the
+O(N²) lazy graph build entirely; any mismatch — registry mutated since
+the stamp (stale) or a torn/corrupt row from a crash mid-save —
+discards exactly that shard's graph, which is always correct (it
+rebuilds lazily).
 """
 
 import numpy as np
@@ -76,9 +77,9 @@ class TestWarmRestore:
         first = hnsw.search(user.user_id, KIND_DESC, query, k=5)
         assert hnsw.builds == 1 and hnsw.approx_queries == 1
         assert service.persist_shards() is True
-        stored = dao.load_hnsw_states()
-        assert stored is not None
-        assert stored[0] == dao.mutation_counter()
+        stamps, states = dao.load_hnsw_states()
+        assert states
+        assert set(stamps.values()) == {dao.mutation_counter()}
 
         dao2, service2, hnsw2, mode, state = reopen(path)
         assert mode == "fresh"
@@ -112,8 +113,8 @@ class TestWarmRestore:
         hnsw.search(user.user_id, KIND_DESC, query, k=5)
         ivf.search(user.user_id, KIND_DESC, query, k=5)
         assert service.persist_shards() is True
-        assert dao.load_hnsw_states() is not None
-        assert dao.load_ivf_states() is not None
+        assert dao.load_hnsw_states()[1]
+        assert dao.load_ivf_states()[1]
         dao2, service2, hnsw2, mode, state = reopen(path)
         assert state == "restored"
         ivf2 = IVFFlatBackend(
@@ -142,7 +143,9 @@ class TestStaleAndTorn:
             ),
         )
         dao2, service2, hnsw2, mode, state = reopen(path)
-        assert mode == "rebuilt"  # the slab snapshot is stale too
+        # the delta journal carried the late write, so the slab itself
+        # replays fresh — but the graph state was stamped before it
+        assert mode == "fresh"
         assert state == "stale"
         # the stale graph never serves: the next query rebuilds
         hnsw2.search(
@@ -175,9 +178,20 @@ class TestStaleAndTorn:
         conn.commit()
         conn.close()
         dao2, service2, hnsw2, mode, state = reopen(path)
-        assert dao2.load_hnsw_states() is None  # mixed counters: torn
+        stamps, states = dao2.load_hnsw_states()
+        assert len(states) == 2  # both rows still decode
         assert mode == "fresh"  # the slab snapshot itself is intact
-        assert state == "untrained"
+        # per-shard stamps: only the overwritten code row is torn; the
+        # intact desc graph still restores
+        assert state == "restored"
+        hnsw2.search(
+            user.user_id, KIND_DESC, unit(np.random.default_rng(12)), k=5
+        )
+        assert hnsw2.builds == 0  # desc serves from the restored graph
+        hnsw2.search(
+            user.user_id, KIND_CODE, unit(np.random.default_rng(13)), k=5
+        )
+        assert hnsw2.builds == 1  # the torn code shard rebuilds lazily
 
     def test_corrupt_blob_forces_rebuild(self, stack):
         import sqlite3
@@ -193,7 +207,7 @@ class TestStaleAndTorn:
         conn.commit()
         conn.close()
         dao2, _, _, _, state = reopen(path)
-        assert dao2.load_hnsw_states() is None
+        assert dao2.load_hnsw_states() == ({}, {})
         assert state == "untrained"
 
 
@@ -209,8 +223,8 @@ class TestInMemoryRoundTrip:
             user.user_id, KIND_DESC, unit(np.random.default_rng(0)), k=5
         )
         assert service.persist_shards() is True
-        counter, states = dao.load_hnsw_states()
-        assert counter == dao.mutation_counter()
+        stamps, states = dao.load_hnsw_states()
+        assert set(stamps.values()) == {dao.mutation_counter()}
         exported = hnsw.export_states()
         assert set(states) == set(exported)
         for key in exported:

@@ -1,13 +1,13 @@
 """Persisted IVF training state: warm restores, stale/torn rejection.
 
 The IVF backend's trained centroids + inverted lists persist next to
-the slab snapshot, stamped with the *same* registry mutation counter
-(``RegistryService.persist_shards`` saves both;
-``attach_approx_backend`` restores on attach).  A warm cold start then
-skips the lazy k-means retrain entirely; any mismatch — registry
-mutated since the stamp (stale) or mixed counters from a crash
-mid-save (torn) — leaves the backend untrained, which is always
-correct (it retrains lazily).
+the slab snapshot, each shard stamped with the *same* per-shard
+mutation stamp its slab carries (``RegistryService.persist_shards``
+saves both; ``attach_approx_backend`` restores on attach).  A warm
+cold start then skips the lazy k-means retrain entirely; any mismatch
+— registry mutated since the stamp (stale) or a torn/corrupt row from
+a crash mid-save — discards exactly that shard's state, which is
+always correct (it retrains lazily).
 """
 
 import numpy as np
@@ -75,9 +75,9 @@ class TestWarmRestore:
         first = ivf.search(user.user_id, KIND_DESC, query, k=5)
         assert ivf.trainings == 1 and ivf.approx_queries == 1
         assert service.persist_shards() is True
-        stored = dao.load_ivf_states()
-        assert stored is not None
-        assert stored[0] == dao.mutation_counter()
+        stamps, states = dao.load_ivf_states()
+        assert states
+        assert set(stamps.values()) == {dao.mutation_counter()}
 
         dao2, service2, ivf2, mode, state = reopen(path)
         assert mode == "fresh"
@@ -116,7 +116,9 @@ class TestStaleAndTorn:
             ),
         )
         dao2, service2, ivf2, mode, state = reopen(path)
-        assert mode == "rebuilt"  # the slab snapshot is stale too
+        # the delta journal carried the late write, so the slab itself
+        # replays fresh — but the IVF state was stamped before it
+        assert mode == "fresh"
         assert state == "stale"
         # the stale lists never serve: the next query retrains
         ivf2.search(user.user_id, KIND_DESC, unit(np.random.default_rng(8)), k=5)
@@ -144,9 +146,16 @@ class TestStaleAndTorn:
         conn.commit()
         conn.close()
         dao2, service2, ivf2, mode, state = reopen(path)
-        assert dao2.load_ivf_states() is None  # mixed counters: torn
+        stamps, states = dao2.load_ivf_states()
+        assert len(states) == 2  # both rows still decode
         assert mode == "fresh"  # the slab snapshot itself is intact
-        assert state == "untrained"
+        # per-shard stamps: only the overwritten code row is torn; the
+        # intact desc state still restores
+        assert state == "restored"
+        ivf2.search(user.user_id, KIND_DESC, unit(np.random.default_rng(12)), k=5)
+        assert ivf2.trainings == 0  # desc serves from the restored lists
+        ivf2.search(user.user_id, KIND_CODE, unit(np.random.default_rng(13)), k=5)
+        assert ivf2.trainings == 1  # the torn code shard retrains lazily
 
     def test_corrupt_blob_forces_retrain(self, stack):
         import sqlite3
@@ -160,7 +169,7 @@ class TestStaleAndTorn:
         conn.commit()
         conn.close()
         dao2, _, _, _, state = reopen(path)
-        assert dao2.load_ivf_states() is None
+        assert dao2.load_ivf_states() == ({}, {})
         assert state == "untrained"
 
 
@@ -217,8 +226,8 @@ class TestInMemoryRoundTrip:
         service.attach_approx_backend(ivf)
         ivf.search(user.user_id, KIND_DESC, unit(np.random.default_rng(0)), k=5)
         assert service.persist_shards() is True
-        counter, states = dao.load_ivf_states()
-        assert counter == dao.mutation_counter()
+        stamps, states = dao.load_ivf_states()
+        assert set(stamps.values()) == {dao.mutation_counter()}
         exported = ivf.export_states()
         assert set(states) == set(exported)
         for key in exported:

@@ -122,45 +122,45 @@ class TestSqliteColdStart:
         assert got[0] == reference[0]
         assert np.array_equal(got[1], reference[1])
 
-    def test_mutation_invalidates_snapshot(self, tmp_path):
+    def test_journaled_mutation_keeps_snapshot_fresh(self, tmp_path):
         rng = np.random.default_rng(14)
         path = tmp_path / "registry.db"
         service, alice, _ = populate(SqliteDAO(path), rng)
         service.attach_index(VectorIndex())
         assert service.shard_persistence()["fresh"]
-        # a post-persist write bumps the counter past the snapshot
+        # a post-persist write appends its rows to the delta journal
+        # inline, so the persisted state tracks the live index without
+        # a re-export — and the next cold start replays it
         service.add_pe(
             alice, make_pe("Late", code="bGF0ZQ==", desc_embedding=unit(rng))
         )
         report = service.shard_persistence()
-        assert not report["fresh"]
-        assert report["currentCounter"] > report["storedCounter"]
+        assert report["fresh"]
+        assert report["journal"]["rows"] > 0
         service.dao.close()
 
         counted = CallCountingDAO(SqliteDAO(path))
         restarted = RegistryService(counted)
         index = VectorIndex()
-        assert restarted.attach_index(index) == "rebuilt"
-        assert counted.all_pes_calls == 1
-        # the rebuilt snapshot includes the late record and is fresh again
+        assert restarted.attach_index(index) == "fresh"
+        assert counted.all_pes_calls == 0
         user = restarted.get_user("alice")
-        assert restarted.shard_persistence()["fresh"]
         late = restarted.get_pe_by_name(user, "Late")
         assert index.contains(user.user_id, KIND_DESC, late.pe_id)
 
-    def test_remove_invalidates_snapshot(self, tmp_path):
+    def test_journaled_remove_replays_on_attach(self, tmp_path):
         rng = np.random.default_rng(15)
         path = tmp_path / "registry.db"
         service, alice, _ = populate(SqliteDAO(path), rng)
         service.attach_index(VectorIndex())
         victim = service.user_pes(alice)[0]
         service.remove_pe(alice, victim.pe_id)
-        assert not service.shard_persistence()["fresh"]
+        assert service.shard_persistence()["fresh"]
         service.dao.close()
 
         restarted = RegistryService(SqliteDAO(path))
         index = VectorIndex()
-        assert restarted.attach_index(index) == "rebuilt"
+        assert restarted.attach_index(index) == "fresh"
         user = restarted.get_user("alice")
         assert not index.contains(user.user_id, KIND_DESC, victim.pe_id)
 
@@ -232,7 +232,8 @@ class TestSqliteColdStart:
             "UPDATE index_shards SET vectors = X'00112233'"
         )
         service.dao._conn.commit()
-        assert service.dao.load_index_shards() is None
+        shards, discarded = service.dao.load_index_shards()
+        assert shards == {} and discarded > 0
         service.dao.close()
         restarted = RegistryService(SqliteDAO(path))
         assert restarted.attach_index(VectorIndex()) == "rebuilt"
@@ -242,17 +243,22 @@ class TestSqliteColdStart:
         path = tmp_path / "registry.db"
         service, _, _ = populate(SqliteDAO(path), rng)
         service.attach_index(VectorIndex())
-        # simulate a crash mid-save: rows stamped at different counters
+        # simulate a crash mid-save: code rows stamped past their shard
         service.dao._conn.execute(
             "UPDATE index_shards SET mutation_counter = mutation_counter + 1"
             " WHERE kind = ?",
             (KIND_CODE,),
         )
         service.dao._conn.commit()
-        assert service.dao.load_index_shards() is None
+        shards, discarded = service.dao.load_index_shards()
+        assert discarded == 0  # every row still decodes
         service.dao.close()
-        restarted = RegistryService(SqliteDAO(path))
-        assert restarted.attach_index(VectorIndex()) == "rebuilt"
+        counted = CallCountingDAO(SqliteDAO(path))
+        restarted = RegistryService(counted)
+        # only the torn code shards (tip ≠ stamp) rebuild; desc and
+        # workflow slabs replay untouched
+        assert restarted.attach_index(VectorIndex()) == "partial"
+        assert counted.all_pes_calls == 0
 
     def test_schema_v1_file_migrates_and_rebuilds(self, tmp_path):
         # a pre-v2 file has no slab tables; opening it must create them

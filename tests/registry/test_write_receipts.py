@@ -268,7 +268,7 @@ class TestMigrationToV3:
         # the v3 tables exist and work
         dao.save_write_receipt(1, "k", "fp", 200, {"ok": True})
         assert dao.get_write_receipt(1, "k")[2] == {"ok": True}
-        assert dao.load_ivf_states() is None
+        assert dao.load_ivf_states() == ({}, {})
         version = dao._conn.execute("PRAGMA user_version").fetchone()[0]
         assert version == _SCHEMA_VERSION
 

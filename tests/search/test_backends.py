@@ -391,38 +391,58 @@ class TestHNSWParity:
 
 
 class TestHNSWMaintenance:
-    def test_mutation_invalidates_graph(self, populated):
+    def test_append_extends_graph_in_place(self, populated):
         base, ids, rows, rng = populated
-        # rebuild_fraction=0: eager rebuild on any mutation
         hnsw = HNSWBackend(base, m=8, m0=32, ef_search=6, rebuild_fraction=0)
         q = rng.standard_normal(32).astype(np.float32)
         hnsw.search_among("u", KIND_DESC, ids, q, 5)
         assert hnsw.builds == 1
         # a duplicate of an existing row lands inside its cluster, so
-        # the rebuilt adjacency must reach it
+        # the incrementally linked adjacency must reach it
         new_vec = rows[0].copy()
         base.add("u", KIND_DESC, 999, new_vec)
         got = hnsw.search_among("u", KIND_DESC, ids + [999], new_vec, 5)
-        assert hnsw.builds == 2  # rebuilt after the add
+        assert hnsw.builds == 1 and hnsw.extends == 1  # linked, not rebuilt
         assert got is not None and 999 in got[0]  # the new row is found
+        # a non-append mutation still invalidates the graph: eager
+        # rebuild at rebuild_fraction=0
+        base.remove("u", KIND_DESC, ids[0])
+        hnsw.search_among("u", KIND_DESC, ids[1:] + [999], q, 5)
+        assert hnsw.builds == 2
 
-    def test_recent_mutations_serve_exact_until_rebuild_amortizes(
-        self, populated
-    ):
-        base, ids, _rows, rng = populated
-        hnsw = HNSWBackend(base, m=8, ef_search=4, rebuild_fraction=0.02)
+    def test_extended_graph_matches_full_rebuild(self, populated):
+        """Conformance: insert-time extension serves results bitwise
+        identical to a graph built from scratch over the grown slab."""
+        base, ids, rows, rng = populated
+        opts = dict(m=8, ef_search=4, rebuild_fraction=0.02)
+        hnsw = HNSWBackend(base, **opts)
         q = rng.standard_normal(32).astype(np.float32)
         hnsw.search_among("u", KIND_DESC, ids, q, 5)
         assert hnsw.builds == 1
-        new_vec = np.ones(32, dtype=np.float32) / np.sqrt(32.0)
-        base.add("u", KIND_DESC, 999, new_vec)
-        got = hnsw.search_among("u", KIND_DESC, ids + [999], new_vec, 5)
-        # one mutation is below the threshold: no rebuild, but the
-        # query still finds the new row through the exact scan
-        assert hnsw.builds == 1
-        assert got is not None and got[0][0] == 999
-        want = base.search_among("u", KIND_DESC, ids + [999], new_vec, 5)
-        assert got[0] == want[0] and np.array_equal(got[1], want[1])
+        new_ids = list(ids)
+        for step in range(3):
+            vec = rng.standard_normal(32).astype(np.float32)
+            vec /= np.linalg.norm(vec)
+            base.add("u", KIND_DESC, 999 + step, vec)
+            new_ids.append(999 + step)
+        got = hnsw.search_among("u", KIND_DESC, new_ids, q, 10)
+        # the appends routed + linked into the existing graph in place
+        assert hnsw.builds == 1 and hnsw.extends == 1
+        fresh = HNSWBackend(base, **opts)
+        want = fresh.search_among("u", KIND_DESC, new_ids, q, 10)
+        assert fresh.builds == 1 and fresh.extends == 0
+        assert got is not None and want is not None
+        assert got[0] == want[0]
+        assert np.array_equal(got[1], want[1])
+        for trial in range(5):
+            probe = rows[trial * 13] + 0.05 * rng.standard_normal(32).astype(
+                np.float32
+            )
+            probe /= np.linalg.norm(probe)
+            got = hnsw.search_among("u", KIND_DESC, new_ids, probe, 10)
+            want = fresh.search_among("u", KIND_DESC, new_ids, probe, 10)
+            assert got[0] == want[0]
+            assert np.array_equal(got[1], want[1])
 
     def test_removed_id_never_returned(self, populated):
         base, ids, rows, _rng = populated
