@@ -11,6 +11,13 @@ Commands:
 * ``register`` — register a PE or workflow through the typed v1 write
   endpoint (idempotency keys, conditional writes, ``--bulk`` batches).
 * ``delete``  — remove a PE or workflow through the v1 delete endpoint.
+* ``ingest``  — ingest a whole source tree as a background job
+  (``POST /v1/registry/{user}/ingest``): walk, AST-chunk, embed and
+  bulk-register every function/class, streaming progress; with
+  ``--server`` the tree is packed into a tarball and uploaded to a
+  running deployment.
+* ``jobs``    — list, inspect or cancel background jobs over the
+  ``/v1/jobs`` routes.
 * ``stats``   — per-user registry counts via the DAO's owned-id
   projections (no record materialization, no model loading); add
   ``--shards`` for index shard occupancy.
@@ -183,6 +190,81 @@ def build_parser() -> argparse.ArgumentParser:
     delete.add_argument(
         "--no-fit", action="store_true",
         help="skip model IDF fitting (faster startup, weaker search)",
+    )
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="ingest a source tree into the registry as a background job",
+    )
+    ingest.add_argument("path", help="directory to walk, chunk and register")
+    ingest.add_argument(
+        "--db", default=None, help="SQLite registry path (default: in-memory)"
+    )
+    ingest.add_argument(
+        "--server", default=None, metavar="URL",
+        help="ingest into a running deployment instead: the tree is "
+        "packed into a .tar.gz and uploaded as the request's archive",
+    )
+    ingest.add_argument("--user", default="cli", help="registry user name")
+    ingest.add_argument("--password", default="cli", help="registry password")
+    ingest.add_argument(
+        "--batch-size", dest="batch_size", type=int, default=None,
+        help="chunks per bulk-registration batch (searches stay live "
+        "between batches)",
+    )
+    ingest.add_argument(
+        "--max-file-bytes", dest="max_file_bytes", type=int, default=None,
+        help="skip files larger than this many bytes",
+    )
+    ingest.add_argument(
+        "--max-chunk-lines", dest="max_chunk_lines", type=int, default=None,
+        help="re-split chunks longer than this many lines into windows",
+    )
+    ingest.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and exit instead of streaming progress "
+        "(only meaningful with --server: an in-process job dies with "
+        "the command)",
+    )
+    ingest.add_argument(
+        "--json", action="store_true",
+        help="emit the final job snapshot as one JSON object",
+    )
+    ingest.add_argument(
+        "--no-fit", action="store_true",
+        help="skip model IDF fitting (faster startup, weaker search)",
+    )
+
+    jobs = sub.add_parser(
+        "jobs",
+        help="list, inspect or cancel background jobs (/v1/jobs); most "
+        "useful with --server against a running deployment",
+    )
+    jobs.add_argument(
+        "job_id", nargs="?", default=None,
+        help="show one job (omit to list)",
+    )
+    jobs.add_argument(
+        "--cancel", action="store_true",
+        help="request cancellation of the given job id",
+    )
+    jobs.add_argument(
+        "--state", default=None,
+        choices=["queued", "running", "succeeded", "failed", "cancelled"],
+        help="filter the listing by state",
+    )
+    jobs.add_argument(
+        "--db", default=None, help="SQLite registry path (default: in-memory)"
+    )
+    jobs.add_argument(
+        "--server", default=None, metavar="URL",
+        help="talk to a running deployment instead of an in-process server",
+    )
+    jobs.add_argument("--user", default="cli", help="registry user name")
+    jobs.add_argument("--password", default="cli", help="registry password")
+    jobs.add_argument(
+        "--json", action="store_true",
+        help="emit the response envelope verbatim",
     )
 
     stats = sub.add_parser(
@@ -516,6 +598,227 @@ def cmd_delete(args: argparse.Namespace) -> int:
     return 0
 
 
+def _connect_for_write(args: argparse.Namespace, *, fit: bool = False):
+    """``(dispatch, token, error)`` for a write command.
+
+    In-process by default (``--db`` or in-memory), or a real deployment
+    when ``--server URL`` is given — the remote path introduces the user
+    over the wire first (``/auth/register`` may 4xx when the user
+    already exists; only the login outcome matters).
+    """
+    from repro.net.transport import Request
+
+    if getattr(args, "server", None):
+        from repro.server.http import HttpTransport
+
+        dispatch = HttpTransport(args.server).request
+        creds = {"userName": args.user, "password": args.password}
+        dispatch(Request("POST", "/auth/register", creds))
+        login = dispatch(Request("POST", "/auth/login", creds))
+        if login.status != 200:
+            return None, None, (
+                f"login failed: {login.body.get('message', login.body)}"
+            )
+        return dispatch, login.body["token"], None
+    server = _build_server(args.db, fit=fit)
+    token, error = _login_for_write(server, args.user, args.password)
+    if error:
+        return None, None, error
+    return server.dispatch, token, None
+
+
+def _pack_tree(path: str) -> tuple[str, int]:
+    """Base64 ``.tar.gz`` of the ingestable files under ``path``.
+
+    Reuses the server-side walker so the client ships exactly the file
+    set the server would have selected locally — skip dirs, binary and
+    oversized files never leave the machine.
+    """
+    import base64
+    import io
+    import tarfile
+
+    from repro.ingest.walker import iter_repo_files
+
+    buffer = io.BytesIO()
+    count = 0
+    with tarfile.open(fileobj=buffer, mode="w:gz") as tar:
+        for rel, text in iter_repo_files(path):
+            if text is None:
+                continue
+            data = text.encode("utf-8")
+            info = tarfile.TarInfo(rel)
+            info.size = len(data)
+            tar.addfile(info, io.BytesIO(data))
+            count += 1
+    return base64.b64encode(buffer.getvalue()).decode("ascii"), count
+
+
+def _format_progress(progress: dict) -> str:
+    files = progress.get("filesDiscovered", 0)
+    skipped = progress.get("filesSkipped", 0)
+    return (
+        f"files {files} (+{skipped} skipped)  "
+        f"chunks {progress.get('chunksDiscovered', 0)} discovered / "
+        f"{progress.get('chunksEmbedded', 0)} embedded / "
+        f"{progress.get('chunksInserted', 0)} inserted / "
+        f"{progress.get('chunksDeduped', 0)} deduped"
+    )
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Ingest a source tree through ``POST /v1/registry/{user}/ingest``.
+
+    The endpoint answers 202 with a job id immediately; this command
+    then follows the job over ``GET /v1/jobs/{id}``, echoing progress
+    counters as they move.  Against ``--server`` the tree is packed
+    into a tarball client-side (the path means nothing to a remote
+    machine) and uploaded as the request's ``archive``.
+    """
+    import json as _json
+    import os
+    import time
+
+    from repro.net.transport import Request
+    from repro.server.api import quote_segment
+
+    if not os.path.isdir(args.path):
+        print(f"not a directory: {args.path}")
+        return 1
+    dispatch, token, error = _connect_for_write(args, fit=not args.no_fit)
+    if error:
+        print(error)
+        return 1
+    body: dict = {}
+    if args.server:
+        body["archive"], packed = _pack_tree(args.path)
+        print(f"packed {packed} file(s) for upload")
+    else:
+        body["path"] = os.path.abspath(args.path)
+    if args.batch_size is not None:
+        body["batchSize"] = args.batch_size
+    if args.max_file_bytes is not None:
+        body["maxFileBytes"] = args.max_file_bytes
+    if args.max_chunk_lines is not None:
+        body["maxChunkLines"] = args.max_chunk_lines
+    response = dispatch(
+        Request(
+            "POST",
+            f"/v1/registry/{quote_segment(args.user)}/ingest",
+            body,
+            token=token,
+        )
+    )
+    if response.status != 202:
+        print(f"ingest failed: {response.body.get('message', response.body)}")
+        return 1
+    job_id = response.body["jobId"]
+    print(f"job {job_id} queued")
+    if args.no_wait:
+        return 0
+    last_line = None
+    while True:
+        poll = dispatch(
+            Request("GET", f"/v1/jobs/{quote_segment(job_id)}", token=token)
+        )
+        if not poll.ok:
+            print(f"job lookup failed: {poll.body.get('message', poll.body)}")
+            return 1
+        job = poll.body["job"]
+        line = _format_progress(job.get("progress", {}))
+        if line != last_line:
+            print(f"  {line}")
+            last_line = line
+        if job["state"] in ("succeeded", "failed", "cancelled"):
+            break
+        time.sleep(0.15)
+    if args.json:
+        print(_json.dumps(job))
+        return 0 if job["state"] == "succeeded" else 1
+    if job["state"] == "succeeded":
+        result = job.get("result") or {}
+        print(
+            f"succeeded: {result.get('inserted', 0)} inserted, "
+            f"{result.get('deduped', 0)} deduped "
+            f"(registry version {result.get('registryVersion')})"
+        )
+        return 0
+    error_body = job.get("error") or {}
+    print(
+        f"{job['state']}: "
+        f"{error_body.get('message', 'no error detail recorded')}"
+    )
+    return 1
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """List, inspect or cancel background jobs over ``/v1/jobs``.
+
+    Jobs are owner-scoped: only the authenticated user's jobs are
+    visible.  Without ``--server`` this talks to a fresh in-process
+    server, whose job store starts empty — the command is mostly
+    useful against a running deployment.
+    """
+    import json as _json
+
+    from repro.net.transport import Request
+    from repro.server.api import quote_segment
+
+    if args.cancel and not args.job_id:
+        print("--cancel requires a job id")
+        return 1
+    dispatch, token, error = _connect_for_write(args)
+    if error:
+        print(error)
+        return 1
+    if args.job_id:
+        if args.cancel:
+            request = Request(
+                "POST",
+                f"/v1/jobs/{quote_segment(args.job_id)}:cancel",
+                token=token,
+            )
+        else:
+            request = Request(
+                "GET", f"/v1/jobs/{quote_segment(args.job_id)}", token=token
+            )
+        response = dispatch(request)
+        if not response.ok:
+            print(f"jobs failed: {response.body.get('message', response.body)}")
+            return 1
+        if args.json:
+            print(_json.dumps(response.body))
+            return 0
+        job = response.body["job"]
+        print(f"{job['jobId']}  {job['kind']:<10} {job['state']}")
+        print(f"  {_format_progress(job.get('progress', {}))}")
+        if job.get("result"):
+            print(f"  result: {_json.dumps(job['result'])}")
+        if job.get("error"):
+            print(f"  error: {_json.dumps(job['error'])}")
+        return 0
+    body = {}
+    if args.state:
+        body["state"] = args.state
+    response = dispatch(Request("GET", "/v1/jobs", body, token=token))
+    if not response.ok:
+        print(f"jobs failed: {response.body.get('message', response.body)}")
+        return 1
+    if args.json:
+        print(_json.dumps(response.body))
+        return 0
+    jobs = response.body.get("jobs", [])
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        print(
+            f"{job['jobId']}  {job['kind']:<10} {job['state']:<10} "
+            f"{_format_progress(job.get('progress', {}))}"
+        )
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Registry occupancy without materializing a single record.
 
@@ -610,6 +913,8 @@ _COMMANDS = {
     "search": cmd_search,
     "register": cmd_register,
     "delete": cmd_delete,
+    "ingest": cmd_ingest,
+    "jobs": cmd_jobs,
     "stats": cmd_stats,
     "endpoints": cmd_endpoints,
 }

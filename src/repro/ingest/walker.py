@@ -1,0 +1,144 @@
+"""Repository walker + archive intake for the ingest pipeline.
+
+Walks a source tree deterministically (sorted order, so two ingests of
+the same tree discover files identically), skipping VCS internals,
+virtualenvs, caches and anything hidden, refusing binaries and
+oversized files.  Uploaded ``.tar.gz`` archives are unpacked through a
+validating extractor that rejects absolute paths, ``..`` traversal and
+non-file members — the archive came over the wire from an
+authenticated but not necessarily careful client.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import tarfile
+from typing import Iterator
+
+from repro.errors import ValidationError
+
+#: directories never descended into
+SKIP_DIRS = frozenset(
+    {
+        ".git",
+        ".hg",
+        ".svn",
+        "__pycache__",
+        ".mypy_cache",
+        ".pytest_cache",
+        ".tox",
+        ".eggs",
+        "node_modules",
+        ".venv",
+        "venv",
+        "build",
+        "dist",
+    }
+)
+
+#: suffixes the walker yields; ``.py`` goes to the AST chunker, the
+#: rest to the line-window fallback
+TEXT_SUFFIXES = (".py", ".md", ".rst", ".txt")
+
+#: per-file size ceiling (bytes) unless the caller overrides it
+DEFAULT_MAX_FILE_BYTES = 1_000_000
+
+#: total bytes an uploaded archive may expand to (zip-bomb guard)
+MAX_ARCHIVE_BYTES = 256 * 1024 * 1024
+
+
+def iter_repo_files(
+    root: str,
+    *,
+    max_file_bytes: int = DEFAULT_MAX_FILE_BYTES,
+    suffixes: tuple[str, ...] = TEXT_SUFFIXES,
+) -> Iterator[tuple[str, str | None]]:
+    """Yield ``(relative_path, text)`` for every ingestible file.
+
+    ``text`` is ``None`` for files that matched a suffix but turned out
+    unreadable (oversized, undecodable, binary) — the pipeline counts
+    those as skipped without losing the discovery event.  Paths use
+    posix separators regardless of platform.
+    """
+    if not os.path.isdir(root):
+        raise ValidationError(
+            f"ingest path is not a directory: {root!r}",
+            params={"path": root},
+        )
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            name
+            for name in dirnames
+            if name not in SKIP_DIRS and not name.startswith(".")
+        )
+        for filename in sorted(filenames):
+            if filename.startswith(".") or not filename.endswith(suffixes):
+                continue
+            full = os.path.join(dirpath, filename)
+            relative = os.path.relpath(full, root).replace(os.sep, "/")
+            yield relative, _read_text(full, max_file_bytes)
+
+
+def _read_text(path: str, max_file_bytes: int) -> str | None:
+    try:
+        if os.path.getsize(path) > max_file_bytes:
+            return None
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError:
+        return None
+    if b"\x00" in data:
+        return None
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+
+
+def extract_archive(data: bytes, dest: str) -> None:
+    """Unpack an uploaded tarball into ``dest``, validating members.
+
+    Only regular files and directories with clean relative paths are
+    materialized; anything else (absolute paths, ``..`` traversal,
+    links, devices) is a 400 — a hostile archive must not write outside
+    ``dest``.
+    """
+    try:
+        archive = tarfile.open(fileobj=io.BytesIO(data), mode="r:*")
+    except tarfile.TarError as exc:
+        raise ValidationError(
+            "archive is not a readable tar file",
+            details=str(exc),
+        ) from exc
+    total = 0
+    with archive:
+        for member in archive:
+            name = member.name
+            if name.startswith(("/", "\\")) or ".." in name.split("/"):
+                raise ValidationError(
+                    f"archive member has an unsafe path: {name!r}",
+                    params={"member": name},
+                )
+            if member.isdir():
+                os.makedirs(os.path.join(dest, name), exist_ok=True)
+                continue
+            if not member.isfile():
+                raise ValidationError(
+                    f"archive member {name!r} is not a regular file",
+                    params={"member": name},
+                    details="links and special files are not ingestible",
+                )
+            total += member.size
+            if total > MAX_ARCHIVE_BYTES:
+                raise ValidationError(
+                    "archive expands beyond the server's size ceiling",
+                    params={"maxBytes": MAX_ARCHIVE_BYTES},
+                )
+            target = os.path.join(dest, name)
+            os.makedirs(os.path.dirname(target) or dest, exist_ok=True)
+            source = archive.extractfile(member)
+            if source is None:  # pragma: no cover - defensive
+                continue
+            with source, open(target, "wb") as sink:
+                sink.write(source.read())

@@ -254,7 +254,14 @@ class RegistryService:
         self._index_counter += 1
 
     def _journal_delta(
-        self, user_id: int, kind: str, op: str, rids, vectors=None
+        self,
+        user_id: int,
+        kind: str,
+        op: str,
+        rids,
+        vectors=None,
+        *,
+        allow_compact: bool = True,
     ) -> None:
         """Append one add/remove row batch to the shard's delta journal.
 
@@ -273,7 +280,11 @@ class RegistryService:
         leaves stamp > tip, which is also just stale.
 
         Past :attr:`compact_after_deltas` / :attr:`compact_after_bytes`
-        the chain is folded back into the base slab inline.
+        the chain is folded back into the base slab inline —  unless
+        ``allow_compact`` is off: a bulk caller that will issue one
+        ``persist_shards()`` when it finishes (the ingest pipeline)
+        opts out, because every mid-stream fold re-exports the whole
+        growing slab only for the final persist to do it again.
         """
         if not self._persist or self.index is None:
             return
@@ -290,7 +301,7 @@ class RegistryService:
         self._journal_bytes += int(ids.nbytes) + (
             0 if vecs is None else int(vecs.nbytes)
         )
-        if (
+        if allow_compact and (
             chain_len >= self.compact_after_deltas
             or chain_bytes >= self.compact_after_bytes
         ):
@@ -829,7 +840,8 @@ class RegistryService:
                         [vec for _, vec in code],
                     )
             # one journal row per kind for the whole batch, at the one
-            # counter the DAO stamped it with
+            # counter the DAO stamped it with; with persist deferred to
+            # the caller, inline chain compaction is deferred with it
             if desc:
                 self._journal_delta(
                     user.user_id,
@@ -837,6 +849,7 @@ class RegistryService:
                     "add",
                     [rid for rid, _ in desc],
                     [vec for _, vec in desc],
+                    allow_compact=persist,
                 )
             if code:
                 self._journal_delta(
@@ -845,6 +858,7 @@ class RegistryService:
                     "add",
                     [rid for rid, _ in code],
                     [vec for _, vec in code],
+                    allow_compact=persist,
                 )
         if persist:
             self.persist_shards()
@@ -964,10 +978,12 @@ class RegistryService:
     ) -> WorkflowRecord:
         return self.register_workflow(user, record)[0]
 
-    def register_workflow(
+    def _dedup_workflow_hit(
         self, user: UserRecord, record: WorkflowRecord
-    ) -> tuple[WorkflowRecord, bool]:
-        """Dedup-or-insert; returns ``(stored, created)`` (see register_pe)."""
+    ) -> WorkflowRecord | None:
+        """The §3.1 dedup resolution for workflows (see
+        :meth:`_dedup_pe_hit`): an identity match grants the caller
+        ownership; ``None`` means the registration is genuinely new."""
         for existing in self.dao.find_workflow_by_entry_point(record.entry_point):
             if existing.identity_key() == record.identity_key():
                 granted = user.user_id not in existing.owners
@@ -978,13 +994,85 @@ class RegistryService:
                 self._index_workflow(user.user_id, existing)
                 if granted:
                     self._journal_workflow(user.user_id, existing, "add")
-                return existing, False
+                return existing
+        return None
+
+    def register_workflow(
+        self, user: UserRecord, record: WorkflowRecord
+    ) -> tuple[WorkflowRecord, bool]:
+        """Dedup-or-insert; returns ``(stored, created)`` (see register_pe)."""
+        hit = self._dedup_workflow_hit(user, record)
+        if hit is not None:
+            return hit, False
         record.owners = {user.user_id}
         stored = self.dao.insert_workflow(record)
         self._note_write()
         self._index_workflow(user.user_id, stored)
         self._journal_workflow(user.user_id, stored, "add")
         return stored, True
+
+    def register_workflows_bulk(
+        self,
+        user: UserRecord,
+        records: list[WorkflowRecord],
+        *,
+        persist: bool = True,
+    ) -> tuple[list[WorkflowRecord], list[bool]]:
+        """Bulk workflow registration — the :meth:`register_pes_bulk`
+        contract for workflows: one DAO ``executemany`` insert, one
+        index ``add_many``, one journal row, one shard persist, with
+        the §3.1 dedup applied against the registry *and* within the
+        batch itself.
+        """
+        from repro.search.index import KIND_WORKFLOW
+
+        stored: list[WorkflowRecord] = []
+        created: list[bool] = []
+        fresh: list[WorkflowRecord] = []
+        by_identity: dict[str, WorkflowRecord] = {}
+        for record in records:
+            identity = record.identity_key()
+            batch_hit = by_identity.get(identity)
+            if batch_hit is not None:
+                stored.append(batch_hit)
+                created.append(False)
+                continue
+            hit = self._dedup_workflow_hit(user, record)
+            if hit is not None:
+                by_identity[identity] = hit
+                stored.append(hit)
+                created.append(False)
+                continue
+            record.owners = {user.user_id}
+            fresh.append(record)
+            by_identity[identity] = record
+            stored.append(record)
+            created.append(True)
+        if fresh:
+            self.dao.insert_workflows(fresh)
+            # both DAOs treat a bulk insert as ONE mutation event
+            self._note_write()
+            indexed = [
+                (r.workflow_id, r.desc_embedding)
+                for r in fresh
+                if r.desc_embedding is not None
+            ]
+            if indexed:
+                ids = [rid for rid, _ in indexed]
+                vectors = [vec for _, vec in indexed]
+                for index in self._index_targets():
+                    index.add_many(user.user_id, KIND_WORKFLOW, ids, vectors)
+                self._journal_delta(
+                    user.user_id,
+                    KIND_WORKFLOW,
+                    "add",
+                    ids,
+                    vectors,
+                    allow_compact=persist,
+                )
+        if persist:
+            self.persist_shards()
+        return stored, created
 
     def upsert_workflow(
         self, user: UserRecord, current: WorkflowRecord, record: WorkflowRecord

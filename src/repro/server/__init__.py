@@ -150,18 +150,40 @@ Method   Path                                       Body fields
 GET      ``/v1/users``                              ``limit``, ``cursor``
 GET      ``/v1/backends``                           —
 GET      ``/v1/registry/{user}/pes``                ``limit``, ``cursor``
+GET      ``/v1/registry/{user}/pes/{name}``         — (``If-None-Match``)
 GET      ``/v1/registry/{user}/workflows``          ``limit``, ``cursor``
+GET      ``/v1/registry/{user}/workflows/{name}``   — (``If-None-Match``)
 GET      ``/v1/registry/{user}/workflows/{id}/pes`` ``limit``, ``cursor``
 POST     ``/v1/registry/{user}/search``             see ``SearchRequest``
 PUT      ``/v1/registry/{user}/pes/{name}``         see ``RegisterPERequest``
 PUT      ``/v1/registry/{user}/workflows/{name}``   see ``RegisterWorkflowRequest``
 POST     ``/v1/registry/{user}/pes:bulk``           ``items``, ``ifVersion``,
                                                     ``idempotencyKey``
+POST     ``/v1/registry/{user}/workflows:bulk``     ``items``, ``ifVersion``,
+                                                    ``idempotencyKey``
+POST     ``/v1/registry/{user}/ingest``             ``path`` | ``archive``,
+                                                    ``batchSize``,
+                                                    ``maxFileBytes``,
+                                                    ``maxChunkLines``
 DELETE   ``/v1/registry/{user}/pes/{name}``         ``ifVersion``,
                                                     ``idempotencyKey``
 DELETE   ``/v1/registry/{user}/workflows/{name}``   ``ifVersion``,
                                                     ``idempotencyKey``
+GET      ``/v1/jobs``                               ``state``, ``limit``,
+                                                    ``cursor``
+GET      ``/v1/jobs/{id}``                          —
+POST     ``/v1/jobs/{id}:cancel``                   —
 =======  =========================================  =======================
+
+**Conditional reads**: the single-record GETs return the item inside a
+``{"apiVersion": "v1", "kind": ..., "item": ...}`` envelope plus a
+strong ``ETag`` header derived from the record's id and ``revision``
+(``"pe-{id}-{rev}"`` / ``"workflow-{id}-{rev}"`` — the same counter
+``ifVersion`` pins on writes).  A request whose ``If-None-Match``
+validator matches (``*``, weak ``W/…`` prefixes and comma lists all
+honoured per RFC 9110) is answered ``304 Not Modified`` with the ETag
+and an **empty body** — pollers tracking a record pay headers only
+until the revision actually moves.
 
 **Listings** return the ``Page`` envelope::
 
@@ -230,9 +252,10 @@ content supersedes the caller's binding — the new content registers
 (dedup-or-insert) and the caller's stake in the old record is released
 (other tenants' view of a shared record is never rewritten).  The
 legacy add routes keep the historical register-only behaviour.
-``DELETE`` removes by the same key, and ``POST …/pes:bulk`` lands a
-batch with one DAO ``executemany`` transaction, one index ``add_many``
-per shard kind and one shard persist.  All write routes — and the
+``DELETE`` removes by the same key, and ``POST …/pes:bulk`` /
+``POST …/workflows:bulk`` land a batch with one DAO ``executemany``
+transaction, one index ``add_many`` per shard kind and one shard
+persist.  All write routes — and the
 legacy Table-3 register/remove routes, which are thin byte-identical
 adapters — share one serialized core
 (:func:`repro.server.v1_write.execute_write`).
@@ -271,6 +294,48 @@ Code   ``error``              When
 409    IdempotencyConflict    key replayed with a different request
 412    PreconditionFailed     ``ifVersion`` mismatch
 =====  =====================  =============================================
+
+Background jobs and repository ingestion
+========================================
+
+Long-running work runs behind a generic background-job subsystem
+(:mod:`repro.jobs`): the server owns one :class:`~repro.jobs.JobManager`
+— a bounded daemon worker pool over a FIFO queue — and any controller
+can ``submit`` a callable and hand the client a job id instead of
+blocking the request.  Job lifecycle is
+``queued → running → succeeded | failed | cancelled`` with
+**monotonic** progress counters (a snapshot may lag, never regress),
+structured §3.2.5 error JSON on failure, cooperative cancellation
+(workers observe ``cancel`` at their next
+:meth:`~repro.jobs.JobContext.checkpoint`), and TTL + count-capped
+retention of terminal jobs.  The ``/v1/jobs`` routes are
+**owner-scoped** with no ``{user}`` path segment: the principal comes
+from the token alone and foreign job ids answer 404, so job existence
+never leaks across tenants.
+
+``GET /v1/jobs/{id}`` returns ``{"apiVersion": "v1", "job": {...}}``
+where the snapshot carries ``jobId``, ``kind``, ``owner``, ``state``,
+``createdAt`` / ``startedAt`` / ``finishedAt``, ``progress``,
+``params``, ``result``, ``error`` and ``cancelRequested``.  The
+listing accepts ``state`` and ``limit`` filters; ``:cancel`` is
+idempotent and a no-op on terminal jobs.
+
+The first job-backed workflow is **repository ingestion**
+(``POST /v1/registry/{user}/ingest`` → 202 + job id, body also echoed
+under ``jobId``).  The pipeline (:mod:`repro.ingest`) walks the tree
+(or a base64 tar.gz upload, extracted with traversal/symlink/zip-bomb
+guards), chunks every ``.py`` file with a pure-Python AST chunker into
+function/class records named ``{path}::{qualname}``, and lands them
+through the same serialized bulk-write core as ``pes:bulk`` in
+**bounded batches** — each batch takes the write lock only for its
+single bulk insert, so search stays live (and consistent) while a
+repository streams in; shard persistence and journal compaction are
+deferred to one fold at the end of the job.  Progress counters
+(``filesDiscovered``, ``filesSkipped``, ``chunksDiscovered``,
+``chunksEmbedded``, ``chunksInserted``, ``chunksDeduped``) make a
+mid-flight job legible, and cancellation between batches keeps every
+already-landed batch durable.  CLI: ``repro ingest`` (packs the tree
+client-side when pointed at a remote server) and ``repro jobs``.
 """
 
 from repro.server.api import Router

@@ -29,15 +29,26 @@ class Route:
             return None
         params: dict[str, str] = {}
         for expected, actual in zip(self.segments, parts):
-            if expected.startswith("{") and expected.endswith("}"):
-                params[expected[1:-1]] = urllib.parse.unquote(actual)
+            if expected.startswith("{") and "}" in expected:
+                name, _, suffix = expected[1:].partition("}")
+                if suffix:
+                    # google-style action segment: "{id}:cancel" captures
+                    # everything before the literal suffix
+                    if (
+                        not actual.endswith(suffix)
+                        or len(actual) <= len(suffix)
+                    ):
+                        return None
+                    actual = actual[: -len(suffix)]
+                params[name] = urllib.parse.unquote(actual)
             elif expected != actual:
                 return None
         return params
 
     def specificity(self) -> tuple[int, ...]:
-        """Match precedence: literal segments (0) beat ``{param}``
-        captures (1), position by position from the left.
+        """Match precedence: literal segments (0) beat suffixed
+        ``{param}:action`` captures (1) beat bare ``{param}`` captures
+        (2), position by position from the left.
 
         Tuples compare lexicographically, so among routes of equal
         length the one whose *earliest differing* segment is literal
@@ -45,10 +56,13 @@ class Route:
         same-shape all-param pattern registered first, and vice versa a
         param route never steals a literal route's paths.
         """
-        return tuple(
-            0 if not (s.startswith("{") and s.endswith("}")) else 1
-            for s in self.segments
-        )
+
+        def rank(segment: str) -> int:
+            if not (segment.startswith("{") and "}" in segment):
+                return 0
+            return 1 if segment.partition("}")[2] else 2
+
+        return tuple(rank(s) for s in self.segments)
 
 
 class Router:

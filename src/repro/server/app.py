@@ -14,6 +14,7 @@ import urllib.parse
 
 from repro.engine import ExecutionEngine
 from repro.errors import MethodNotAllowedError, ReproError
+from repro.jobs import JobManager
 from repro.ml.bundle import ModelBundle
 from repro.net.transport import Request, Response
 from repro.registry import InMemoryDAO, RegistryDAO, RegistryService
@@ -72,6 +73,12 @@ class LaminarServer:
     receipt_cap:
         Maximum finalized receipts retained (oldest dropped first);
         ``None`` means unbounded.
+    job_workers:
+        Background-job concurrency (ingests, future workflow runs); the
+        pool is bounded so heavy jobs cannot starve the serving path.
+    job_retention_ttl / job_retention_cap:
+        How long / how many *terminal* job records stay readable on the
+        ``/v1/jobs`` routes (live jobs are never pruned).
     """
 
     def __init__(
@@ -86,6 +93,9 @@ class LaminarServer:
         shard_transports: list | None = None,
         receipt_ttl: float | None = None,
         receipt_cap: int | None = None,
+        job_workers: int = 2,
+        job_retention_ttl: float | None = 3600.0,
+        job_retention_cap: int | None = 500,
     ) -> None:
         from repro.engine import EnginePool
 
@@ -135,6 +145,14 @@ class LaminarServer:
         #: idempotency-receipt checks and ifVersion CAS races atomic;
         #: the search hot path never takes it
         self.write_lock = threading.RLock()
+        #: the background-job plane (repro.jobs): ingest requests (and
+        #: any future long-running work, e.g. workflow runs) submit
+        #: here and stream progress through the /v1/jobs routes
+        self.jobs = JobManager(
+            workers=job_workers,
+            retention_ttl=job_retention_ttl,
+            retention_cap=job_retention_cap,
+        )
         #: named Execution Engines (§3.3/§8 future work: multiple engines
         #: registered at one server); ``engine`` becomes the default
         self.engines = EnginePool(engine)
@@ -231,6 +249,10 @@ class LaminarServer:
         add("GET", "/v1/registry/{user}/workflows", v1.list_workflows)
         add("GET", "/v1/registry/{user}/workflows/{id}/pes", v1.workflow_pes)
         add("POST", "/v1/registry/{user}/search", v1.search)
+        # conditional single-record reads: revision-based ETags with an
+        # If-None-Match 304 short-circuit
+        add("GET", "/v1/registry/{user}/pes/{name}", v1.get_pe)
+        add("GET", "/v1/registry/{user}/workflows/{name}", v1.get_workflow)
 
         # v1 write surface — typed envelopes with idempotency keys and
         # conditional writes; the legacy register/remove routes above
@@ -239,12 +261,29 @@ class LaminarServer:
         add("PUT", "/v1/registry/{user}/pes/{name}", writes.put_pe)
         add("PUT", "/v1/registry/{user}/workflows/{name}", writes.put_workflow)
         add("POST", "/v1/registry/{user}/pes:bulk", writes.bulk_pes)
+        add(
+            "POST",
+            "/v1/registry/{user}/workflows:bulk",
+            writes.bulk_workflows,
+        )
         add("DELETE", "/v1/registry/{user}/pes/{name}", writes.delete_pe)
         add(
             "DELETE",
             "/v1/registry/{user}/workflows/{name}",
             writes.delete_workflow,
         )
+
+        # background jobs + repository ingestion (repro.jobs /
+        # repro.ingest): ingest answers 202 with a job id, progress and
+        # cancellation ride the owner-scoped /v1/jobs routes
+        from repro.server.jobs_api import IngestController, JobsController
+
+        jobs = JobsController(self)
+        add("GET", "/v1/jobs", jobs.list_jobs)
+        add("GET", "/v1/jobs/{id}", jobs.get_job)
+        add("POST", "/v1/jobs/{id}:cancel", jobs.cancel_job)
+        ingest = IngestController(self)
+        add("POST", "/v1/registry/{user}/ingest", ingest.start)
 
     # ------------------------------------------------------------------
     # Dispatch with standardized error handling (paper §3.2.5)

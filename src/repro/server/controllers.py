@@ -54,6 +54,16 @@ class BaseController:
             )
         return self.app.registry.get_user(user_name)
 
+    def token_principal(self, request: Request) -> UserRecord:
+        """Resolve the caller from the token alone (routes without a
+        ``{user}`` path segment, e.g. ``/v1/jobs``)."""
+        token_user = self.app.token_user(request.token)
+        if token_user is None:
+            raise AuthenticationError(
+                "missing or invalid auth token; call /auth/login first"
+            )
+        return self.app.registry.get_user(token_user)
+
     @staticmethod
     def int_param(params: dict[str, str], key: str) -> int:
         try:

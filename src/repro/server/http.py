@@ -239,6 +239,11 @@ class _AsyncHttpCore:
             # (NOT folded into the body — strict v1 read envelopes
             # would reject the extra field), body field wins downstream
             metadata["Idempotency-Key"] = idempotency_key
+        if_none_match = headers.get("if-none-match")
+        if if_none_match is not None:
+            # conditional-read validator for the v1 single-record GETs;
+            # metadata for the same reason as Idempotency-Key above
+            metadata["If-None-Match"] = if_none_match
         token = None
         auth = headers.get("authorization", "")
         if auth.startswith("Bearer "):
@@ -310,7 +315,9 @@ class _AsyncHttpCore:
         extra: dict[str, str] | None = None,
         close: bool = False,
     ) -> None:
-        payload = json.dumps(body).encode("utf-8")
+        # RFC 9110 §15.4.5: a 304 carries no content — the client keeps
+        # its cached representation; everything else is a JSON document
+        payload = b"" if status == 304 else json.dumps(body).encode("utf-8")
         phrase = _HTTP_PHRASES.get(status, "")
         # header names, values and order mirror the BaseHTTPRequestHandler
         # front end this core replaced — response bytes stay identical
@@ -490,7 +497,9 @@ class HttpTransport(Transport):
                 )
         except urllib.error.HTTPError as exc:
             try:
-                body = json.loads(exc.read().decode())
+                raw = exc.read()
+                # a 304 (conditional-read hit) legitimately has no body
+                body = json.loads(raw.decode()) if raw else {}
             except Exception:
                 body = {"error": "InternalError", "message": str(exc)}
             return Response(exc.code, body, dict(exc.headers.items()))

@@ -1,0 +1,113 @@
+"""Controllers for the background-job routes and repository ingestion.
+
+Two small controllers over :class:`repro.jobs.JobManager`:
+
+* :class:`JobsController` — ``GET /v1/jobs`` (the caller's jobs,
+  newest first), ``GET /v1/jobs/{id}``, ``POST /v1/jobs/{id}:cancel``.
+  Jobs are **owner-scoped**: these routes carry no ``{user}`` path
+  segment, so the principal comes from the token alone, and another
+  tenant's job ids answer 404 (existence is not leaked).
+* :class:`IngestController` — ``POST /v1/registry/{user}/ingest``
+  validates the typed envelope, submits the
+  :func:`repro.ingest.pipeline.run_ingest` body and answers **202**
+  with the queued job snapshot immediately; all the walking, chunking,
+  embedding and batched bulk registration happens on the job worker
+  (see :mod:`repro.ingest`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotFoundError, ValidationError
+from repro.ingest.pipeline import IngestSpec, run_ingest
+from repro.jobs.manager import JOB_STATES
+from repro.net.transport import Request, Response
+from repro.server.controllers import BaseController
+from repro.server.schema import (
+    IngestRequest,
+    parse_limit,
+    reject_unknown_fields,
+)
+
+#: page-size default for the jobs listing (retention caps the store, so
+#: listings are small; no cursor machinery needed)
+_DEFAULT_JOBS_LIMIT = 100
+
+
+def _job_body(snapshot: dict) -> dict:
+    return {"apiVersion": "v1", "job": snapshot}
+
+
+class JobsController(BaseController):
+    """Handlers behind the ``/v1/jobs`` route table."""
+
+    def _owned(self, request: Request, job_id: str) -> dict:
+        """The caller's job snapshot, or 404 (never another tenant's)."""
+        principal = self.token_principal(request)
+        snapshot = self.app.jobs.get(job_id)
+        if snapshot is None or snapshot["owner"] != principal.user_name:
+            raise NotFoundError(
+                f"no job {job_id!r}", params={"jobId": job_id}
+            )
+        return snapshot
+
+    def list_jobs(self, request: Request, params: dict[str, str]) -> Response:
+        principal = self.token_principal(request)
+        body = request.body or {}
+        reject_unknown_fields(body, ("limit", "state"), where="jobs listing")
+        limit = parse_limit(body.get("limit", _DEFAULT_JOBS_LIMIT))
+        state = body.get("state")
+        if state is not None and state not in JOB_STATES:
+            raise ValidationError(
+                f"state must be one of {', '.join(JOB_STATES)}; got {state!r}",
+                params={"state": state},
+            )
+        jobs = self.app.jobs.list(owner=principal.user_name, state=state)[
+            :limit
+        ]
+        return Response(
+            200,
+            {
+                "apiVersion": "v1",
+                "count": len(jobs),
+                "limit": limit,
+                "jobs": jobs,
+            },
+        )
+
+    def get_job(self, request: Request, params: dict[str, str]) -> Response:
+        return Response(200, _job_body(self._owned(request, params["id"])))
+
+    def cancel_job(self, request: Request, params: dict[str, str]) -> Response:
+        self._owned(request, params["id"])  # 404 before any state change
+        snapshot = self.app.jobs.cancel(params["id"])
+        return Response(200, _job_body(snapshot))
+
+
+class IngestController(BaseController):
+    """Handler behind ``POST /v1/registry/{user}/ingest``."""
+
+    def start(self, request: Request, params: dict[str, str]) -> Response:
+        user = self.authenticated_user(request, params)
+        req = IngestRequest.from_json(request.body)
+        spec = IngestSpec(
+            path=req.path,
+            archive=req.archive,
+            batch_size=req.batch_size,
+            max_file_bytes=req.max_file_bytes,
+            max_chunk_lines=req.max_chunk_lines,
+        )
+        # echo only wire-safe request facts (never the archive bytes)
+        job_params = {
+            "user": user.user_name,
+            "source": "archive" if req.archive is not None else req.path,
+            "batchSize": req.batch_size,
+        }
+        snapshot = self.app.jobs.submit(
+            "ingest",
+            lambda ctx: run_ingest(self.app, user.user_name, spec, ctx),
+            owner=user.user_name,
+            params=job_params,
+        )
+        body = _job_body(snapshot)
+        body["jobId"] = snapshot["jobId"]
+        return Response(202, body)

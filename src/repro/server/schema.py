@@ -490,22 +490,31 @@ class RegisterWorkflowRequest:
         "ifVersion",
         "idempotencyKey",
     )
+    #: fields rejected inside bulk items (they are request-level knobs)
+    META_FIELDS = ("ifVersion", "idempotencyKey")
 
     @classmethod
     def from_json(
         cls,
         body: dict[str, Any] | None,
         *,
-        name: str,
+        name: str | None = None,
         where: str = "register request",
+        allow_meta: bool = True,
     ) -> "RegisterWorkflowRequest":
         body = body or {}
         if not isinstance(body, dict):
             raise ValidationError(
                 f"{where} must be a JSON object, got {type(body).__name__}"
             )
-        reject_unknown_fields(body, cls.FIELDS, where=where)
-        _check_path_name(body, "entryPoint", name)
+        allowed = cls.FIELDS if allow_meta else tuple(
+            f for f in cls.FIELDS if f not in cls.META_FIELDS
+        )
+        reject_unknown_fields(body, allowed, where=where)
+        if name is None:
+            name = _parse_required_str(body, "entryPoint", where=where)
+        else:
+            _check_path_name(body, "entryPoint", name)
         code = _parse_required_str(body, "workflowCode", where=where)
         pe_ids = body.get("peIds", [])
         if not isinstance(pe_ids, list) or not all(
@@ -523,8 +532,10 @@ class RegisterWorkflowRequest:
             source=_parse_optional_str(body, "workflowSource"),
             pe_ids=[int(item) for item in pe_ids],
             desc_embedding=parse_embedding_field(body, "descEmbedding"),
-            if_version=parse_if_version(body),
-            idempotency_key=parse_idempotency_key(body),
+            if_version=parse_if_version(body) if allow_meta else None,
+            idempotency_key=(
+                parse_idempotency_key(body) if allow_meta else None
+            ),
         )
 
 
@@ -584,6 +595,160 @@ class BulkRegisterRequest:
             items=parsed,
             if_version=parse_if_version(body),
             idempotency_key=parse_idempotency_key(body),
+        )
+
+
+@dataclass
+class BulkRegisterWorkflowsRequest:
+    """The validated body of ``POST /v1/registry/{user}/workflows:bulk``.
+
+    Mirrors :class:`BulkRegisterRequest`: ``items`` are complete
+    workflow registrations (``entryPoint`` required per item;
+    ``ifVersion``/``idempotencyKey`` are request-level only) and
+    ``ifVersion`` pins the registry mutation counter.
+    """
+
+    items: list[RegisterWorkflowRequest]
+    if_version: int | None = None
+    idempotency_key: str | None = None
+
+    FIELDS = ("items", "ifVersion", "idempotencyKey")
+
+    @classmethod
+    def from_json(
+        cls, body: dict[str, Any] | None
+    ) -> "BulkRegisterWorkflowsRequest":
+        body = body or {}
+        if not isinstance(body, dict):
+            raise ValidationError(
+                f"bulk register request must be a JSON object, got "
+                f"{type(body).__name__}"
+            )
+        reject_unknown_fields(body, cls.FIELDS, where="bulk register request")
+        items = body.get("items")
+        if not isinstance(items, list) or not items:
+            raise ValidationError(
+                "items is required and must be a non-empty array",
+                params={"items": type(items).__name__},
+            )
+        if len(items) > MAX_BULK_ITEMS:
+            raise ValidationError(
+                f"items must contain at most {MAX_BULK_ITEMS} entries, "
+                f"got {len(items)}",
+                params={"items": len(items)},
+            )
+        parsed = []
+        for position, item in enumerate(items):
+            if not isinstance(item, dict):
+                raise ValidationError(
+                    f"items[{position}] must be a JSON object, got "
+                    f"{type(item).__name__}",
+                    params={"position": position},
+                )
+            parsed.append(
+                RegisterWorkflowRequest.from_json(
+                    item, where=f"items[{position}]", allow_meta=False
+                )
+            )
+        return cls(
+            items=parsed,
+            if_version=parse_if_version(body),
+            idempotency_key=parse_idempotency_key(body),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Ingest + jobs envelopes
+# ---------------------------------------------------------------------------
+#: bounds for the ingest envelope's tuning knobs
+MAX_INGEST_FILE_BYTES = 10_000_000
+MIN_CHUNK_LINES, MAX_CHUNK_LINES = 10, 2000
+
+
+def _parse_bounded_int(
+    body: dict[str, Any], key: str, default: int, low: int, high: int
+) -> int:
+    value = body.get(key, default)
+    if isinstance(value, str) and value.isdigit():
+        value = int(value)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(
+            f"{key} must be an integer, got {value!r}", params={key: value}
+        )
+    if not low <= value <= high:
+        raise ValidationError(
+            f"{key} must be between {low} and {high}, got {value}",
+            params={key: value},
+        )
+    return int(value)
+
+
+@dataclass
+class IngestRequest:
+    """The validated body of ``POST /v1/registry/{user}/ingest``.
+
+    Exactly one source is required: ``path`` (a directory on the
+    *server's* filesystem — single-tenant trusted deployments) or
+    ``archive`` (a base64 ``.tar.gz`` uploaded in the request,
+    extracted through the validating walker).  The tuning knobs bound
+    the work per file/chunk/batch; all have safe defaults.
+    """
+
+    path: str | None = None
+    archive: bytes | None = None
+    batch_size: int = 64
+    max_file_bytes: int = 1_000_000
+    max_chunk_lines: int = 200
+
+    FIELDS = ("path", "archive", "batchSize", "maxFileBytes", "maxChunkLines")
+
+    @classmethod
+    def from_json(cls, body: dict[str, Any] | None) -> "IngestRequest":
+        body = body or {}
+        if not isinstance(body, dict):
+            raise ValidationError(
+                f"ingest request must be a JSON object, got "
+                f"{type(body).__name__}"
+            )
+        reject_unknown_fields(body, cls.FIELDS, where="ingest request")
+        path = body.get("path")
+        if path is not None and (not isinstance(path, str) or not path.strip()):
+            raise ValidationError(
+                "path must be a non-empty string", params={"path": path}
+            )
+        raw_archive = body.get("archive")
+        archive: bytes | None = None
+        if raw_archive is not None:
+            if not isinstance(raw_archive, str) or not raw_archive:
+                raise ValidationError(
+                    "archive must be a base64-encoded tarball string",
+                    params={"archive": type(raw_archive).__name__},
+                )
+            try:
+                archive = base64.b64decode(
+                    raw_archive.encode("ascii"), validate=True
+                )
+            except (binascii.Error, ValueError, UnicodeError) as exc:
+                raise ValidationError(
+                    "archive is not valid base64", details=str(exc)
+                ) from None
+        if (path is None) == (archive is None):
+            raise ValidationError(
+                "exactly one of path or archive is required",
+                params={"path": path is not None, "archive": archive is not None},
+            )
+        return cls(
+            path=path,
+            archive=archive,
+            batch_size=_parse_bounded_int(
+                body, "batchSize", 64, 1, MAX_BULK_ITEMS
+            ),
+            max_file_bytes=_parse_bounded_int(
+                body, "maxFileBytes", 1_000_000, 1, MAX_INGEST_FILE_BYTES
+            ),
+            max_chunk_lines=_parse_bounded_int(
+                body, "maxChunkLines", 200, MIN_CHUNK_LINES, MAX_CHUNK_LINES
+            ),
         )
 
 

@@ -401,6 +401,54 @@ class V1Controller(BaseController):
         ]
         return Response(200, Page(items, limit, next_cursor).to_json())
 
+    # ------------------------------------------------------------------
+    # Single-record reads (conditional: revision-based ETags)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _conditional(request: Request, etag: str, body: dict) -> Response:
+        """Serve ``body`` with an ``ETag``, or 304 on a validator hit.
+
+        The ETag is strong and derived from the record's id + revision
+        — every write path bumps the revision, so a matching validator
+        proves the cached representation is current.  ``If-None-Match``
+        accepts the usual comma-separated list and ``*``; weak ``W/``
+        prefixes compare by opaque value (byte-identical JSON either
+        way).  A 304 carries the ETag back and no body (RFC 9110).
+        """
+        validator = (request.headers or {}).get("If-None-Match")
+        if validator is not None:
+            candidates = {
+                tag.strip().removeprefix("W/")
+                for tag in validator.split(",")
+            }
+            if "*" in candidates or etag in candidates:
+                return Response(304, {}, {"ETag": etag})
+        return Response(200, body, {"ETag": etag})
+
+    def get_pe(self, request: Request, params: dict[str, str]) -> Response:
+        user = self.authenticated_user(request, params)
+        record = self.app.registry.get_pe_by_name(user, params["name"])
+        etag = f'"pe-{record.pe_id}-{record.revision}"'
+        body = {
+            "apiVersion": "v1",
+            "kind": "pe",
+            "item": {**record.to_json(), "revision": record.revision},
+        }
+        return self._conditional(request, etag, body)
+
+    def get_workflow(
+        self, request: Request, params: dict[str, str]
+    ) -> Response:
+        user = self.authenticated_user(request, params)
+        record = self.app.registry.get_workflow_by_name(user, params["name"])
+        etag = f'"workflow-{record.workflow_id}-{record.revision}"'
+        body = {
+            "apiVersion": "v1",
+            "kind": "workflow",
+            "item": {**record.to_json(), "revision": record.revision},
+        }
+        return self._conditional(request, etag, body)
+
     def workflow_pes(
         self, request: Request, params: dict[str, str]
     ) -> Response:

@@ -23,10 +23,12 @@ What the core adds over the legacy path:
   ``revision`` (0 = "must not exist yet"); for bulk, the registry
   mutation counter.  A mismatch is a 412 ``PreconditionFailed`` and the
   registry is untouched.
-* **Bulk registration** — ``POST /v1/registry/{user}/pes:bulk`` lands
-  any number of PEs with one DAO ``executemany`` transaction, one index
+* **Bulk registration** — ``POST /v1/registry/{user}/pes:bulk`` and
+  ``POST /v1/registry/{user}/workflows:bulk`` land any number of
+  records with one DAO ``executemany`` transaction, one index
   ``add_many`` per shard kind and one shard persist (see
-  ``RegistryService.register_pes_bulk``).
+  ``RegistryService.register_pes_bulk`` /
+  ``register_workflows_bulk``).
 
 All writes serialize on ``LaminarServer.write_lock``: the
 receipt-check → conditional-check → service-write → receipt-store
@@ -58,6 +60,7 @@ from repro.registry.entities import PERecord, UserRecord, WorkflowRecord
 from repro.server.controllers import BaseController
 from repro.server.schema import (
     BulkRegisterRequest,
+    BulkRegisterWorkflowsRequest,
     DeleteRequest,
     RegisterPERequest,
     RegisterWorkflowRequest,
@@ -372,7 +375,12 @@ def _register_bulk(
 ) -> WriteOutcome:
     registry = app.registry
     _check_bulk_version(registry, cmd.if_version)
-    stored, created = registry.register_pes_bulk(user, list(cmd.records))
+    if cmd.kind == "pe":
+        stored, created = registry.register_pes_bulk(user, list(cmd.records))
+    else:
+        stored, created = registry.register_workflows_bulk(
+            user, list(cmd.records)
+        )
     items = [
         {**record.to_json(), "revision": record.revision, "created": was_created}
         for record, was_created in zip(stored, created)
@@ -380,7 +388,7 @@ def _register_bulk(
     status = 201 if any(created) else 200
     body = WriteResponse(
         op="bulk-register",
-        kind="pe",
+        kind=cmd.kind,
         status=status,
         items=items,
         registry_version=registry.dao.mutation_counter(),
@@ -680,6 +688,44 @@ class V1WriteController(BaseController):
         cmd = WriteCommand(
             action="bulk-register",
             kind="pe",
+            records=records,
+            if_version=req.if_version,
+            idempotency_key=key,
+            fingerprint=fingerprint,
+        )
+        return execute_write(self.app, user, cmd).response()
+
+    def bulk_workflows(
+        self, request: Request, params: dict[str, str]
+    ) -> Response:
+        user = self.authenticated_user(request, params)
+        req = BulkRegisterWorkflowsRequest.from_json(request.body)
+        key = _effective_idempotency_key(request, req.idempotency_key)
+        fingerprint = _fingerprint_if_keyed(
+            key, "bulk-register", "workflow", "workflows:bulk", request
+        )
+        # same fast-path ordering as bulk_pes: replay and stale-CAS
+        # checks run before any per-item embed work
+        replay = _try_replay(self.app, user, key, fingerprint)
+        if replay is not None:
+            return replay.response()
+        _check_bulk_version(self.app.registry, req.if_version)
+        records = [
+            build_workflow_record(
+                self.app,
+                entry_point=item.entry_point,
+                code=item.code,
+                workflow_name=item.workflow_name,
+                description=item.description,
+                source=item.source,
+                pe_ids=item.pe_ids,
+                desc_embedding=item.desc_embedding,
+            )
+            for item in req.items
+        ]
+        cmd = WriteCommand(
+            action="bulk-register",
+            kind="workflow",
             records=records,
             if_version=req.if_version,
             idempotency_key=key,

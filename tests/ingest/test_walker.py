@@ -1,0 +1,111 @@
+"""Walker determinism, skip rules, and archive-intake validation."""
+
+import io
+import tarfile
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ingest.walker import extract_archive, iter_repo_files
+
+
+def make_tree(root, files):
+    for relative, data in files.items():
+        target = root / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        if isinstance(data, bytes):
+            target.write_bytes(data)
+        else:
+            target.write_text(data)
+
+
+class TestWalk:
+    def test_deterministic_sorted_posix_paths(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "b/two.py": "x = 2\n",
+                "a/one.py": "x = 1\n",
+                "top.md": "# hi\n",
+            },
+        )
+        first = [rel for rel, _ in iter_repo_files(str(tmp_path))]
+        second = [rel for rel, _ in iter_repo_files(str(tmp_path))]
+        assert first == second == ["top.md", "a/one.py", "b/two.py"]
+
+    def test_skip_dirs_hidden_and_foreign_suffixes(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                ".git/config.py": "never = True\n",
+                "__pycache__/mod.py": "never = True\n",
+                "node_modules/pkg.py": "never = True\n",
+                ".hidden.py": "never = True\n",
+                "image.png": "not text",
+                "kept.py": "x = 1\n",
+            },
+        )
+        assert [rel for rel, _ in iter_repo_files(str(tmp_path))] == [
+            "kept.py"
+        ]
+
+    def test_unreadable_files_yield_none_text(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "binary.py": b"abc\x00def",
+                "latin.py": "caf\xe9\n".encode("latin-1"),
+                "big.py": "x = 1\n" * 50,
+                "ok.py": "x = 1\n",
+            },
+        )
+        results = dict(iter_repo_files(str(tmp_path), max_file_bytes=100))
+        assert results["ok.py"] == "x = 1\n"
+        assert results["binary.py"] is None
+        assert results["latin.py"] is None
+        assert results["big.py"] is None  # over the 100-byte ceiling
+
+    def test_missing_root_is_a_validation_error(self, tmp_path):
+        with pytest.raises(ValidationError):
+            list(iter_repo_files(str(tmp_path / "nowhere")))
+
+
+def tar_bytes(members):
+    buffer = io.BytesIO()
+    with tarfile.open(fileobj=buffer, mode="w:gz") as tar:
+        for name, data in members:
+            info = tarfile.TarInfo(name)
+            info.size = len(data)
+            tar.addfile(info, io.BytesIO(data))
+    return buffer.getvalue()
+
+
+class TestArchiveIntake:
+    def test_round_trip(self, tmp_path):
+        data = tar_bytes([("pkg/mod.py", b"x = 1\n"), ("README.md", b"# hi\n")])
+        extract_archive(data, str(tmp_path))
+        assert (tmp_path / "pkg" / "mod.py").read_bytes() == b"x = 1\n"
+        assert (tmp_path / "README.md").read_bytes() == b"# hi\n"
+
+    def test_garbage_bytes_are_a_400(self, tmp_path):
+        with pytest.raises(ValidationError):
+            extract_archive(b"not a tarball", str(tmp_path))
+
+    @pytest.mark.parametrize(
+        "name", ["/etc/passwd.py", "../escape.py", "a/../../escape.py"]
+    )
+    def test_traversal_members_are_rejected(self, tmp_path, name):
+        data = tar_bytes([(name, b"x = 1\n")])
+        with pytest.raises(ValidationError):
+            extract_archive(data, str(tmp_path))
+        assert not (tmp_path.parent / "escape.py").exists()
+
+    def test_symlink_members_are_rejected(self, tmp_path):
+        buffer = io.BytesIO()
+        with tarfile.open(fileobj=buffer, mode="w:gz") as tar:
+            info = tarfile.TarInfo("link.py")
+            info.type = tarfile.SYMTYPE
+            info.linkname = "/etc/passwd"
+            tar.addfile(info)
+        with pytest.raises(ValidationError):
+            extract_archive(buffer.getvalue(), str(tmp_path))

@@ -71,8 +71,17 @@ V1_ENDPOINTS = [
     ("PUT", "/v1/registry/{user}/pes/{name}"),
     ("PUT", "/v1/registry/{user}/workflows/{name}"),
     ("POST", "/v1/registry/{user}/pes:bulk"),
+    ("POST", "/v1/registry/{user}/workflows:bulk"),
     ("DELETE", "/v1/registry/{user}/pes/{name}"),
     ("DELETE", "/v1/registry/{user}/workflows/{name}"),
+    # conditional single-record reads (ETag / If-None-Match)
+    ("GET", "/v1/registry/{user}/pes/{name}"),
+    ("GET", "/v1/registry/{user}/workflows/{name}"),
+    # background jobs + repository ingestion
+    ("POST", "/v1/registry/{user}/ingest"),
+    ("GET", "/v1/jobs"),
+    ("GET", "/v1/jobs/{id}"),
+    ("POST", "/v1/jobs/{id}:cancel"),
 ]
 
 

@@ -743,7 +743,7 @@ class TestMethodNotAllowed:
         [
             ("DELETE", "/registry/zz46/pe/all", "GET"),
             ("GET", "/registry/zz46/pe/add", "POST"),
-            ("POST", "/v1/registry/zz46/pes/thing", "DELETE, PUT"),
+            ("POST", "/v1/registry/zz46/pes/thing", "DELETE, GET, PUT"),
             ("PUT", "/v1/registry/zz46/search", "POST"),
             ("DELETE", "/v1/users", "GET"),
         ],
@@ -810,4 +810,4 @@ class TestOverHttp:
             )
             assert status == 405
             assert envelope["error"] == "MethodNotAllowed"
-            assert headers.get("Allow") == "DELETE, PUT"
+            assert headers.get("Allow") == "DELETE, GET, PUT"

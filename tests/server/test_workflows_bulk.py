@@ -1,0 +1,150 @@
+"""POST /v1/registry/{user}/workflows:bulk — the workflow twin of
+pes:bulk: one serialized write, in-batch + registry dedup, request-level
+idempotency and ifVersion."""
+
+import pytest
+
+from repro.net.transport import Request
+from repro.server import LaminarServer
+
+
+@pytest.fixture()
+def server(fast_bundle):
+    return LaminarServer(models=fast_bundle)
+
+
+@pytest.fixture()
+def token(server):
+    server.dispatch(
+        Request("POST", "/auth/register", {"userName": "zz46", "password": "pw"})
+    )
+    response = server.dispatch(
+        Request("POST", "/auth/login", {"userName": "zz46", "password": "pw"})
+    )
+    return response.body["token"]
+
+
+def item(name, code=None):
+    return {
+        "entryPoint": name,
+        "workflowCode": code or f"graph = make('{name}')",
+    }
+
+
+def bulk(server, token, body):
+    return server.dispatch(
+        Request(
+            "POST", "/v1/registry/zz46/workflows:bulk", body, token=token
+        )
+    )
+
+
+class TestBulkRegistration:
+    def test_registers_many_in_one_request(self, server, token):
+        response = bulk(
+            server, token, {"items": [item("wfA"), item("wfB"), item("wfC")]}
+        )
+        assert response.status == 201, response.body
+        body = response.body
+        assert body["op"] == "bulk-register" and body["kind"] == "workflow"
+        assert body["count"] == 3
+        assert [i["entryPoint"] for i in body["items"]] == [
+            "wfA",
+            "wfB",
+            "wfC",
+        ]
+        assert all(i["created"] for i in body["items"])
+        # one serialized write: a single registry version for the batch
+        assert body["registryVersion"] == 1
+
+    def test_in_batch_and_registry_dedup(self, server, token):
+        first = bulk(server, token, {"items": [item("wfA")]})
+        assert first.status == 201
+        response = bulk(
+            server,
+            token,
+            {"items": [item("wfA"), item("wfB"), item("wfB")]},
+        )
+        assert response.status == 201
+        created = [i["created"] for i in response.body["items"]]
+        assert created == [False, True, False]
+        ids = [i["workflowId"] for i in response.body["items"]]
+        assert ids[1] == ids[2], "in-batch duplicate resolves to one record"
+
+    def test_changed_code_is_a_new_registration(self, server, token):
+        bulk(server, token, {"items": [item("wfA")]})
+        response = bulk(
+            server, token, {"items": [item("wfA", code="graph = other()")]}
+        )
+        # same entry point, different code -> different identity
+        assert response.body["items"][0]["created"] is True
+
+    def test_records_are_retrievable_after_bulk(self, server, token):
+        bulk(server, token, {"items": [item("wfA")]})
+        response = server.dispatch(
+            Request("GET", "/v1/registry/zz46/workflows/wfA", token=token)
+        )
+        assert response.status == 200
+        assert response.body["item"]["entryPoint"] == "wfA"
+
+
+class TestRequestLevelKnobs:
+    def test_idempotent_replay_is_exact(self, server, token):
+        body = {"items": [item("wfA")], "idempotencyKey": "bulk-1"}
+        first = bulk(server, token, body)
+        second = bulk(server, token, body)
+        assert first.status == second.status == 201
+        assert first.body == second.body
+        listing = server.dispatch(
+            Request("GET", "/v1/registry/zz46/workflows", token=token)
+        )
+        assert listing.body["count"] == 1
+
+    def test_if_version_mismatch_is_412(self, server, token):
+        response = bulk(
+            server, token, {"items": [item("wfA")], "ifVersion": 99}
+        )
+        assert response.status == 412
+
+    def test_if_version_match_applies(self, server, token):
+        response = bulk(
+            server, token, {"items": [item("wfA")], "ifVersion": 0}
+        )
+        assert response.status == 201
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {},
+            {"items": []},
+            {"items": "wfA"},
+            {"items": [{"workflowCode": "x"}]},  # entryPoint missing
+            {"items": [{"entryPoint": "wfA"}]},  # workflowCode missing
+            {"items": [item("wfA"), 7]},
+            {"items": [{**item("wfA"), "ifVersion": 1}]},  # meta inside item
+            {"items": [{**item("wfA"), "idempotencyKey": "k"}]},
+            {"items": [item("wfA")], "extra": True},
+        ],
+    )
+    def test_malformed_bulk_bodies_are_400(self, server, token, body):
+        response = bulk(server, token, body)
+        assert response.status == 400, (body, response.body)
+
+    def test_requires_auth(self, server):
+        response = server.dispatch(
+            Request(
+                "POST",
+                "/v1/registry/zz46/workflows:bulk",
+                {"items": [item("wfA")]},
+            )
+        )
+        assert response.status == 401
+
+    def test_item_error_names_its_position(self, server, token):
+        response = bulk(
+            server, token, {"items": [item("wfA"), {"entryPoint": "wfB"}]}
+        )
+        assert response.status == 400
+        assert "items[1]" in response.body["message"]

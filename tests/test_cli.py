@@ -207,3 +207,44 @@ class TestCommands:
         server = _build_server(None, fit=False)
         with serve_http(server, port=0) as handle:
             assert handle.url.startswith("http://127.0.0.1:")
+
+
+class TestIngestAndJobs:
+    def test_ingest_parser_options(self):
+        args = build_parser().parse_args(
+            ["ingest", "/some/tree", "--batch-size", "8", "--no-wait",
+             "--no-fit", "--json"]
+        )
+        assert args.path == "/some/tree" and args.batch_size == 8
+        assert args.no_wait and args.no_fit and args.json
+        assert args.server is None and args.db is None
+
+    def test_jobs_parser_options(self):
+        args = build_parser().parse_args(
+            ["jobs", "job-000001", "--cancel", "--state", "running"]
+        )
+        assert args.job_id == "job-000001" and args.cancel
+        assert args.state == "running"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["jobs", "--state", "sideways"])
+
+    def test_ingest_streams_progress_and_succeeds(self, capsys, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            'def alpha(x):\n    """Doc."""\n    return x\n'
+        )
+        assert main(["ingest", str(tmp_path), "--no-fit"]) == 0
+        out = capsys.readouterr().out
+        assert "queued" in out
+        assert "succeeded: 1 inserted, 0 deduped" in out
+
+    def test_ingest_missing_directory_fails_fast(self, capsys, tmp_path):
+        assert main(["ingest", str(tmp_path / "nowhere"), "--no-fit"]) == 1
+        assert "not a directory" in capsys.readouterr().out
+
+    def test_jobs_listing_starts_empty(self, capsys):
+        assert main(["jobs"]) == 0
+        assert "no jobs" in capsys.readouterr().out
+
+    def test_jobs_cancel_requires_an_id(self, capsys):
+        assert main(["jobs", "--cancel"]) == 1
+        assert "requires a job id" in capsys.readouterr().out
