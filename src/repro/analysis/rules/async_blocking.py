@@ -1,0 +1,46 @@
+"""RPR001 — no blocking calls inside ``async def`` bodies in the server.
+
+Invariant (PR 6, ``repro/server/http.py``): the asyncio front end parses
+requests on the event loop and hops every blocking dispatch (SQLite,
+BLAS scoring) to the bounded thread pool.  A blocking call *on* the
+loop stalls every open connection at once — one ``time.sleep`` or
+``urlopen`` in a coroutine is a whole-server latency cliff, not a
+single slow request.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.lint import Finding, LintModule, Rule, register_rule
+from repro.analysis.rules.common import BLOCKING_CALLS, walk_scope
+
+
+@register_rule
+class AsyncBlockingRule(Rule):
+    name = "RPR001"
+    summary = (
+        "no blocking calls (time.sleep, sqlite3, sockets, urllib,"
+        " subprocess) inside async def bodies in repro/server"
+    )
+
+    def applies_to(self, module: LintModule) -> bool:
+        return "repro/server/" in module.posix
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            for node in walk_scope(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                origin = module.resolve_call(node)
+                if origin in BLOCKING_CALLS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"blocking call {origin}() inside async def"
+                        f" {fn.name} stalls the event loop; run it on"
+                        " the dispatch executor",
+                    )

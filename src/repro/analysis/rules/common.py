@@ -1,0 +1,66 @@
+"""Shared vocabulary for the bundled rules.
+
+Name resolution is import-map based (see
+:class:`repro.analysis.lint.LintModule.resolve_call`): a call matches a
+dotted origin below only when the module's imports prove the binding.
+Method calls on arbitrary objects (``self.transport.request``) are
+invisible to this layer by design — the runtime side
+(:mod:`repro.analysis.lockwatch`) owns those.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+#: calls that block the calling thread: never on the event loop
+#: (RPR001) and never while a lock is held (RPR002)
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "sqlite3.connect",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+        "urllib.request.urlopen",
+        "subprocess.run",
+        "subprocess.Popen",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "requests.get",
+        "requests.post",
+        "requests.put",
+        "requests.delete",
+        "requests.head",
+        "requests.request",
+    }
+)
+
+#: node types that open a new execution scope — rules that reason about
+#: "this function's body" must not descend into them
+_SCOPE_NODES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.Lambda,
+    ast.ClassDef,
+)
+
+
+def walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield descendants of ``node`` without entering nested scopes.
+
+    The body of a nested ``def``/``lambda`` executes when *called*, not
+    where it is written, so statements inside it do not run on the
+    enclosing function's thread/loop/lock by construction.
+    """
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def call_position(node: ast.AST) -> tuple[int, int]:
+    return (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))

@@ -1,0 +1,134 @@
+"""RPR003 — every DAO write to pes/workflows bumps the counter and stamps shards.
+
+Invariant (PRs 3/8, ``repro/registry/dao.py``): the registry mutation
+counter is the freshness authority for every persisted artifact (index
+slabs, delta journals, IVF/HNSW training state), and since schema v6
+each mutation must *also* stamp exactly the ``(user, kind)`` shards it
+changed — an unbumped or unstamped write makes a stale slab load as
+fresh on the next attach, silently serving deleted or missing rows.
+PR 8's cross-process tests exist because this failure mode is
+invisible until a cold start.
+
+Detection: a method "writes" when it executes SQL matching
+``INSERT INTO/UPDATE/DELETE FROM pes|workflows`` or mutates the
+in-memory ``self._pes``/``self._workflows`` stores; such a method must
+contain both a mutation bump (``_bump_mutation()`` call or
+``self._mutations += …``) and a ``_stamp_shards(...)`` call.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.lint import (
+    Finding,
+    LintModule,
+    Rule,
+    dotted_name,
+    register_rule,
+)
+from repro.analysis.rules.common import walk_scope
+
+_SQL_WRITE = re.compile(
+    r"(?i)\b(?:insert(?:\s+or\s+\w+)?\s+into|update|delete\s+from)\s+"
+    r"(pes|workflows)\b"
+)
+
+_MEMORY_STORES = {"self._pes", "self._workflows"}
+
+
+def _sql_text(node: ast.Call) -> str | None:
+    if not node.args:
+        return None
+    first = node.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return first.value
+    return None
+
+
+def _written_tables(fn: ast.FunctionDef) -> set[str]:
+    tables: set[str] = set()
+    for node in walk_scope(fn):
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in ("execute", "executemany"):
+                sql = _sql_text(node)
+                if sql:
+                    tables.update(_SQL_WRITE.findall(sql))
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets = (
+                node.targets
+                if isinstance(node, (ast.Assign, ast.Delete))
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    store = dotted_name(target.value)
+                    if store in _MEMORY_STORES:
+                        tables.add(store.rsplit("._", 1)[-1])
+    return tables
+
+
+def _has_bump(fn: ast.FunctionDef) -> bool:
+    for node in walk_scope(fn):
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr == "_bump_mutation":
+                return True
+        if isinstance(node, ast.AugAssign):
+            if dotted_name(node.target) == "self._mutations":
+                return True
+    return False
+
+
+def _has_stamp(fn: ast.FunctionDef) -> bool:
+    return any(
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "_stamp_shards"
+        for node in walk_scope(fn)
+    )
+
+
+@register_rule
+class DaoStampRule(Rule):
+    name = "RPR003"
+    summary = (
+        "DAO methods writing pes/workflows must bump the mutation"
+        " counter and stamp the changed shards"
+    )
+
+    def applies_to(self, module: LintModule) -> bool:
+        return module.posix.endswith("repro/registry/dao.py")
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for fn in cls.body:
+                if not isinstance(fn, ast.FunctionDef):
+                    continue
+                tables = _written_tables(fn)
+                if not tables:
+                    continue
+                wrote = "/".join(sorted(tables))
+                if not _has_bump(fn):
+                    yield self.finding(
+                        module,
+                        fn,
+                        f"{cls.name}.{fn.name} writes {wrote} without"
+                        " bumping the registry mutation counter"
+                        " (persisted slabs would load stale-as-fresh)",
+                    )
+                if not _has_stamp(fn):
+                    yield self.finding(
+                        module,
+                        fn,
+                        f"{cls.name}.{fn.name} writes {wrote} without"
+                        " stamping the changed shards"
+                        " (_stamp_shards; v6 per-shard freshness)",
+                    )

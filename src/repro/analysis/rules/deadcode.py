@@ -1,0 +1,159 @@
+"""RPR101/RPR102 — dead code: unused imports and unused local bindings.
+
+The framework's own F401/F841 pass (the container has no ruff; CI runs
+both).  Conservative by construction — it must never flag working
+code:
+
+* RPR101 skips ``__init__.py`` (re-exports are the package surface),
+  ``__future__`` imports, ``*`` imports, and imports inside
+  ``if TYPE_CHECKING:`` blocks (those are used in *quoted* annotations
+  the AST cannot see as loads), and counts a name as used when it
+  appears anywhere as a ``Name`` node or inside ``__all__``.
+* RPR102 only flags *simple* ``name = value`` bindings in function
+  scope whose name is never loaded anywhere in the function (nested
+  scopes included), never declared ``global``/``nonlocal``, and does
+  not start with ``_`` (the conventional discard prefix).  Tuple
+  unpacking, loop targets and ``with … as`` bindings are exempt —
+  those routinely name values for readability.  Functions touching
+  ``locals()``/``eval``/``exec`` are skipped entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.lint import Finding, LintModule, Rule, register_rule
+from repro.analysis.rules.common import walk_scope
+
+
+@register_rule
+class UnusedImportRule(Rule):
+    name = "RPR101"
+    summary = "imported name is never used (F401)"
+
+    def applies_to(self, module: LintModule) -> bool:
+        return not module.posix.endswith("__init__.py")
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        bindings: list[tuple[str, ast.AST]] = []
+        typing_only = _type_checking_nodes(module.tree)
+        for node in ast.walk(module.tree):
+            if node in typing_only:
+                continue
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    bindings.append((name, node))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bindings.append((alias.asname or alias.name, node))
+        used = {
+            node.id
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.Name)
+        }
+        used |= _all_exports(module.tree)
+        for name, node in bindings:
+            if name not in used:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name!r} imported but unused",
+                )
+
+
+def _type_checking_nodes(tree: ast.Module) -> set[ast.AST]:
+    """Import statements under ``if TYPE_CHECKING:`` — exempt from
+    RPR101 because their uses live in quoted annotations."""
+    exempt: set[ast.AST] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        is_tc = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+        )
+        if is_tc:
+            for child in ast.walk(node):
+                if isinstance(child, (ast.Import, ast.ImportFrom)):
+                    exempt.add(child)
+    return exempt
+
+
+def _all_exports(tree: ast.Module) -> set[str]:
+    """Names listed in ``__all__`` (string constants only)."""
+    exports: set[str] = set()
+    for node in tree.body:
+        if not isinstance(node, (ast.Assign, ast.AugAssign)):
+            continue
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        for const in ast.walk(node.value):
+            if isinstance(const, ast.Constant) and isinstance(
+                const.value, str
+            ):
+                exports.add(const.value)
+    return exports
+
+
+_DYNAMIC_SCOPES = {"locals", "vars", "eval", "exec"}
+
+
+@register_rule
+class UnusedLocalRule(Rule):
+    name = "RPR102"
+    summary = "local variable is assigned but never used (F841)"
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        for fn in ast.walk(module.tree):
+            if not isinstance(
+                fn, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            yield from self._check_function(module, fn)
+
+    def _check_function(
+        self, module: LintModule, fn: ast.AST
+    ) -> Iterable[Finding]:
+        loads: set[str] = set()
+        declared: set[str] = set()
+        candidates: list[tuple[str, ast.AST]] = []
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name):
+                if isinstance(node.ctx, ast.Load):
+                    if node.id in _DYNAMIC_SCOPES:
+                        return  # dynamic scope access: trust nothing
+                    loads.add(node.id)
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                declared.update(node.names)
+        for node in walk_scope(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target = node.target
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+            else:
+                continue
+            if isinstance(target, ast.Name) and not target.id.startswith(
+                "_"
+            ):
+                candidates.append((target.id, node))
+        for name, node in candidates:
+            if name not in loads and name not in declared:
+                yield self.finding(
+                    module,
+                    node,
+                    f"local variable {name!r} is assigned but never"
+                    " used",
+                )

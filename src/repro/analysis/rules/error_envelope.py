@@ -1,0 +1,54 @@
+"""RPR006 — error responses only through the documented envelope constructors.
+
+Invariant (paper §3.2.5 + the error table in
+``repro/server/__init__.py``): every error a handler emits is the
+standardized JSON envelope — ``error``/``code``/``message`` (+
+``params``/``details``) — produced by raising a
+:class:`repro.errors.ReproError` (rendered by ``dispatch``) or, at the
+transport layers that answer before dispatch exists, by
+:func:`repro.errors.error_envelope`.  A hand-rolled ``{"error": ...}``
+dict literal drifts from the envelope contract silently: a missing
+``code``, a renamed key or a reordered field changes response bytes the
+parity tests elsewhere pin.
+
+Detection: any dict literal with an ``"error"`` key inside
+``repro/server`` modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.lint import Finding, LintModule, Rule, register_rule
+
+
+@register_rule
+class ErrorEnvelopeRule(Rule):
+    name = "RPR006"
+    summary = (
+        "server error responses must use error_envelope()/"
+        "ReproError.to_json(), never raw {'error': ...} literals"
+    )
+
+    def applies_to(self, module: LintModule) -> bool:
+        return "repro/server/" in module.posix
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Dict):
+                continue
+            for key in node.keys:
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value == "error"
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "raw error-envelope dict literal; construct it"
+                        " via repro.errors.error_envelope() or raise a"
+                        " ReproError so the §3.2.5 contract stays in"
+                        " one place",
+                    )
+                    break

@@ -1,0 +1,111 @@
+"""RPR004 — journal appends lexically follow the index mutation they record.
+
+Invariant (PR 8, ``repro/registry/service.py``): a threshold-crossing
+``_journal_delta`` append compacts the delta chain inline *from a
+live-index snapshot*, so the snapshot must already contain the batch
+being journaled.  PR 8 shipped — and then fixed — exactly this bug:
+journaling before the index mutation made an inline compaction fold a
+snapshot missing the batch, persisting a base slab that silently
+dropped rows.  The regression test pins the runtime behaviour; this
+rule pins the code shape that caused it.
+
+Detection: inside any one function of ``RegistryService`` (the
+``_journal_*`` helpers themselves excepted), a call to
+``_journal_delta``/``_journal_pe``/``_journal_workflow`` must be
+lexically preceded by an index mutation — a mutating call
+(``add``/``add_many``/``remove``/``remove_many``/``remove_everywhere``/
+``clear``) on an index-named receiver, or one of the service's
+``_index_pe``/``_index_workflow`` helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.lint import (
+    Finding,
+    LintModule,
+    Rule,
+    dotted_name,
+    register_rule,
+)
+from repro.analysis.rules.common import call_position, walk_scope
+
+_JOURNAL_CALLS = {"_journal_delta", "_journal_pe", "_journal_workflow"}
+_MUTATING_ATTRS = {
+    "add",
+    "add_many",
+    "remove",
+    "remove_many",
+    "remove_everywhere",
+    "clear",
+}
+_INDEX_HELPERS = {
+    "_index_pe",
+    "_index_workflow",
+    "_unindex_pe",
+    "_unindex_workflow",
+}
+
+
+def _is_index_mutation(node: ast.Call) -> bool:
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    if func.attr in _INDEX_HELPERS:
+        return True
+    if func.attr not in _MUTATING_ATTRS:
+        return False
+    receiver = dotted_name(func.value)
+    return receiver is not None and "index" in receiver.lower()
+
+
+@register_rule
+class JournalOrderRule(Rule):
+    name = "RPR004"
+    summary = (
+        "_journal_* calls must lexically follow the live-index"
+        " mutation they journal"
+    )
+
+    def applies_to(self, module: LintModule) -> bool:
+        return module.posix.endswith("repro/registry/service.py")
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        for fn in ast.walk(module.tree):
+            if not isinstance(
+                fn, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if fn.name.startswith("_journal"):
+                continue  # the journal helpers are the journaling layer
+            mutations: list[tuple[int, int]] = []
+            journals: list[ast.Call] = []
+            for node in walk_scope(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _JOURNAL_CALLS
+                ):
+                    journals.append(node)
+                elif _is_index_mutation(node):
+                    mutations.append(call_position(node))
+            if not journals:
+                continue
+            first_mutation = min(mutations) if mutations else None
+            for call in journals:
+                if (
+                    first_mutation is None
+                    or call_position(call) < first_mutation
+                ):
+                    helper = call.func.attr  # type: ignore[union-attr]
+                    yield self.finding(
+                        module,
+                        call,
+                        f"{helper}() before the index mutation it"
+                        " journals — an inline compaction would fold a"
+                        " snapshot missing this batch (PR 8 journal-"
+                        "ordering bug)",
+                    )

@@ -21,6 +21,9 @@ Commands:
 * ``stats``   — per-user registry counts via the DAO's owned-id
   projections (no record materialization, no model loading); add
   ``--shards`` for index shard occupancy.
+* ``lint``    — run the repo-specific invariant linter
+  (:mod:`repro.analysis`) over files/directories; ``--json`` for
+  machine-readable findings, ``--list-rules`` for the rule table.
 * ``endpoints`` — print the server's API table (paper Table 3 + extensions).
 """
 
@@ -285,6 +288,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--persist", action="store_true",
         help="with --shards: save the (re)built slabs back to the "
         "registry so the next cold start skips the rebuild",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo-specific invariant linter (repro.analysis)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable output: {findings: [...], errors: [...]}",
+    )
+    lint.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule names to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
     )
 
     sub.add_parser("endpoints", help="print the API endpoint table")
@@ -899,6 +923,32 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Exit 0 clean, 1 with findings, 2 on unparseable files."""
+    from repro.analysis import (
+        all_rules,
+        lint_paths,
+        render_findings,
+        render_json,
+    )
+
+    if args.list_rules:
+        for name, rule in all_rules().items():
+            print(f"{name}  {rule.summary}")
+        return 0
+    rules = None
+    if args.rules:
+        rules = [name.strip() for name in args.rules.split(",") if name.strip()]
+    findings, errors = lint_paths(args.paths, rules=rules)
+    if args.as_json:
+        print(render_json(findings, errors))
+    elif findings or errors:
+        print(render_findings(findings, errors))
+    if errors:
+        return 2
+    return 1 if findings else 0
+
+
 def cmd_endpoints(args: argparse.Namespace) -> int:
     server = _build_server(None, fit=False)
     for method, pattern in server.endpoints():
@@ -916,6 +966,7 @@ _COMMANDS = {
     "ingest": cmd_ingest,
     "jobs": cmd_jobs,
     "stats": cmd_stats,
+    "lint": cmd_lint,
     "endpoints": cmd_endpoints,
 }
 

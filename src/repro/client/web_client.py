@@ -21,11 +21,7 @@ from repro.dataflow.graph import WorkflowGraph
 from repro.errors import ReproError, TransportError, ValidationError, error_from_json
 from repro.ml.bundle import ModelBundle
 from repro.net.transport import Request, Response, Transport
-from repro.serialization import (
-    analyze_imports,
-    extract_source,
-    serialize_object,
-)
+from repro.serialization import serialize_object
 from repro.serialization.codec import source_or_empty
 from repro.serialization.imports import external_requirements, merge_requirements
 from repro.server.api import quote_segment

@@ -9,7 +9,7 @@ be attributed to workload rather than framework overhead.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -16,7 +16,7 @@ that step:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.dataflow.core import PEOutput, ProcessingElement

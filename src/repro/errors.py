@@ -194,6 +194,36 @@ _KIND_TO_CLASS: dict[str, type[ReproError]] = {
 }
 
 
+def error_envelope(
+    kind: str,
+    code: int | None,
+    message: str,
+    *,
+    params: Mapping[str, Any] | None = None,
+    details: str | None = None,
+) -> dict[str, Any]:
+    """Construct the standardized §3.2.5 error envelope as a dict.
+
+    The canonical path is raising a :class:`ReproError` and letting the
+    dispatch layer render ``to_json()``; this constructor exists for
+    the transport layers that must answer *before* a dispatch context
+    exists (malformed request lines, unsupported methods, worker-crash
+    envelopes) so they never hand-roll the dict shape.  Key order is
+    part of the wire contract (``error``, ``code``, ``message``,
+    ``params``, ``details``) — parity tests pin response bytes.
+    ``code=None`` omits the field (job errors are not HTTP responses).
+    """
+    body: dict[str, Any] = {"error": kind}
+    if code is not None:
+        body["code"] = int(code)
+    body["message"] = message
+    if params:
+        body["params"] = {k: repr(v) for k, v in params.items()}
+    if details:
+        body["details"] = details
+    return body
+
+
 def error_from_json(body: Mapping[str, Any]) -> ReproError:
     """Rebuild an exception from a JSON error envelope.
 

@@ -16,7 +16,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.errors import ReproError
+from repro.errors import ReproError, error_envelope
 
 JOB_QUEUED = "queued"
 JOB_RUNNING = "running"
@@ -252,11 +252,12 @@ class JobManager:
             error = envelope
         except BaseException as exc:  # job bodies must never kill a worker
             state = JOB_FAILED
-            error = {
-                "error": "InternalError",
-                "message": f"{type(exc).__name__}: {exc}",
-                "details": traceback.format_exc(limit=5),
-            }
+            error = error_envelope(
+                "InternalError",
+                None,
+                f"{type(exc).__name__}: {exc}",
+                details=traceback.format_exc(limit=5),
+            )
         with self._lock:
             record.state = state
             record.finished_at = self._clock()

@@ -17,7 +17,6 @@ from typing import Iterable, Literal, Sequence
 
 import numpy as np
 
-from repro.ml.tokenize import tokenize_code, tokenize_text
 from repro.ml.vectorize import HashingVectorizer, IdfWeighter, l2_normalize
 
 Kind = Literal["auto", "code", "text"]

@@ -12,7 +12,6 @@ out"), the same register as the paper's Figure 7 auto-descriptions.
 from __future__ import annotations
 
 import ast
-import re
 from dataclasses import dataclass
 
 from repro.ml.ast_features import parse_lenient

@@ -25,7 +25,7 @@ from repro.ml.models import ReACCRetriever
 from repro.ml.similarity import cosine_similarity_matrix
 from repro.registry.entities import PERecord
 from repro.search.backend import IndexBackend
-from repro.search.index import KIND_CODE, VectorIndex
+from repro.search.index import KIND_CODE
 from repro.search.serving import OwnedIds, SearchBatcher, serve_topk
 
 

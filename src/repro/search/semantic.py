@@ -30,7 +30,7 @@ from repro.ml.models import UnixCoderCodeSearch
 from repro.ml.similarity import cosine_similarity_matrix
 from repro.registry.entities import PERecord, WorkflowRecord
 from repro.search.backend import IndexBackend
-from repro.search.index import KIND_DESC, KIND_WORKFLOW, VectorIndex
+from repro.search.index import KIND_DESC, KIND_WORKFLOW
 from repro.search.serving import OwnedIds, SearchBatcher, serve_topk
 
 

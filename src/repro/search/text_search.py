@@ -153,7 +153,6 @@ def _match_score(query: str, name: str, description: str) -> tuple[float, str]:
     Name substring hits dominate; description hits contribute per-word.
     Returns (score, matched_on); score 0 means no match.
     """
-    query_norm = normalize(query)
     query_words = [
         w for w in tokenize_text(query, synonyms=False, stemming=False) if w
     ]

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import ast
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.errors import SerializationError

@@ -295,6 +295,13 @@ Code   ``error``              When
 412    PreconditionFailed     ``ifVersion`` mismatch
 =====  =====================  =============================================
 
+The envelope shape has exactly two producers — a raised
+:class:`~repro.errors.ReproError` rendered by the dispatch layer, and
+:func:`repro.errors.error_envelope` for transport-level responses that
+happen before a dispatch context exists.  Raw ``{"error": ...}`` dict
+literals anywhere under ``repro/server`` are a lint failure (rule
+RPR006; see the invariant table in :mod:`repro.analysis`).
+
 Background jobs and repository ingestion
 ========================================
 

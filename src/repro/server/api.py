@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import urllib.parse
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Callable
 
 from repro.errors import MethodNotAllowedError, NotFoundError
 from repro.net.transport import Request, Response

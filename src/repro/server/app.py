@@ -13,7 +13,7 @@ import traceback
 import urllib.parse
 
 from repro.engine import ExecutionEngine
-from repro.errors import MethodNotAllowedError, ReproError
+from repro.errors import MethodNotAllowedError, ReproError, error_envelope
 from repro.jobs import JobManager
 from repro.ml.bundle import ModelBundle
 from repro.net.transport import Request, Response
@@ -303,12 +303,12 @@ class LaminarServer:
         except Exception as exc:  # unforeseen behaviour -> 500 envelope
             return Response(
                 500,
-                {
-                    "error": "InternalError",
-                    "code": 500,
-                    "message": f"{type(exc).__name__}: {exc}",
-                    "details": traceback.format_exc(limit=5),
-                },
+                error_envelope(
+                    "InternalError",
+                    500,
+                    f"{type(exc).__name__}: {exc}",
+                    details=traceback.format_exc(limit=5),
+                ),
             )
 
     @staticmethod

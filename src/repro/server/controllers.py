@@ -16,11 +16,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.engine.engine import ExecutionRequest
-from repro.errors import (
-    AuthenticationError,
-    NotFoundError,
-    ValidationError,
-)
+from repro.errors import AuthenticationError, ValidationError
 from repro.net.transport import Request, Response
 from repro.registry.entities import UserRecord
 from repro.serialization.imports import merge_requirements

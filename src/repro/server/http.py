@@ -51,7 +51,7 @@ from concurrent.futures import ThreadPoolExecutor
 from http.client import responses as _HTTP_PHRASES
 from typing import Any
 
-from repro.errors import TransportError
+from repro.errors import TransportError, error_envelope
 from repro.net.transport import Request, Response, Transport
 
 #: mirrors ``BaseHTTPRequestHandler.version_string()`` so the Server
@@ -174,7 +174,7 @@ class _AsyncHttpCore:
             await self._send_json(
                 writer,
                 414,
-                {"error": "BadRequest", "code": 414, "message": "request line too long"},
+                error_envelope("BadRequest", 414, "request line too long"),
                 close=True,
             )
             return False
@@ -185,7 +185,7 @@ class _AsyncHttpCore:
             await self._send_json(
                 writer,
                 400,
-                {"error": "BadRequest", "code": 400, "message": "malformed request line"},
+                error_envelope("BadRequest", 400, "malformed request line"),
                 close=True,
             )
             return False
@@ -195,7 +195,7 @@ class _AsyncHttpCore:
             await self._send_json(
                 writer,
                 400,
-                {"error": "BadRequest", "code": 400, "message": "malformed headers"},
+                error_envelope("BadRequest", 400, "malformed headers"),
                 close=True,
             )
             return False
@@ -210,11 +210,9 @@ class _AsyncHttpCore:
             await self._send_json(
                 writer,
                 501,
-                {
-                    "error": "NotImplemented",
-                    "code": 501,
-                    "message": f"unsupported method {method!r}",
-                },
+                error_envelope(
+                    "NotImplemented", 501, f"unsupported method {method!r}"
+                ),
                 close=True,
             )
             return False
@@ -228,7 +226,7 @@ class _AsyncHttpCore:
             await self._send_json(
                 writer,
                 400,
-                {"error": "BadRequest", "code": 400, "message": str(exc)},
+                error_envelope("BadRequest", 400, str(exc)),
                 close=close,
             )
             return keep_alive and not close
@@ -501,7 +499,7 @@ class HttpTransport(Transport):
                 # a 304 (conditional-read hit) legitimately has no body
                 body = json.loads(raw.decode()) if raw else {}
             except Exception:
-                body = {"error": "InternalError", "message": str(exc)}
+                body = error_envelope("InternalError", None, str(exc))
             return Response(exc.code, body, dict(exc.headers.items()))
         except urllib.error.URLError as exc:
             raise TransportError(

@@ -34,7 +34,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import ReproError, ValidationError
+from repro.errors import ReproError, ValidationError, error_envelope
 from repro.net.transport import Request, Response
 from repro.search.index import VectorIndex
 
@@ -60,23 +60,22 @@ class ShardNode:
         if request.method != "POST" or not request.path.startswith("/shard/") or handler is None:
             return Response(
                 404,
-                {
-                    "error": "NotFound",
-                    "code": 404,
-                    "message": f"unknown shard route {request.method} {request.path}",
-                },
+                error_envelope(
+                    "NotFound",
+                    404,
+                    f"unknown shard route {request.method} {request.path}",
+                ),
             )
         try:
             return Response(200, handler(request.body))
         except ReproError as exc:
             return Response(
                 exc.code,
-                {"error": type(exc).__name__, "code": exc.code, "message": str(exc)},
+                error_envelope(type(exc).__name__, exc.code, str(exc)),
             )
         except Exception as exc:  # defensive: never leak a traceback as HTML
             return Response(
-                500,
-                {"error": "InternalError", "code": 500, "message": str(exc)},
+                500, error_envelope("InternalError", 500, str(exc))
             )
 
     # ------------------------------------------------------------------

@@ -564,7 +564,12 @@ def execute_write(
                 # the winner (another process) is still mid-write;
                 # _receipt_outcome turns a pending receipt into a 409
                 return _receipt_outcome(receipt, cmd.fingerprint, key)
-            time.sleep(_CLAIM_POLL)
+            # Deliberate sleep under the write lock: the receipt holder
+            # is another *process*, so polling under our in-process
+            # write lock cannot deadlock with it, and releasing and
+            # reacquiring would let local writers starve the poller.
+            # Runtime twin: lockwatch blocking_allow=("v1_write.py",).
+            time.sleep(_CLAIM_POLL)  # lint: disable=RPR002 — cross-process claim poll
         try:
             outcome = _dispatch_write(app, user, cmd)
         except BaseException:

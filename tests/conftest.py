@@ -1,4 +1,5 @@
-"""Shared fixtures: an unfitted (fast) model bundle and a local stack."""
+"""Shared fixtures: an unfitted (fast) model bundle, a local stack, and
+the opt-in lockwatch instrumentation for the concurrency-heavy suites."""
 
 from __future__ import annotations
 
@@ -6,6 +7,48 @@ import pytest
 
 from repro.client import LaminarClient, local_stack
 from repro.ml.bundle import ModelBundle
+
+#: suites that run under lock-order/blocking-call instrumentation —
+#: the concurrency-heavy surfaces (batcher, scatter, write core, jobs).
+#: Matched against the test module's posix path.
+_LOCKWATCH_SUITES = (
+    "tests/search/test_batcher",
+    "tests/search/test_scatter",
+    "tests/server/test_scatter_serving",
+    "tests/server/test_v1_write_api",
+    "tests/server/test_write_concurrency",
+    "tests/jobs/test_manager",
+)
+
+
+@pytest.fixture()
+def lockwatch():
+    """Install lock-order/blocking-call instrumentation for one test.
+
+    Yields the active :class:`~repro.analysis.lockwatch.LockWatch`;
+    at teardown, uninstalls and fails the test if any lock-order cycle
+    or blocking-call-under-lock was recorded.  ``v1_write.py`` is on
+    the blocking allowlist — its claim poll deliberately sleeps under
+    the write lock (see the suppression comment at the call site).
+    """
+    from repro.analysis.lockwatch import LockWatch
+
+    watch = LockWatch(blocking_allow=("v1_write.py",))
+    watch.install()
+    try:
+        yield watch
+    finally:
+        watch.uninstall()
+        watch.raise_violations()
+
+
+@pytest.fixture(autouse=True)
+def _lockwatch_for_concurrency_suites(request):
+    """Autouse shim: turn on ``lockwatch`` for the configured suites."""
+    module = getattr(request, "module", None)
+    path = (getattr(module, "__file__", "") or "").replace("\\", "/")
+    if any(suite in path for suite in _LOCKWATCH_SUITES):
+        request.getfixturevalue("lockwatch")
 
 
 @pytest.fixture(scope="session")

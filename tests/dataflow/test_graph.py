@@ -2,13 +2,12 @@
 
 import pytest
 
-from repro.dataflow.core import ConsumerPE, GenericPE, IterativePE, ProducerPE
+from repro.dataflow.core import GenericPE
 from repro.dataflow.graph import WorkflowGraph
 from repro.errors import GraphError
 from tests.helpers import (
     AddTen,
     Collector,
-    EvenFilter,
     OneToTenProducer,
     build_diamond_graph,
 )

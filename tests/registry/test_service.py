@@ -9,7 +9,6 @@ from repro.errors import (
     ValidationError,
 )
 from repro.registry import InMemoryDAO, RegistryService
-from repro.registry.entities import PERecord, WorkflowRecord
 from tests.registry.test_dao import make_pe, make_wf
 
 
@@ -160,7 +159,7 @@ class TestAssociations:
     def test_workflow_pes_by_name(self, service, users):
         alice, _ = users
         pe = service.add_pe(alice, make_pe("P"))
-        wf = service.add_workflow(alice, make_wf("W", pe_ids=[pe.pe_id]))
+        service.add_workflow(alice, make_wf("W", pe_ids=[pe.pe_id]))
         assert [p.pe_id for p in service.workflow_pes_by_name(alice, "W")] == [pe.pe_id]
 
     def test_many_to_many_pe_in_two_workflows(self, service, users):

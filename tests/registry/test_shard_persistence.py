@@ -1,7 +1,6 @@
 """Persisted index slabs: zero-rebuild cold start and freshness rules."""
 
 import numpy as np
-import pytest
 
 from repro.registry.dao import InMemoryDAO, SqliteDAO
 from repro.registry.service import RegistryService

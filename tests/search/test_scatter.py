@@ -9,7 +9,6 @@ from repro.errors import TransportError, ValidationError
 from repro.net.transport import InProcessTransport
 from repro.search.index import KIND_CODE, KIND_DESC, KIND_WORKFLOW, VectorIndex
 from repro.search.scatter import (
-    LocalShardWorker,
     RemoteShardWorker,
     ScatterGatherBackend,
     ShardUnavailable,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import NotFoundError
-from repro.net.transport import Request, Response
+from repro.net.transport import Response
 from repro.server.api import Router, quote_segment
 
 

@@ -11,8 +11,6 @@ file model two fleet processes faithfully.
 import threading
 import time
 
-import pytest
-
 from repro.net.transport import Request
 from repro.registry.dao import SqliteDAO
 from repro.server import LaminarServer
